@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared plumbing for the figure/table reproduction binaries: a consistent
+// header block, scheme runners, and a DES wrapper. Every bench prints the
+// rows/series of one reconstructed table or figure from the evaluation.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "edge/builders.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace scalpel::bench {
+
+inline void banner(const char* id, const char* title) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==================================================\n");
+}
+
+/// Default (moderate) joint optimizer configuration used across benches.
+inline JointOptions joint_opts() {
+  JointOptions o;
+  o.max_iterations = 4;
+  o.dp_coverage_bins = 60;
+  return o;
+}
+
+/// Optimize with the named scheme ("joint" or a baseline name).
+inline Decision run_scheme(const ProblemInstance& instance,
+                           const std::string& name) {
+  if (name == "joint") {
+    return JointOptimizer(joint_opts()).optimize(instance);
+  }
+  return baselines::by_name(instance, name);
+}
+
+/// Short DES validation run for a decision.
+inline SimMetrics simulate(const ProblemInstance& instance, const Decision& d,
+                           double horizon = 40.0, std::uint64_t seed = 1) {
+  Simulator::Options opts;
+  opts.horizon = horizon;
+  opts.warmup = horizon * 0.1;
+  opts.seed = seed;
+  Simulator sim(instance, d, opts);
+  return sim.run();
+}
+
+inline std::string fmt_ms(double seconds) {
+  if (!std::isfinite(seconds)) return "unstable";
+  return Table::num(to_ms(seconds), 2);
+}
+
+}  // namespace scalpel::bench

@@ -1,0 +1,47 @@
+// F14 (extension) — Robustness to traffic burstiness: the optimizer plans
+// against Poisson arrivals; the DES injects Markov-modulated bursts and
+// measures how gracefully the decision degrades versus the baselines.
+
+#include "bench_common.hpp"
+
+using namespace scalpel;
+
+int main() {
+  bench::banner("F14", "Robustness to bursty (MMPP) arrivals");
+  clusters::CampusOptions copts;
+  copts.num_devices = 12;
+  copts.num_servers = 3;
+  copts.seed = 7;
+  const ProblemInstance instance(clusters::campus(copts));
+  const auto joint = bench::run_scheme(instance, "joint");
+  const auto ns = bench::run_scheme(instance, "neurosurgeon");
+
+  Table t({"burst factor", "scheme", "DES mean ms", "DES p99 ms",
+           "deadline sat."});
+  struct Row {
+    const char* name;
+    const Decision* decision;
+  };
+  const std::vector<Row> schemes = {{"joint", &joint},
+                                    {"neurosurgeon", &ns}};
+  for (double burst : {0.0, 0.3, 0.6, 0.9}) {
+    for (const auto& row : schemes) {
+      Simulator::Options opts;
+      opts.horizon = 40.0;
+      opts.warmup = 4.0;
+      opts.seed = 3;
+      opts.burst_factor = burst;
+      Simulator sim(instance, *row.decision, opts);
+      const auto m = sim.run();
+      t.add_row({Table::num(burst, 1), row.name,
+                 m.completed ? Table::num(to_ms(m.latency.mean()), 1) : "-",
+                 m.completed ? Table::num(to_ms(m.latency.p99()), 1) : "-",
+                 Table::num(m.deadline_satisfaction, 3)});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Expected shape: means stay close to the Poisson case (same\n"
+              "average rate) while tails grow with burstiness; the joint\n"
+              "decision's slack absorbs more of the bursts.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// F1 — Motivation: per-layer compute cost on a weak device vs an edge
+// server, against the activation size that would have to cross the network
+// at each clean cut. The classic Neurosurgeon figure: compute grows on the
+// device while activations shrink with depth, so an intermediate cut beats
+// both endpoints.
+
+#include "bench_common.hpp"
+#include "nn/models.hpp"
+#include "profile/latency_model.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+void layerwise(const std::string& model_name) {
+  const auto g = models::by_name(model_name);
+  const auto device = profiles::raspberry_pi4();
+  const auto server = profiles::edge_gpu_t4();
+  const auto dev_prefix = LatencyModel::prefix(g, device);
+  const auto srv_prefix = LatencyModel::prefix(g, server);
+
+  std::printf("model: %s, device: %s, server: %s\n", model_name.c_str(),
+              device.name.c_str(), server.name.c_str());
+  Table t({"cut after", "layer", "depth %", "dev prefix ms", "srv suffix ms",
+           "activation KB"});
+  const auto cuts = g.clean_cuts();
+  // Subsample deep models to keep the figure readable.
+  const std::size_t stride = std::max<std::size_t>(1, cuts.size() / 16);
+  for (std::size_t i = 0; i < cuts.size(); i += stride) {
+    const auto& c = cuts[i];
+    const double depth = 100.0 * static_cast<double>(c.prefix_flops) /
+                         static_cast<double>(g.total_flops());
+    t.add_row({Table::num(static_cast<std::int64_t>(c.after)),
+               g.node(c.after).spec.name.empty()
+                   ? layer_kind_name(g.node(c.after).spec.kind)
+                   : g.node(c.after).spec.name,
+               Table::num(depth, 1),
+               Table::num(to_ms(dev_prefix[static_cast<std::size_t>(c.after)]),
+                          2),
+               Table::num(to_ms(srv_prefix.back() -
+                                srv_prefix[static_cast<std::size_t>(c.after)]),
+                          2),
+               Table::num(static_cast<double>(c.activation_bytes) / 1024.0,
+                          1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F1", "Per-layer cost vs activation size (why partition)");
+  layerwise("vgg16");
+  layerwise("mobilenet_v1");
+  return 0;
+}

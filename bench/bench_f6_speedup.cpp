@@ -1,0 +1,64 @@
+// F6 — Speedup of the joint scheme over device-only execution, per model
+// and device class. The companion LEIME evaluation reports 1.1-18.7x across
+// situations; the same spread should appear here: little gain where the
+// device is strong, order-of-magnitude gains where it is weak.
+
+#include "bench_common.hpp"
+#include "profile/latency_model.hpp"
+#include "nn/models.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+ClusterTopology one_device(const std::string& device_class,
+                           const std::string& model) {
+  ClusterTopology t;
+  const CellId cell = t.add_cell(Cell{-1, "cell", mbps(100.0), ms(2.0)});
+  Device d;
+  d.name = "dev";
+  d.compute = profiles::by_name(device_class);
+  d.energy = profiles::energy_phone();
+  d.cell = cell;
+  d.model = model;
+  d.arrival_rate = 0.5;  // light load isolates per-task speedup
+  d.min_accuracy = 0.50;
+  t.add_device(d);
+  EdgeServer s;
+  s.name = "edge";
+  s.compute = profiles::edge_gpu_t4();
+  s.backhaul_rtt = ms(1.0);
+  t.add_server(s);
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("F6", "Speedup over device-only per (device, model)");
+  Table t({"device", "model", "device-only ms", "joint ms", "speedup"});
+  double min_speedup = 1e9;
+  double max_speedup = 0.0;
+  for (const char* device :
+       {"iot_camera", "raspberry_pi4", "smartphone", "jetson_nano"}) {
+    for (const char* model :
+         {"mobilenet_v1", "resnet18", "alexnet", "vgg16"}) {
+      const ProblemInstance instance(one_device(device, model));
+      // Per-task device-only latency (no queueing at this light load).
+      const auto& bundle = instance.bundle_for(0);
+      const double local = LatencyModel::graph_latency(
+          bundle.graph, instance.topology().device(0).compute);
+      const auto joint = bench::run_scheme(instance, "joint");
+      const double fast = joint.predicted[0].expected_latency;
+      const double speedup = local / fast;
+      min_speedup = std::min(min_speedup, speedup);
+      max_speedup = std::max(max_speedup, speedup);
+      t.add_row({device, model, bench::fmt_ms(local), bench::fmt_ms(fast),
+                 Table::num(speedup, 2) + "x"});
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("speedup range: %.2fx .. %.2fx (reference band 1.1x - 18.7x)\n",
+              min_speedup, max_speedup);
+  return 0;
+}

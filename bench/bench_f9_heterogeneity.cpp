@@ -1,0 +1,42 @@
+// F9 — Sensitivity to server heterogeneity: sweep the coefficient of
+// variation of server speeds and compare joint vs the heterogeneity-blind
+// baselines. The gap should widen with heterogeneity: allocation-aware
+// assignment routes heavy streams to fast servers.
+
+#include "bench_common.hpp"
+
+using namespace scalpel;
+
+int main() {
+  bench::banner("F9", "Sensitivity to server heterogeneity (speed CoV)");
+  Table t({"server CoV", "joint ms", "joint w/o exits ms", "neurosurgeon ms",
+           "random ms", "exit gain"});
+  for (double cov : {0.0, 0.25, 0.5, 0.75, 1.0, 1.25}) {
+    clusters::CampusOptions copts;
+    copts.num_devices = 12;
+    copts.num_servers = 4;
+    copts.server_speed_cov = cov;
+    copts.seed = 23;
+    const ProblemInstance instance(clusters::campus(copts));
+    const auto joint = bench::run_scheme(instance, "joint");
+    JointOptions ne = bench::joint_opts();
+    ne.enable_exits = false;
+    const auto no_exits = JointOptimizer(ne).optimize(instance);
+    const auto ns = bench::run_scheme(instance, "neurosurgeon");
+    const auto rnd = bench::run_scheme(instance, "random");
+    std::string gain = "-";
+    if (std::isfinite(no_exits.mean_latency) &&
+        std::isfinite(joint.mean_latency)) {
+      gain = Table::num(no_exits.mean_latency / joint.mean_latency, 2) + "x";
+    }
+    t.add_row({Table::num(cov, 2), bench::fmt_ms(joint.mean_latency),
+               bench::fmt_ms(no_exits.mean_latency),
+               bench::fmt_ms(ns.mean_latency),
+               bench::fmt_ms(rnd.mean_latency), gain});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Expected shape: allocation-aware schemes stay stable across\n"
+              "the sweep while heterogeneity-blind baselines destabilize;\n"
+              "exits add a further constant-factor gain.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// T1 — Model zoo characteristics: the DNN workloads of the evaluation, with
+// the structural quantities surgery operates on (clean cuts, exit
+// candidates, minimum-activation cut).
+
+#include "bench_common.hpp"
+#include "nn/models.hpp"
+#include "surgery/exit_candidates.hpp"
+
+using namespace scalpel;
+
+int main() {
+  bench::banner("T1", "Model zoo characteristics");
+  Table t({"model", "layers", "GFLOPs", "Mparams", "input KB", "clean cuts",
+           "exit candidates", "min act. KB", "min act. depth"});
+  for (const auto& name : models::zoo_names()) {
+    const auto g = models::by_name(name);
+    const auto cuts = g.clean_cuts();
+    std::size_t min_idx = 0;
+    for (std::size_t i = 1; i < cuts.size(); ++i) {
+      if (cuts[i].activation_bytes < cuts[min_idx].activation_bytes) {
+        min_idx = i;
+      }
+    }
+    ExitCandidateOptions opts;
+    opts.num_classes = 10;
+    const auto cands = find_exit_candidates(g, opts);
+    const double min_depth =
+        static_cast<double>(cuts[min_idx].prefix_flops) /
+        static_cast<double>(g.total_flops());
+    t.add_row({name, Table::num(static_cast<std::int64_t>(g.size())),
+               Table::num(static_cast<double>(g.total_flops()) / 1e9, 2),
+               Table::num(static_cast<double>(g.total_params()) / 1e6, 2),
+               Table::num(static_cast<double>(g.node(0).out_shape.bytes()) /
+                              1024.0,
+                          1),
+               Table::num(static_cast<std::int64_t>(cuts.size())),
+               Table::num(static_cast<std::int64_t>(cands.size())),
+               Table::num(static_cast<double>(cuts[min_idx].activation_bytes) /
+                              1024.0,
+                          1),
+               Table::num(min_depth, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,20 @@
+# Drives the CLI through its full topology -> optimize -> simulate pipeline.
+execute_process(COMMAND ${CLI} topology --preset small_lab
+                        --out ${WORK_DIR}/smoke_topo.json
+                RESULT_VARIABLE r1)
+if(NOT r1 EQUAL 0)
+  message(FATAL_ERROR "cli topology failed")
+endif()
+execute_process(COMMAND ${CLI} optimize --topology ${WORK_DIR}/smoke_topo.json
+                        --scheme joint --out ${WORK_DIR}/smoke_decision.json
+                RESULT_VARIABLE r2)
+if(NOT r2 EQUAL 0)
+  message(FATAL_ERROR "cli optimize failed")
+endif()
+execute_process(COMMAND ${CLI} simulate --topology ${WORK_DIR}/smoke_topo.json
+                        --decision ${WORK_DIR}/smoke_decision.json
+                        --horizon 10
+                RESULT_VARIABLE r3)
+if(NOT r3 EQUAL 0)
+  message(FATAL_ERROR "cli simulate failed")
+endif()

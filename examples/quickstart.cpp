@@ -1,0 +1,98 @@
+// Quickstart: build a small heterogeneous edge deployment, run the joint
+// model-surgery + resource-allocation optimizer, compare against the
+// baselines, and validate the analytical prediction with the discrete-event
+// simulator.
+//
+//   $ ./examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/baselines.hpp"
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "edge/builders.hpp"
+#include "sim/simulator.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+void describe_decision(const ProblemInstance& instance, const Decision& d) {
+  Table t({"device", "model", "plan", "exits", "server", "share", "bw(Mbps)",
+           "E[lat] ms", "E[acc]"});
+  const auto& topo = instance.topology();
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    const auto& dev = topo.device(static_cast<DeviceId>(i));
+    const auto& dd = d.per_device[i];
+    std::string plan = dd.plan.device_only
+                           ? "local"
+                           : "cut@" + std::to_string(dd.plan.partition_after);
+    t.add_row({dev.name, dev.model, plan,
+               std::to_string(dd.plan.policy.exits.size()),
+               dd.plan.device_only ? "-" : topo.server(dd.server).name,
+               dd.plan.device_only ? "-" : Table::num(dd.compute_share, 3),
+               dd.plan.device_only
+                   ? "-"
+                   : Table::num(dd.bandwidth * 8.0 / 1e6, 1),
+               Table::num(to_ms(d.predicted[i].expected_latency), 2),
+               Table::num(d.predicted[i].expected_accuracy, 3)});
+  }
+  std::printf("%s", t.to_string().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Scalpel quickstart ==\n\n");
+  const ClusterTopology topo = clusters::small_lab();
+  const ProblemInstance instance(topo);
+
+  std::printf("Cluster: %zu devices, %zu servers, %zu cells\n\n",
+              topo.devices().size(), topo.servers().size(),
+              topo.cells().size());
+
+  // 1. Jointly optimize surgery + allocation.
+  JointReport report;
+  const JointOptimizer optimizer;
+  Decision joint = optimizer.optimize(instance, &report);
+  std::printf("Joint decision (solved in %.3fs, %zu rounds):\n",
+              report.solve_seconds, report.iterations);
+  describe_decision(instance, joint);
+
+  // 2. Compare with the baselines on predicted mean latency.
+  std::printf("\nScheme comparison (analytical prediction):\n");
+  Table cmp({"scheme", "mean latency ms", "deadline sat."});
+  auto add_scheme = [&](const Decision& d) {
+    cmp.add_row({d.scheme,
+                 std::isfinite(d.mean_latency)
+                     ? Table::num(to_ms(d.mean_latency), 2)
+                     : "unstable",
+                 Table::num(predicted_deadline_satisfaction(instance, d), 3)});
+  };
+  add_scheme(baselines::device_only(instance));
+  add_scheme(baselines::edge_only(instance));
+  add_scheme(baselines::neurosurgeon(instance));
+  add_scheme(baselines::local_multi_exit(instance));
+  add_scheme(joint);
+  std::printf("%s", cmp.to_string().c_str());
+
+  // 3. Validate with the discrete-event simulator.
+  Simulator::Options opts;
+  opts.horizon = 30.0;
+  opts.warmup = 3.0;
+  Simulator sim(instance, joint, opts);
+  const SimMetrics m = sim.run();
+  std::printf("\nDES validation of the joint decision (%.0fs horizon):\n",
+              m.horizon);
+  std::printf("  completed tasks : %zu\n", m.completed);
+  std::printf("  mean latency    : %.2f ms (predicted %.2f ms)\n",
+              to_ms(m.latency.mean()), to_ms(joint.mean_latency));
+  std::printf("  p99 latency     : %.2f ms\n", to_ms(m.latency.p99()));
+  std::printf("  deadline sat.   : %.3f\n", m.deadline_satisfaction);
+  std::printf("  accuracy        : %.3f\n", m.measured_accuracy);
+  std::printf("  offload fraction: %.3f\n", m.offload_fraction);
+  return 0;
+}

@@ -1,0 +1,201 @@
+// scalpel_cli — file-driven front end to the library: generate cluster
+// configs, optimize them with any scheme, and simulate decisions, all
+// through JSON files so the pieces compose in shell pipelines.
+//
+//   scalpel_cli topology --preset small_lab --out topo.json
+//   scalpel_cli topology --preset campus --devices 24 --servers 4 \
+//       --seed 7 --out topo.json
+//   scalpel_cli optimize --topology topo.json --scheme joint \
+//       --out decision.json
+//   scalpel_cli simulate --topology topo.json --decision decision.json \
+//       --horizon 60
+//   scalpel_cli models
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "core/serialize.hpp"
+#include "edge/builders.hpp"
+#include "nn/models.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  scalpel_cli topology --preset small_lab|campus "
+               "[--devices N] [--servers M] [--seed S] --out FILE\n"
+               "  scalpel_cli optimize --topology FILE "
+               "[--scheme joint|device_only|edge_only|neurosurgeon|"
+               "local_multi_exit|random] [--objective latency|deadline] "
+               "--out FILE\n"
+               "  scalpel_cli simulate --topology FILE --decision FILE "
+               "[--horizon SECONDS] [--seed S]\n"
+               "  scalpel_cli models\n");
+  std::exit(2);
+}
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || i + 1 >= argc) usage();
+    flags[arg.substr(2)] = argv[++i];
+  }
+  return flags;
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  const auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << content;
+}
+
+int cmd_topology(const std::map<std::string, std::string>& flags) {
+  const std::string preset = flag_or(flags, "preset", "small_lab");
+  ClusterTopology topo;
+  if (preset == "small_lab") {
+    topo = clusters::small_lab();
+  } else if (preset == "campus") {
+    clusters::CampusOptions opts;
+    opts.num_devices = static_cast<std::size_t>(
+        std::stoul(flag_or(flags, "devices", "24")));
+    opts.num_servers = static_cast<std::size_t>(
+        std::stoul(flag_or(flags, "servers", "4")));
+    opts.seed = std::stoull(flag_or(flags, "seed", "42"));
+    topo = clusters::campus(opts);
+  } else {
+    std::fprintf(stderr, "error: unknown preset %s\n", preset.c_str());
+    return 1;
+  }
+  const std::string out = flag_or(flags, "out", "");
+  if (out.empty()) usage();
+  write_file(out, serialize::to_json(topo).dump_pretty() + "\n");
+  std::printf("wrote %s (%zu devices, %zu servers, %zu cells)\n", out.c_str(),
+              topo.devices().size(), topo.servers().size(),
+              topo.cells().size());
+  return 0;
+}
+
+int cmd_optimize(const std::map<std::string, std::string>& flags) {
+  const std::string topo_path = flag_or(flags, "topology", "");
+  const std::string out = flag_or(flags, "out", "");
+  if (topo_path.empty() || out.empty()) usage();
+  const auto topo =
+      serialize::topology_from_json(Json::parse(read_file(topo_path)));
+  const ProblemInstance instance(topo);
+
+  const std::string scheme = flag_or(flags, "scheme", "joint");
+  Decision decision;
+  if (scheme == "joint") {
+    JointOptions opts;
+    if (flag_or(flags, "objective", "latency") == "deadline") {
+      opts.objective = JointObjective::kDeadlineSatisfaction;
+    }
+    JointReport report;
+    decision = JointOptimizer(opts).optimize(instance, &report);
+    std::printf("joint solve: %.2fs, %zu rounds\n", report.solve_seconds,
+                report.iterations);
+  } else {
+    decision = baselines::by_name(instance, scheme);
+  }
+  write_file(out, serialize::to_json(decision).dump_pretty() + "\n");
+  std::printf("scheme=%s mean_latency=%s deadline_sat=%.3f -> %s\n",
+              decision.scheme.c_str(),
+              std::isfinite(decision.mean_latency)
+                  ? (std::to_string(to_ms(decision.mean_latency)) + " ms")
+                        .c_str()
+                  : "unstable",
+              predicted_deadline_satisfaction(instance, decision),
+              out.c_str());
+  return 0;
+}
+
+int cmd_simulate(const std::map<std::string, std::string>& flags) {
+  const std::string topo_path = flag_or(flags, "topology", "");
+  const std::string decision_path = flag_or(flags, "decision", "");
+  if (topo_path.empty() || decision_path.empty()) usage();
+  const auto topo =
+      serialize::topology_from_json(Json::parse(read_file(topo_path)));
+  const ProblemInstance instance(topo);
+  Decision decision =
+      serialize::decision_from_json(Json::parse(read_file(decision_path)));
+  evaluate_decision(instance, decision);
+
+  Simulator::Options opts;
+  opts.horizon = std::stod(flag_or(flags, "horizon", "60"));
+  opts.warmup = opts.horizon * 0.1;
+  opts.seed = std::stoull(flag_or(flags, "seed", "1"));
+  Simulator sim(instance, decision, opts);
+  const auto m = sim.run();
+  std::printf("completed=%zu mean=%.2fms p95=%.2fms p99=%.2fms "
+              "deadline_sat=%.3f accuracy=%.3f offload=%.2f "
+              "energy=%.1fmJ/task\n",
+              m.completed, to_ms(m.latency.mean()), to_ms(m.latency.p95()),
+              to_ms(m.latency.p99()), m.deadline_satisfaction,
+              m.measured_accuracy, m.offload_fraction,
+              m.mean_task_energy * 1e3);
+  return 0;
+}
+
+int cmd_models() {
+  for (const auto& name : models::zoo_names()) {
+    const auto g = models::by_name(name);
+    std::printf("%-14s %3zu layers  %8.2f GFLOPs  %7.2f Mparams  %zu cuts\n",
+                name.c_str(), g.size(),
+                static_cast<double>(g.total_flops()) / 1e9,
+                static_cast<double>(g.total_params()) / 1e6,
+                g.clean_cuts().size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "topology") return cmd_topology(parse_flags(argc, argv, 2));
+    if (cmd == "optimize") return cmd_optimize(parse_flags(argc, argv, 2));
+    if (cmd == "simulate") return cmd_simulate(parse_flags(argc, argv, 2));
+    if (cmd == "models") return cmd_models();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+}

@@ -1,0 +1,117 @@
+// Video analytics scenario: a fleet of smart cameras runs MobileNet-class
+// classification on every frame. This example goes end-to-end *through real
+// tensors*: it optimizes the surgery plan analytically, then executes the
+// resulting multi-exit model on synthetic frames with the real kernels,
+// showing early exits firing and the per-frame FLOPs saved.
+//
+//   $ ./examples/video_analytics
+
+#include <cstdio>
+
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "edge/builders.hpp"
+#include "nn/models.hpp"
+#include "surgery/multi_exit_runtime.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+#include "util/units.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+ClusterTopology camera_fleet() {
+  ClusterTopology t;
+  const CellId cell = t.add_cell(Cell{-1, "rooftop_ap", mbps(60.0), ms(3.0)});
+  for (int i = 0; i < 3; ++i) {
+    Device cam;
+    cam.name = "cam" + std::to_string(i);
+    cam.compute = profiles::iot_camera();
+    cam.energy = profiles::energy_iot();
+    cam.cell = cell;
+    cam.model = "mobilenet_v1";
+    cam.arrival_rate = 2.0;  // 2 fps analytics per camera
+    cam.deadline = ms(250.0);
+    cam.min_accuracy = 0.60;
+    t.add_device(cam);
+  }
+  EdgeServer srv;
+  srv.name = "street-cabinet-t4";
+  srv.compute = profiles::edge_gpu_t4();
+  srv.backhaul_rtt = ms(1.0);
+  t.add_server(srv);
+  t.validate();
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Video analytics: camera fleet with multi-exit MobileNet ==\n\n");
+  const ProblemInstance instance(camera_fleet());
+
+  // 1. Optimize jointly.
+  const JointOptimizer optimizer;
+  const Decision decision = optimizer.optimize(instance);
+  const auto& dd = decision.per_device[0];
+  std::printf("per-camera plan: %s, %zu exits, E[latency]=%.1f ms, "
+              "E[accuracy]=%.3f\n\n",
+              dd.plan.device_only
+                  ? "on-camera"
+                  : ("cut@" + std::to_string(dd.plan.partition_after)).c_str(),
+              dd.plan.policy.exits.size(),
+              to_ms(decision.predicted[0].expected_latency),
+              decision.predicted[0].expected_accuracy);
+
+  // 2. Execute a surgered model on real frames. The demo uses the 10-class
+  // tiny_cnn stand-in: with untrained heads, a 1000-way softmax never
+  // clears a confidence threshold (it stays near-uniform), while a 10-way
+  // head exercises the exit mechanics realistically and keeps the demo
+  // fast. The exit structure mirrors the optimized plan.
+  Graph demo_model = models::tiny_cnn(10, 32);
+  ExitCandidateOptions copts;
+  copts.num_classes = 10;
+  copts.min_spacing = 0.0;
+  const auto demo_cands = find_exit_candidates(demo_model, copts);
+  // Map the optimized policy onto the demo model's candidate list by index.
+  ExitPolicy policy;
+  for (const auto& e : dd.plan.policy.exits) {
+    if (e.candidate < demo_cands.size()) {
+      policy.exits.push_back({e.candidate, e.theta});
+    }
+  }
+  if (policy.exits.empty() && !demo_cands.empty()) {
+    policy.exits.push_back({0, 0.0});
+  }
+  ThreadPool pool(4);
+  const MultiExitRuntime runtime(demo_model, demo_cands, policy, 2024, &pool);
+  std::printf("executing %zu synthetic frames through the surgered model "
+              "(%zu exits enabled)...\n",
+              std::size_t{20}, runtime.enabled_exits());
+
+  Rng rng(7);
+  Table t({"frame", "exit taken", "confidence", "MFLOPs run", "% of full"});
+  const double full =
+      static_cast<double>(demo_model.total_flops()) / 1e6;
+  std::size_t early = 0;
+  for (int f = 0; f < 20; ++f) {
+    const auto frame =
+        Tensor::randn(demo_model.node(0).out_shape, rng, 0.6f);
+    const auto r = runtime.infer(frame);
+    if (r.exit_index >= 0) ++early;
+    const double mflops = static_cast<double>(r.executed_flops) / 1e6;
+    t.add_row({Table::num(std::int64_t{f}),
+               r.exit_index < 0 ? "final"
+                                : "exit " + std::to_string(r.exit_index),
+               Table::num(r.confidence, 3), Table::num(mflops, 1),
+               Table::num(100.0 * mflops / full, 1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%zu/20 frames exited early.\n", early);
+  std::printf("(Heads are random-initialized here, so exit decisions follow\n"
+              "confidence structure, not trained semantics — the latency\n"
+              "mechanics are what this example demonstrates.)\n");
+  return 0;
+}

@@ -1,0 +1,356 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/objective.hpp"
+#include "profile/latency_model.hpp"
+#include "sched/offloading.hpp"
+#include "surgery/exit_setting.hpp"
+#include "surgery/partition.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel::baselines {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Equal uplink split among a cell's offloading devices.
+std::vector<double> equal_bandwidth(const ProblemInstance& instance,
+                                    const std::vector<SurgeryPlan>& plans) {
+  const auto& topo = instance.topology();
+  std::vector<double> bw(plans.size(), 0.0);
+  for (const auto& cell : topo.cells()) {
+    std::vector<DeviceId> offloaders;
+    for (DeviceId d : topo.devices_in_cell(cell.id)) {
+      if (!plans[static_cast<std::size_t>(d)].device_only) {
+        offloaders.push_back(d);
+      }
+    }
+    for (DeviceId d : offloaders) {
+      bw[static_cast<std::size_t>(d)] =
+          cell.bandwidth / static_cast<double>(offloaders.size());
+    }
+  }
+  return bw;
+}
+
+/// Offloading statistics for fixed plans: per-device offload probability,
+/// upload bytes, and conditional server busy time on every server.
+struct OffloadStats {
+  std::vector<double> p_off;
+  std::vector<std::int64_t> bytes;
+  std::vector<std::vector<double>> s_cond;  // [device][server]
+};
+
+OffloadStats offload_stats(const ProblemInstance& instance,
+                           const std::vector<SurgeryPlan>& plans,
+                           const std::vector<double>& bandwidth) {
+  const auto& topo = instance.topology();
+  const std::size_t n = plans.size();
+  const std::size_t m = topo.servers().size();
+  OffloadStats st;
+  st.p_off.assign(n, 0.0);
+  st.bytes.assign(n, 0);
+  st.s_cond.assign(n, std::vector<double>(m, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (plans[i].device_only) continue;
+    const auto id = static_cast<DeviceId>(i);
+    const auto& dev = topo.device(id);
+    const auto& bundle = instance.bundle_for(id);
+    for (std::size_t j = 0; j < m; ++j) {
+      LinkSpec link;
+      link.bandwidth = std::max(bandwidth[i], 1.0);
+      link.rtt = topo.path_rtt(id, static_cast<ServerId>(j));
+      const PlanModel pm(bundle.graph, bundle.candidates, plans[i],
+                         bundle.accuracy, dev.compute,
+                         topo.server(static_cast<ServerId>(j)).compute, link);
+      if (j == 0) {
+        st.p_off[i] = pm.breakdown().offload_prob;
+        st.bytes[i] = pm.breakdown().upload_bytes;
+      }
+      st.s_cond[i][j] = pm.breakdown().offload_prob > 0.0
+                            ? pm.breakdown().expected_server_time /
+                                  pm.breakdown().offload_prob
+                            : 1e-9;
+    }
+  }
+  return st;
+}
+
+/// Builds the offloading problem over the offloading subset; returns the
+/// index map from problem rows to device ids.
+std::vector<std::size_t> build_problem(const ProblemInstance& instance,
+                                       const std::vector<SurgeryPlan>& plans,
+                                       const std::vector<double>& bandwidth,
+                                       const OffloadStats& st,
+                                       OffloadingProblem* prob) {
+  const auto& topo = instance.topology();
+  const std::size_t m = topo.servers().size();
+  std::vector<std::size_t> rows;
+  prob->capacity.assign(m, 1.0);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    if (plans[i].device_only || st.p_off[i] <= 0.0) continue;
+    const auto id = static_cast<DeviceId>(i);
+    rows.push_back(i);
+    prob->rate.push_back(topo.device(id).arrival_rate * st.p_off[i]);
+    std::vector<double> base(m, 0.0);
+    std::vector<double> work(m, 0.0);
+    for (std::size_t j = 0; j < m; ++j) {
+      base[j] = transfer_latency(st.bytes[i], bandwidth[i],
+                                 topo.path_rtt(id, static_cast<ServerId>(j)));
+      work[j] = std::max(st.s_cond[i][j], 1e-9);
+    }
+    prob->base_latency.push_back(std::move(base));
+    prob->work.push_back(std::move(work));
+  }
+  return rows;
+}
+
+/// Assembles and evaluates a Decision from plans + assignment. Shares come
+/// from the Kleinrock split (epsilon floor keeps the evaluator from throwing
+/// on overloaded servers — they surface as unstable instead).
+Decision finalize(const ProblemInstance& instance, const std::string& scheme,
+                  const std::vector<SurgeryPlan>& plans,
+                  const std::vector<double>& bandwidth,
+                  const std::vector<int>& server_of_rows,
+                  const std::vector<std::size_t>& rows,
+                  const OffloadingProblem& prob) {
+  Decision d;
+  d.scheme = scheme;
+  d.per_device.resize(plans.size());
+  std::vector<double> shares;
+  if (!rows.empty()) shares = kleinrock_shares(prob, server_of_rows);
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    d.per_device[i].plan = plans[i];
+  }
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    auto& dd = d.per_device[rows[k]];
+    dd.server = server_of_rows[k];
+    dd.compute_share = std::clamp(shares[k], 1e-9, 1.0);
+    dd.bandwidth = bandwidth[rows[k]];
+  }
+  // Devices whose plan offloads but never made it into the problem (zero
+  // offload probability) fall back to device-only semantics.
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    auto& dd = d.per_device[i];
+    if (!dd.plan.device_only && dd.server < 0) dd.plan.device_only = true;
+  }
+  evaluate_decision(instance, d);
+  return d;
+}
+
+/// Common pipeline: fixed plans -> equal bandwidth -> greedy servers with
+/// Kleinrock shares.
+Decision allocate_greedy(const ProblemInstance& instance,
+                         const std::string& scheme,
+                         const std::vector<SurgeryPlan>& plans) {
+  const auto bandwidth = equal_bandwidth(instance, plans);
+  const auto st = offload_stats(instance, plans, bandwidth);
+  OffloadingProblem prob;
+  const auto rows = build_problem(instance, plans, bandwidth, st, &prob);
+  std::vector<int> assign;
+  if (!rows.empty()) {
+    const auto solution = greedy_offloading(prob);
+    assign = solution.server_of;
+  }
+  return finalize(instance, scheme, plans, bandwidth, assign, rows, prob);
+}
+
+SurgeryPlan offload_all_plan() {
+  SurgeryPlan p;
+  p.partition_after = 0;  // cut right after the input node
+  return p;
+}
+
+}  // namespace
+
+Decision device_only(const ProblemInstance& instance) {
+  const std::size_t n = instance.topology().devices().size();
+  std::vector<SurgeryPlan> plans(n);
+  for (auto& p : plans) p.device_only = true;
+  Decision d;
+  d.scheme = "device_only";
+  d.per_device.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.per_device[i].plan = plans[i];
+  evaluate_decision(instance, d);
+  return d;
+}
+
+Decision edge_only(const ProblemInstance& instance) {
+  const std::size_t n = instance.topology().devices().size();
+  std::vector<SurgeryPlan> plans(n, offload_all_plan());
+  return allocate_greedy(instance, "edge_only", plans);
+}
+
+Decision neurosurgeon(const ProblemInstance& instance) {
+  const auto& topo = instance.topology();
+  const std::size_t n = topo.devices().size();
+  const std::size_t m = topo.servers().size();
+
+  // Partition against the fastest server at the expected fair share.
+  std::size_t fastest = 0;
+  for (std::size_t j = 1; j < m; ++j) {
+    if (topo.server(static_cast<ServerId>(j)).compute.peak_flops >
+        topo.server(static_cast<ServerId>(fastest)).compute.peak_flops) {
+      fastest = j;
+    }
+  }
+  const double fair_share =
+      std::min(1.0, static_cast<double>(m) / static_cast<double>(n));
+
+  std::vector<SurgeryPlan> all_offload(n, offload_all_plan());
+  const auto bandwidth = equal_bandwidth(instance, all_offload);
+
+  std::vector<SurgeryPlan> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const auto& dev = topo.device(id);
+    const auto& bundle = instance.bundle_for(id);
+    LinkSpec link;
+    link.bandwidth = bandwidth[i];
+    link.rtt = topo.path_rtt(id, static_cast<ServerId>(fastest));
+    const auto choice = optimal_partition(
+        bundle.graph, dev.compute,
+        topo.server(static_cast<ServerId>(fastest)).compute.scaled(fair_share),
+        link);
+    plans[i].device_only = choice.device_only;
+    plans[i].partition_after = choice.device_only ? 0 : choice.cut_after;
+  }
+  return allocate_greedy(instance, "neurosurgeon", plans);
+}
+
+Decision local_multi_exit(const ProblemInstance& instance) {
+  const auto& topo = instance.topology();
+  const std::size_t n = topo.devices().size();
+  std::vector<SurgeryPlan> plans(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const auto& dev = topo.device(id);
+    const auto& bundle = instance.bundle_for(id);
+    ExitSettingOptions es;
+    es.min_accuracy = dev.min_accuracy;
+    const auto r = dp_exit_setting(bundle.graph, bundle.candidates,
+                                   bundle.accuracy, dev.compute, es);
+    plans[i].device_only = true;
+    if (r.feasible) plans[i].policy = r.policy;
+  }
+  Decision d;
+  d.scheme = "local_multi_exit";
+  d.per_device.resize(n);
+  for (std::size_t i = 0; i < n; ++i) d.per_device[i].plan = plans[i];
+  evaluate_decision(instance, d);
+  return d;
+}
+
+Decision random_scheme(const ProblemInstance& instance, std::uint64_t seed) {
+  Rng rng(seed);
+  const auto& topo = instance.topology();
+  const std::size_t n = topo.devices().size();
+  const std::size_t m = topo.servers().size();
+  std::vector<SurgeryPlan> plans(n);
+  std::vector<int> forced_server(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& bundle = instance.bundle_for(static_cast<DeviceId>(i));
+    const auto cuts = bundle.graph.clean_cuts();
+    const auto pick = rng.uniform_int(0, static_cast<std::int64_t>(cuts.size()));
+    if (pick == static_cast<std::int64_t>(cuts.size())) {
+      plans[i].device_only = true;
+    } else {
+      plans[i].partition_after = cuts[static_cast<std::size_t>(pick)].after;
+      forced_server[i] = static_cast<int>(
+          rng.uniform_int(0, static_cast<std::int64_t>(m) - 1));
+    }
+  }
+  const auto bandwidth = equal_bandwidth(instance, plans);
+  const auto st = offload_stats(instance, plans, bandwidth);
+  OffloadingProblem prob;
+  const auto rows = build_problem(instance, plans, bandwidth, st, &prob);
+  std::vector<int> assign;
+  assign.reserve(rows.size());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    assign.push_back(forced_server[rows[k]]);
+  }
+  return finalize(instance, "random", plans, bandwidth, assign, rows, prob);
+}
+
+Decision small_exhaustive(const ProblemInstance& instance) {
+  const auto& topo = instance.topology();
+  const std::size_t n = topo.devices().size();
+  const std::size_t m = topo.servers().size();
+  SCALPEL_REQUIRE(n <= 4, "small_exhaustive limited to <= 4 devices");
+
+  // Option space per device: device-only, or (cut, server) over a small
+  // subsampled cut set.
+  struct Option {
+    SurgeryPlan plan;
+    int server = -1;
+  };
+  std::vector<std::vector<Option>> options(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& bundle = instance.bundle_for(static_cast<DeviceId>(i));
+    Option local;
+    local.plan.device_only = true;
+    options[i].push_back(local);
+    auto cuts = bundle.graph.clean_cuts();
+    // Subsample to keep the joint enumeration tractable.
+    const std::size_t stride = std::max<std::size_t>(1, cuts.size() / 6);
+    for (std::size_t c = 0; c < cuts.size(); c += stride) {
+      for (std::size_t j = 0; j < m; ++j) {
+        Option o;
+        o.plan.partition_after = cuts[c].after;
+        o.server = static_cast<int>(j);
+        options[i].push_back(o);
+      }
+    }
+  }
+
+  std::vector<std::size_t> idx(n, 0);
+  Decision best;
+  best.scheme = "small_exhaustive";
+  double best_obj = kInf;
+  for (;;) {
+    std::vector<SurgeryPlan> plans(n);
+    for (std::size_t i = 0; i < n; ++i) plans[i] = options[i][idx[i]].plan;
+    const auto bandwidth = equal_bandwidth(instance, plans);
+    const auto st = offload_stats(instance, plans, bandwidth);
+    OffloadingProblem prob;
+    const auto rows = build_problem(instance, plans, bandwidth, st, &prob);
+    std::vector<int> assign;
+    for (std::size_t k = 0; k < rows.size(); ++k) {
+      assign.push_back(options[rows[k]][idx[rows[k]]].server);
+    }
+    Decision d = finalize(instance, "small_exhaustive", plans, bandwidth,
+                          assign, rows, prob);
+    if (d.mean_latency < best_obj) {
+      best_obj = d.mean_latency;
+      best = std::move(d);
+    }
+    std::size_t k = 0;
+    while (k < n && ++idx[k] == options[k].size()) {
+      idx[k] = 0;
+      ++k;
+    }
+    if (k == n) break;
+  }
+  return best;
+}
+
+std::vector<std::string> names() {
+  return {"device_only", "edge_only", "neurosurgeon", "local_multi_exit",
+          "random"};
+}
+
+Decision by_name(const ProblemInstance& instance, const std::string& name,
+                 std::uint64_t seed) {
+  if (name == "device_only") return device_only(instance);
+  if (name == "edge_only") return edge_only(instance);
+  if (name == "neurosurgeon") return neurosurgeon(instance);
+  if (name == "local_multi_exit") return local_multi_exit(instance);
+  if (name == "random") return random_scheme(instance, seed);
+  SCALPEL_REQUIRE(false, "unknown baseline: " + name);
+}
+
+}  // namespace scalpel::baselines

@@ -1,0 +1,37 @@
+#include "core/instance.hpp"
+
+#include "nn/models.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+ProblemInstance::ProblemInstance(const ClusterTopology& topology)
+    : topology_(topology) {
+  topology_.validate();
+  for (const auto& d : topology_.devices()) {
+    if (bundles_.count(d.model)) continue;
+    auto bundle = std::make_unique<ModelBundle>();
+    bundle->graph = models::by_name(d.model);
+    ExitCandidateOptions opts;
+    // Detection-style outputs keep a conservative class count for heads.
+    opts.num_classes =
+        (d.model == "tiny_yolo") ? 20 : 1000;
+    if (d.model == "lenet5" || d.model == "tiny_cnn") opts.num_classes = 10;
+    bundle->candidates = find_exit_candidates(bundle->graph, opts);
+    bundle->accuracy = AccuracyModel::for_model(d.model);
+    bundles_.emplace(d.model, std::move(bundle));
+  }
+}
+
+const ModelBundle& ProblemInstance::bundle_for(DeviceId id) const {
+  return bundle_by_model(topology_.device(id).model);
+}
+
+const ModelBundle& ProblemInstance::bundle_by_model(
+    const std::string& model_name) const {
+  const auto it = bundles_.find(model_name);
+  SCALPEL_REQUIRE(it != bundles_.end(), "no bundle for model " + model_name);
+  return *it->second;
+}
+
+}  // namespace scalpel

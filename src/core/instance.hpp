@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "edge/cluster.hpp"
+#include "nn/graph.hpp"
+#include "surgery/accuracy_model.hpp"
+#include "surgery/exit_candidates.hpp"
+
+namespace scalpel {
+
+/// Everything static the optimizer needs about one DNN workload.
+struct ModelBundle {
+  Graph graph;
+  std::vector<ExitCandidate> candidates;
+  AccuracyModel accuracy;
+};
+
+/// A fully materialized optimization problem: the cluster plus, for every
+/// distinct model name referenced by a device, its backbone graph, exit
+/// candidates, and accuracy model. Bundles are shared across devices running
+/// the same model (graphs can be large).
+class ProblemInstance {
+ public:
+  /// Builds bundles from the model-zoo names referenced in `topology`.
+  /// The topology is copied.
+  explicit ProblemInstance(const ClusterTopology& topology);
+
+  const ClusterTopology& topology() const { return topology_; }
+  ClusterTopology& mutable_topology() { return topology_; }
+
+  const ModelBundle& bundle_for(DeviceId id) const;
+  const ModelBundle& bundle_by_model(const std::string& model_name) const;
+
+ private:
+  ClusterTopology topology_;
+  std::map<std::string, std::unique_ptr<ModelBundle>> bundles_;
+};
+
+}  // namespace scalpel

@@ -1,0 +1,215 @@
+#include "core/objective.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "profile/latency_model.hpp"
+#include "sched/queueing.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// PlanModel for a decision: full-speed server profile; the compute share
+/// enters through the queueing term, not the profile.
+PlanModel make_plan_model(const ProblemInstance& instance, DeviceId id,
+                          const DeviceDecision& decision) {
+  const auto& dev = instance.topology().device(id);
+  const auto& bundle = instance.bundle_for(id);
+  LinkSpec link;
+  if (decision.plan.device_only) {
+    link.bandwidth = 1.0;  // unused; PlanModel requires a positive rate
+    link.rtt = 0.0;
+    return PlanModel(bundle.graph, bundle.candidates, decision.plan,
+                     bundle.accuracy, dev.compute, dev.compute, link,
+                     dev.difficulty);
+  }
+  SCALPEL_REQUIRE(decision.server >= 0, "offloading decision needs a server");
+  SCALPEL_REQUIRE(decision.bandwidth > 0.0,
+                  "offloading decision needs bandwidth");
+  SCALPEL_REQUIRE(decision.compute_share > 0.0 && decision.compute_share <= 1.0,
+                  "compute share must be in (0, 1]");
+  const auto& server = instance.topology().server(decision.server);
+  link.bandwidth = decision.bandwidth;
+  link.rtt = instance.topology().path_rtt(id, decision.server);
+  return PlanModel(bundle.graph, bundle.candidates, decision.plan,
+                   bundle.accuracy, dev.compute, server.compute, link,
+                   dev.difficulty);
+}
+
+/// Per-stage expected sojourns of the tandem network (see objective.hpp).
+/// Returns false (and leaves outputs +inf) when any stage is unstable.
+struct StageTimes {
+  double device = 0.0;  // unconditional (all tasks)
+  double upload = 0.0;  // conditional on offload, incl. rtt
+  double server = 0.0;  // conditional on offload
+};
+
+bool stage_times(const ProblemInstance& instance, DeviceId id,
+                 const DeviceDecision& decision, const PlanBreakdown& b,
+                 bool queueing_on, StageTimes* out) {
+  const auto& dev = instance.topology().device(id);
+  // Stage 1: device M/G/1.
+  if (queueing_on) {
+    out->device = queueing::mg1_sojourn(dev.arrival_rate,
+                                        b.expected_device_time,
+                                        b.device_time_m2);
+  } else {
+    out->device = b.expected_device_time;
+  }
+  if (!std::isfinite(out->device)) return false;
+  if (decision.plan.device_only || b.offload_prob <= 0.0) return true;
+
+  const double lambda_off = dev.arrival_rate * b.offload_prob;
+  const double rtt = instance.topology().path_rtt(id, decision.server);
+  // Stage 2: upload M/D/1 on the granted bandwidth.
+  const double s_up =
+      static_cast<double>(b.upload_bytes) / decision.bandwidth;
+  out->upload =
+      (queueing_on ? queueing::md1_sojourn(lambda_off, s_up) : s_up) + rtt;
+  if (!std::isfinite(out->upload)) return false;
+  // Stage 3: server M/G/1 on the compute-share slice.
+  const double m1 = b.server_time_cond_m1 / decision.compute_share;
+  const double m2 = b.server_time_cond_m2 /
+                    (decision.compute_share * decision.compute_share);
+  out->server = queueing_on ? queueing::mg1_sojourn(lambda_off, m1, m2) : m1;
+  return std::isfinite(out->server);
+}
+
+}  // namespace
+
+PlanModel build_plan_model(const ProblemInstance& instance, DeviceId id,
+                           const DeviceDecision& decision) {
+  return make_plan_model(instance, id, decision);
+}
+
+DevicePrediction evaluate_device(const ProblemInstance& instance, DeviceId id,
+                                 const DeviceDecision& decision,
+                                 const EvalOptions& opts) {
+  const auto& dev = instance.topology().device(id);
+  const PlanModel pm = make_plan_model(instance, id, decision);
+  const auto& b = pm.breakdown();
+
+  DevicePrediction pred;
+  pred.expected_accuracy = b.expected_accuracy;
+  pred.offload_prob = b.offload_prob;
+  pred.meets_accuracy = b.expected_accuracy >= dev.min_accuracy - 1e-9;
+
+  StageTimes st;
+  if (!stage_times(instance, id, decision, b, opts.queueing, &st)) {
+    pred.stable = false;
+    pred.expected_latency = kInf;
+    return pred;
+  }
+  pred.expected_latency =
+      st.device + b.offload_prob * (st.upload + st.server);
+  return pred;
+}
+
+void evaluate_decision(const ProblemInstance& instance, Decision& decision,
+                       const EvalOptions& opts) {
+  const auto& topo = instance.topology();
+  SCALPEL_REQUIRE(decision.per_device.size() == topo.devices().size(),
+                  "decision must cover every device");
+
+  // Resource-grant feasibility.
+  std::vector<double> cell_bw(topo.cells().size(), 0.0);
+  std::vector<double> server_share(topo.servers().size(), 0.0);
+  for (std::size_t i = 0; i < decision.per_device.size(); ++i) {
+    const auto& dd = decision.per_device[i];
+    if (dd.plan.device_only) continue;
+    const auto& dev = topo.device(static_cast<DeviceId>(i));
+    cell_bw[static_cast<std::size_t>(dev.cell)] += dd.bandwidth;
+    SCALPEL_REQUIRE(dd.server >= 0 && static_cast<std::size_t>(dd.server) <
+                                          topo.servers().size(),
+                    "decision references missing server");
+    server_share[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+  }
+  for (std::size_t c = 0; c < cell_bw.size(); ++c) {
+    SCALPEL_REQUIRE(
+        cell_bw[c] <= topo.cell(static_cast<CellId>(c)).bandwidth * (1.0 + 1e-6),
+        "cell bandwidth oversubscribed");
+  }
+  for (double s : server_share) {
+    SCALPEL_REQUIRE(s <= 1.0 + 1e-6, "server compute oversubscribed");
+  }
+
+  decision.predicted.resize(decision.per_device.size());
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  bool any_unstable = false;
+  for (std::size_t i = 0; i < decision.per_device.size(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    decision.predicted[i] =
+        evaluate_device(instance, id, decision.per_device[i], opts);
+    const double rate = topo.device(id).arrival_rate;
+    weighted += rate * decision.predicted[i].expected_latency;
+    total_rate += rate;
+    any_unstable = any_unstable || !decision.predicted[i].stable;
+  }
+  decision.mean_latency = any_unstable ? kInf : weighted / total_rate;
+}
+
+double predicted_deadline_satisfaction(const ProblemInstance& instance,
+                                       const Decision& decision) {
+  const auto& topo = instance.topology();
+  SCALPEL_REQUIRE(decision.per_device.size() == topo.devices().size(),
+                  "decision must cover every device");
+  double weighted = 0.0;
+  double total_rate = 0.0;
+  constexpr int kGrid = 200;
+  for (std::size_t i = 0; i < decision.per_device.size(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const auto& dev = topo.device(id);
+    total_rate += dev.arrival_rate;
+    if (dev.deadline <= 0.0) {
+      weighted += dev.arrival_rate;  // best-effort devices always "meet"
+      continue;
+    }
+    const auto& dd = decision.per_device[i];
+    const PlanModel pm = make_plan_model(instance, id, dd);
+    const auto& b = pm.breakdown();
+    StageTimes st;
+    if (!stage_times(instance, id, dd, b, /*queueing_on=*/true, &st)) {
+      continue;  // unstable: never meets
+    }
+    // Mean queueing waits (beyond own service) at the first two stages; the
+    // server stage's variability is modelled with an exponential tail on its
+    // conditional sojourn.
+    const double dev_wait = st.device - b.expected_device_time;
+    const double s_up = dd.plan.device_only || b.offload_prob <= 0.0
+                            ? 0.0
+                            : static_cast<double>(b.upload_bytes) /
+                                  dd.bandwidth;
+    const double rtt = dd.plan.device_only
+                           ? 0.0
+                           : instance.topology().path_rtt(id, dd.server);
+    const double up_wait = dd.plan.device_only
+                               ? 0.0
+                               : st.upload - s_up - rtt;
+
+    double meet = 0.0;
+    for (int g = 0; g < kGrid; ++g) {
+      const double x = (static_cast<double>(g) + 0.5) / kGrid;
+      const auto ph = pm.phases_for(x);
+      if (!ph.offloaded) {
+        meet += (ph.device_time + dev_wait <= dev.deadline) ? 1.0 : 0.0;
+        continue;
+      }
+      const double slack =
+          dev.deadline - ph.device_time - dev_wait - s_up - up_wait - rtt;
+      if (slack <= 0.0) continue;
+      if (st.server <= 0.0) {
+        meet += 1.0;
+        continue;
+      }
+      meet += 1.0 - std::exp(-slack / st.server);
+    }
+    weighted += dev.arrival_rate * meet / kGrid;
+  }
+  return weighted / total_rate;
+}
+
+}  // namespace scalpel

@@ -1,0 +1,55 @@
+#pragma once
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+
+namespace scalpel {
+
+/// The canonical analytical objective shared by the joint optimizer, every
+/// baseline, and the test suite. Each device's tasks traverse a three-stage
+/// tandem queueing network, every stage approximated as an independent
+/// queue on the device's granted capacity slice:
+///
+///   1. device stage  — M/G/1, service = on-device compute (mixture over
+///      exits; moments from PlanModel), arrivals = the device's full rate;
+///   2. upload stage  — M/D/1 on the granted bandwidth b (every offloaded
+///      task ships the same activation payload), arrivals = rate * P_off,
+///      plus the fixed path rtt;
+///   3. server stage  — M/G/1 on the granted share x of the server (service
+///      moments scale as m1/x, m2/x^2), arrivals = rate * P_off.
+///
+///   E[L_i] = W_dev + P_off * (W_up + rtt_ij + W_srv)
+///
+/// Any unstable stage (rho >= 1) marks the decision infeasible (+inf
+/// latency) — this is what forces the joint optimizer to surger models
+/// deeper (smaller uploads, less server work) under load instead of
+/// oversubscribing resources. The DES (src/sim) validates the approximation.
+struct EvalOptions {
+  /// Disable the queueing term (pure service times) — used by unit tests
+  /// validating against PlanModel directly.
+  bool queueing = true;
+};
+
+DevicePrediction evaluate_device(const ProblemInstance& instance, DeviceId id,
+                                 const DeviceDecision& decision,
+                                 const EvalOptions& opts = {});
+
+/// The PlanModel the evaluator reasons with for one device decision
+/// (full-speed server profile; shares enter via the queueing terms). Shared
+/// with the simulator and the admission-control module.
+PlanModel build_plan_model(const ProblemInstance& instance, DeviceId id,
+                           const DeviceDecision& decision);
+
+/// Fills decision.predicted and decision.mean_latency. Also validates the
+/// resource grants: per-cell bandwidth sums and per-server share sums must
+/// not exceed capacity (tolerance 1e-6); violations throw.
+void evaluate_decision(const ProblemInstance& instance, Decision& decision,
+                       const EvalOptions& opts = {});
+
+/// Rate-weighted deadline-satisfaction estimate for a decision, using the
+/// exponential-tail approximation on the queueing part and deterministic
+/// phases elsewhere. Devices with deadline 0 count as satisfied.
+double predicted_deadline_satisfaction(const ProblemInstance& instance,
+                                       const Decision& decision);
+
+}  // namespace scalpel

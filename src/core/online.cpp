@@ -1,0 +1,61 @@
+#include "core/online.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+OnlineController::OnlineController(const ClusterTopology& topology)
+    : OnlineController(topology, Options{}) {}
+
+OnlineController::OnlineController(const ClusterTopology& topology,
+                                   Options opts)
+    : opts_(std::move(opts)), instance_(topology) {
+  SCALPEL_REQUIRE(opts_.hysteresis >= 0.0, "hysteresis must be non-negative");
+  for (const auto& c : instance_.topology().cells()) {
+    solved_bandwidth_.push_back(c.bandwidth);
+  }
+}
+
+void OnlineController::solve() {
+  const JointOptimizer optimizer(opts_.joint);
+  decision_ = optimizer.optimize(instance_);
+  for (const auto& c : instance_.topology().cells()) {
+    solved_bandwidth_[static_cast<std::size_t>(c.id)] = c.bandwidth;
+  }
+  solved_ = true;
+}
+
+const Decision& OnlineController::decision() {
+  if (!solved_) solve();
+  return decision_;
+}
+
+bool OnlineController::observe(const std::vector<double>& cell_bandwidth) {
+  SCALPEL_REQUIRE(
+      cell_bandwidth.size() == instance_.topology().cells().size(),
+      "observation must cover every cell");
+  if (!solved_) solve();
+  bool drifted = false;
+  for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
+    SCALPEL_REQUIRE(cell_bandwidth[c] > 0.0,
+                    "observed bandwidth must be positive");
+    const double ratio = cell_bandwidth[c] / solved_bandwidth_[c];
+    if (std::abs(ratio - 1.0) > opts_.hysteresis) {
+      drifted = true;
+      break;
+    }
+  }
+  if (!drifted) return false;
+  // Adopt the observed conditions and re-solve.
+  auto& topo = instance_.mutable_topology();
+  for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
+    topo.set_cell_bandwidth(static_cast<CellId>(c), cell_bandwidth[c]);
+  }
+  solve();
+  ++reoptimizations_;
+  return true;
+}
+
+}  // namespace scalpel

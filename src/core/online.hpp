@@ -1,0 +1,46 @@
+#pragma once
+
+#include <vector>
+
+#include "core/joint.hpp"
+
+namespace scalpel {
+
+/// Online re-optimization under bandwidth dynamics: monitors the observed
+/// per-cell bandwidth and re-runs the joint optimizer when conditions drift
+/// beyond a hysteresis band (re-optimizing on every fluctuation would thrash
+/// plans that real deployments cache on devices).
+class OnlineController {
+ public:
+  struct Options {
+    /// Re-optimize when any cell's bandwidth deviates from the value used at
+    /// the last solve by more than this relative factor.
+    double hysteresis = 0.25;
+    JointOptions joint;
+  };
+
+  explicit OnlineController(const ClusterTopology& topology);
+  OnlineController(const ClusterTopology& topology, Options opts);
+
+  /// Current decision (solves on first access if needed).
+  const Decision& decision();
+
+  /// Feed an observation of per-cell bandwidths (bytes/s, indexed by cell
+  /// id). Returns true if a re-optimization was triggered.
+  bool observe(const std::vector<double>& cell_bandwidth);
+
+  std::size_t reoptimizations() const { return reoptimizations_; }
+  const ProblemInstance& instance() const { return instance_; }
+
+ private:
+  void solve();
+
+  Options opts_;
+  ProblemInstance instance_;
+  std::vector<double> solved_bandwidth_;  // per cell at last solve
+  Decision decision_;
+  bool solved_ = false;
+  std::size_t reoptimizations_ = 0;
+};
+
+}  // namespace scalpel

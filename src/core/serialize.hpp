@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "core/decision.hpp"
+#include "edge/cluster.hpp"
+#include "util/json.hpp"
+
+namespace scalpel {
+
+/// JSON serialization of the deployment-facing objects: the cluster
+/// description (so experiment configs can live in files) and the Decision
+/// (so an optimized plan can be handed to device/edge agents). Round-trip
+/// stable: from_json(to_json(x)) reproduces x field-for-field.
+namespace serialize {
+
+Json to_json(const SurgeryPlan& plan);
+SurgeryPlan plan_from_json(const Json& j);
+
+Json to_json(const DeviceDecision& d);
+DeviceDecision device_decision_from_json(const Json& j);
+
+/// Serializes the full decision including predictions (predictions are
+/// re-derivable, so from_json ignores them; call evaluate_decision to
+/// repopulate).
+Json to_json(const Decision& d);
+Decision decision_from_json(const Json& j);
+
+/// Cluster topology <-> JSON. Compute/energy profiles are stored by their
+/// catalog name plus explicit rate overrides, so hand-written configs stay
+/// short while generated ones stay exact.
+Json to_json(const ClusterTopology& topo);
+ClusterTopology topology_from_json(const Json& j);
+
+}  // namespace serialize
+}  // namespace scalpel

@@ -1,0 +1,87 @@
+#include "edge/cluster.hpp"
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+DeviceId ClusterTopology::add_device(Device d) {
+  d.id = static_cast<DeviceId>(devices_.size());
+  devices_.push_back(std::move(d));
+  return devices_.back().id;
+}
+
+ServerId ClusterTopology::add_server(EdgeServer s) {
+  s.id = static_cast<ServerId>(servers_.size());
+  servers_.push_back(std::move(s));
+  return servers_.back().id;
+}
+
+CellId ClusterTopology::add_cell(Cell c) {
+  c.id = static_cast<CellId>(cells_.size());
+  cells_.push_back(std::move(c));
+  return cells_.back().id;
+}
+
+const Device& ClusterTopology::device(DeviceId id) const {
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < devices_.size(),
+                  "device id out of range");
+  return devices_[static_cast<std::size_t>(id)];
+}
+
+const EdgeServer& ClusterTopology::server(ServerId id) const {
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < servers_.size(),
+                  "server id out of range");
+  return servers_[static_cast<std::size_t>(id)];
+}
+
+const Cell& ClusterTopology::cell(CellId id) const {
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < cells_.size(),
+                  "cell id out of range");
+  return cells_[static_cast<std::size_t>(id)];
+}
+
+std::vector<DeviceId> ClusterTopology::devices_in_cell(CellId id) const {
+  std::vector<DeviceId> out;
+  for (const auto& d : devices_) {
+    if (d.cell == id) out.push_back(d.id);
+  }
+  return out;
+}
+
+void ClusterTopology::set_cell_bandwidth(CellId id, double bandwidth) {
+  SCALPEL_REQUIRE(bandwidth > 0.0, "cell bandwidth must be positive");
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < cells_.size(),
+                  "cell id out of range");
+  cells_[static_cast<std::size_t>(id)].bandwidth = bandwidth;
+}
+
+double ClusterTopology::path_rtt(DeviceId d, ServerId s) const {
+  return cell(device(d).cell).rtt + server(s).backhaul_rtt;
+}
+
+void ClusterTopology::validate() const {
+  SCALPEL_REQUIRE(!devices_.empty(), "cluster has no devices");
+  SCALPEL_REQUIRE(!servers_.empty(), "cluster has no servers");
+  SCALPEL_REQUIRE(!cells_.empty(), "cluster has no cells");
+  for (const auto& c : cells_) {
+    SCALPEL_REQUIRE(c.bandwidth > 0.0, "cell bandwidth must be positive");
+    SCALPEL_REQUIRE(c.rtt >= 0.0, "cell rtt must be non-negative");
+  }
+  for (const auto& d : devices_) {
+    SCALPEL_REQUIRE(d.cell >= 0 &&
+                        static_cast<std::size_t>(d.cell) < cells_.size(),
+                    "device references missing cell");
+    SCALPEL_REQUIRE(d.compute.peak_flops > 0.0,
+                    "device compute must be positive");
+    SCALPEL_REQUIRE(d.arrival_rate > 0.0, "arrival rate must be positive");
+    SCALPEL_REQUIRE(!d.model.empty(), "device must name its model");
+  }
+  for (const auto& s : servers_) {
+    SCALPEL_REQUIRE(s.compute.peak_flops > 0.0,
+                    "server compute must be positive");
+    SCALPEL_REQUIRE(s.backhaul_rtt >= 0.0,
+                    "server backhaul rtt must be non-negative");
+  }
+}
+
+}  // namespace scalpel

@@ -1,0 +1,85 @@
+#include "edge/dynamics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+
+BandwidthTrace::BandwidthTrace(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  SCALPEL_REQUIRE(!segments_.empty(), "trace needs at least one segment");
+  double prev = segments_.front().start;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    SCALPEL_REQUIRE(segments_[i].bandwidth > 0.0,
+                    "trace bandwidth must be positive");
+    SCALPEL_REQUIRE(i == 0 || segments_[i].start > prev,
+                    "trace segments must be strictly increasing in time");
+    prev = segments_[i].start;
+  }
+}
+
+double BandwidthTrace::at(double t) const {
+  SCALPEL_REQUIRE(t >= segments_.front().start,
+                  "time precedes the trace start");
+  // Last segment whose start <= t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](double value, const Segment& s) { return value < s.start; });
+  return std::prev(it)->bandwidth;
+}
+
+double BandwidthTrace::mean(double horizon) const {
+  SCALPEL_REQUIRE(horizon > segments_.front().start,
+                  "horizon must exceed the trace start");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const double s = segments_[i].start;
+    if (s >= horizon) break;
+    const double e =
+        (i + 1 < segments_.size()) ? std::min(horizon, segments_[i + 1].start)
+                                   : horizon;
+    acc += segments_[i].bandwidth * (e - s);
+  }
+  return acc / (horizon - segments_.front().start);
+}
+
+BandwidthTrace BandwidthTrace::constant(double bandwidth) {
+  return BandwidthTrace({Segment{0.0, bandwidth}});
+}
+
+BandwidthTrace BandwidthTrace::random_walk(double base, double step,
+                                           double sigma, double range,
+                                           double horizon, Rng& rng) {
+  SCALPEL_REQUIRE(base > 0.0 && step > 0.0 && range >= 1.0,
+                  "invalid random walk parameters");
+  std::vector<Segment> segs;
+  double bw = base;
+  for (double t = 0.0; t < horizon; t += step) {
+    segs.push_back(Segment{t, bw});
+    bw *= std::exp(rng.normal(0.0, sigma));
+    bw = std::clamp(bw, base / range, base * range);
+  }
+  return BandwidthTrace(std::move(segs));
+}
+
+BandwidthTrace BandwidthTrace::gilbert(double good_bw, double bad_bw,
+                                       double mean_good_s, double mean_bad_s,
+                                       double horizon, Rng& rng) {
+  SCALPEL_REQUIRE(good_bw > 0.0 && bad_bw > 0.0, "bandwidths must be positive");
+  SCALPEL_REQUIRE(mean_good_s > 0.0 && mean_bad_s > 0.0,
+                  "holding times must be positive");
+  std::vector<Segment> segs;
+  bool good = true;
+  double t = 0.0;
+  while (t < horizon) {
+    segs.push_back(Segment{t, good ? good_bw : bad_bw});
+    t += rng.exponential(1.0 / (good ? mean_good_s : mean_bad_s));
+    good = !good;
+  }
+  return BandwidthTrace(std::move(segs));
+}
+
+}  // namespace scalpel

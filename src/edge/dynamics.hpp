@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalpel {
+class Rng;
+
+/// Piecewise-constant time series of a cell's uplink bandwidth, used by the
+/// online-adaptation experiment (trace-driven bandwidth dynamics standing in
+/// for real wireless variability).
+class BandwidthTrace {
+ public:
+  struct Segment {
+    double start = 0.0;      // seconds
+    double bandwidth = 0.0;  // bytes/s
+  };
+
+  explicit BandwidthTrace(std::vector<Segment> segments);
+
+  /// Bandwidth active at time t (segments cover [0, inf); the last segment
+  /// extends forever). t must be >= the first segment start.
+  double at(double t) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  double mean(double horizon) const;
+
+  /// Flat trace.
+  static BandwidthTrace constant(double bandwidth);
+
+  /// Bounded multiplicative random walk around `base`: every `step` seconds
+  /// the bandwidth multiplies by exp(N(0, sigma)), clamped to
+  /// [base/range, base*range].
+  static BandwidthTrace random_walk(double base, double step, double sigma,
+                                    double range, double horizon, Rng& rng);
+
+  /// Two-state Markov-modulated trace (good/bad bandwidth), exponential
+  /// holding times — models interference bursts / contention episodes.
+  static BandwidthTrace gilbert(double good_bw, double bad_bw,
+                                double mean_good_s, double mean_bad_s,
+                                double horizon, Rng& rng);
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace scalpel

@@ -1,0 +1,184 @@
+#include "nn/executor.hpp"
+
+#include <cmath>
+#include <optional>
+
+#include "nn/kernels.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+namespace {
+
+/// He-style fan-in initialization keeps activations bounded through deep
+/// stacks so partition-equality tests exercise realistic numeric ranges.
+Tensor init_weight(Shape shape, std::int64_t fan_in, Rng& rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(std::max<std::int64_t>(1, fan_in)));
+  return Tensor::randn(std::move(shape), rng, stddev);
+}
+
+}  // namespace
+
+Executor::Executor(const Graph& graph, std::uint64_t weight_seed,
+                   ThreadPool* pool)
+    : graph_(&graph), pool_(pool), weights_(graph.size()) {
+  Rng master(weight_seed);
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    // Every node draws from its own stream so weights do not depend on what
+    // other layers exist (stable across surgery).
+    Rng rng = master.split();
+    const auto& node = graph.node(static_cast<NodeId>(i));
+    if (!node.spec.has_weights()) continue;
+    const auto& in_shape =
+        graph.node(node.inputs.at(0)).out_shape;
+    switch (node.spec.kind) {
+      case LayerKind::kConv: {
+        const auto k = node.spec.kernel;
+        const auto fan_in = in_shape[0] * k * k;
+        weights_[i].push_back(init_weight(
+            Shape{node.spec.out_channels, in_shape[0], k, k}, fan_in, rng));
+        weights_[i].push_back(Tensor::zeros(Shape{node.spec.out_channels}));
+        break;
+      }
+      case LayerKind::kDWConv: {
+        const auto k = node.spec.kernel;
+        weights_[i].push_back(
+            init_weight(Shape{in_shape[0], k, k}, k * k, rng));
+        weights_[i].push_back(Tensor::zeros(Shape{in_shape[0]}));
+        break;
+      }
+      case LayerKind::kFC: {
+        const auto fan_in = in_shape.numel();
+        weights_[i].push_back(
+            init_weight(Shape{node.spec.units, fan_in}, fan_in, rng));
+        weights_[i].push_back(Tensor::zeros(Shape{node.spec.units}));
+        break;
+      }
+      case LayerKind::kBatchNorm: {
+        const auto c = in_shape[0];
+        Tensor params(Shape{4, c});
+        for (std::int64_t cc = 0; cc < c; ++cc) {
+          params.at(0 * c + cc) = 1.0f + 0.05f * static_cast<float>(rng.normal());
+          params.at(1 * c + cc) = 0.05f * static_cast<float>(rng.normal());
+          params.at(2 * c + cc) = 0.05f * static_cast<float>(rng.normal());
+          params.at(3 * c + cc) =
+              1.0f + 0.1f * static_cast<float>(rng.uniform());
+        }
+        weights_[i].push_back(std::move(params));
+        break;
+      }
+      default:
+        SCALPEL_REQUIRE(false, "unexpected weighted layer kind");
+    }
+  }
+}
+
+const std::vector<Tensor>& Executor::weights(NodeId id) const {
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < weights_.size(),
+                  "weights node id out of range");
+  return weights_[static_cast<std::size_t>(id)];
+}
+
+Tensor Executor::eval_node(NodeId id,
+                           const std::vector<const Tensor*>& ins) const {
+  const auto& node = graph_->node(id);
+  const auto& w = weights_[static_cast<std::size_t>(id)];
+  switch (node.spec.kind) {
+    case LayerKind::kInput:
+      SCALPEL_REQUIRE(false, "input node is never evaluated");
+    case LayerKind::kConv:
+      return kernels::conv2d(*ins[0], w[0], w[1], node.spec.stride,
+                             node.spec.pad, pool_);
+    case LayerKind::kDWConv:
+      return kernels::dwconv2d(*ins[0], w[0], w[1], node.spec.stride,
+                               node.spec.pad, pool_);
+    case LayerKind::kFC:
+      return kernels::fc(*ins[0], w[0], w[1], pool_);
+    case LayerKind::kMaxPool:
+      return kernels::maxpool2d(*ins[0], node.spec.kernel, node.spec.stride,
+                                node.spec.pad);
+    case LayerKind::kAvgPool:
+      return kernels::avgpool2d(*ins[0], node.spec.kernel, node.spec.stride,
+                                node.spec.pad);
+    case LayerKind::kGlobalAvgPool:
+      return kernels::global_avgpool(*ins[0]);
+    case LayerKind::kReLU:
+      return kernels::relu(*ins[0]);
+    case LayerKind::kBatchNorm:
+      return kernels::batchnorm(*ins[0], w[0]);
+    case LayerKind::kAdd:
+      return kernels::add(*ins[0], *ins[1]);
+    case LayerKind::kConcat: {
+      std::vector<Tensor> copies;
+      copies.reserve(ins.size());
+      for (const Tensor* t : ins) copies.push_back(*t);
+      return kernels::concat_channels(copies);
+    }
+    case LayerKind::kFlatten:
+      return ins[0]->reshaped(node.out_shape);
+    case LayerKind::kSoftmax:
+      return kernels::softmax(*ins[0]);
+  }
+  SCALPEL_REQUIRE(false, "unreachable layer kind");
+}
+
+Tensor Executor::run(const Tensor& input) const {
+  return run_prefix(input, graph_->output());
+}
+
+Tensor Executor::run_prefix(const Tensor& input, NodeId upto) const {
+  SCALPEL_REQUIRE(graph_->size() > 0, "cannot run an empty graph");
+  SCALPEL_REQUIRE(graph_->node(0).spec.kind == LayerKind::kInput,
+                  "graph must start with an input node");
+  SCALPEL_REQUIRE(input.shape() == graph_->node(0).out_shape,
+                  "input shape mismatch: got " + input.shape().to_string() +
+                      ", model wants " +
+                      graph_->node(0).out_shape.to_string());
+  if (upto == 0) return input;  // prefix up to the input node is identity
+  return run_range(input, 0, upto);
+}
+
+Tensor Executor::run_range(const Tensor& boundary, NodeId after,
+                           NodeId upto) const {
+  SCALPEL_REQUIRE(after >= 0 && upto > after, "run_range needs after < upto");
+  SCALPEL_REQUIRE(static_cast<std::size_t>(upto) < graph_->size(),
+                  "run_range upto out of range");
+  SCALPEL_REQUIRE(boundary.shape() == graph_->node(after).out_shape,
+                  "boundary shape mismatch at node " + std::to_string(after));
+
+  std::vector<std::optional<Tensor>> outputs(graph_->size());
+  outputs[static_cast<std::size_t>(after)] = boundary;
+
+  // Track remaining consumers within the range so activations free eagerly.
+  std::vector<int> pending(graph_->size(), 0);
+  for (NodeId v = after + 1; v <= upto; ++v) {
+    for (NodeId u : graph_->node(v).inputs) {
+      SCALPEL_REQUIRE(u >= after,
+                      "run_range crosses a non-clean cut at node " +
+                          std::to_string(v));
+      ++pending[static_cast<std::size_t>(u)];
+    }
+  }
+  ++pending[static_cast<std::size_t>(upto)];  // keep the result alive
+
+  for (NodeId v = after + 1; v <= upto; ++v) {
+    const auto& node = graph_->node(v);
+    std::vector<const Tensor*> ins;
+    ins.reserve(node.inputs.size());
+    for (NodeId u : node.inputs) {
+      SCALPEL_REQUIRE(outputs[static_cast<std::size_t>(u)].has_value(),
+                      "dangling dependency during run_range");
+      ins.push_back(&*outputs[static_cast<std::size_t>(u)]);
+    }
+    outputs[static_cast<std::size_t>(v)] = eval_node(v, ins);
+    for (NodeId u : node.inputs) {
+      if (--pending[static_cast<std::size_t>(u)] == 0) {
+        outputs[static_cast<std::size_t>(u)].reset();
+      }
+    }
+  }
+  return *outputs[static_cast<std::size_t>(upto)];
+}
+
+}  // namespace scalpel

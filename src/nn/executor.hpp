@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace scalpel {
+class ThreadPool;
+
+/// Runs a Graph forward with deterministic, seed-derived weights. Supports
+/// whole-model execution as well as *partitioned* execution (prefix on one
+/// machine, suffix on another) — the property tests assert that running
+/// prefix + suffix across any clean cut reproduces the full-model output
+/// exactly, which is what makes model surgery semantically safe.
+class Executor {
+ public:
+  /// Materializes weights for every weighted node from `weight_seed`.
+  /// `pool` may be nullptr for serial kernels; the Executor does not own it.
+  Executor(const Graph& graph, std::uint64_t weight_seed,
+           ThreadPool* pool = nullptr);
+
+  const Graph& graph() const { return *graph_; }
+
+  /// Full forward pass; returns the output of the last node.
+  Tensor run(const Tensor& input) const;
+
+  /// Runs nodes [0 .. upto] and returns node `upto`'s output.
+  Tensor run_prefix(const Tensor& input, NodeId upto) const;
+
+  /// Runs nodes (after .. upto], with `boundary` standing in for the output
+  /// of node `after`. Every node in the range must consume only nodes in the
+  /// range or node `after` itself (i.e. `after` must be a clean cut).
+  Tensor run_range(const Tensor& boundary, NodeId after, NodeId upto) const;
+
+  /// Weight tensors for a node (layout documented per kernel in kernels.hpp).
+  const std::vector<Tensor>& weights(NodeId id) const;
+
+ private:
+  Tensor eval_node(NodeId id, const std::vector<const Tensor*>& ins) const;
+
+  const Graph* graph_;
+  ThreadPool* pool_;
+  std::vector<std::vector<Tensor>> weights_;  // indexed by node id
+};
+
+}  // namespace scalpel

@@ -1,0 +1,117 @@
+#include "nn/graph.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+NodeId Graph::add(LayerSpec spec, std::vector<NodeId> inputs) {
+  std::vector<Shape> in_shapes;
+  in_shapes.reserve(inputs.size());
+  for (NodeId id : inputs) {
+    SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                    "graph node input must reference an earlier node");
+    in_shapes.push_back(nodes_[static_cast<std::size_t>(id)].out_shape);
+  }
+  if (!spec.name.empty()) {
+    SCALPEL_REQUIRE(!find(spec.name).has_value(),
+                    "duplicate node name: " + spec.name);
+  }
+  Node n;
+  n.out_shape = spec.out_shape(in_shapes);
+  n.flops = spec.flops(in_shapes);
+  n.params = spec.param_count(in_shapes);
+  n.spec = std::move(spec);
+  n.inputs = std::move(inputs);
+  nodes_.push_back(std::move(n));
+  const std::int64_t prev = prefix_flops_.empty() ? 0 : prefix_flops_.back();
+  prefix_flops_.push_back(prev + nodes_.back().flops);
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+const Graph::Node& Graph::node(NodeId id) const {
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < nodes_.size(),
+                  "node id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+NodeId Graph::output() const {
+  SCALPEL_REQUIRE(!nodes_.empty(), "graph is empty");
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+std::int64_t Graph::total_flops() const {
+  return prefix_flops_.empty() ? 0 : prefix_flops_.back();
+}
+
+std::int64_t Graph::total_params() const {
+  std::int64_t p = 0;
+  for (const auto& n : nodes_) p += n.params;
+  return p;
+}
+
+std::int64_t Graph::prefix_flops(NodeId k) const {
+  SCALPEL_REQUIRE(k >= 0 && static_cast<std::size_t>(k) < nodes_.size(),
+                  "prefix_flops node id out of range");
+  return prefix_flops_[static_cast<std::size_t>(k)];
+}
+
+std::int64_t Graph::range_flops(NodeId after, NodeId upto) const {
+  SCALPEL_REQUIRE(after <= upto, "range_flops needs after <= upto");
+  const std::int64_t hi = prefix_flops(upto);
+  const std::int64_t lo = after < 0 ? 0 : prefix_flops(after);
+  return hi - lo;
+}
+
+std::vector<Graph::CutPoint> Graph::clean_cuts() const {
+  std::vector<CutPoint> cuts;
+  // For a cut after node k, every edge (u -> v) with u <= k < v must have
+  // u == k. Equivalently: max over consumers v > k of any producer u < k
+  // must not exist. Scan consumers once, tracking for each node the furthest
+  // consumer; a cut after k is clean iff no node u < k has a consumer > k.
+  const auto n = static_cast<NodeId>(nodes_.size());
+  std::vector<NodeId> last_consumer(nodes_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    last_consumer[static_cast<std::size_t>(v)] = v;  // node live until itself
+    for (NodeId u : nodes_[static_cast<std::size_t>(v)].inputs) {
+      last_consumer[static_cast<std::size_t>(u)] =
+          std::max(last_consumer[static_cast<std::size_t>(u)], v);
+    }
+  }
+  // max_live[k] = max over u <= k-1 of last_consumer[u].
+  NodeId max_live = -1;
+  for (NodeId k = 0; k + 1 < n; ++k) {
+    const bool clean = max_live <= k;
+    if (clean) {
+      cuts.push_back(CutPoint{
+          k, nodes_[static_cast<std::size_t>(k)].out_shape.bytes(),
+          prefix_flops(k)});
+    }
+    max_live = std::max(max_live, last_consumer[static_cast<std::size_t>(k)]);
+  }
+  return cuts;
+}
+
+std::optional<NodeId> Graph::find(const std::string& node_name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].spec.name == node_name) return static_cast<NodeId>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream out;
+  out << name_ << ": " << nodes_.size() << " layers, "
+      << static_cast<double>(total_flops()) / 1e6 << " MFLOPs, "
+      << static_cast<double>(total_params()) / 1e6 << " M params\n";
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const auto& nd = nodes_[i];
+    out << "  [" << i << "] " << layer_kind_name(nd.spec.kind) << " "
+        << nd.spec.name << " -> " << nd.out_shape.to_string() << ", "
+        << static_cast<double>(nd.flops) / 1e6 << " MFLOPs\n";
+  }
+  return out.str();
+}
+
+}  // namespace scalpel

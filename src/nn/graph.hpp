@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace scalpel {
+
+using NodeId = std::int32_t;
+
+/// DNN dataflow graph. Nodes may only reference earlier nodes, so insertion
+/// order *is* a topological order — this keeps partitioning, prefix-cost and
+/// execution logic simple and is how every model builder in the zoo works.
+class Graph {
+ public:
+  struct Node {
+    LayerSpec spec;
+    std::vector<NodeId> inputs;
+    Shape out_shape;              // computed at insertion
+    std::int64_t flops = 0;       // computed at insertion
+    std::int64_t params = 0;      // computed at insertion
+  };
+
+  explicit Graph(std::string name = "model") : name_(std::move(name)) {}
+
+  /// Append a node; all inputs must be existing node ids. Returns the new id.
+  NodeId add(LayerSpec spec, std::vector<NodeId> inputs = {});
+
+  std::size_t size() const { return nodes_.size(); }
+  const Node& node(NodeId id) const;
+  const std::string& name() const { return name_; }
+
+  /// Last node — the model's final output (builders end with softmax).
+  NodeId output() const;
+
+  /// Total forward FLOPs / learnable parameters over all nodes.
+  std::int64_t total_flops() const;
+  std::int64_t total_params() const;
+
+  /// FLOPs of nodes with id <= k (prefix cost of executing up to node k).
+  std::int64_t prefix_flops(NodeId k) const;
+
+  /// FLOPs of the subrange (after, ..., upto] in insertion order.
+  std::int64_t range_flops(NodeId after, NodeId upto) const;
+
+  /// A *clean cut* after node k means every dataflow edge crossing the cut
+  /// originates at node k itself — i.e. one activation tensor fully captures
+  /// the network state, so the model can be split there and the two halves
+  /// run on different machines with a single transfer.
+  struct CutPoint {
+    NodeId after;                 // cut after this node
+    std::int64_t activation_bytes;  // payload transferred at the cut
+    std::int64_t prefix_flops;    // compute on the device side
+  };
+
+  /// All clean cuts, in depth order. Always includes a virtual cut after the
+  /// input node (id 0, "offload everything") when the input layer exists.
+  std::vector<CutPoint> clean_cuts() const;
+
+  /// Find node by name; nullopt if absent. Names must be unique per graph.
+  std::optional<NodeId> find(const std::string& node_name) const;
+
+  /// Human-readable per-layer summary (used by bench_t1_models).
+  std::string summary() const;
+
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<std::int64_t> prefix_flops_;  // inclusive prefix sums
+};
+
+}  // namespace scalpel

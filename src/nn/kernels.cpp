@@ -1,0 +1,343 @@
+#include "nn/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scalpel::kernels {
+namespace {
+
+std::int64_t out_dim(std::int64_t in, std::int64_t kernel, std::int64_t stride,
+                     std::int64_t pad) {
+  return (in + 2 * pad - kernel) / stride + 1;
+}
+
+/// im2col for one input: rows = in_c*kh*kw, cols = out_h*out_w.
+void im2col(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+            std::int64_t pad, std::int64_t out_h, std::int64_t out_w,
+            std::vector<float>& cols) {
+  const auto c_in = input.shape()[0];
+  const auto h_in = input.shape()[1];
+  const auto w_in = input.shape()[2];
+  cols.assign(static_cast<std::size_t>(c_in * kernel * kernel * out_h * out_w),
+              0.0f);
+  const float* in = input.data();
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < c_in; ++c) {
+    for (std::int64_t kh = 0; kh < kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < kernel; ++kw, ++row) {
+        float* dst = cols.data() + row * out_h * out_w;
+        for (std::int64_t oh = 0; oh < out_h; ++oh) {
+          const std::int64_t ih = oh * stride - pad + kh;
+          if (ih < 0 || ih >= h_in) {
+            dst += out_w;
+            continue;
+          }
+          const float* src = in + (c * h_in + ih) * w_in;
+          for (std::int64_t ow = 0; ow < out_w; ++ow) {
+            const std::int64_t iw = ow * stride - pad + kw;
+            *dst++ = (iw >= 0 && iw < w_in) ? src[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, const float* bias, float* c,
+          std::int64_t m, std::int64_t k, std::int64_t n, ThreadPool* pool) {
+  SCALPEL_REQUIRE(m > 0 && k > 0 && n > 0, "gemm dims must be positive");
+  auto run_rows = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      float* crow = c + i * static_cast<std::size_t>(n);
+      const float init = bias ? bias[i] : 0.0f;
+      std::fill(crow, crow + n, init);
+      const float* arow = a + i * static_cast<std::size_t>(k);
+      for (std::int64_t p = 0; p < k; ++p) {
+        const float av = arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + p * n;
+        for (std::int64_t j = 0; j < n; ++j) {
+          crow[j] += av * brow[j];
+        }
+      }
+    }
+  };
+  // Threading pays only when there is real work per row.
+  if (pool && m >= 4 && k * n >= 16 * 1024) {
+    pool->parallel_for(0, static_cast<std::size_t>(m), run_rows);
+  } else {
+    run_rows(0, static_cast<std::size_t>(m));
+  }
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+              std::int64_t stride, std::int64_t pad, ThreadPool* pool) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "conv2d expects CHW input");
+  SCALPEL_REQUIRE(weights.shape().rank() == 4, "conv2d weights [oc,ic,kh,kw]");
+  const auto c_in = input.shape()[0];
+  const auto c_out = weights.shape()[0];
+  const auto kernel = weights.shape()[2];
+  SCALPEL_REQUIRE(weights.shape()[1] == c_in, "conv2d channel mismatch");
+  SCALPEL_REQUIRE(weights.shape()[3] == kernel, "conv2d expects square kernel");
+  SCALPEL_REQUIRE(bias.numel() == c_out, "conv2d bias size mismatch");
+
+  const auto out_h = out_dim(input.shape()[1], kernel, stride, pad);
+  const auto out_w = out_dim(input.shape()[2], kernel, stride, pad);
+  SCALPEL_REQUIRE(out_h > 0 && out_w > 0, "conv2d output must be non-empty");
+
+  std::vector<float> cols;
+  im2col(input, kernel, stride, pad, out_h, out_w, cols);
+
+  Tensor out(Shape{c_out, out_h, out_w});
+  gemm(weights.data(), cols.data(), bias.data(), out.data(), c_out,
+       c_in * kernel * kernel, out_h * out_w, pool);
+  return out;
+}
+
+Tensor dwconv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+                std::int64_t stride, std::int64_t pad, ThreadPool* pool) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "dwconv2d expects CHW input");
+  SCALPEL_REQUIRE(weights.shape().rank() == 3, "dwconv2d weights [c,kh,kw]");
+  const auto c = input.shape()[0];
+  const auto kernel = weights.shape()[1];
+  SCALPEL_REQUIRE(weights.shape()[0] == c, "dwconv2d channel mismatch");
+  SCALPEL_REQUIRE(bias.numel() == c, "dwconv2d bias size mismatch");
+
+  const auto h_in = input.shape()[1];
+  const auto w_in = input.shape()[2];
+  const auto out_h = out_dim(h_in, kernel, stride, pad);
+  const auto out_w = out_dim(w_in, kernel, stride, pad);
+  Tensor out(Shape{c, out_h, out_w});
+
+  auto run_channels = [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t ci = lo; ci < hi; ++ci) {
+      const auto cc = static_cast<std::int64_t>(ci);
+      const float* in = input.data() + cc * h_in * w_in;
+      const float* w = weights.data() + cc * kernel * kernel;
+      float* dst = out.data() + cc * out_h * out_w;
+      for (std::int64_t oh = 0; oh < out_h; ++oh) {
+        for (std::int64_t ow = 0; ow < out_w; ++ow) {
+          float acc = bias.at(cc);
+          for (std::int64_t kh = 0; kh < kernel; ++kh) {
+            const std::int64_t ih = oh * stride - pad + kh;
+            if (ih < 0 || ih >= h_in) continue;
+            for (std::int64_t kw = 0; kw < kernel; ++kw) {
+              const std::int64_t iw = ow * stride - pad + kw;
+              if (iw < 0 || iw >= w_in) continue;
+              acc += in[ih * w_in + iw] * w[kh * kernel + kw];
+            }
+          }
+          dst[oh * out_w + ow] = acc;
+        }
+      }
+    }
+  };
+  if (pool && c >= 8) {
+    pool->parallel_for(0, static_cast<std::size_t>(c), run_channels);
+  } else {
+    run_channels(0, static_cast<std::size_t>(c));
+  }
+  return out;
+}
+
+Tensor fc(const Tensor& input, const Tensor& weights, const Tensor& bias,
+          ThreadPool* pool) {
+  SCALPEL_REQUIRE(weights.shape().rank() == 2, "fc weights [units, in]");
+  const auto units = weights.shape()[0];
+  const auto in_dim = weights.shape()[1];
+  SCALPEL_REQUIRE(input.numel() == in_dim, "fc input size mismatch");
+  SCALPEL_REQUIRE(bias.numel() == units, "fc bias size mismatch");
+  Tensor out(Shape{units});
+  gemm(weights.data(), input.data(), bias.data(), out.data(), units, in_dim, 1,
+       pool);
+  return out;
+}
+
+Tensor maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "maxpool expects CHW input");
+  const auto c = input.shape()[0];
+  const auto h_in = input.shape()[1];
+  const auto w_in = input.shape()[2];
+  const auto out_h = out_dim(h_in, kernel, stride, pad);
+  const auto out_w = out_dim(w_in, kernel, stride, pad);
+  Tensor out(Shape{c, out_h, out_w});
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float* in = input.data() + cc * h_in * w_in;
+    float* dst = out.data() + cc * out_h * out_w;
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::int64_t kh = 0; kh < kernel; ++kh) {
+          for (std::int64_t kw = 0; kw < kernel; ++kw) {
+            const std::int64_t ih = oh * stride - pad + kh;
+            const std::int64_t iw = ow * stride - pad + kw;
+            if (ih >= 0 && ih < h_in && iw >= 0 && iw < w_in) {
+              best = std::max(best, in[ih * w_in + iw]);
+            }
+          }
+        }
+        dst[oh * out_w + ow] = best;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "avgpool expects CHW input");
+  const auto c = input.shape()[0];
+  const auto h_in = input.shape()[1];
+  const auto w_in = input.shape()[2];
+  const auto out_h = out_dim(h_in, kernel, stride, pad);
+  const auto out_w = out_dim(w_in, kernel, stride, pad);
+  Tensor out(Shape{c, out_h, out_w});
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float* in = input.data() + cc * h_in * w_in;
+    float* dst = out.data() + cc * out_h * out_w;
+    for (std::int64_t oh = 0; oh < out_h; ++oh) {
+      for (std::int64_t ow = 0; ow < out_w; ++ow) {
+        float acc = 0.0f;
+        std::int64_t count = 0;
+        for (std::int64_t kh = 0; kh < kernel; ++kh) {
+          for (std::int64_t kw = 0; kw < kernel; ++kw) {
+            const std::int64_t ih = oh * stride - pad + kh;
+            const std::int64_t iw = ow * stride - pad + kw;
+            if (ih >= 0 && ih < h_in && iw >= 0 && iw < w_in) {
+              acc += in[ih * w_in + iw];
+              ++count;
+            }
+          }
+        }
+        dst[oh * out_w + ow] = count ? acc / static_cast<float>(count) : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "gavgpool expects CHW input");
+  const auto c = input.shape()[0];
+  const auto spatial = input.shape()[1] * input.shape()[2];
+  Tensor out(Shape{c});
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    const float* in = input.data() + cc * spatial;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < spatial; ++i) acc += in[i];
+    out.at(cc) = static_cast<float>(acc / static_cast<double>(spatial));
+  }
+  return out;
+}
+
+Tensor relu(const Tensor& input) {
+  Tensor out = input;
+  float* p = out.data();
+  for (std::int64_t i = 0; i < out.numel(); ++i) p[i] = std::max(0.0f, p[i]);
+  return out;
+}
+
+Tensor batchnorm(const Tensor& input, const Tensor& params, float eps) {
+  SCALPEL_REQUIRE(input.shape().rank() == 3, "batchnorm expects CHW input");
+  const auto c = input.shape()[0];
+  SCALPEL_REQUIRE(params.shape().rank() == 2 && params.shape()[0] == 4 &&
+                      params.shape()[1] == c,
+                  "batchnorm params must be [4, C]");
+  const float* gamma = params.data();
+  const float* beta = params.data() + c;
+  const float* mean = params.data() + 2 * c;
+  const float* var = params.data() + 3 * c;
+  const auto spatial = input.shape()[1] * input.shape()[2];
+  Tensor out(input.shape());
+  for (std::int64_t cc = 0; cc < c; ++cc) {
+    SCALPEL_REQUIRE(var[cc] >= 0.0f, "batchnorm variance must be >= 0");
+    const float scale = gamma[cc] / std::sqrt(var[cc] + eps);
+    const float shift = beta[cc] - scale * mean[cc];
+    const float* in = input.data() + cc * spatial;
+    float* dst = out.data() + cc * spatial;
+    for (std::int64_t i = 0; i < spatial; ++i) dst[i] = scale * in[i] + shift;
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  SCALPEL_REQUIRE(a.shape() == b.shape(), "add shape mismatch");
+  Tensor out(a.shape());
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    out.at(i) = a.at(i) + b.at(i);
+  }
+  return out;
+}
+
+Tensor concat_channels(const std::vector<Tensor>& inputs) {
+  SCALPEL_REQUIRE(inputs.size() >= 2, "concat needs >= two inputs");
+  std::int64_t channels = 0;
+  for (const auto& t : inputs) {
+    SCALPEL_REQUIRE(t.shape().rank() == 3, "concat expects CHW inputs");
+    SCALPEL_REQUIRE(t.shape()[1] == inputs[0].shape()[1] &&
+                        t.shape()[2] == inputs[0].shape()[2],
+                    "concat spatial mismatch");
+    channels += t.shape()[0];
+  }
+  Tensor out(Shape{channels, inputs[0].shape()[1], inputs[0].shape()[2]});
+  float* dst = out.data();
+  for (const auto& t : inputs) {
+    std::copy(t.data(), t.data() + t.numel(), dst);
+    dst += t.numel();
+  }
+  return out;
+}
+
+Tensor softmax(const Tensor& input) {
+  Tensor out(input.shape());
+  float maxv = -std::numeric_limits<float>::infinity();
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    maxv = std::max(maxv, input.at(i));
+  }
+  double total = 0.0;
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float e = std::exp(input.at(i) - maxv);
+    out.at(i) = e;
+    total += e;
+  }
+  SCALPEL_REQUIRE(total > 0.0, "softmax normalizer must be positive");
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    out.at(i) = static_cast<float>(out.at(i) / total);
+  }
+  return out;
+}
+
+QuantizedTensor quantize_int8(const Tensor& input) {
+  SCALPEL_REQUIRE(input.numel() > 0, "cannot quantize an empty tensor");
+  QuantizedTensor q;
+  q.shape = input.shape();
+  q.data.resize(static_cast<std::size_t>(input.numel()));
+  const double absmax = input.abs_max();
+  q.scale = absmax > 0.0 ? static_cast<float>(absmax / 127.0) : 1.0f;
+  for (std::int64_t i = 0; i < input.numel(); ++i) {
+    const float scaled = input.at(i) / q.scale;
+    const float clamped = std::clamp(scaled, -127.0f, 127.0f);
+    q.data[static_cast<std::size_t>(i)] =
+        static_cast<std::int8_t>(std::lround(clamped));
+  }
+  return q;
+}
+
+Tensor dequantize_int8(const QuantizedTensor& q) {
+  Tensor out(q.shape);
+  for (std::size_t i = 0; i < q.data.size(); ++i) {
+    out.at(static_cast<std::int64_t>(i)) =
+        static_cast<float>(q.data[i]) * q.scale;
+  }
+  return out;
+}
+
+}  // namespace scalpel::kernels

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace scalpel {
+class ThreadPool;
+
+/// Low-level NN kernels. All operate on CHW float tensors, batch size 1.
+/// Each kernel has a straightforward definition-style implementation in the
+/// test suite (`tests/nn/kernels_reference.hpp`) it is verified against.
+namespace kernels {
+
+/// C[m x n] = A[m x k] * B[k x n] + broadcast bias[m] (bias may be null).
+/// Blocked over m and threaded via `pool` (pass nullptr for serial).
+void gemm(const float* a, const float* b, const float* bias, float* c,
+          std::int64_t m, std::int64_t k, std::int64_t n, ThreadPool* pool);
+
+/// Standard convolution via im2col + GEMM.
+/// weights layout: [out_c, in_c, kh, kw]; bias: [out_c].
+Tensor conv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+              std::int64_t stride, std::int64_t pad, ThreadPool* pool);
+
+/// Depthwise convolution. weights layout: [c, kh, kw]; bias: [c].
+Tensor dwconv2d(const Tensor& input, const Tensor& weights, const Tensor& bias,
+                std::int64_t stride, std::int64_t pad, ThreadPool* pool);
+
+/// Fully connected: y = W x + b. weights layout: [units, in]; bias: [units].
+Tensor fc(const Tensor& input, const Tensor& weights, const Tensor& bias,
+          ThreadPool* pool);
+
+/// Pooling with optional symmetric zero padding. Average pooling uses
+/// count-exclude-pad semantics (only in-bounds elements enter the mean).
+Tensor maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad = 0);
+Tensor avgpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t pad = 0);
+Tensor global_avgpool(const Tensor& input);
+Tensor relu(const Tensor& input);
+/// Inference batch-norm: y = gamma * (x - mean) / sqrt(var + eps) + beta.
+/// params layout: [4, C] rows = gamma, beta, mean, var.
+Tensor batchnorm(const Tensor& input, const Tensor& params, float eps = 1e-5f);
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor concat_channels(const std::vector<Tensor>& inputs);
+Tensor softmax(const Tensor& input);
+
+/// Symmetric per-tensor INT8 quantization: returns round(x / scale) clamped
+/// to [-127, 127], stored in a byte buffer, with the scale chosen as
+/// max|x| / 127. Used by the quantized-upload surgery extension — the
+/// activation crossing the partition cut ships at 1/4 the bytes.
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<std::int8_t> data;
+  float scale = 1.0f;
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data.size()) + 4;  // payload + scale
+  }
+};
+
+QuantizedTensor quantize_int8(const Tensor& input);
+Tensor dequantize_int8(const QuantizedTensor& q);
+
+}  // namespace kernels
+}  // namespace scalpel

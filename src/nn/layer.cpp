@@ -1,0 +1,272 @@
+#include "nn/layer.hpp"
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad) {
+  const std::int64_t out = (in + 2 * pad - kernel) / stride + 1;
+  SCALPEL_REQUIRE(out > 0, "convolution/pool output dimension must be positive");
+  return out;
+}
+
+void require_chw(const Shape& s, const char* what) {
+  SCALPEL_REQUIRE(s.rank() == 3, std::string(what) + " expects a CHW input");
+}
+
+}  // namespace
+
+const char* layer_kind_name(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kInput: return "input";
+    case LayerKind::kConv: return "conv";
+    case LayerKind::kDWConv: return "dwconv";
+    case LayerKind::kFC: return "fc";
+    case LayerKind::kMaxPool: return "maxpool";
+    case LayerKind::kAvgPool: return "avgpool";
+    case LayerKind::kGlobalAvgPool: return "gavgpool";
+    case LayerKind::kReLU: return "relu";
+    case LayerKind::kBatchNorm: return "bn";
+    case LayerKind::kAdd: return "add";
+    case LayerKind::kConcat: return "concat";
+    case LayerKind::kFlatten: return "flatten";
+    case LayerKind::kSoftmax: return "softmax";
+  }
+  return "?";
+}
+
+Shape LayerSpec::out_shape(const std::vector<Shape>& inputs) const {
+  switch (kind) {
+    case LayerKind::kInput:
+      SCALPEL_REQUIRE(inputs.empty(), "input layer takes no inputs");
+      return input_shape;
+    case LayerKind::kConv: {
+      SCALPEL_REQUIRE(inputs.size() == 1, "conv takes one input");
+      require_chw(inputs[0], "conv");
+      const auto h = conv_out_dim(inputs[0][1], kernel, stride, pad);
+      const auto w = conv_out_dim(inputs[0][2], kernel, stride, pad);
+      return Shape{out_channels, h, w};
+    }
+    case LayerKind::kDWConv: {
+      SCALPEL_REQUIRE(inputs.size() == 1, "dwconv takes one input");
+      require_chw(inputs[0], "dwconv");
+      const auto h = conv_out_dim(inputs[0][1], kernel, stride, pad);
+      const auto w = conv_out_dim(inputs[0][2], kernel, stride, pad);
+      return Shape{inputs[0][0], h, w};
+    }
+    case LayerKind::kFC: {
+      SCALPEL_REQUIRE(inputs.size() == 1, "fc takes one input");
+      SCALPEL_REQUIRE(inputs[0].rank() == 1, "fc expects a flat input");
+      return Shape{units};
+    }
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      SCALPEL_REQUIRE(inputs.size() == 1, "pool takes one input");
+      require_chw(inputs[0], "pool");
+      const auto h = conv_out_dim(inputs[0][1], kernel, stride, pad);
+      const auto w = conv_out_dim(inputs[0][2], kernel, stride, pad);
+      return Shape{inputs[0][0], h, w};
+    }
+    case LayerKind::kGlobalAvgPool:
+      SCALPEL_REQUIRE(inputs.size() == 1, "gavgpool takes one input");
+      require_chw(inputs[0], "gavgpool");
+      return Shape{inputs[0][0]};
+    case LayerKind::kReLU:
+    case LayerKind::kBatchNorm:
+    case LayerKind::kSoftmax:
+      SCALPEL_REQUIRE(inputs.size() == 1, "unary op takes one input");
+      return inputs[0];
+    case LayerKind::kAdd: {
+      SCALPEL_REQUIRE(inputs.size() == 2, "add takes two inputs");
+      SCALPEL_REQUIRE(inputs[0] == inputs[1], "add inputs must match shape");
+      return inputs[0];
+    }
+    case LayerKind::kConcat: {
+      SCALPEL_REQUIRE(inputs.size() >= 2, "concat takes >= two inputs");
+      std::int64_t channels = 0;
+      for (const auto& s : inputs) {
+        require_chw(s, "concat");
+        SCALPEL_REQUIRE(s[1] == inputs[0][1] && s[2] == inputs[0][2],
+                        "concat inputs must share spatial dims");
+        channels += s[0];
+      }
+      return Shape{channels, inputs[0][1], inputs[0][2]};
+    }
+    case LayerKind::kFlatten: {
+      SCALPEL_REQUIRE(inputs.size() == 1, "flatten takes one input");
+      return Shape{inputs[0].numel()};
+    }
+  }
+  SCALPEL_REQUIRE(false, "unreachable layer kind");
+}
+
+std::int64_t LayerSpec::flops(const std::vector<Shape>& inputs) const {
+  const Shape out = out_shape(inputs);
+  switch (kind) {
+    case LayerKind::kInput:
+      return 0;
+    case LayerKind::kConv:
+      // 2 * K^2 * Cin * Hout * Wout * Cout (MAC = 2 FLOPs).
+      return 2 * kernel * kernel * inputs[0][0] * out[1] * out[2] * out[0];
+    case LayerKind::kDWConv:
+      return 2 * kernel * kernel * out[0] * out[1] * out[2];
+    case LayerKind::kFC:
+      return 2 * inputs[0].numel() * units;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+      return out.numel() * kernel * kernel;
+    case LayerKind::kGlobalAvgPool:
+      return inputs[0].numel();
+    case LayerKind::kReLU:
+    case LayerKind::kAdd:
+      return out.numel();
+    case LayerKind::kBatchNorm:
+      return 2 * out.numel();  // scale + shift
+    case LayerKind::kConcat:
+    case LayerKind::kFlatten:
+      return 0;  // pure data movement
+    case LayerKind::kSoftmax:
+      return 5 * out.numel();  // exp + sum + div, coarse
+  }
+  SCALPEL_REQUIRE(false, "unreachable layer kind");
+}
+
+std::int64_t LayerSpec::param_count(const std::vector<Shape>& inputs) const {
+  switch (kind) {
+    case LayerKind::kConv:
+      return kernel * kernel * inputs[0][0] * out_channels + out_channels;
+    case LayerKind::kDWConv:
+      return kernel * kernel * inputs[0][0] + inputs[0][0];
+    case LayerKind::kFC:
+      return inputs[0].numel() * units + units;
+    case LayerKind::kBatchNorm:
+      return 4 * inputs[0][0];  // gamma, beta, running mean, running var
+    default:
+      return 0;
+  }
+}
+
+bool LayerSpec::has_weights() const {
+  return kind == LayerKind::kConv || kind == LayerKind::kDWConv ||
+         kind == LayerKind::kFC || kind == LayerKind::kBatchNorm;
+}
+
+LayerSpec LayerSpec::input(Shape shape, std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kInput;
+  s.name = std::move(name);
+  s.input_shape = std::move(shape);
+  return s;
+}
+
+LayerSpec LayerSpec::conv(std::int64_t out_channels, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad,
+                          std::string name) {
+  SCALPEL_REQUIRE(out_channels > 0 && kernel > 0 && stride > 0 && pad >= 0,
+                  "invalid conv geometry");
+  LayerSpec s;
+  s.kind = LayerKind::kConv;
+  s.name = std::move(name);
+  s.out_channels = out_channels;
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::dwconv(std::int64_t kernel, std::int64_t stride,
+                            std::int64_t pad, std::string name) {
+  SCALPEL_REQUIRE(kernel > 0 && stride > 0 && pad >= 0,
+                  "invalid dwconv geometry");
+  LayerSpec s;
+  s.kind = LayerKind::kDWConv;
+  s.name = std::move(name);
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::fc(std::int64_t units, std::string name) {
+  SCALPEL_REQUIRE(units > 0, "fc units must be positive");
+  LayerSpec s;
+  s.kind = LayerKind::kFC;
+  s.name = std::move(name);
+  s.units = units;
+  return s;
+}
+
+LayerSpec LayerSpec::maxpool(std::int64_t kernel, std::int64_t stride,
+                             std::string name, std::int64_t pad) {
+  LayerSpec s;
+  s.kind = LayerKind::kMaxPool;
+  s.name = std::move(name);
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::avgpool(std::int64_t kernel, std::int64_t stride,
+                             std::string name, std::int64_t pad) {
+  LayerSpec s;
+  s.kind = LayerKind::kAvgPool;
+  s.name = std::move(name);
+  s.kernel = kernel;
+  s.stride = stride;
+  s.pad = pad;
+  return s;
+}
+
+LayerSpec LayerSpec::global_avgpool(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kGlobalAvgPool;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::relu(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kReLU;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::batchnorm(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kBatchNorm;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::add(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kAdd;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::concat(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kConcat;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::flatten(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kFlatten;
+  s.name = std::move(name);
+  return s;
+}
+
+LayerSpec LayerSpec::softmax(std::string name) {
+  LayerSpec s;
+  s.kind = LayerKind::kSoftmax;
+  s.name = std::move(name);
+  return s;
+}
+
+}  // namespace scalpel

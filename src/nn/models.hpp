@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace scalpel::models {
+
+// Reference model zoo. Layer configurations follow the published
+// architectures; the analytics tests assert the resulting FLOP/parameter
+// counts against the well-known reference numbers (within tolerance for
+// off-by-one spatial rounding). `resolution` scales the input so runtime
+// tests can execute real forward passes cheaply; canonical values are the
+// defaults.
+
+/// LeNet-5 on 1x28x28 (MNIST).
+Graph lenet5(std::int64_t num_classes = 10);
+
+/// AlexNet on 3x224x224 (~1.45 GFLOPs, ~61 M params at 224).
+Graph alexnet(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// VGG-16 on 3x224x224 (~30.9 GFLOPs, ~138 M params at 224).
+Graph vgg16(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// ResNet-18 on 3x224x224 (~3.6 GFLOPs, ~11.7 M params at 224).
+Graph resnet18(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// ResNet-34 on 3x224x224 (~7.3 GFLOPs, ~21.8 M params at 224).
+Graph resnet34(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// ResNet-50 (bottleneck blocks) on 3x224x224 (~8.2 GFLOPs, ~25.6 M params).
+Graph resnet50(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// VGG-19 on 3x224x224 (~39 GFLOPs, ~143.7 M params at 224).
+Graph vgg19(std::int64_t num_classes = 1000, std::int64_t resolution = 224);
+
+/// GoogLeNet / Inception-v1 on 3x224x224 (~3 GFLOPs, ~6.6 M params;
+/// auxiliary classifiers omitted — inference-time architecture). Each
+/// inception module runs four parallel branches joined by channel concat,
+/// the heaviest multi-branch stress test of the clean-cut machinery.
+Graph googlenet(std::int64_t num_classes = 1000,
+                std::int64_t resolution = 224);
+
+/// SqueezeNet 1.0 (fire modules: squeeze 1x1 -> parallel 1x1/3x3 expand
+/// with channel concat) on 3x224x224 (~1.4 GFLOPs, ~1.25 M params).
+/// Exercises the multi-branch concat path of the graph/cut machinery.
+Graph squeezenet(std::int64_t num_classes = 1000,
+                 std::int64_t resolution = 224);
+
+/// MobileNetV1 (1.0x) on 3x224x224 (~1.14 GFLOPs, ~4.2 M params at 224).
+Graph mobilenet_v1(std::int64_t num_classes = 1000,
+                   std::int64_t resolution = 224);
+
+/// Tiny-YOLO-v2 (VOC) backbone + detection head on 3x416x416
+/// (~7.5 GFLOPs, ~15.8 M params). Ends with the 1x1 detection conv
+/// (5 anchors x 25 predictions = 125 channels; no softmax).
+Graph tiny_yolo(std::int64_t anchors_times_preds = 125,
+                std::int64_t resolution = 416);
+
+/// A small straight CNN used by unit tests and quickstart examples:
+/// conv/relu/pool x3 + fc head on 3x32x32. Cheap enough to execute in tests.
+Graph tiny_cnn(std::int64_t num_classes = 10, std::int64_t resolution = 32);
+
+/// The canonical evaluation set used by the benches (canonical resolutions).
+std::vector<Graph> zoo();
+
+/// Lookup by name ("lenet5", "alexnet", "vgg16", "resnet18", "mobilenet_v1",
+/// "tiny_yolo", "tiny_cnn"). Throws on unknown name.
+Graph by_name(const std::string& name);
+
+/// Names accepted by by_name, in zoo order.
+std::vector<std::string> zoo_names();
+
+}  // namespace scalpel::models

@@ -1,0 +1,21 @@
+#include "profile/energy_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+double EnergyProfile::task_energy(double t_compute, double t_transmit,
+                                  double t_wait) const {
+  SCALPEL_REQUIRE(t_compute >= 0.0 && t_transmit >= 0.0 && t_wait >= 0.0,
+                  "phase durations must be non-negative");
+  return p_active * t_compute + p_tx * t_transmit + p_idle * t_wait;
+}
+
+namespace profiles {
+
+EnergyProfile energy_iot() { return {"energy_iot", 1.2, 0.8, 0.05}; }
+EnergyProfile energy_phone() { return {"energy_phone", 4.0, 1.8, 0.3}; }
+EnergyProfile energy_jetson() { return {"energy_jetson", 10.0, 2.0, 1.5}; }
+
+}  // namespace profiles
+}  // namespace scalpel

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel {
+
+/// First-order device energy model: E = P_active * t_compute +
+/// P_tx * t_transmit + P_idle * t_wait. Used by the energy-aware ablation
+/// bench; the joint optimizer can take energy as a secondary objective.
+struct EnergyProfile {
+  std::string name;
+  double p_active = 0.0;  // watts while computing
+  double p_tx = 0.0;      // watts while transmitting
+  double p_idle = 0.0;    // watts while waiting for the server
+
+  /// Joules for a task with the given phase durations (seconds).
+  double task_energy(double t_compute, double t_transmit, double t_wait) const;
+};
+
+namespace profiles {
+EnergyProfile energy_iot();         // coin-cell class
+EnergyProfile energy_phone();
+EnergyProfile energy_jetson();
+}  // namespace profiles
+
+}  // namespace scalpel

@@ -1,0 +1,71 @@
+#include "profile/latency_model.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+double LatencyModel::layer_latency(const Graph& graph, NodeId id,
+                                   const ComputeProfile& profile) {
+  const auto& node = graph.node(id);
+  if (node.spec.kind == LayerKind::kInput) return 0.0;
+  SCALPEL_REQUIRE(profile.peak_flops > 0.0 && profile.mem_bw > 0.0,
+                  "compute profile must have positive rates");
+
+  // Bytes touched: inputs + output + parameters (float32).
+  std::int64_t bytes = node.out_shape.bytes() + node.params * 4;
+  for (NodeId u : node.inputs) {
+    bytes += graph.node(u).out_shape.bytes();
+  }
+
+  const double t_compute = static_cast<double>(node.flops) /
+                           profile.effective_flops(node.spec.kind);
+  const double t_memory = static_cast<double>(bytes) / profile.mem_bw;
+  return std::max(t_compute, t_memory) + profile.layer_overhead;
+}
+
+double LatencyModel::graph_latency(const Graph& graph,
+                                   const ComputeProfile& profile) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    total += layer_latency(graph, static_cast<NodeId>(i), profile);
+  }
+  return total;
+}
+
+double LatencyModel::range_latency(const Graph& graph, NodeId after,
+                                   NodeId upto,
+                                   const ComputeProfile& profile) {
+  SCALPEL_REQUIRE(after <= upto, "range_latency needs after <= upto");
+  double total = 0.0;
+  for (NodeId v = after + 1; v <= upto; ++v) {
+    total += layer_latency(graph, v, profile);
+  }
+  return total;
+}
+
+std::vector<double> LatencyModel::per_layer(const Graph& graph,
+                                            const ComputeProfile& profile) {
+  std::vector<double> out(graph.size());
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    out[i] = layer_latency(graph, static_cast<NodeId>(i), profile);
+  }
+  return out;
+}
+
+std::vector<double> LatencyModel::prefix(const Graph& graph,
+                                         const ComputeProfile& profile) {
+  std::vector<double> out = per_layer(graph, profile);
+  for (std::size_t i = 1; i < out.size(); ++i) out[i] += out[i - 1];
+  return out;
+}
+
+double transfer_latency(std::int64_t bytes, double bandwidth,
+                        double rtt_onoff) {
+  SCALPEL_REQUIRE(bandwidth > 0.0, "link bandwidth must be positive");
+  SCALPEL_REQUIRE(bytes >= 0, "transfer size must be non-negative");
+  return static_cast<double>(bytes) / bandwidth + rtt_onoff;
+}
+
+}  // namespace scalpel

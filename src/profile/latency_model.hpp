@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "profile/compute_profile.hpp"
+
+namespace scalpel {
+
+/// Analytical per-layer latency prediction. This is the model the optimizer
+/// reasons with — it replaces on-testbed profiling runs from the paper with a
+/// roofline over the same quantities (FLOPs, activation/param bytes).
+class LatencyModel {
+ public:
+  /// Predicted execution time of a single node on `profile`.
+  static double layer_latency(const Graph& graph, NodeId id,
+                              const ComputeProfile& profile);
+
+  /// Whole-graph execution time (sum over nodes; batch 1, no overlap).
+  static double graph_latency(const Graph& graph,
+                              const ComputeProfile& profile);
+
+  /// Time for nodes (after .. upto] — the partitioned-suffix cost.
+  static double range_latency(const Graph& graph, NodeId after, NodeId upto,
+                              const ComputeProfile& profile);
+
+  /// Per-node latencies for the whole graph, index = node id.
+  static std::vector<double> per_layer(const Graph& graph,
+                                       const ComputeProfile& profile);
+
+  /// Inclusive prefix sums of per_layer (prefix[k] = time for nodes 0..k).
+  static std::vector<double> prefix(const Graph& graph,
+                                    const ComputeProfile& profile);
+};
+
+/// Transmission time of `bytes` over a link with bandwidth bytes/s and a
+/// fixed one-way latency (seconds). bandwidth must be positive.
+double transfer_latency(std::int64_t bytes, double bandwidth, double rtt_onoff);
+
+}  // namespace scalpel

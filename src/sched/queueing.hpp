@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+namespace scalpel {
+
+/// M/M/1-based service analysis used to make the static optimizer
+/// queueing-aware: the paper's resource allocation must keep each server
+/// stable under its admitted arrival rates, and expected sojourn (not bare
+/// service time) is what a latency SLO sees.
+namespace queueing {
+
+/// Mean sojourn time (wait + service) of an M/M/1 queue; +inf if unstable
+/// (lambda >= mu). lambda, mu in tasks/s.
+double mm1_sojourn(double lambda, double mu);
+
+/// Mean waiting time only.
+double mm1_wait(double lambda, double mu);
+
+/// P(sojourn > t) for M/M/1 (exponential tail) — used by deadline analysis.
+double mm1_sojourn_tail(double lambda, double mu, double t);
+
+/// Pollaczek-Khinchine mean sojourn of an M/G/1 queue with service moments
+/// E[S] = m1, E[S^2] = m2; +inf if unstable (lambda * m1 >= 1).
+double mg1_sojourn(double lambda, double m1, double m2);
+
+/// M/D/1 mean sojourn (deterministic service s) — the upload stage, where
+/// every task of a device ships the same activation payload.
+double md1_sojourn(double lambda, double s);
+
+/// Kleinrock capacity assignment: split a server's capacity F (FLOP/s)
+/// across classes with arrival rate lambda_i (tasks/s) and work w_i
+/// (FLOP/task) to minimize the rate-weighted mean sojourn
+///   sum_i lambda_i * 1 / (c_i / w_i - lambda_i).
+/// Returns per-class capacities c_i summing to F, or an empty vector if the
+/// load is infeasible (sum lambda_i * w_i >= F). Classes with zero rate get
+/// zero capacity.
+std::vector<double> kleinrock(const std::vector<double>& lambda,
+                              const std::vector<double>& work, double capacity);
+
+/// Rate-weighted mean sojourn for a given capacity split (+inf if any class
+/// is unstable). Companion evaluator for kleinrock.
+double mean_sojourn(const std::vector<double>& lambda,
+                    const std::vector<double>& work,
+                    const std::vector<double>& capacity_split);
+
+}  // namespace queueing
+}  // namespace scalpel

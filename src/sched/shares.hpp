@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+namespace scalpel {
+
+/// Divisible-resource share allocators. Both bandwidth (within a cell) and
+/// compute (within a server) reduce to: split capacity C across classes with
+/// demands w_i to minimize the rate-weighted sum of w_i / c_i. The optimum is
+/// the square-root rule c_i ∝ sqrt(w_i) (Cauchy-Schwarz; verified against
+/// grid search in tests).
+namespace shares {
+
+/// c_i = C * sqrt(w_i) / sum(sqrt(w)). Zero-demand classes get zero.
+/// Requires at least one positive demand.
+std::vector<double> sqrt_rule(const std::vector<double>& demands,
+                              double capacity);
+
+/// Equal split among classes with positive demand.
+std::vector<double> equal_split(const std::vector<double>& demands,
+                                double capacity);
+
+/// c_i ∝ w_i.
+std::vector<double> proportional(const std::vector<double>& demands,
+                                 double capacity);
+
+/// Max-min fairness with per-class caps: water-fill capacity so every class
+/// gets min(cap_i, fair level); classes capped below the level return their
+/// surplus to the others. The classic bandwidth-sharing policy, provided as
+/// a comparison point to the latency-optimal sqrt rule.
+std::vector<double> max_min_fair(const std::vector<double>& caps,
+                                 double capacity);
+
+/// Objective the sqrt rule minimizes: sum_i demands[i] / alloc[i]
+/// (+inf if any positive-demand class has a zero share).
+double inverse_cost(const std::vector<double>& demands,
+                    const std::vector<double>& alloc);
+
+}  // namespace shares
+}  // namespace scalpel

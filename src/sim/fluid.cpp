@@ -1,0 +1,88 @@
+#include "sim/fluid.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Completion slack: fluid progress is exact arithmetic over rationals the
+// doubles only approximate; a job within this many demand-units of zero is
+// done.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+FluidResource::FluidResource(double capacity) : capacity_(capacity) {
+  SCALPEL_REQUIRE(capacity > 0.0, "fluid capacity must be positive");
+}
+
+void FluidResource::advance(double now) {
+  SCALPEL_REQUIRE(now >= last_update_ - 1e-12,
+                  "fluid resource time went backwards");
+  const double dt = std::max(0.0, now - last_update_);
+  if (dt > 0.0 && !jobs_.empty() && weight_sum_ > 0.0) {
+    busy_accum_ += dt;
+    for (auto& j : jobs_) {
+      const double rate = capacity_ * j.weight / weight_sum_;
+      j.remaining -= rate * dt;
+    }
+  }
+  last_update_ = now;
+}
+
+void FluidResource::set_capacity(double now, double capacity) {
+  SCALPEL_REQUIRE(capacity > 0.0, "fluid capacity must be positive");
+  advance(now);
+  capacity_ = capacity;
+  ++epoch_;
+}
+
+void FluidResource::add_job(double now, double demand, double weight,
+                            std::function<void(double)> done) {
+  SCALPEL_REQUIRE(demand > 0.0, "fluid job demand must be positive");
+  SCALPEL_REQUIRE(weight > 0.0, "fluid job weight must be positive");
+  advance(now);
+  jobs_.push_back(Job{demand, weight, std::move(done)});
+  weight_sum_ += weight;
+  ++epoch_;
+}
+
+double FluidResource::next_completion() const {
+  if (jobs_.empty() || weight_sum_ <= 0.0) return kInf;
+  double soonest = kInf;
+  for (const auto& j : jobs_) {
+    const double rate = capacity_ * j.weight / weight_sum_;
+    soonest = std::min(soonest, std::max(0.0, j.remaining) / rate);
+  }
+  return last_update_ + soonest;
+}
+
+void FluidResource::complete_due(double now) {
+  advance(now);
+  // Collect first, then fire: callbacks may add jobs to this resource.
+  std::vector<std::function<void(double)>> fired;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    // Convert the absolute slack to demand units via this job's rate.
+    const double rate = capacity_ * it->weight / weight_sum_;
+    if (it->remaining <= kEps * std::max(1.0, rate)) {
+      fired.push_back(std::move(it->done));
+      weight_sum_ -= it->weight;
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!fired.empty()) ++epoch_;
+  if (jobs_.empty()) weight_sum_ = 0.0;  // clear accumulated fp drift
+  for (auto& f : fired) f(now);
+}
+
+double FluidResource::busy_time(double now) const {
+  double extra = 0.0;
+  if (!jobs_.empty() && now > last_update_) extra = now - last_update_;
+  return busy_accum_ + extra;
+}
+
+}  // namespace scalpel

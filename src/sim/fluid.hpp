@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace scalpel {
+
+/// Work-conserving generalized-processor-sharing resource in fluid
+/// approximation: active jobs split the capacity in proportion to their
+/// weights, so an idle grantee's capacity flows to the busy ones (this is
+/// what the analytical model cannot see and the DES adds). Used for both
+/// cell uplinks (demand = bytes) and edge servers (demand = busy-seconds).
+class FluidResource {
+ public:
+  explicit FluidResource(double capacity);
+
+  /// Change capacity at `now` (bandwidth traces); progress is settled first.
+  void set_capacity(double now, double capacity);
+  double capacity() const { return capacity_; }
+
+  /// Add a job; `done(now)` fires from complete_due when it finishes.
+  void add_job(double now, double demand, double weight,
+               std::function<void(double)> done);
+
+  bool idle() const { return jobs_.empty(); }
+  std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Absolute time of the earliest completion; +inf when idle.
+  double next_completion() const;
+
+  /// Mutation counter; the simulator tags scheduled wake-ups with it and
+  /// drops stale ones.
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Settle progress to `now` and fire every job due (remaining ~ 0).
+  void complete_due(double now);
+
+  /// Total time the resource was non-idle (utilization accounting).
+  double busy_time(double now) const;
+
+ private:
+  void advance(double now);
+
+  struct Job {
+    double remaining = 0.0;
+    double weight = 0.0;
+    std::function<void(double)> done;
+  };
+
+  double capacity_;
+  double last_update_ = 0.0;
+  double weight_sum_ = 0.0;
+  std::vector<Job> jobs_;
+  std::uint64_t epoch_ = 0;
+  double busy_accum_ = 0.0;
+};
+
+}  // namespace scalpel

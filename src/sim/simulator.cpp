@@ -1,0 +1,419 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+
+#include "core/objective.hpp"
+#include "surgery/plan.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+/// One inference task in flight.
+struct Simulator::Task {
+  DeviceId device = -1;
+  double arrival = 0.0;
+  TaskPhases phases;
+  bool counted = false;   // arrived after warmup -> contributes to metrics
+  // Decision parameters captured at arrival (plan swaps must not corrupt
+  // tasks already in flight).
+  ServerId server = -1;
+  double rtt = 0.0;
+  double bw_weight = 0.0;
+  double cpu_weight = 0.0;
+  // Phase timestamps for energy accounting.
+  double device_done = 0.0;
+  double upload_done = 0.0;
+};
+
+/// Per-device compiled state: the PlanModel the tasks sample from plus the
+/// decision's resource grants. The upload/server sub-queues keep a device's
+/// stream FIFO within its granted share — one device's burst occupies one
+/// fluid slot, so it cannot multiply its weight by queueing several jobs.
+struct Simulator::CompiledDevice {
+  std::unique_ptr<PlanModel> plan;
+  bool device_only = true;
+  ServerId server = -1;
+  double share = 0.0;
+  double bandwidth = 0.0;
+  double rtt = 0.0;
+  double busy_until = 0.0;  // FCFS device queue (deterministic service)
+  // MMPP arrival modulation state (used when options.burst_factor > 0).
+  bool burst_high = false;
+  double burst_state_until = 0.0;
+  std::deque<std::shared_ptr<Task>> upload_queue;
+  bool uploading = false;
+  std::deque<std::shared_ptr<Task>> server_queue;
+  bool serving = false;
+};
+
+Simulator::Simulator(const ProblemInstance& instance, Decision decision,
+                     Options options)
+    : instance_(&instance), decision_(std::move(decision)),
+      options_(options) {
+  SCALPEL_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
+  SCALPEL_REQUIRE(options_.warmup >= 0.0 && options_.warmup < options_.horizon,
+                  "warmup must lie inside the horizon");
+  const auto& topo = instance_->topology();
+  SCALPEL_REQUIRE(decision_.per_device.size() == topo.devices().size(),
+                  "decision must cover every device");
+
+  Rng master(options_.seed);
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    rngs_.push_back(std::make_unique<Rng>(master.next_u64()));
+    devices_.push_back(std::make_unique<CompiledDevice>());
+  }
+  for (const auto& cell : topo.cells()) {
+    cell_links_.push_back(std::make_unique<FluidResource>(cell.bandwidth));
+    traces_.push_back(std::nullopt);
+  }
+  for (std::size_t j = 0; j < topo.servers().size(); ++j) {
+    servers_.push_back(std::make_unique<FluidResource>(1.0));
+  }
+  apply_decision(decision_);
+  metrics_.per_device.resize(topo.devices().size());
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::set_cell_trace(CellId cell, BandwidthTrace trace) {
+  SCALPEL_REQUIRE(cell >= 0 &&
+                      static_cast<std::size_t>(cell) < traces_.size(),
+                  "cell id out of range");
+  traces_[static_cast<std::size_t>(cell)] = std::move(trace);
+}
+
+void Simulator::set_controller(Controller controller) {
+  SCALPEL_REQUIRE(options_.control_interval > 0.0,
+                  "controller needs control_interval > 0");
+  controller_ = std::move(controller);
+}
+
+void Simulator::schedule(double t, std::function<void()> fn) {
+  if (t > options_.horizon) return;
+  events_.push(Event{t, event_seq_++, std::move(fn)});
+}
+
+void Simulator::compile_device(DeviceId dev) {
+  const auto i = static_cast<std::size_t>(dev);
+  const auto& dd = decision_.per_device[i];
+  const auto& device = instance_->topology().device(dev);
+  const auto& bundle = instance_->bundle_for(dev);
+  auto& cd = *devices_[i];
+  cd.device_only = dd.plan.device_only;
+  LinkSpec link;
+  if (dd.plan.device_only) {
+    link.bandwidth = 1.0;
+    cd.server = -1;
+    cd.share = 0.0;
+    cd.bandwidth = 0.0;
+    cd.rtt = 0.0;
+  } else {
+    SCALPEL_REQUIRE(dd.server >= 0, "offloading decision needs a server");
+    SCALPEL_REQUIRE(dd.bandwidth > 0.0 && dd.compute_share > 0.0,
+                    "offloading decision needs positive grants");
+    cd.server = dd.server;
+    cd.share = dd.compute_share;
+    cd.bandwidth = dd.bandwidth;
+    cd.rtt = instance_->topology().path_rtt(dev, dd.server);
+    link.bandwidth = dd.bandwidth;
+    link.rtt = cd.rtt;
+  }
+  cd.plan = std::make_unique<PlanModel>(
+      bundle.graph, bundle.candidates, dd.plan, bundle.accuracy,
+      device.compute,
+      dd.plan.device_only
+          ? device.compute
+          : instance_->topology().server(dd.server).compute,
+      link, device.difficulty);
+}
+
+void Simulator::apply_decision(const Decision& decision) {
+  SCALPEL_REQUIRE(
+      decision.per_device.size() == instance_->topology().devices().size(),
+      "decision must cover every device");
+  decision_ = decision;
+  for (std::size_t i = 0; i < decision_.per_device.size(); ++i) {
+    compile_device(static_cast<DeviceId>(i));
+  }
+}
+
+void Simulator::on_arrival(DeviceId dev) {
+  const auto i = static_cast<std::size_t>(dev);
+  const auto& device = instance_->topology().device(dev);
+  auto& rng = *rngs_[i];
+
+  auto& cd = *devices_[i];
+
+  // Schedule the next arrival first (Poisson, or Markov-modulated when
+  // burstiness is configured).
+  double rate = device.arrival_rate;
+  if (options_.burst_factor > 0.0) {
+    SCALPEL_REQUIRE(options_.burst_factor < 1.0,
+                    "burst_factor must be in [0, 1)");
+    while (now_ >= cd.burst_state_until) {
+      cd.burst_high = !cd.burst_high;
+      cd.burst_state_until = std::max(now_, cd.burst_state_until) +
+                             rng.exponential(1.0 / options_.burst_hold);
+    }
+    rate *= cd.burst_high ? (1.0 + options_.burst_factor)
+                          : (1.0 - options_.burst_factor);
+  }
+  const double next = now_ + rng.exponential(rate);
+  schedule(next, [this, dev] { on_arrival(dev); });
+  auto task = std::make_shared<Task>();
+  task->device = dev;
+  task->arrival = now_;
+  task->counted = now_ >= options_.warmup;
+  task->phases = cd.plan->phases_for(device.difficulty.sample(rng));
+  task->server = cd.server;
+  task->rtt = cd.rtt;
+  task->bw_weight = cd.bandwidth;
+  task->cpu_weight = cd.share;
+
+  ++metrics_.per_device[i].arrived;
+  in_flight_integral_ += static_cast<double>(in_flight_) *
+                         (now_ - in_flight_last_t_);
+  in_flight_last_t_ = now_;
+  ++in_flight_;
+
+  // FCFS device queue with deterministic service: the finish time is known
+  // at arrival.
+  const double start = std::max(now_, cd.busy_until);
+  const double finish = start + task->phases.device_time;
+  cd.busy_until = finish;
+  schedule(finish, [this, task] { finish_device_phase(task); });
+}
+
+void Simulator::finish_device_phase(const std::shared_ptr<Task>& task) {
+  task->device_done = now_;
+  if (!task->phases.offloaded) {
+    complete(task, now_);
+    return;
+  }
+  start_upload(task);
+}
+
+void Simulator::start_upload(const std::shared_ptr<Task>& task) {
+  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (cd.uploading) {
+    cd.upload_queue.push_back(task);
+    return;
+  }
+  cd.uploading = true;
+  begin_upload_job(task);
+}
+
+void Simulator::begin_upload_job(const std::shared_ptr<Task>& task) {
+  const auto& device = instance_->topology().device(task->device);
+  auto* link = cell_links_[static_cast<std::size_t>(device.cell)].get();
+  link->add_job(now_, static_cast<double>(task->phases.upload_bytes),
+                task->bw_weight, [this, task](double t) {
+                  // Propagation/setup delay after the transfer drains.
+                  schedule(t + task->rtt,
+                           [this, task] { start_server_phase(task); });
+                  // Head-of-line advance for this device's upload stream.
+                  auto& cd =
+                      *devices_[static_cast<std::size_t>(task->device)];
+                  if (cd.upload_queue.empty()) {
+                    cd.uploading = false;
+                  } else {
+                    auto next = cd.upload_queue.front();
+                    cd.upload_queue.pop_front();
+                    begin_upload_job(next);
+                  }
+                });
+  arm_fluid(link);
+}
+
+void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
+  SCALPEL_REQUIRE(task->server >= 0, "offloaded task lost its server");
+  task->upload_done = now_;
+  if (task->phases.server_time <= 0.0) {
+    complete(task, now_);
+    return;
+  }
+  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (cd.serving) {
+    cd.server_queue.push_back(task);
+    return;
+  }
+  cd.serving = true;
+  begin_server_job(task);
+}
+
+void Simulator::begin_server_job(const std::shared_ptr<Task>& task) {
+  auto* server = servers_[static_cast<std::size_t>(task->server)].get();
+  server->add_job(now_, task->phases.server_time, task->cpu_weight,
+                  [this, task](double t) {
+                    complete(task, t);
+                    auto& cd =
+                        *devices_[static_cast<std::size_t>(task->device)];
+                    if (cd.server_queue.empty()) {
+                      cd.serving = false;
+                    } else {
+                      auto next = cd.server_queue.front();
+                      cd.server_queue.pop_front();
+                      begin_server_job(next);
+                    }
+                  });
+  arm_fluid(server);
+}
+
+void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
+  in_flight_integral_ += static_cast<double>(in_flight_) *
+                         (now - in_flight_last_t_);
+  in_flight_last_t_ = now;
+  --in_flight_;
+  ++window_completions_;
+  if (!task->counted) return;
+  const auto i = static_cast<std::size_t>(task->device);
+  auto& dm = metrics_.per_device[i];
+  const double latency = now - task->arrival;
+  dm.latency.add(latency);
+  ++dm.completed;
+  const auto& device = instance_->topology().device(task->device);
+  if (device.deadline > 0.0) {
+    ++dm.deadline_total;
+    if (latency <= device.deadline) ++dm.deadline_met;
+  }
+  dm.accuracy_sum += task->phases.correct_prob;
+  // Device-side energy: active while computing, transmitting while the
+  // upload drains, idling while the server works.
+  const double upload_dur =
+      task->phases.offloaded ? task->upload_done - task->device_done : 0.0;
+  const double idle_dur =
+      task->phases.offloaded ? now - task->upload_done : 0.0;
+  dm.energy_sum += device.energy.task_energy(task->phases.device_time,
+                                             upload_dur, idle_dur);
+  if (task->phases.offloaded) ++dm.offloaded;
+  const std::size_t slot =
+      task->phases.exit_index < 0
+          ? 0
+          : static_cast<std::size_t>(task->phases.exit_index) + 1;
+  if (dm.exit_histogram.size() <= slot) dm.exit_histogram.resize(slot + 1, 0);
+  ++dm.exit_histogram[slot];
+}
+
+void Simulator::series_tick() {
+  // Settle the in-flight integral at the window boundary.
+  in_flight_integral_ += static_cast<double>(in_flight_) *
+                         (now_ - in_flight_last_t_);
+  in_flight_last_t_ = now_;
+  metrics_.series.tasks_in_flight.push_back(in_flight_integral_ /
+                                            options_.series_window);
+  in_flight_integral_ = 0.0;
+  metrics_.series.completion_rate.push_back(
+      static_cast<double>(window_completions_) / options_.series_window);
+  window_completions_ = 0;
+  schedule(now_ + options_.series_window, [this] { series_tick(); });
+}
+
+void Simulator::controller_tick() {
+  std::vector<double> bw(cell_links_.size());
+  for (std::size_t c = 0; c < cell_links_.size(); ++c) {
+    bw[c] = cell_links_[c]->capacity();
+  }
+  if (auto next = controller_(now_, bw)) {
+    apply_decision(*next);
+  }
+  schedule(now_ + options_.control_interval, [this] { controller_tick(); });
+}
+
+void Simulator::arm_fluid(FluidResource* resource) {
+  const double t = resource->next_completion();
+  if (!std::isfinite(t)) return;
+  const auto epoch = resource->epoch();
+  // Fluid completions may land beyond the horizon; in-flight tasks are
+  // simply abandoned there.
+  schedule(std::max(t, now_), [this, resource, epoch] {
+    if (resource->epoch() != epoch) return;  // stale wake-up
+    resource->complete_due(now_);
+    arm_fluid(resource);
+  });
+}
+
+SimMetrics Simulator::run() {
+  const auto& topo = instance_->topology();
+
+  // Seed arrivals.
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    const auto dev = static_cast<DeviceId>(i);
+    const double first =
+        rngs_[i]->exponential(topo.device(dev).arrival_rate);
+    schedule(first, [this, dev] { on_arrival(dev); });
+  }
+  // Bandwidth trace change-points.
+  for (std::size_t c = 0; c < traces_.size(); ++c) {
+    if (!traces_[c]) continue;
+    auto* link = cell_links_[c].get();
+    for (const auto& seg : traces_[c]->segments()) {
+      if (seg.start <= 0.0) {
+        link->set_capacity(0.0, seg.bandwidth);
+        continue;
+      }
+      const double bw = seg.bandwidth;
+      schedule(seg.start, [this, link, bw] {
+        link->set_capacity(now_, bw);
+        arm_fluid(link);
+      });
+    }
+  }
+  // Controller ticks.
+  if (controller_) {
+    schedule(options_.control_interval, [this] { controller_tick(); });
+  }
+  // Time-series sampling.
+  if (options_.series_window > 0.0) {
+    metrics_.series.window = options_.series_window;
+    schedule(options_.series_window, [this] { series_tick(); });
+  }
+
+  while (!events_.empty()) {
+    Event ev = events_.top();
+    events_.pop();
+    SCALPEL_REQUIRE(ev.time >= now_ - 1e-9, "event time went backwards");
+    now_ = std::max(now_, ev.time);
+    if (now_ > options_.horizon) break;
+    ev.fn();
+  }
+
+  // Aggregate.
+  metrics_.horizon = options_.horizon;
+  std::size_t deadline_met = 0;
+  std::size_t deadline_total = 0;
+  double acc_sum = 0.0;
+  double energy_sum = 0.0;
+  std::size_t offloaded = 0;
+  for (const auto& dm : metrics_.per_device) {
+    metrics_.arrived += dm.arrived;
+    metrics_.completed += dm.completed;
+    for (double v : dm.latency.values()) metrics_.latency.add(v);
+    deadline_met += dm.deadline_met;
+    deadline_total += dm.deadline_total;
+    acc_sum += dm.accuracy_sum;
+    energy_sum += dm.energy_sum;
+    offloaded += dm.offloaded;
+  }
+  metrics_.deadline_satisfaction =
+      deadline_total ? static_cast<double>(deadline_met) /
+                           static_cast<double>(deadline_total)
+                     : 1.0;
+  metrics_.measured_accuracy =
+      metrics_.completed ? acc_sum / static_cast<double>(metrics_.completed)
+                         : 0.0;
+  metrics_.mean_task_energy =
+      metrics_.completed ? energy_sum / static_cast<double>(metrics_.completed)
+                         : 0.0;
+  metrics_.offload_fraction =
+      metrics_.completed
+          ? static_cast<double>(offloaded) /
+                static_cast<double>(metrics_.completed)
+          : 0.0;
+  for (const auto& s : servers_) {
+    metrics_.server_utilization.push_back(
+        s->busy_time(std::min(now_, options_.horizon)) / options_.horizon);
+  }
+  return metrics_;
+}
+
+}  // namespace scalpel

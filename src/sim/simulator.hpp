@@ -1,0 +1,145 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+#include "edge/dynamics.hpp"
+#include "sim/fluid.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace scalpel {
+
+/// Per-device and aggregate results of a simulation run.
+struct DeviceMetrics {
+  Samples latency;                // seconds, post-warmup completions
+  std::size_t arrived = 0;
+  std::size_t completed = 0;
+  std::size_t deadline_met = 0;   // among completed with a deadline
+  std::size_t deadline_total = 0;
+  double accuracy_sum = 0.0;      // sum of per-task correctness probability
+  double energy_sum = 0.0;        // joules across completed tasks
+  std::size_t offloaded = 0;
+  std::vector<std::size_t> exit_histogram;  // index 0 = final exit, then exits
+};
+
+/// Windowed time series of system state (for transient plots and
+/// Little's-law checks).
+struct TimeSeries {
+  double window = 1.0;                 // seconds per sample
+  std::vector<double> tasks_in_flight;  // time-average per window
+  std::vector<double> completion_rate;  // completions/s per window
+};
+
+struct SimMetrics {
+  std::vector<DeviceMetrics> per_device;
+  TimeSeries series;
+  Samples latency;                 // aggregate
+  std::size_t arrived = 0;
+  std::size_t completed = 0;
+  double deadline_satisfaction = 1.0;  // over deadline-bearing tasks
+  double measured_accuracy = 0.0;      // expectation-based
+  double mean_task_energy = 0.0;       // joules per completed task
+  std::vector<double> server_utilization;  // busy fraction per server
+  double offload_fraction = 0.0;
+  double horizon = 0.0;
+};
+
+/// Trace-driven discrete-event simulator of the edge deployment executing a
+/// Decision: FCFS device queues, fluid-GPS shared cell uplinks, fluid-GPS
+/// shared servers, Poisson arrivals, per-task difficulty driving the exits.
+/// Validates the analytical objective (M/M/1-style predictions) and exposes
+/// effects the closed form cannot (work-conserving spare capacity, transient
+/// overload, bandwidth dynamics).
+class Simulator {
+ public:
+  struct Options {
+    double horizon = 60.0;      // simulated seconds
+    double warmup = 5.0;        // metrics ignore tasks arriving before this
+    std::uint64_t seed = 7;
+    /// If set, the controller callback runs every interval with the observed
+    /// per-cell bandwidths; returning a Decision swaps the deployment plan.
+    double control_interval = 0.0;  // 0 disables
+    /// Markov-modulated arrival burstiness in [0, 1): each device flips
+    /// between a high state (rate x (1+f)) and a low state (rate x (1-f))
+    /// with exponential holding times of mean burst_hold seconds. 0 keeps
+    /// plain Poisson arrivals (and identical RNG streams).
+    double burst_factor = 0.0;
+    double burst_hold = 2.0;
+    /// Time-series sampling window (seconds); 0 disables recording.
+    double series_window = 0.0;
+  };
+
+  using Controller = std::function<std::optional<Decision>(
+      double now, const std::vector<double>& cell_bandwidth)>;
+
+  Simulator(const ProblemInstance& instance, Decision decision,
+            Options options);
+  ~Simulator();
+
+  /// Attach a bandwidth trace to a cell (defaults to constant at the
+  /// topology's configured bandwidth).
+  void set_cell_trace(CellId cell, BandwidthTrace trace);
+
+  /// Attach an online controller (requires options.control_interval > 0).
+  void set_controller(Controller controller);
+
+  SimMetrics run();
+
+ private:
+  struct Task;
+  struct CompiledDevice;
+
+  void schedule(double t, std::function<void()> fn);
+  void on_arrival(DeviceId dev);
+  void finish_device_phase(const std::shared_ptr<Task>& task);
+  void start_upload(const std::shared_ptr<Task>& task);
+  void begin_upload_job(const std::shared_ptr<Task>& task);
+  void start_server_phase(const std::shared_ptr<Task>& task);
+  void begin_server_job(const std::shared_ptr<Task>& task);
+  void complete(const std::shared_ptr<Task>& task, double now);
+  void arm_fluid(FluidResource* resource);
+  void apply_decision(const Decision& decision);
+  void compile_device(DeviceId dev);
+  void controller_tick();
+  void series_tick();
+
+  const ProblemInstance* instance_;
+  Decision decision_;
+  Options options_;
+
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time : seq > other.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  std::uint64_t event_seq_ = 0;
+  double now_ = 0.0;
+
+  std::vector<std::unique_ptr<FluidResource>> cell_links_;
+  std::vector<std::unique_ptr<FluidResource>> servers_;
+  std::vector<std::optional<BandwidthTrace>> traces_;
+  Controller controller_;
+
+  std::vector<std::unique_ptr<CompiledDevice>> devices_;
+  SimMetrics metrics_;
+  // Time-series accumulators.
+  std::int64_t in_flight_ = 0;
+  double in_flight_integral_ = 0.0;
+  double in_flight_last_t_ = 0.0;
+  std::size_t window_completions_ = 0;
+  std::vector<std::unique_ptr<Rng>> rngs_;  // per device
+};
+
+}  // namespace scalpel

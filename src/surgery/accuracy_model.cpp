@@ -1,0 +1,60 @@
+#include "surgery/accuracy_model.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+double AccuracyModel::accuracy_at(double depth_fraction) const {
+  SCALPEL_REQUIRE(depth_fraction > 0.0 && depth_fraction <= 1.0,
+                  "depth fraction must be in (0, 1]");
+  // Saturating exponential normalized so accuracy_at(1) == a_max.
+  const double s = (1.0 - std::exp(-saturation_k * depth_fraction)) /
+                   (1.0 - std::exp(-saturation_k));
+  return a_max * s;
+}
+
+double AccuracyModel::capability(double depth_fraction) const {
+  SCALPEL_REQUIRE(depth_fraction > 0.0 && depth_fraction <= 1.0,
+                  "depth fraction must be in (0, 1]");
+  return std::pow(depth_fraction, cap_gamma);
+}
+
+double AccuracyModel::conditional_accuracy(double depth_fraction,
+                                           double theta) const {
+  SCALPEL_REQUIRE(theta >= 0.0 && theta < 1.0, "theta must be in [0, 1)");
+  const double base = accuracy_at(depth_fraction);
+  // Selective-prediction bonus: restricting to confident inputs moves the
+  // conditional accuracy toward the ceiling, linearly in theta.
+  return base + (selective_ceiling - base) * theta;
+}
+
+AccuracyModel AccuracyModel::for_model(const std::string& model_name) {
+  AccuracyModel m;
+  if (model_name == "lenet5") {
+    m.a_max = 0.992;
+    m.saturation_k = 4.0;
+  } else if (model_name == "alexnet") {
+    m.a_max = 0.565;
+    m.saturation_k = 2.5;
+  } else if (model_name == "vgg16") {
+    m.a_max = 0.715;
+    m.saturation_k = 3.0;
+  } else if (model_name == "resnet18") {
+    m.a_max = 0.698;
+    m.saturation_k = 3.0;
+  } else if (model_name == "mobilenet_v1") {
+    m.a_max = 0.706;
+    m.saturation_k = 3.2;
+  } else if (model_name == "tiny_yolo") {
+    m.a_max = 0.571;  // mAP treated as the accuracy figure
+    m.saturation_k = 2.8;
+  } else if (model_name == "tiny_cnn") {
+    m.a_max = 0.80;
+    m.saturation_k = 3.5;
+  }
+  return m;
+}
+
+}  // namespace scalpel

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel {
+
+/// Calibrated analytic substitute for trained early-exit accuracy curves.
+///
+/// The paper measures, per exit, (a) the accuracy of the exit head and
+/// (b) how often inputs clear its confidence threshold. Published multi-exit
+/// measurements (BranchyNet, SPINN, LEIME) consistently show:
+///   - exit accuracy grows with depth and saturates:  A(d) = A_max * s(d)
+///   - deeper exits confidently cover more inputs:     cap(d) = d^gamma
+///   - raising the threshold trades coverage for conditional accuracy
+///     (selective prediction).
+/// We encode exactly those three shapes, with A_max set per model to its
+/// well-known top-1 figure.
+struct AccuracyModel {
+  double a_max = 0.75;        // final-exit accuracy
+  double saturation_k = 3.0;  // curve steepness of A(d)
+  double cap_gamma = 0.6;     // coverage growth with depth
+  double selective_ceiling = 0.98;  // conditional accuracy cap at theta -> 1
+  /// Accuracy cost of shipping an INT8-quantized activation across the
+  /// partition cut (applies to offloaded tasks only). Literature reports
+  /// sub-1%% top-1 drops for activation-only PTQ.
+  double int8_penalty = 0.008;
+
+  /// Standalone accuracy of an exit at depth fraction d in (0, 1].
+  double accuracy_at(double depth_fraction) const;
+
+  /// Fraction of the input difficulty mass an exit at depth d can cover at
+  /// threshold 0 (maximally aggressive).
+  double capability(double depth_fraction) const;
+
+  /// Conditional accuracy of an exit on the inputs it fires on, given the
+  /// normalized threshold theta in [0, 1): higher theta means the exit only
+  /// answers when very confident.
+  double conditional_accuracy(double depth_fraction, double theta) const;
+
+  /// Per-model calibration; unknown names get a generic 0.75 model.
+  static AccuracyModel for_model(const std::string& model_name);
+};
+
+}  // namespace scalpel

@@ -1,0 +1,40 @@
+#include "surgery/difficulty.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+
+DifficultyModel::DifficultyModel(double a, double b) : a_(a), b_(b) {
+  SCALPEL_REQUIRE(a > 0.0 && b > 0.0,
+                  "difficulty shape parameters must be positive");
+}
+
+double DifficultyModel::cdf(double x) const {
+  SCALPEL_REQUIRE(x >= 0.0 && x <= 1.0, "difficulty must be in [0, 1]");
+  if (is_uniform()) return x;
+  return 1.0 - std::pow(1.0 - std::pow(x, a_), b_);
+}
+
+double DifficultyModel::quantile(double u) const {
+  SCALPEL_REQUIRE(u >= 0.0 && u < 1.0, "quantile u must be in [0, 1)");
+  if (is_uniform()) return u;
+  return std::pow(1.0 - std::pow(1.0 - u, 1.0 / b_), 1.0 / a_);
+}
+
+double DifficultyModel::sample(Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+DifficultyModel DifficultyModel::preset(const std::string& name) {
+  if (name == "uniform") return DifficultyModel();
+  // a<1 or b>1 push mass toward 0 (easy); a>1, b<1 push toward 1 (hard).
+  if (name == "easy_heavy") return DifficultyModel(1.0, 2.5);
+  if (name == "hard_heavy") return DifficultyModel(2.5, 1.0);
+  if (name == "bimodal_easy") return DifficultyModel(0.5, 3.0);
+  SCALPEL_REQUIRE(false, "unknown difficulty preset: " + name);
+}
+
+}  // namespace scalpel

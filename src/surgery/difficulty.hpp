@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel {
+class Rng;
+
+/// Distribution of input difficulty x in [0, 1): exits cover a difficulty
+/// prefix, so the *mass* an exit captures is F(limit) under this
+/// distribution. The default Uniform matches the base reproduction; the
+/// skewed presets model workloads dominated by easy frames (static scenes)
+/// or hard frames (cluttered scenes) — the "input complexity" axis the
+/// multi-exit idea exploits.
+///
+/// Implemented as a Kumaraswamy distribution (Beta-like with closed-form
+/// CDF/quantile): F(x) = 1 - (1 - x^a)^b.
+class DifficultyModel {
+ public:
+  /// Uniform(0,1): a = b = 1.
+  DifficultyModel() = default;
+  DifficultyModel(double a, double b);
+
+  /// P(X <= x) for x in [0, 1].
+  double cdf(double x) const;
+  /// Inverse CDF; u in [0, 1).
+  double quantile(double u) const;
+  /// Draw a difficulty in [0, 1).
+  double sample(Rng& rng) const;
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  bool is_uniform() const { return a_ == 1.0 && b_ == 1.0; }
+
+  /// Presets: "uniform", "easy_heavy" (most mass at low difficulty),
+  /// "hard_heavy" (most mass at high difficulty), "bimodal_easy" (sharper
+  /// easy skew). Throws on unknown name.
+  static DifficultyModel preset(const std::string& name);
+
+ private:
+  double a_ = 1.0;
+  double b_ = 1.0;
+};
+
+}  // namespace scalpel

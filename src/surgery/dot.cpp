@@ -1,0 +1,74 @@
+#include "surgery/dot.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace scalpel {
+namespace {
+
+void emit_header(std::ostringstream& out, const Graph& graph) {
+  out << "digraph \"" << graph.name() << "\" {\n";
+  out << "  rankdir=TB;\n";
+  out << "  node [shape=box, fontsize=10, fontname=\"Helvetica\"];\n";
+}
+
+void emit_nodes(std::ostringstream& out, const Graph& graph,
+                const std::set<NodeId>& exit_attaches, NodeId cut_after,
+                bool has_cut) {
+  const std::set<NodeId> cuts = [&] {
+    std::set<NodeId> s;
+    for (const auto& c : graph.clean_cuts()) s.insert(c.after);
+    return s;
+  }();
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    const auto& node = graph.node(id);
+    out << "  n" << i << " [label=\"" << layer_kind_name(node.spec.kind);
+    if (!node.spec.name.empty()) out << "\\n" << node.spec.name;
+    out << "\\n" << node.out_shape.to_string() << "\"";
+    if (exit_attaches.count(id)) {
+      out << ", style=filled, fillcolor=lightblue";
+    } else if (cuts.count(id)) {
+      out << ", color=darkgreen";
+    }
+    if (has_cut && id == cut_after) {
+      out << ", style=filled, fillcolor=salmon";
+    }
+    out << "];\n";
+  }
+  for (std::size_t i = 0; i < graph.size(); ++i) {
+    for (NodeId u : graph.node(static_cast<NodeId>(i)).inputs) {
+      out << "  n" << u << " -> n" << i;
+      if (has_cut && u == cut_after) {
+        out << " [style=dashed, color=red, label=\"cut\"]";
+      }
+      out << ";\n";
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& graph) {
+  std::ostringstream out;
+  emit_header(out, graph);
+  emit_nodes(out, graph, {}, -1, false);
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const Graph& graph, const SurgeryPlan& plan,
+                   const std::vector<ExitCandidate>& candidates) {
+  std::ostringstream out;
+  emit_header(out, graph);
+  std::set<NodeId> attaches;
+  for (const auto& e : plan.policy.exits) {
+    attaches.insert(candidates.at(e.candidate).attach);
+  }
+  emit_nodes(out, graph, attaches, plan.partition_after,
+             !plan.device_only);
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace scalpel

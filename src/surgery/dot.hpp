@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "nn/graph.hpp"
+#include "surgery/plan.hpp"
+
+namespace scalpel {
+
+/// Graphviz DOT rendering of a model graph for debugging/visualization:
+/// nodes carry kind/name/shape, edges follow dataflow, clean cuts are marked.
+std::string to_dot(const Graph& graph);
+
+/// As above, but highlights a surgery plan: the partition cut is drawn as a
+/// dashed red separator and enabled exit attach points are colored.
+std::string to_dot(const Graph& graph, const SurgeryPlan& plan,
+                   const std::vector<ExitCandidate>& candidates);
+
+}  // namespace scalpel

@@ -1,0 +1,419 @@
+#include "surgery/exit_setting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "profile/latency_model.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+ExitSettingResult make_result(const Graph& backbone,
+                              const std::vector<ExitCandidate>& candidates,
+                              const AccuracyModel& acc,
+                              const ComputeProfile& profile,
+                              const DifficultyModel& difficulty,
+                              ExitPolicy policy, std::size_t evaluations) {
+  ExitSettingResult r;
+  r.policy = std::move(policy);
+  r.stats = evaluate_policy(backbone, candidates, r.policy, acc, difficulty);
+  r.expected_latency = expected_policy_latency(backbone, candidates, r.policy,
+                                               r.stats, profile);
+  r.feasible = true;
+  r.evaluations = evaluations;
+  return r;
+}
+
+}  // namespace
+
+ExitSettingResult exhaustive_exit_setting(
+    const Graph& backbone, const std::vector<ExitCandidate>& candidates,
+    const AccuracyModel& acc, const ComputeProfile& profile,
+    const ExitSettingOptions& opts) {
+  ExitPolicy best;
+  double best_latency = std::numeric_limits<double>::infinity();
+  bool found = false;
+  std::size_t evaluations = 0;
+
+  ExitPolicy current;
+  // Depth-first enumeration: at each candidate, either skip it or enable it
+  // with each theta in the grid.
+  auto recurse = [&](auto&& self, std::size_t idx) -> void {
+    ++evaluations;
+    const ExitStats stats =
+        evaluate_policy(backbone, candidates, current, acc, opts.difficulty);
+    if (stats.expected_accuracy >= opts.min_accuracy) {
+      const double latency = expected_policy_latency(backbone, candidates,
+                                                     current, stats, profile);
+      if (latency < best_latency) {
+        best_latency = latency;
+        best = current;
+        found = true;
+      }
+    }
+    if (idx >= candidates.size() || current.exits.size() >= opts.max_exits) {
+      return;
+    }
+    for (std::size_t c = idx; c < candidates.size(); ++c) {
+      for (double theta : opts.theta_grid) {
+        current.exits.push_back(ExitChoice{c, theta});
+        self(self, c + 1);
+        current.exits.pop_back();
+      }
+    }
+  };
+  recurse(recurse, 0);
+
+  if (!found) {
+    ExitSettingResult r;
+    r.evaluations = evaluations;
+    return r;
+  }
+  auto r = make_result(backbone, candidates, acc, profile, opts.difficulty,
+                       std::move(best), evaluations);
+  return r;
+}
+
+ExitSettingResult greedy_exit_setting(
+    const Graph& backbone, const std::vector<ExitCandidate>& candidates,
+    const AccuracyModel& acc, const ComputeProfile& profile,
+    const ExitSettingOptions& opts) {
+  std::size_t evaluations = 0;
+  auto eval = [&](const ExitPolicy& p, double* latency) {
+    ++evaluations;
+    const ExitStats stats =
+        evaluate_policy(backbone, candidates, p, acc, opts.difficulty);
+    *latency = expected_policy_latency(backbone, candidates, p, stats,
+                                       profile);
+    return stats.expected_accuracy >= opts.min_accuracy;
+  };
+
+  ExitPolicy policy;  // empty = vanilla model
+  double policy_latency = 0.0;
+  const bool base_feasible = eval(policy, &policy_latency);
+  if (!base_feasible) {
+    // The vanilla model itself violates the floor (min_accuracy > a_max):
+    // no exit setting can fix that.
+    ExitSettingResult r;
+    r.evaluations = evaluations;
+    return r;
+  }
+
+  while (policy.exits.size() < opts.max_exits) {
+    ExitPolicy best_next = policy;
+    double best_latency = policy_latency;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const bool used =
+          std::any_of(policy.exits.begin(), policy.exits.end(),
+                      [c](const ExitChoice& e) { return e.candidate == c; });
+      if (used) continue;
+      for (double theta : opts.theta_grid) {
+        ExitPolicy trial = policy;
+        // Insert keeping depth order.
+        auto it = std::find_if(
+            trial.exits.begin(), trial.exits.end(),
+            [c](const ExitChoice& e) { return e.candidate > c; });
+        trial.exits.insert(it, ExitChoice{c, theta});
+        double latency = 0.0;
+        if (eval(trial, &latency) && latency < best_latency) {
+          best_latency = latency;
+          best_next = std::move(trial);
+        }
+      }
+    }
+    if (best_latency >= policy_latency) break;  // no improving addition
+    policy = std::move(best_next);
+    policy_latency = best_latency;
+  }
+  return make_result(backbone, candidates, acc, profile, opts.difficulty,
+                     std::move(policy), evaluations);
+}
+
+double policy_cost(const std::vector<ExitCandidate>& candidates,
+                   const ExitPolicy& policy, const ExitStats& stats,
+                   const ExitCostTable& costs) {
+  SCALPEL_REQUIRE(costs.segment.size() == candidates.size() &&
+                      costs.head.size() == candidates.size(),
+                  "cost table arity mismatch");
+  // reach(candidate c) for candidates between enabled exits equals the reach
+  // of the next enabled exit, so walk candidates accumulating reach.
+  double cost = 0.0;
+  double reach = 1.0;
+  std::size_t enabled_pos = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    cost += reach * costs.segment[c];
+    if (enabled_pos < policy.exits.size() &&
+        policy.exits[enabled_pos].candidate == c) {
+      cost += reach * costs.head[c];
+      reach -= stats.fire_prob[enabled_pos];
+      ++enabled_pos;
+    }
+  }
+  cost += reach * costs.tail;
+  return cost;
+}
+
+ExitSettingResult dp_exit_setting(
+    const Graph& backbone, const std::vector<ExitCandidate>& candidates,
+    const AccuracyModel& acc, const ComputeProfile& profile,
+    const ExitSettingOptions& opts) {
+  ExitCostTable costs;
+  const std::size_t n = candidates.size();
+  costs.segment.resize(n, 0.0);
+  costs.head.resize(n, 0.0);
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    costs.segment[i] = LatencyModel::range_latency(
+        backbone, prev, candidates[i].attach, profile);
+    costs.head[i] = LatencyModel::graph_latency(candidates[i].head, profile);
+    prev = candidates[i].attach;
+  }
+  costs.tail = LatencyModel::range_latency(
+      backbone, n ? candidates[n - 1].attach : 0, backbone.output(), profile);
+  ExitSettingResult r =
+      dp_exit_setting_costs(backbone, candidates, acc, costs, opts);
+  if (r.feasible) {
+    // Report the latency through the standard single-profile evaluator so
+    // callers can compare against exhaustive/greedy results directly.
+    r.expected_latency = expected_policy_latency(backbone, candidates,
+                                                 r.policy, r.stats, profile);
+  }
+  return r;
+}
+
+ExitSettingResult dp_exit_setting_costs(
+    const Graph& backbone, const std::vector<ExitCandidate>& candidates,
+    const AccuracyModel& acc, const ExitCostTable& costs,
+    const ExitSettingOptions& opts) {
+  SCALPEL_REQUIRE(opts.coverage_bins >= 2, "DP needs >= 2 coverage bins");
+  SCALPEL_REQUIRE(costs.segment.size() == candidates.size() &&
+                      costs.head.size() == candidates.size(),
+                  "cost table arity mismatch");
+  const std::size_t bins = opts.coverage_bins + 1;  // bin b = coverage b/bins
+  const std::size_t n = candidates.size();
+  const std::vector<double>& segment = costs.segment;
+  const std::vector<double>& head = costs.head;
+  const double tail = costs.tail;
+
+  struct Label {
+    double accuracy;  // accumulated accuracy mass
+    double latency;   // accumulated expected latency
+    std::size_t exit_count;
+    // Decision trace for reconstruction: (candidate, theta) pairs.
+    std::vector<ExitChoice> trace;
+  };
+  // frontier[b] = Pareto set of labels with coverage bin b.
+  std::vector<std::vector<Label>> frontier(bins);
+  frontier[0].push_back(Label{0.0, 0.0, 0, {}});
+  std::size_t evaluations = 0;
+
+  auto dominate_insert = [](std::vector<Label>& set, Label&& cand_label) {
+    for (const auto& l : set) {
+      if (l.accuracy >= cand_label.accuracy - 1e-12 &&
+          l.latency <= cand_label.latency + 1e-12) {
+        return;  // dominated
+      }
+    }
+    std::erase_if(set, [&](const Label& l) {
+      return cand_label.accuracy >= l.accuracy - 1e-12 &&
+             cand_label.latency <= l.latency + 1e-12;
+    });
+    set.push_back(std::move(cand_label));
+  };
+
+  auto coverage_of_bin = [&](std::size_t b) {
+    return static_cast<double>(b) / static_cast<double>(bins - 1);
+  };
+  auto bin_of_coverage = [&](double c) {
+    // Round to nearest: unbiased over the sweep (the final selection applies
+    // a one-bin feasibility margin and the result is re-verified exactly).
+    const auto b = static_cast<std::size_t>(
+        std::floor(c * static_cast<double>(bins - 1) + 0.5));
+    return std::min(b, bins - 1);
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<std::vector<Label>> next(bins);
+    const double cap = acc.capability(candidates[i].depth_fraction);
+    for (std::size_t b = 0; b < bins; ++b) {
+      for (const auto& label : frontier[b]) {
+        const double covered = coverage_of_bin(b);
+        // Reach is the probability mass above the covered difficulty.
+        const double reach = 1.0 - opts.difficulty.cdf(covered);
+        // Everyone still running pays the backbone segment to candidate i.
+        const double base_latency = label.latency + reach * segment[i];
+
+        // Option 1: skip candidate i.
+        {
+          Label skip = label;
+          skip.latency = base_latency;
+          dominate_insert(next[b], std::move(skip));
+          ++evaluations;
+        }
+        // Option 2: enable with each theta.
+        if (label.exit_count < opts.max_exits) {
+          for (double theta : opts.theta_grid) {
+            const double limit = cap * (1.0 - theta);
+            const double fire =
+                std::max(0.0, opts.difficulty.cdf(std::max(covered, limit)) -
+                                  opts.difficulty.cdf(covered));
+            Label en = label;
+            en.latency = base_latency + reach * head[i];
+            en.accuracy +=
+                fire * std::min(acc.selective_ceiling,
+                                acc.conditional_accuracy(
+                                    candidates[i].depth_fraction, theta) +
+                                    candidates[i].accuracy_bonus);
+            en.exit_count += 1;
+            en.trace.push_back(ExitChoice{i, theta});
+            const std::size_t nb = bin_of_coverage(std::max(covered, limit));
+            dominate_insert(next[nb], std::move(en));
+            ++evaluations;
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Terminal: tasks still running pay the tail segment and score a_max.
+  const Label* best = nullptr;
+  double best_latency = std::numeric_limits<double>::infinity();
+  std::vector<Label> finals;
+  for (std::size_t b = 0; b < bins; ++b) {
+    for (const auto& label : frontier[b]) {
+      const double reach = 1.0 - opts.difficulty.cdf(coverage_of_bin(b));
+      Label f = label;
+      f.latency += reach * tail;
+      f.accuracy += reach * acc.a_max;
+      finals.push_back(std::move(f));
+    }
+  }
+  // Coverage discretization can overstate a label's accuracy by up to one
+  // bin's worth of mass; select with that margin, then verify exactly.
+  const double margin = 1.0 / static_cast<double>(bins - 1);
+  for (const auto& f : finals) {
+    if (f.accuracy >= opts.min_accuracy + margin && f.latency < best_latency) {
+      best_latency = f.latency;
+      best = &f;
+    }
+  }
+  if (best == nullptr) {
+    // Margin may have excluded everything; retry without it (repair below
+    // restores exact feasibility).
+    for (const auto& f : finals) {
+      if (f.accuracy >= opts.min_accuracy && f.latency < best_latency) {
+        best_latency = f.latency;
+        best = &f;
+      }
+    }
+  }
+  if (best == nullptr) {
+    ExitSettingResult r;
+    r.evaluations = evaluations;
+    return r;
+  }
+  ExitSettingResult r;
+  r.policy.exits = best->trace;
+  r.stats = evaluate_policy(backbone, candidates, r.policy, acc,
+                            opts.difficulty);
+  // Repair: if exact accuracy still misses the floor, drop the shallowest
+  // (least accurate) exits until it holds.
+  while (r.stats.expected_accuracy < opts.min_accuracy - 1e-12 &&
+         !r.policy.exits.empty()) {
+    r.policy.exits.erase(r.policy.exits.begin());
+    r.stats = evaluate_policy(backbone, candidates, r.policy, acc,
+                              opts.difficulty);
+  }
+  if (r.stats.expected_accuracy < opts.min_accuracy - 1e-12) {
+    r.evaluations = evaluations;
+    return r;  // even the vanilla model misses the floor
+  }
+  r.expected_latency = policy_cost(candidates, r.policy, r.stats, costs);
+
+  // Local polish with exact evaluation: the coverage discretization biases
+  // the DP toward conservative thetas; re-tuning each enabled exit's theta
+  // (and trying removal) against the exact objective recovers most of the
+  // residual gap at negligible cost.
+  bool improved = true;
+  for (int round = 0; round < 3 && improved; ++round) {
+    improved = false;
+    // Insertion moves: try enabling each unused candidate.
+    if (r.policy.exits.size() < opts.max_exits) {
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        const bool used = std::any_of(
+            r.policy.exits.begin(), r.policy.exits.end(),
+            [c](const ExitChoice& e) { return e.candidate == c; });
+        if (used) continue;
+        bool inserted = false;
+        for (double theta : opts.theta_grid) {
+          ExitPolicy trial = r.policy;
+          auto it = std::find_if(
+              trial.exits.begin(), trial.exits.end(),
+              [c](const ExitChoice& e) { return e.candidate > c; });
+          trial.exits.insert(it, ExitChoice{c, theta});
+          const auto stats = evaluate_policy(backbone, candidates, trial, acc,
+                                             opts.difficulty);
+          ++evaluations;
+          if (stats.expected_accuracy < opts.min_accuracy - 1e-12) continue;
+          const double cost = policy_cost(candidates, trial, stats, costs);
+          if (cost < r.expected_latency - 1e-15) {
+            r.policy = std::move(trial);
+            r.stats = stats;
+            r.expected_latency = cost;
+            improved = true;
+            inserted = true;
+            break;  // candidate c is now enabled; theta tuning follows later
+          }
+        }
+        if (inserted && r.policy.exits.size() >= opts.max_exits) break;
+      }
+    }
+    for (std::size_t e = 0; e < r.policy.exits.size(); ++e) {
+      // Theta re-tuning.
+      for (double theta : opts.theta_grid) {
+        if (theta == r.policy.exits[e].theta) continue;
+        ExitPolicy trial = r.policy;
+        trial.exits[e].theta = theta;
+        const auto stats = evaluate_policy(backbone, candidates, trial, acc,
+                                           opts.difficulty);
+        ++evaluations;
+        if (stats.expected_accuracy < opts.min_accuracy - 1e-12) continue;
+        const double cost = policy_cost(candidates, trial, stats, costs);
+        if (cost < r.expected_latency - 1e-15) {
+          r.policy = std::move(trial);
+          r.stats = stats;
+          r.expected_latency = cost;
+          improved = true;
+        }
+      }
+      // Removal.
+      {
+        ExitPolicy trial = r.policy;
+        trial.exits.erase(trial.exits.begin() +
+                          static_cast<std::ptrdiff_t>(e));
+        const auto stats = evaluate_policy(backbone, candidates, trial, acc,
+                                           opts.difficulty);
+        ++evaluations;
+        if (stats.expected_accuracy >= opts.min_accuracy - 1e-12) {
+          const double cost = policy_cost(candidates, trial, stats, costs);
+          if (cost < r.expected_latency - 1e-15) {
+            r.policy = std::move(trial);
+            r.stats = stats;
+            r.expected_latency = cost;
+            improved = true;
+            if (r.policy.exits.empty()) break;
+          }
+        }
+      }
+    }
+  }
+
+  r.feasible = true;
+  r.evaluations = evaluations;
+  return r;
+}
+
+}  // namespace scalpel

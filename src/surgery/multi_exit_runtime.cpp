@@ -1,0 +1,70 @@
+#include "surgery/multi_exit_runtime.hpp"
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+double MultiExitRuntime::prob_threshold(double theta) {
+  SCALPEL_REQUIRE(theta >= 0.0 && theta < 1.0, "theta must be in [0, 1)");
+  return 0.5 + 0.5 * theta;
+}
+
+MultiExitRuntime::MultiExitRuntime(const Graph& backbone,
+                                   std::vector<ExitCandidate> candidates,
+                                   ExitPolicy policy, std::uint64_t weight_seed,
+                                   ThreadPool* pool)
+    : backbone_(&backbone),
+      candidates_(std::move(candidates)),
+      policy_(std::move(policy)),
+      backbone_exec_(backbone, weight_seed, pool) {
+  validate_policy(policy_, candidates_);
+  for (const auto& choice : policy_.exits) {
+    const auto& cand = candidates_[choice.candidate];
+    // Each head gets an independent weight stream derived from its attach id
+    // so head weights are stable under policy changes.
+    head_execs_.push_back(std::make_unique<Executor>(
+        cand.head, weight_seed ^ (0x9e37ULL + static_cast<std::uint64_t>(
+                                                   cand.attach) * 0x85ebca6bULL),
+        pool));
+  }
+}
+
+MultiExitRuntime::Result MultiExitRuntime::infer(const Tensor& input) const {
+  Result result;
+  Tensor activation = input;
+  NodeId at = 0;  // current backbone position (input node)
+  for (std::size_t i = 0; i < policy_.exits.size(); ++i) {
+    const auto& choice = policy_.exits[i];
+    const auto& cand = candidates_[choice.candidate];
+    if (cand.attach > at) {
+      activation = backbone_exec_.run_range(activation, at, cand.attach);
+      result.executed_flops += backbone_->range_flops(at, cand.attach);
+      at = cand.attach;
+    }
+    const Tensor probs = head_execs_[i]->run(activation);
+    result.executed_flops += cand.head_flops;
+    double top1 = 0.0;
+    for (std::int64_t k = 0; k < probs.numel(); ++k) {
+      top1 = std::max(top1, static_cast<double>(probs.at(k)));
+    }
+    if (top1 >= prob_threshold(choice.theta)) {
+      result.probs = probs;
+      result.exit_index = static_cast<int>(i);
+      result.confidence = top1;
+      return result;
+    }
+  }
+  const NodeId out = backbone_->output();
+  activation = backbone_exec_.run_range(activation, at, out);
+  result.executed_flops += backbone_->range_flops(at, out);
+  result.probs = activation;
+  result.exit_index = -1;
+  double top1 = 0.0;
+  for (std::int64_t k = 0; k < result.probs.numel(); ++k) {
+    top1 = std::max(top1, static_cast<double>(result.probs.at(k)));
+  }
+  result.confidence = top1;
+  return result;
+}
+
+}  // namespace scalpel

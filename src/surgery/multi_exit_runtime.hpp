@@ -1,0 +1,47 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/executor.hpp"
+#include "surgery/exit_policy.hpp"
+
+namespace scalpel {
+
+/// Executable multi-exit model: runs the real backbone kernels segment by
+/// segment, evaluates each enabled exit head, and stops at the first head
+/// whose top-1 softmax probability clears the exit's confidence threshold.
+/// This is the "ground truth" runtime the analytical PlanModel abstracts;
+/// examples and integration tests run it on real tensors.
+class MultiExitRuntime {
+ public:
+  /// theta in [0,1) maps to a softmax-probability threshold 0.5 + 0.5*theta
+  /// (theta 0 accepts anything better than a coin flip; theta -> 1 demands
+  /// near-certainty).
+  static double prob_threshold(double theta);
+
+  MultiExitRuntime(const Graph& backbone,
+                   std::vector<ExitCandidate> candidates, ExitPolicy policy,
+                   std::uint64_t weight_seed, ThreadPool* pool = nullptr);
+
+  struct Result {
+    Tensor probs;          // class distribution of the exit taken
+    int exit_index = -1;   // enabled-exit index; -1 = final exit
+    double confidence = 0.0;  // top-1 probability at the exit taken
+    std::int64_t executed_flops = 0;  // backbone + heads actually run
+  };
+
+  Result infer(const Tensor& input) const;
+
+  const ExitPolicy& policy() const { return policy_; }
+  std::size_t enabled_exits() const { return policy_.exits.size(); }
+
+ private:
+  const Graph* backbone_;
+  std::vector<ExitCandidate> candidates_;
+  ExitPolicy policy_;
+  Executor backbone_exec_;
+  std::vector<std::unique_ptr<Executor>> head_execs_;  // per enabled exit
+};
+
+}  // namespace scalpel

@@ -1,0 +1,53 @@
+#include "surgery/partition.hpp"
+
+#include <limits>
+
+#include "profile/latency_model.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+std::vector<PartitionChoice> partition_curve(const Graph& model,
+                                             const ComputeProfile& device,
+                                             const ComputeProfile& server,
+                                             const LinkSpec& link) {
+  SCALPEL_REQUIRE(link.bandwidth > 0.0, "link bandwidth must be positive");
+  std::vector<PartitionChoice> out;
+  const auto device_prefix = LatencyModel::prefix(model, device);
+  const auto server_prefix = LatencyModel::prefix(model, server);
+  const double server_total = server_prefix.back();
+
+  for (const auto& cut : model.clean_cuts()) {
+    PartitionChoice c;
+    c.cut_after = cut.after;
+    c.device_time = device_prefix[static_cast<std::size_t>(cut.after)];
+    c.upload_time = transfer_latency(cut.activation_bytes, link.bandwidth,
+                                     link.rtt);
+    c.server_time =
+        server_total - server_prefix[static_cast<std::size_t>(cut.after)];
+    out.push_back(c);
+  }
+  PartitionChoice device_only;
+  device_only.cut_after = model.output();
+  device_only.device_only = true;
+  device_only.device_time = device_prefix.back();
+  out.push_back(device_only);
+  return out;
+}
+
+PartitionChoice optimal_partition(const Graph& model,
+                                  const ComputeProfile& device,
+                                  const ComputeProfile& server,
+                                  const LinkSpec& link) {
+  PartitionChoice best;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (const auto& c : partition_curve(model, device, server, link)) {
+    if (c.total() < best_total) {
+      best_total = c.total();
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace scalpel

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/graph.hpp"
+#include "profile/compute_profile.hpp"
+
+namespace scalpel {
+
+/// A device/server split of a (single-exit) model across one clean cut.
+struct PartitionChoice {
+  /// Cut after this node; -1 means "execute everything on the server"
+  /// conceptually, but in practice the input node (id 0) is the earliest cut
+  /// (raw input is uploaded). `device_only` marks the no-offload option.
+  NodeId cut_after = 0;
+  bool device_only = false;
+  double device_time = 0.0;
+  double upload_time = 0.0;
+  double server_time = 0.0;
+  double total() const { return device_time + upload_time + server_time; }
+};
+
+/// Link description for partitioning decisions.
+struct LinkSpec {
+  double bandwidth = 0.0;  // bytes/s granted to this task class
+  double rtt = 0.0;        // fixed one-way setup latency per transfer
+};
+
+/// Neurosurgeon-style optimal partition: evaluate every clean cut plus the
+/// device-only option, return the minimum-latency choice. O(cuts).
+PartitionChoice optimal_partition(const Graph& model,
+                                  const ComputeProfile& device,
+                                  const ComputeProfile& server,
+                                  const LinkSpec& link);
+
+/// Latency of every option (clean cuts in depth order, then device-only
+/// last) — the raw series behind the bandwidth-sweep figure.
+std::vector<PartitionChoice> partition_curve(const Graph& model,
+                                             const ComputeProfile& device,
+                                             const ComputeProfile& server,
+                                             const LinkSpec& link);
+
+}  // namespace scalpel

@@ -1,0 +1,120 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) : dims_(dims) {
+  for (auto d : dims_) SCALPEL_REQUIRE(d > 0, "shape dims must be positive");
+}
+
+Shape::Shape(std::vector<std::int64_t> dims) : dims_(std::move(dims)) {
+  for (auto d : dims_) SCALPEL_REQUIRE(d > 0, "shape dims must be positive");
+}
+
+std::int64_t Shape::dim(std::size_t i) const {
+  SCALPEL_REQUIRE(i < dims_.size(), "shape dim index out of range");
+  return dims_[i];
+}
+
+std::int64_t Shape::numel() const {
+  std::int64_t n = 1;
+  for (auto d : dims_) n *= d;
+  return dims_.empty() ? 0 : n;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) out << 'x';
+    out << dims_[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.numel()), 0.0f) {}
+
+Tensor Tensor::zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) x = value;
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+float& Tensor::at(std::int64_t i) {
+  SCALPEL_REQUIRE(i >= 0 && i < numel(), "tensor index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float Tensor::at(std::int64_t i) const {
+  SCALPEL_REQUIRE(i >= 0 && i < numel(), "tensor index out of range");
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::int64_t c, std::int64_t h, std::int64_t w) {
+  SCALPEL_REQUIRE(shape_.rank() == 3, "CHW accessor on non-rank-3 tensor");
+  const auto H = shape_[1];
+  const auto W = shape_[2];
+  SCALPEL_REQUIRE(c >= 0 && c < shape_[0] && h >= 0 && h < H && w >= 0 && w < W,
+                  "CHW index out of range");
+  return data_[static_cast<std::size_t>((c * H + h) * W + w)];
+}
+
+float Tensor::at(std::int64_t c, std::int64_t h, std::int64_t w) const {
+  return const_cast<Tensor*>(this)->at(c, h, w);
+}
+
+Tensor Tensor::reshaped(Shape shape) const {
+  SCALPEL_REQUIRE(shape.numel() == numel(),
+                  "reshape must preserve element count");
+  Tensor t = *this;
+  t.shape_ = std::move(shape);
+  return t;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return s;
+}
+
+double Tensor::abs_max() const {
+  double m = 0.0;
+  for (float x : data_) m = std::max(m, static_cast<double>(std::fabs(x)));
+  return m;
+}
+
+bool Tensor::all_finite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  SCALPEL_REQUIRE(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    m = std::max(m, static_cast<double>(std::fabs(a.at(i) - b.at(i))));
+  }
+  return m;
+}
+
+}  // namespace scalpel

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalpel {
+class Rng;
+
+/// Tensor shape: up to 4 dims, interpreted as CHW for activations (the
+/// executor runs batch size 1 — latency-sensitive inference is per-frame).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+  explicit Shape(std::vector<std::int64_t> dims);
+
+  std::size_t rank() const { return dims_.size(); }
+  std::int64_t dim(std::size_t i) const;
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+  std::int64_t numel() const;
+  /// Activation payload in bytes (float32).
+  std::int64_t bytes() const { return numel() * 4; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;
+  const std::vector<std::int64_t>& dims() const { return dims_; }
+
+ private:
+  std::vector<std::int64_t> dims_;
+};
+
+/// Dense float32 tensor with value semantics. Deliberately minimal: the NN
+/// kernels own all the interesting math; Tensor is storage + shape.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);  // zero-initialized
+
+  static Tensor zeros(Shape shape);
+  static Tensor full(Shape shape, float value);
+  /// Deterministic He-style initialization (for weights) — N(0, sqrt(2/fanin)).
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+
+  /// CHW accessors (rank-3 only).
+  float& at(std::int64_t c, std::int64_t h, std::int64_t w);
+  float at(std::int64_t c, std::int64_t h, std::int64_t w) const;
+
+  /// Reinterpret with the same number of elements.
+  Tensor reshaped(Shape shape) const;
+
+  /// Elementwise helpers used by tests.
+  double sum() const;
+  double abs_max() const;
+  bool all_finite() const;
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Max |a-b| over all elements; shapes must match.
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+}  // namespace scalpel

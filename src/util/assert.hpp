@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace scalpel {
+
+/// Thrown by SCALPEL_REQUIRE on contract violation. Using an exception (rather
+/// than abort) keeps violations testable and lets callers recover from bad
+/// configuration values.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* cond, const char* file,
+                                       int line, const std::string& msg) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": requirement `" + cond + "` failed" +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace scalpel
+
+/// Precondition / invariant check that is always on (config & geometry checks
+/// are cheap relative to the work they guard).
+#define SCALPEL_REQUIRE(cond, msg)                                  \
+  do {                                                              \
+    if (!(cond)) {                                                  \
+      ::scalpel::contract_fail(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                               \
+  } while (0)

@@ -1,0 +1,20 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace scalpel {
+
+bool write_csv(const Table& table, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    log_warn("could not open CSV output file: " + path);
+    return false;
+  }
+  out << table.to_csv();
+  return static_cast<bool>(out);
+}
+
+}  // namespace scalpel

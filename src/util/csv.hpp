@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel {
+class Table;
+
+/// Write a table to a CSV file; creates/truncates `path`. Returns false (and
+/// logs) on I/O failure rather than throwing — bench binaries treat CSV export
+/// as best-effort.
+bool write_csv(const Table& table, const std::string& path);
+
+}  // namespace scalpel

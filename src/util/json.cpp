@@ -1,0 +1,424 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+Json Json::null() { return Json(); }
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  SCALPEL_REQUIRE(std::isfinite(v), "JSON numbers must be finite");
+  Json j;
+  j.kind_ = Kind::kNumber;
+  j.number_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::as_bool() const {
+  SCALPEL_REQUIRE(kind_ == Kind::kBool, "JSON value is not a boolean");
+  return bool_;
+}
+
+double Json::as_number() const {
+  SCALPEL_REQUIRE(kind_ == Kind::kNumber, "JSON value is not a number");
+  return number_;
+}
+
+std::int64_t Json::as_int() const {
+  const double v = as_number();
+  const double r = std::round(v);
+  SCALPEL_REQUIRE(std::abs(v - r) < 1e-9 && std::abs(v) < 9.0e15,
+                  "JSON number is not an exact integer");
+  return static_cast<std::int64_t>(r);
+}
+
+const std::string& Json::as_string() const {
+  SCALPEL_REQUIRE(kind_ == Kind::kString, "JSON value is not a string");
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::kArray) return array_.size();
+  if (kind_ == Kind::kObject) return keys_.size();
+  SCALPEL_REQUIRE(false, "JSON size() on a scalar");
+}
+
+const Json& Json::at(std::size_t i) const {
+  SCALPEL_REQUIRE(kind_ == Kind::kArray, "JSON value is not an array");
+  SCALPEL_REQUIRE(i < array_.size(), "JSON array index out of range");
+  return array_[i];
+}
+
+Json& Json::push_back(Json v) {
+  SCALPEL_REQUIRE(kind_ == Kind::kArray, "push_back on non-array JSON");
+  array_.push_back(std::move(v));
+  return array_.back();
+}
+
+bool Json::contains(const std::string& key) const {
+  SCALPEL_REQUIRE(kind_ == Kind::kObject, "contains() on non-object JSON");
+  return members_.count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  SCALPEL_REQUIRE(kind_ == Kind::kObject, "JSON value is not an object");
+  const auto it = members_.find(key);
+  SCALPEL_REQUIRE(it != members_.end(), "missing JSON key: " + key);
+  return it->second;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  SCALPEL_REQUIRE(kind_ == Kind::kObject, "set() on non-object JSON");
+  auto it = members_.find(key);
+  if (it == members_.end()) {
+    keys_.push_back(key);
+    it = members_.emplace(key, std::move(v)).first;
+  } else {
+    it->second = std::move(v);
+  }
+  return it->second;
+}
+
+const std::vector<std::string>& Json::keys() const {
+  SCALPEL_REQUIRE(kind_ == Kind::kObject, "keys() on non-object JSON");
+  return keys_;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kNull: return true;
+    case Kind::kBool: return bool_ == other.bool_;
+    case Kind::kNumber: return number_ == other.number_;
+    case Kind::kString: return string_ == other.string_;
+    case Kind::kArray: return array_ == other.array_;
+    case Kind::kObject:
+      return keys_ == other.keys_ && members_ == other.members_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_into(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char ch : s) {
+    switch (ch) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          *out += buf;
+        } else {
+          out->push_back(ch);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void number_into(double v, std::string* out) {
+  // Integers print without a fraction; everything else round-trips via %.17g.
+  if (std::abs(v) < 9.0e15 && v == std::round(v)) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    *out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    *out += buf;
+  }
+}
+
+}  // namespace
+
+void Json::write(std::string* out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * (depth + 1)),
+                               ' ')
+                 : "";
+  const std::string closing_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  const char* kv_sep = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; return;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: number_into(number_, out); return;
+    case Kind::kString: escape_into(string_, out); return;
+    case Kind::kArray: {
+      if (array_.empty()) {
+        *out += "[]";
+        return;
+      }
+      *out += "[";
+      *out += nl;
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].write(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += closing_pad;
+      *out += "]";
+      return;
+    }
+    case Kind::kObject: {
+      if (keys_.empty()) {
+        *out += "{}";
+        return;
+      }
+      *out += "{";
+      *out += nl;
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        *out += pad;
+        escape_into(keys_[i], out);
+        *out += kv_sep;
+        members_.at(keys_[i]).write(out, indent, depth + 1);
+        if (i + 1 < keys_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += closing_pad;
+      *out += "}";
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  write(&out, 0, 0);
+  return out;
+}
+
+std::string Json::dump_pretty() const {
+  std::string out;
+  write(&out, 2, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(), "trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    SCALPEL_REQUIRE(false, "JSON parse error at offset " +
+                               std::to_string(pos_) + ": " + msg);
+  }
+  void require(bool cond, const char* msg) const {
+    if (!cond) fail(msg);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+  void expect(char ch) {
+    if (take() != ch) fail(std::string("expected '") + ch + "'");
+  }
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::string(lit).size();
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    const char ch = peek();
+    switch (ch) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json::string(parse_string());
+      case 't':
+        require(consume_literal("true"), "bad literal");
+        return Json::boolean(true);
+      case 'f':
+        require(consume_literal("false"), "bad literal");
+        return Json::boolean(false);
+      case 'n':
+        require(consume_literal("null"), "bad literal");
+        return Json::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    expect('{');
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char ch = take();
+      if (ch == '}') return obj;
+      require(ch == ',', "expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    expect('[');
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char ch = take();
+      if (ch == ']') return arr;
+      require(ch == ',', "expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char ch = take();
+      if (ch == '"') return out;
+      if (ch != '\\') {
+        out.push_back(ch);
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    require(pos_ > start, "expected a number");
+    const std::string tok = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    require(end == tok.c_str() + tok.size(), "malformed number");
+    require(std::isfinite(v), "number out of range");
+    return Json::number(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace scalpel

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace scalpel {
+
+/// Minimal JSON document model + parser + writer. Exists so decisions,
+/// cluster descriptions and experiment configs can cross process boundaries
+/// (CLI configs, deployment handoff) without external dependencies.
+///
+/// Supported: objects, arrays, strings (with \" \\ \/ \b \f \n \r \t \uXXXX
+/// for BMP code points), numbers (doubles), booleans, null. Object key
+/// order is preserved on write via insertion order.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json null();
+  static Json boolean(bool v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Typed accessors; throw ContractViolation on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;  // number, checked integral within 2^53
+  const std::string& as_string() const;
+
+  // --- Array ---
+  std::size_t size() const;  // array or object
+  const Json& at(std::size_t i) const;
+  Json& push_back(Json v);  // returns ref to the stored element
+
+  // --- Object ---
+  bool contains(const std::string& key) const;
+  const Json& at(const std::string& key) const;
+  /// Insert-or-assign; returns ref to the stored element.
+  Json& set(const std::string& key, Json v);
+  /// Keys in insertion order.
+  const std::vector<std::string>& keys() const;
+
+  /// Compact serialization (no whitespace).
+  std::string dump() const;
+  /// Pretty serialization with 2-space indentation.
+  std::string dump_pretty() const;
+
+  /// Parse a complete JSON document; throws ContractViolation with a
+  /// position-annotated message on malformed input.
+  static Json parse(const std::string& text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void write(std::string* out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::string> keys_;
+  std::map<std::string, Json> members_;
+};
+
+}  // namespace scalpel

@@ -1,0 +1,32 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace scalpel {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_mutex;
+
+void emit(LogLevel level, const char* tag, const std::string& msg) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[scalpel %s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void log_debug(const std::string& msg) { emit(LogLevel::kDebug, "debug", msg); }
+void log_info(const std::string& msg) { emit(LogLevel::kInfo, "info", msg); }
+void log_warn(const std::string& msg) { emit(LogLevel::kWarn, "warn", msg); }
+void log_error(const std::string& msg) { emit(LogLevel::kError, "error", msg); }
+
+}  // namespace scalpel

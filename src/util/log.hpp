@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level; defaults to kInfo. Thread-safe.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_debug(const std::string& msg);
+void log_info(const std::string& msg);
+void log_warn(const std::string& msg);
+void log_error(const std::string& msg);
+
+}  // namespace scalpel

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace scalpel {
+
+/// Deterministic, cross-platform PRNG (xoshiro256**). We deliberately avoid
+/// std::mt19937 + std::*_distribution because distribution outputs are
+/// implementation-defined; every simulation in this repo must reproduce
+/// bit-identically across toolchains.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with rate lambda (mean 1/lambda). Requires lambda > 0.
+  double exponential(double lambda);
+
+  /// Standard normal via Box-Muller (deterministic, no cached spare).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal such that the *result* has the given mean and coefficient of
+  /// variation. Handy for heterogeneity knobs ("server speeds with CoV 0.4").
+  double lognormal_mean_cov(double mean, double cov);
+
+  /// Poisson-distributed count (Knuth for small mean, normal approx above 64).
+  std::int64_t poisson(double mean);
+
+  /// Sample an index according to non-negative weights (at least one > 0).
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-entity randomness).
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace scalpel

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::cov() const {
+  return mean_ != 0.0 ? stddev() / std::abs(mean_) : 0.0;
+}
+
+double RunningStat::ci95_halfwidth() const {
+  if (n_ < 2) return 0.0;
+  return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+void Samples::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Samples::mean() const {
+  SCALPEL_REQUIRE(!xs_.empty(), "mean of empty sample set");
+  double s = 0.0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double Samples::stddev() const {
+  if (xs_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double x : xs_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+}
+
+double Samples::min() const {
+  SCALPEL_REQUIRE(!xs_.empty(), "min of empty sample set");
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double Samples::max() const {
+  SCALPEL_REQUIRE(!xs_.empty(), "max of empty sample set");
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double Samples::quantile(double q) const {
+  SCALPEL_REQUIRE(!xs_.empty(), "quantile of empty sample set");
+  SCALPEL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile q must be in [0,1]");
+  ensure_sorted();
+  if (xs_.size() == 1) return xs_[0];
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs_.size()) return xs_.back();
+  return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  SCALPEL_REQUIRE(hi > lo, "histogram needs hi > lo");
+  SCALPEL_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(std::floor(t));
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+}  // namespace scalpel

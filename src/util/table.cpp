@@ -1,0 +1,75 @@
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  SCALPEL_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  SCALPEL_REQUIRE(cells.size() == headers_.size(),
+                  "row arity must match header arity");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit_row(r);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += "\"\"";
+      else q += ch;
+    }
+    return q + "\"";
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ',';
+      out << quote(cells[c]);
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+}  // namespace scalpel

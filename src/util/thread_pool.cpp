@@ -1,0 +1,82 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    SCALPEL_REQUIRE(!stop_, "submit on stopped thread pool");
+    tasks_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
+  if (chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::size_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks - 1);
+  std::size_t lo = begin + chunk;  // first chunk runs on the caller
+  for (std::size_t c = 1; c < chunks && lo < end; ++c) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
+    lo = hi;
+  }
+  fn(begin, std::min(end, begin + chunk));
+  for (auto& f : futures) f.get();  // rethrows task exceptions
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+}  // namespace scalpel

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace scalpel {
+
+/// Fixed-size thread pool used by the NN kernels and the parameter-sweep
+/// benches. Tasks are type-erased closures; `parallel_for` provides the
+/// common blocked-index pattern with static chunking (deterministic work
+/// assignment, which keeps kernel timings stable run-to-run).
+class ThreadPool {
+ public:
+  /// n == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future rethrows any task exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Run fn(i) for i in [begin, end), split into contiguous chunks across the
+  /// pool (the calling thread works too). Blocks until all chunks finish.
+  /// Exceptions from any chunk propagate to the caller.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, hardware-sized).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace scalpel

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+
+namespace scalpel {
+
+// The codebase carries all latencies in seconds, all sizes in bytes, all
+// rates in units/second, as plain doubles. These helpers keep call sites
+// legible ("mbps(20)" rather than "20e6 / 8").
+
+constexpr double kMilli = 1e-3;
+constexpr double kMicro = 1e-6;
+
+/// Megabits/second -> bytes/second.
+constexpr double mbps(double v) { return v * 1e6 / 8.0; }
+/// Gigabits/second -> bytes/second.
+constexpr double gbps(double v) { return v * 1e9 / 8.0; }
+/// GFLOP/s -> FLOP/s.
+constexpr double gflops(double v) { return v * 1e9; }
+/// Milliseconds -> seconds.
+constexpr double ms(double v) { return v * kMilli; }
+/// Kilobytes / megabytes -> bytes.
+constexpr double kib(double v) { return v * 1024.0; }
+constexpr double mib(double v) { return v * 1024.0 * 1024.0; }
+
+/// Seconds -> milliseconds (for printing).
+constexpr double to_ms(double seconds) { return seconds * 1e3; }
+
+}  // namespace scalpel

@@ -1,0 +1,70 @@
+#include "core/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "edge/builders.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+OnlineController::Options fast_opts(double hysteresis = 0.25) {
+  OnlineController::Options o;
+  o.hysteresis = hysteresis;
+  o.joint.max_iterations = 2;
+  o.joint.dp_coverage_bins = 40;
+  o.joint.theta_grid = {0.0, 0.3, 0.6};
+  return o;
+}
+
+TEST(Online, SolvesLazilyOnFirstAccess) {
+  OnlineController ctl(clusters::small_lab(), fast_opts());
+  EXPECT_EQ(ctl.reoptimizations(), 0u);
+  const auto& d = ctl.decision();
+  EXPECT_EQ(d.per_device.size(), 4u);
+  EXPECT_EQ(ctl.reoptimizations(), 0u);  // initial solve is not a re-opt
+}
+
+TEST(Online, SmallDriftIgnored) {
+  OnlineController ctl(clusters::small_lab(), fast_opts(0.25));
+  ctl.decision();
+  const double base = clusters::small_lab().cell(0).bandwidth;
+  EXPECT_FALSE(ctl.observe({base * 1.1}));
+  EXPECT_FALSE(ctl.observe({base * 0.9}));
+  EXPECT_EQ(ctl.reoptimizations(), 0u);
+}
+
+TEST(Online, LargeDriftTriggersReoptimization) {
+  OnlineController ctl(clusters::small_lab(), fast_opts(0.25));
+  ctl.decision();
+  const double base = clusters::small_lab().cell(0).bandwidth;
+  EXPECT_TRUE(ctl.observe({base * 0.4}));
+  EXPECT_EQ(ctl.reoptimizations(), 1u);
+  // The instance now reflects the observed bandwidth.
+  EXPECT_NEAR(ctl.instance().topology().cell(0).bandwidth, base * 0.4, 1e-6);
+  // Observing the same value again is within hysteresis of the new solve.
+  EXPECT_FALSE(ctl.observe({base * 0.4}));
+}
+
+TEST(Online, DecisionAdaptsToBandwidthCollapse) {
+  OnlineController ctl(clusters::small_lab(), fast_opts(0.1));
+  const auto before = ctl.decision();
+  double offload_before = 0.0;
+  for (const auto& p : before.predicted) offload_before += p.offload_prob;
+  // Collapse the uplink to 2 Mbps: offloading must shrink.
+  ctl.observe({mbps(2.0)});
+  const auto after = ctl.decision();
+  double offload_after = 0.0;
+  for (const auto& p : after.predicted) offload_after += p.offload_prob;
+  EXPECT_LT(offload_after, offload_before);
+}
+
+TEST(Online, ValidatesObservationArity) {
+  OnlineController ctl(clusters::small_lab(), fast_opts());
+  EXPECT_THROW(ctl.observe({1.0, 2.0}), ContractViolation);
+  EXPECT_THROW(ctl.observe({0.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace scalpel

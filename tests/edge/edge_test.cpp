@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "edge/builders.hpp"
+#include "edge/cluster.hpp"
+#include "edge/dynamics.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Cluster, SmallLabIsValid) {
+  const auto t = clusters::small_lab();
+  t.validate();
+  EXPECT_EQ(t.devices().size(), 4u);
+  EXPECT_EQ(t.servers().size(), 2u);
+  EXPECT_EQ(t.cells().size(), 1u);
+}
+
+TEST(Cluster, IdsAssignedSequentially) {
+  const auto t = clusters::small_lab();
+  for (std::size_t i = 0; i < t.devices().size(); ++i) {
+    EXPECT_EQ(t.devices()[i].id, static_cast<DeviceId>(i));
+  }
+  for (std::size_t i = 0; i < t.servers().size(); ++i) {
+    EXPECT_EQ(t.servers()[i].id, static_cast<ServerId>(i));
+  }
+}
+
+TEST(Cluster, DevicesInCell) {
+  const auto t = clusters::small_lab();
+  const auto members = t.devices_in_cell(0);
+  EXPECT_EQ(members.size(), 4u);
+}
+
+TEST(Cluster, PathRttComposesCellAndBackhaul) {
+  const auto t = clusters::small_lab();
+  const double rtt = t.path_rtt(0, 1);
+  EXPECT_NEAR(rtt, t.cell(0).rtt + t.server(1).backhaul_rtt, 1e-12);
+}
+
+TEST(Cluster, AccessorsBoundsChecked) {
+  const auto t = clusters::small_lab();
+  EXPECT_THROW(t.device(99), ContractViolation);
+  EXPECT_THROW(t.server(-1), ContractViolation);
+  EXPECT_THROW(t.cell(5), ContractViolation);
+}
+
+TEST(Cluster, ValidateCatchesProblems) {
+  ClusterTopology t;
+  EXPECT_THROW(t.validate(), ContractViolation);  // empty
+  t.add_cell(Cell{-1, "c", mbps(10.0), 0.001});
+  Device d;
+  d.name = "d";
+  d.compute = profiles::smartphone();
+  d.cell = 7;  // dangling cell reference
+  d.model = "vgg16";
+  t.add_device(d);
+  EdgeServer s;
+  s.name = "s";
+  s.compute = profiles::edge_cpu();
+  t.add_server(s);
+  EXPECT_THROW(t.validate(), ContractViolation);
+}
+
+TEST(Cluster, SetCellBandwidth) {
+  auto t = clusters::small_lab();
+  t.set_cell_bandwidth(0, mbps(200.0));
+  EXPECT_DOUBLE_EQ(t.cell(0).bandwidth, mbps(200.0));
+  EXPECT_THROW(t.set_cell_bandwidth(0, 0.0), ContractViolation);
+  EXPECT_THROW(t.set_cell_bandwidth(9, mbps(1.0)), ContractViolation);
+}
+
+TEST(Campus, DeterministicForSeed) {
+  clusters::CampusOptions opts;
+  opts.seed = 99;
+  const auto a = clusters::campus(opts);
+  const auto b = clusters::campus(opts);
+  ASSERT_EQ(a.devices().size(), b.devices().size());
+  for (std::size_t i = 0; i < a.devices().size(); ++i) {
+    EXPECT_EQ(a.devices()[i].model, b.devices()[i].model);
+    EXPECT_DOUBLE_EQ(a.devices()[i].arrival_rate,
+                     b.devices()[i].arrival_rate);
+    EXPECT_DOUBLE_EQ(a.devices()[i].compute.peak_flops,
+                     b.devices()[i].compute.peak_flops);
+  }
+  for (std::size_t j = 0; j < a.servers().size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.servers()[j].compute.peak_flops,
+                     b.servers()[j].compute.peak_flops);
+  }
+}
+
+TEST(Campus, HonorsSizes) {
+  clusters::CampusOptions opts;
+  opts.num_devices = 17;
+  opts.num_servers = 3;
+  opts.devices_per_cell = 5;
+  const auto t = clusters::campus(opts);
+  EXPECT_EQ(t.devices().size(), 17u);
+  EXPECT_EQ(t.servers().size(), 3u);
+  EXPECT_EQ(t.cells().size(), 4u);  // ceil(17/5)
+  t.validate();
+}
+
+TEST(Campus, HeterogeneityKnobSpreadsServerSpeeds) {
+  clusters::CampusOptions homo;
+  homo.server_speed_cov = 0.0;
+  homo.num_servers = 8;
+  const auto th = clusters::campus(homo);
+  double min_s = 1e30;
+  double max_s = 0.0;
+  for (const auto& s : th.servers()) {
+    min_s = std::min(min_s, s.compute.peak_flops);
+    max_s = std::max(max_s, s.compute.peak_flops);
+  }
+  EXPECT_NEAR(max_s / min_s, 1.0, 1e-9);
+
+  clusters::CampusOptions hetero = homo;
+  hetero.server_speed_cov = 1.0;
+  const auto tt = clusters::campus(hetero);
+  min_s = 1e30;
+  max_s = 0.0;
+  for (const auto& s : tt.servers()) {
+    min_s = std::min(min_s, s.compute.peak_flops);
+    max_s = std::max(max_s, s.compute.peak_flops);
+  }
+  EXPECT_GT(max_s / min_s, 1.5);
+}
+
+TEST(Campus, ModelsComeFromZoo) {
+  const auto t = clusters::campus({});
+  const std::set<std::string> allowed = {"mobilenet_v1", "resnet18", "alexnet",
+                                         "vgg16", "tiny_yolo"};
+  for (const auto& d : t.devices()) {
+    EXPECT_TRUE(allowed.count(d.model)) << d.model;
+  }
+}
+
+TEST(BandwidthTrace, ConstantTrace) {
+  const auto tr = BandwidthTrace::constant(mbps(42.0));
+  EXPECT_DOUBLE_EQ(tr.at(0.0), mbps(42.0));
+  EXPECT_DOUBLE_EQ(tr.at(1e6), mbps(42.0));
+  EXPECT_DOUBLE_EQ(tr.mean(100.0), mbps(42.0));
+}
+
+TEST(BandwidthTrace, LookupPicksActiveSegment) {
+  BandwidthTrace tr({{0.0, 10.0}, {5.0, 20.0}, {9.0, 5.0}});
+  EXPECT_DOUBLE_EQ(tr.at(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(tr.at(4.999), 10.0);
+  EXPECT_DOUBLE_EQ(tr.at(5.0), 20.0);
+  EXPECT_DOUBLE_EQ(tr.at(8.0), 20.0);
+  EXPECT_DOUBLE_EQ(tr.at(100.0), 5.0);
+}
+
+TEST(BandwidthTrace, MeanIntegratesSegments) {
+  BandwidthTrace tr({{0.0, 10.0}, {5.0, 20.0}});
+  EXPECT_NEAR(tr.mean(10.0), 15.0, 1e-12);
+  EXPECT_NEAR(tr.mean(5.0), 10.0, 1e-12);
+}
+
+TEST(BandwidthTrace, ValidatesSegments) {
+  EXPECT_THROW(BandwidthTrace({}), ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{0.0, 0.0}}), ContractViolation);
+  EXPECT_THROW(BandwidthTrace({{0.0, 1.0}, {0.0, 2.0}}), ContractViolation);
+  BandwidthTrace ok({{1.0, 5.0}});
+  EXPECT_THROW(ok.at(0.5), ContractViolation);
+}
+
+TEST(BandwidthTrace, RandomWalkStaysInRange) {
+  Rng rng(3);
+  const double base = mbps(50.0);
+  const auto tr = BandwidthTrace::random_walk(base, 1.0, 0.5, 4.0, 120.0, rng);
+  for (const auto& seg : tr.segments()) {
+    EXPECT_GE(seg.bandwidth, base / 4.0 - 1e-9);
+    EXPECT_LE(seg.bandwidth, base * 4.0 + 1e-9);
+  }
+  EXPECT_GE(tr.segments().size(), 100u);
+}
+
+TEST(BandwidthTrace, GilbertAlternatesStates) {
+  Rng rng(4);
+  const auto tr =
+      BandwidthTrace::gilbert(mbps(100.0), mbps(10.0), 5.0, 2.0, 200.0, rng);
+  ASSERT_GE(tr.segments().size(), 4u);
+  for (std::size_t i = 1; i < tr.segments().size(); ++i) {
+    EXPECT_NE(tr.segments()[i].bandwidth, tr.segments()[i - 1].bandwidth);
+  }
+  // Time-weighted mean sits strictly between the two states, nearer good.
+  const double mean = tr.mean(200.0);
+  EXPECT_GT(mean, mbps(10.0));
+  EXPECT_LT(mean, mbps(100.0));
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,112 @@
+// Randomized end-to-end invariants: across random cluster topologies, the
+// optimizer must produce decisions that respect every structural constraint,
+// and the surrounding machinery (evaluator, simulator, serializer) must
+// accept them. These sweeps are the repo's regression net for optimizer
+// edge cases that hand-written instances miss.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "core/serialize.hpp"
+#include "edge/builders.hpp"
+#include "sim/simulator.hpp"
+
+namespace scalpel {
+namespace {
+
+JointOptions fast_opts() {
+  JointOptions o;
+  o.max_iterations = 2;
+  o.dp_coverage_bins = 40;
+  o.theta_grid = {0.0, 0.3, 0.6};
+  return o;
+}
+
+class FuzzTopologyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTopologyTest, JointDecisionRespectsAllInvariants) {
+  clusters::CampusOptions copts;
+  copts.seed = GetParam();
+  copts.num_devices = 6 + (GetParam() % 7);
+  copts.num_servers = 2 + (GetParam() % 3);
+  copts.mean_arrival_rate = 0.5 + 0.25 * static_cast<double>(GetParam() % 8);
+  copts.server_speed_cov = 0.1 * static_cast<double>(GetParam() % 10);
+  const ProblemInstance instance(clusters::campus(copts));
+  const auto& topo = instance.topology();
+
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+  ASSERT_EQ(d.per_device.size(), topo.devices().size());
+
+  // Structural invariants per device.
+  std::vector<double> cell_bw(topo.cells().size(), 0.0);
+  std::vector<double> server_share(topo.servers().size(), 0.0);
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    const auto& dd = d.per_device[i];
+    if (dd.plan.device_only) continue;
+    // Cut must be a clean cut of the device's model.
+    const auto& g = instance.bundle_for(static_cast<DeviceId>(i)).graph;
+    bool found = false;
+    for (const auto& c : g.clean_cuts()) {
+      if (c.after == dd.plan.partition_after) found = true;
+    }
+    EXPECT_TRUE(found) << "device " << i;
+    EXPECT_GE(dd.server, 0);
+    EXPECT_LT(dd.server, static_cast<int>(topo.servers().size()));
+    EXPECT_GT(dd.bandwidth, 0.0);
+    EXPECT_GT(dd.compute_share, 0.0);
+    EXPECT_LE(dd.compute_share, 1.0);
+    cell_bw[static_cast<std::size_t>(
+        topo.device(static_cast<DeviceId>(i)).cell)] += dd.bandwidth;
+    server_share[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+    // Exit indices must be valid for the model's candidate list.
+    const auto& cands =
+        instance.bundle_for(static_cast<DeviceId>(i)).candidates;
+    for (const auto& e : dd.plan.policy.exits) {
+      EXPECT_LT(e.candidate, cands.size());
+    }
+  }
+  for (std::size_t c = 0; c < cell_bw.size(); ++c) {
+    EXPECT_LE(cell_bw[c],
+              topo.cell(static_cast<CellId>(c)).bandwidth * (1.0 + 1e-6));
+  }
+  for (double s : server_share) EXPECT_LE(s, 1.0 + 1e-6);
+
+  // Evaluation invariants: accuracy floors honored whenever the decision is
+  // stable for that device.
+  for (std::size_t i = 0; i < d.predicted.size(); ++i) {
+    if (d.predicted[i].stable) {
+      EXPECT_GE(d.predicted[i].expected_accuracy,
+                topo.device(static_cast<DeviceId>(i)).min_accuracy - 1e-6)
+          << "device " << i;
+    }
+  }
+
+  // Serialization round-trip re-evaluates to the same objective.
+  const auto text = serialize::to_json(d).dump();
+  Decision restored = serialize::decision_from_json(Json::parse(text));
+  evaluate_decision(instance, restored);
+  if (std::isfinite(d.mean_latency)) {
+    EXPECT_NEAR(restored.mean_latency, d.mean_latency,
+                d.mean_latency * 1e-9);
+  }
+
+  // The simulator must accept and run the decision without violating
+  // conservation.
+  Simulator::Options sopts;
+  sopts.horizon = 8.0;
+  sopts.warmup = 1.0;
+  sopts.seed = GetParam();
+  Simulator sim(instance, d, sopts);
+  const auto m = sim.run();
+  EXPECT_GE(m.arrived, m.completed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTopologyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808));
+
+}  // namespace
+}  // namespace scalpel

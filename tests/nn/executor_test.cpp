@@ -1,0 +1,149 @@
+#include "nn/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scalpel {
+namespace {
+
+Tensor test_input(const Graph& g, std::uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::randn(g.node(0).out_shape, rng, 0.5f);
+}
+
+TEST(Executor, DeterministicAcrossInstances) {
+  const auto g = models::tiny_cnn();
+  const Executor a(g, 42);
+  const Executor b(g, 42);
+  const auto in = test_input(g, 1);
+  EXPECT_EQ(max_abs_diff(a.run(in), b.run(in)), 0.0);
+}
+
+TEST(Executor, DifferentSeedsDiffer) {
+  const auto g = models::tiny_cnn();
+  const Executor a(g, 42);
+  const Executor b(g, 43);
+  const auto in = test_input(g, 1);
+  EXPECT_GT(max_abs_diff(a.run(in), b.run(in)), 0.0);
+}
+
+TEST(Executor, SoftmaxOutputIsDistribution) {
+  const auto g = models::tiny_cnn();
+  const Executor ex(g, 7);
+  const auto out = ex.run(test_input(g, 2));
+  EXPECT_EQ(out.shape(), (Shape{10}));
+  EXPECT_NEAR(out.sum(), 1.0, 1e-5);
+  for (std::int64_t i = 0; i < out.numel(); ++i) {
+    ASSERT_GE(out.at(i), 0.0f);
+  }
+}
+
+TEST(Executor, RejectsWrongInputShape) {
+  const auto g = models::tiny_cnn();
+  const Executor ex(g, 7);
+  EXPECT_THROW(ex.run(Tensor::zeros(Shape{3, 16, 16})), ContractViolation);
+}
+
+/// The property model surgery rests on: executing the prefix up to a clean
+/// cut, shipping the activation, and executing the suffix elsewhere must
+/// reproduce the full-model output bit-for-bit (same weights).
+class PartitionEqualityTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartitionEqualityTest, PrefixPlusSuffixEqualsFullForEveryCleanCut) {
+  Graph g = GetParam() == "lenet5" ? models::lenet5()
+                                   : models::tiny_cnn(10, 32);
+  const Executor ex(g, 99);
+  const auto in = test_input(g, 3);
+  const auto full = ex.run(in);
+  for (const auto& cut : g.clean_cuts()) {
+    const auto boundary = ex.run_prefix(in, cut.after);
+    EXPECT_EQ(boundary.shape(), g.node(cut.after).out_shape);
+    if (cut.after == g.output()) continue;
+    const auto suffix = ex.run_range(boundary, cut.after, g.output());
+    ASSERT_EQ(max_abs_diff(full, suffix), 0.0)
+        << "cut after node " << cut.after;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallModels, PartitionEqualityTest,
+                         ::testing::Values("lenet5", "tiny_cnn"));
+
+TEST(Executor, PartitionEqualityOnResidualModel) {
+  // Residual blocks restrict clean cuts; the equality must hold across the
+  // remaining ones. Tiny resolution keeps this fast.
+  const auto g = models::resnet18(10, 32);
+  const Executor ex(g, 11);
+  const auto in = test_input(g, 4);
+  const auto full = ex.run(in);
+  const auto cuts = g.clean_cuts();
+  ASSERT_GT(cuts.size(), 3u);
+  // Spot-check a few cuts across the depth (full sweep would be slow).
+  for (std::size_t i = 0; i < cuts.size(); i += cuts.size() / 4) {
+    const auto boundary = ex.run_prefix(in, cuts[i].after);
+    const auto suffix = ex.run_range(boundary, cuts[i].after, g.output());
+    ASSERT_LT(max_abs_diff(full, suffix), 1e-6) << "cut " << cuts[i].after;
+  }
+}
+
+TEST(Executor, RunRangeRejectsNonCleanCut) {
+  const auto g = models::resnet18(10, 32);
+  const Executor ex(g, 1);
+  // Find a node that is NOT a clean cut (inside a residual block).
+  const auto inside = g.find("b1_conv1");
+  ASSERT_TRUE(inside.has_value());
+  const auto boundary = Tensor::zeros(g.node(*inside).out_shape);
+  EXPECT_THROW(ex.run_range(boundary, *inside, g.output()),
+               ContractViolation);
+}
+
+TEST(Executor, RunRangeValidatesBoundaryShape) {
+  const auto g = models::tiny_cnn();
+  const Executor ex(g, 1);
+  EXPECT_THROW(ex.run_range(Tensor::zeros(Shape{1}), 0, g.output()),
+               ContractViolation);
+}
+
+TEST(Executor, ThreadedExecutionMatchesSerial) {
+  const auto g = models::tiny_cnn();
+  ThreadPool pool(4);
+  const Executor serial(g, 5, nullptr);
+  const Executor threaded(g, 5, &pool);
+  const auto in = test_input(g, 6);
+  EXPECT_EQ(max_abs_diff(serial.run(in), threaded.run(in)), 0.0);
+}
+
+TEST(Executor, WeightsExistOnlyForWeightedLayers) {
+  const auto g = models::tiny_cnn();
+  const Executor ex(g, 1);
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    if (g.node(id).spec.has_weights()) {
+      EXPECT_FALSE(ex.weights(id).empty()) << i;
+    } else {
+      EXPECT_TRUE(ex.weights(id).empty()) << i;
+    }
+  }
+}
+
+TEST(Executor, MobilenetExecutesAtLowResolution) {
+  const auto g = models::mobilenet_v1(10, 64);
+  const Executor ex(g, 2);
+  const auto out = ex.run(test_input(g, 7));
+  EXPECT_EQ(out.shape(), (Shape{10}));
+  EXPECT_TRUE(out.all_finite());
+  EXPECT_NEAR(out.sum(), 1.0, 1e-5);
+}
+
+TEST(Executor, OutputsAreFiniteThroughDeepStacks) {
+  const auto g = models::vgg16(10, 32);
+  const Executor ex(g, 3);
+  const auto out = ex.run(test_input(g, 8));
+  EXPECT_TRUE(out.all_finite());
+}
+
+}  // namespace
+}  // namespace scalpel

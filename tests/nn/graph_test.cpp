@@ -1,0 +1,181 @@
+#include "nn/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nn/models.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+Graph simple_chain() {
+  Graph g("chain");
+  const auto in = g.add(LayerSpec::input(Shape{3, 8, 8}));
+  const auto c1 = g.add(LayerSpec::conv(4, 3, 1, 1, "c1"), {in});
+  const auto r1 = g.add(LayerSpec::relu("r1"), {c1});
+  const auto f = g.add(LayerSpec::flatten("f"), {r1});
+  const auto fc = g.add(LayerSpec::fc(10, "fc"), {f});
+  g.add(LayerSpec::softmax("sm"), {fc});
+  return g;
+}
+
+TEST(Graph, ShapesPropagate) {
+  const auto g = simple_chain();
+  EXPECT_EQ(g.node(1).out_shape, (Shape{4, 8, 8}));
+  EXPECT_EQ(g.node(3).out_shape, (Shape{256}));
+  EXPECT_EQ(g.node(5).out_shape, (Shape{10}));
+}
+
+TEST(Graph, FlopsAndParams) {
+  const auto g = simple_chain();
+  // conv: 2*3*3*3*8*8*4 = 13824 FLOPs; params 3*3*3*4+4 = 112.
+  EXPECT_EQ(g.node(1).flops, 13824);
+  EXPECT_EQ(g.node(1).params, 112);
+  // fc: 2*256*10; params 256*10+10.
+  EXPECT_EQ(g.node(4).flops, 5120);
+  EXPECT_EQ(g.node(4).params, 2570);
+  EXPECT_EQ(g.total_params(), 112 + 2570);
+}
+
+TEST(Graph, PrefixAndRangeFlopsConsistent) {
+  const auto g = simple_chain();
+  EXPECT_EQ(g.prefix_flops(g.output()), g.total_flops());
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    sum += g.node(static_cast<NodeId>(i)).flops;
+  }
+  EXPECT_EQ(sum, g.total_flops());
+  EXPECT_EQ(g.range_flops(1, 4), g.prefix_flops(4) - g.prefix_flops(1));
+  EXPECT_EQ(g.range_flops(-1, g.output()), g.total_flops());
+}
+
+TEST(Graph, RejectsForwardReferences) {
+  Graph g;
+  g.add(LayerSpec::input(Shape{1, 4, 4}));
+  EXPECT_THROW(g.add(LayerSpec::relu("r"), {5}), ContractViolation);
+  EXPECT_THROW(g.add(LayerSpec::relu("r"), {-1}), ContractViolation);
+}
+
+TEST(Graph, RejectsDuplicateNames) {
+  Graph g;
+  const auto in = g.add(LayerSpec::input(Shape{1, 4, 4}, "in"));
+  g.add(LayerSpec::relu("r"), {in});
+  EXPECT_THROW(g.add(LayerSpec::relu("r"), {in}), ContractViolation);
+}
+
+TEST(Graph, FindByName) {
+  const auto g = simple_chain();
+  ASSERT_TRUE(g.find("fc").has_value());
+  EXPECT_EQ(*g.find("fc"), 4);
+  EXPECT_FALSE(g.find("nope").has_value());
+}
+
+/// Brute-force clean-cut check: a cut after k is clean iff every edge (u,v)
+/// with u <= k < v has u == k.
+std::vector<NodeId> brute_force_clean_cuts(const Graph& g) {
+  std::vector<NodeId> out;
+  const auto n = static_cast<NodeId>(g.size());
+  for (NodeId k = 0; k + 1 < n; ++k) {
+    bool clean = true;
+    for (NodeId v = 0; v < n && clean; ++v) {
+      for (NodeId u : g.node(v).inputs) {
+        if (u <= k && v > k && u != k) {
+          clean = false;
+          break;
+        }
+      }
+    }
+    if (clean) out.push_back(k);
+  }
+  return out;
+}
+
+class CleanCutModelTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CleanCutModelTest, MatchesBruteForce) {
+  const auto g = models::by_name(GetParam());
+  const auto cuts = g.clean_cuts();
+  std::vector<NodeId> got;
+  for (const auto& c : cuts) got.push_back(c.after);
+  EXPECT_EQ(got, brute_force_clean_cuts(g));
+}
+
+TEST_P(CleanCutModelTest, CutMetadataConsistent) {
+  const auto g = models::by_name(GetParam());
+  for (const auto& c : g.clean_cuts()) {
+    EXPECT_EQ(c.activation_bytes, g.node(c.after).out_shape.bytes());
+    EXPECT_EQ(c.prefix_flops, g.prefix_flops(c.after));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, CleanCutModelTest,
+                         ::testing::Values("lenet5", "alexnet", "vgg16",
+                                           "vgg19", "resnet18", "resnet34",
+                                           "resnet50", "squeezenet", "googlenet",
+                                           "mobilenet_v1", "tiny_yolo",
+                                           "tiny_cnn"));
+
+TEST(Graph, ChainModelsEveryNodeIsCleanCut) {
+  // A pure chain has a clean cut after every non-final node.
+  const auto g = models::vgg16();
+  EXPECT_EQ(g.clean_cuts().size(), g.size() - 1);
+}
+
+TEST(Graph, ResnetCutsExcludeBlockInteriors) {
+  // Inside a residual block the shortcut edge crosses, so interior cuts are
+  // not clean; block boundaries are.
+  const auto g = models::resnet18();
+  const auto cuts = g.clean_cuts();
+  std::set<NodeId> cut_set;
+  for (const auto& c : cuts) cut_set.insert(c.after);
+  // b1_conv1 (inside the first block) must not be a clean cut boundary:
+  // the shortcut from pool1 crosses it.
+  const auto inside = g.find("b1_conv1");
+  ASSERT_TRUE(inside.has_value());
+  EXPECT_EQ(cut_set.count(*inside), 0u);
+  // The block output (after b1_relu2) is clean.
+  const auto boundary = g.find("b1_out");
+  ASSERT_TRUE(boundary.has_value());
+  EXPECT_EQ(cut_set.count(*boundary), 1u);
+}
+
+TEST(Graph, SummaryMentionsEveryLayer) {
+  const auto g = simple_chain();
+  const auto s = g.summary();
+  EXPECT_NE(s.find("c1"), std::string::npos);
+  EXPECT_NE(s.find("fc"), std::string::npos);
+  EXPECT_NE(s.find("MFLOPs"), std::string::npos);
+}
+
+TEST(LayerSpec, AddRequiresMatchingShapes) {
+  Graph g;
+  const auto in = g.add(LayerSpec::input(Shape{2, 4, 4}));
+  const auto a = g.add(LayerSpec::conv(4, 3, 1, 1, "a"), {in});
+  const auto b = g.add(LayerSpec::conv(8, 3, 1, 1, "b"), {in});
+  EXPECT_THROW(g.add(LayerSpec::add("bad"), {a, b}), ContractViolation);
+}
+
+TEST(LayerSpec, ConcatAddsChannels) {
+  Graph g;
+  const auto in = g.add(LayerSpec::input(Shape{2, 4, 4}));
+  const auto a = g.add(LayerSpec::conv(4, 3, 1, 1, "a"), {in});
+  const auto b = g.add(LayerSpec::conv(8, 3, 1, 1, "b"), {in});
+  const auto c = g.add(LayerSpec::concat("c"), {a, b});
+  EXPECT_EQ(g.node(c).out_shape, (Shape{12, 4, 4}));
+}
+
+TEST(LayerSpec, InvalidGeometryRejected) {
+  EXPECT_THROW(LayerSpec::conv(0, 3, 1, 1, "x"), ContractViolation);
+  EXPECT_THROW(LayerSpec::conv(4, 3, 0, 1, "x"), ContractViolation);
+  EXPECT_THROW(LayerSpec::fc(0, "x"), ContractViolation);
+  // Output dim would be non-positive.
+  Graph g;
+  const auto in = g.add(LayerSpec::input(Shape{1, 2, 2}));
+  EXPECT_THROW(g.add(LayerSpec::conv(1, 5, 1, 0, "big"), {in}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace scalpel

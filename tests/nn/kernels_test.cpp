@@ -1,0 +1,274 @@
+#include "nn/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scalpel {
+namespace {
+
+/// Definition-style reference convolution to validate the im2col+GEMM path.
+Tensor conv2d_reference(const Tensor& input, const Tensor& weights,
+                        const Tensor& bias, std::int64_t stride,
+                        std::int64_t pad) {
+  const auto c_in = input.shape()[0];
+  const auto h_in = input.shape()[1];
+  const auto w_in = input.shape()[2];
+  const auto c_out = weights.shape()[0];
+  const auto k = weights.shape()[2];
+  const auto h_out = (h_in + 2 * pad - k) / stride + 1;
+  const auto w_out = (w_in + 2 * pad - k) / stride + 1;
+  Tensor out(Shape{c_out, h_out, w_out});
+  for (std::int64_t oc = 0; oc < c_out; ++oc) {
+    for (std::int64_t oh = 0; oh < h_out; ++oh) {
+      for (std::int64_t ow = 0; ow < w_out; ++ow) {
+        float acc = bias.at(oc);
+        for (std::int64_t ic = 0; ic < c_in; ++ic) {
+          for (std::int64_t kh = 0; kh < k; ++kh) {
+            for (std::int64_t kw = 0; kw < k; ++kw) {
+              const auto ih = oh * stride - pad + kh;
+              const auto iw = ow * stride - pad + kw;
+              if (ih < 0 || ih >= h_in || iw < 0 || iw >= w_in) continue;
+              acc += input.at(ic, ih, iw) *
+                     weights.at(((oc * c_in + ic) * k + kh) * k + kw);
+            }
+          }
+        }
+        out.at(oc, oh, ow) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+// (c_in, c_out, hw, kernel, stride, pad)
+using ConvGeom = std::tuple<int, int, int, int, int, int>;
+
+class ConvGeometryTest : public ::testing::TestWithParam<ConvGeom> {};
+
+TEST_P(ConvGeometryTest, MatchesReference) {
+  const auto [c_in, c_out, hw, k, stride, pad] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(c_in * 131 + c_out * 17 + hw + k));
+  const auto input = Tensor::randn(Shape{c_in, hw, hw}, rng);
+  const auto weights = Tensor::randn(Shape{c_out, c_in, k, k}, rng);
+  const auto bias = Tensor::randn(Shape{c_out}, rng);
+  const auto fast = kernels::conv2d(input, weights, bias, stride, pad, nullptr);
+  const auto ref = conv2d_reference(input, weights, bias, stride, pad);
+  EXPECT_EQ(fast.shape(), ref.shape());
+  EXPECT_LT(max_abs_diff(fast, ref), 1e-4);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ConvGeometryTest,
+    ::testing::Values(ConvGeom{1, 1, 5, 1, 1, 0}, ConvGeom{3, 8, 8, 3, 1, 1},
+                      ConvGeom{4, 4, 9, 3, 2, 1}, ConvGeom{2, 6, 12, 5, 1, 2},
+                      ConvGeom{8, 16, 7, 3, 1, 0}, ConvGeom{3, 2, 11, 7, 2, 3},
+                      ConvGeom{5, 5, 6, 1, 2, 0}, ConvGeom{1, 4, 16, 11, 4, 2},
+                      ConvGeom{6, 3, 10, 3, 3, 1}));
+
+TEST(Conv2d, ThreadedMatchesSerial) {
+  Rng rng(1);
+  const auto input = Tensor::randn(Shape{16, 20, 20}, rng);
+  const auto weights = Tensor::randn(Shape{32, 16, 3, 3}, rng);
+  const auto bias = Tensor::randn(Shape{32}, rng);
+  ThreadPool pool(4);
+  const auto serial = kernels::conv2d(input, weights, bias, 1, 1, nullptr);
+  const auto threaded = kernels::conv2d(input, weights, bias, 1, 1, &pool);
+  EXPECT_EQ(max_abs_diff(serial, threaded), 0.0);
+}
+
+TEST(DwConv2d, MatchesPerChannelConv) {
+  Rng rng(2);
+  const std::int64_t c = 6;
+  const auto input = Tensor::randn(Shape{c, 10, 10}, rng);
+  const auto weights = Tensor::randn(Shape{c, 3, 3}, rng);
+  const auto bias = Tensor::randn(Shape{c}, rng);
+  const auto dw = kernels::dwconv2d(input, weights, bias, 1, 1, nullptr);
+  // Reference: each channel convolved independently via the dense conv with
+  // a 1-channel kernel.
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    Tensor one_in(Shape{1, 10, 10});
+    for (std::int64_t i = 0; i < 100; ++i) one_in.at(i) = input.at(ch * 100 + i);
+    Tensor one_w(Shape{1, 1, 3, 3});
+    for (std::int64_t i = 0; i < 9; ++i) one_w.at(i) = weights.at(ch * 9 + i);
+    Tensor one_b(Shape{1});
+    one_b.at(0) = bias.at(ch);
+    const auto ref = kernels::conv2d(one_in, one_w, one_b, 1, 1, nullptr);
+    for (std::int64_t i = 0; i < ref.numel(); ++i) {
+      ASSERT_NEAR(dw.at(ch * ref.numel() + i), ref.at(i), 1e-5);
+    }
+  }
+}
+
+TEST(DwConv2d, StrideAndPad) {
+  Rng rng(3);
+  const auto input = Tensor::randn(Shape{4, 9, 9}, rng);
+  const auto weights = Tensor::randn(Shape{4, 3, 3}, rng);
+  const auto bias = Tensor::zeros(Shape{4});
+  const auto out = kernels::dwconv2d(input, weights, bias, 2, 1, nullptr);
+  EXPECT_EQ(out.shape(), (Shape{4, 5, 5}));
+  EXPECT_TRUE(out.all_finite());
+}
+
+TEST(Fc, MatchesManualDotProduct) {
+  Tensor input(Shape{3});
+  input.at(0) = 1.0f;
+  input.at(1) = 2.0f;
+  input.at(2) = 3.0f;
+  Tensor w(Shape{2, 3});
+  // row 0: [1, 0, -1]; row 1: [0.5, 0.5, 0.5]
+  w.at(0) = 1.0f;
+  w.at(2) = -1.0f;
+  w.at(3) = 0.5f;
+  w.at(4) = 0.5f;
+  w.at(5) = 0.5f;
+  Tensor b(Shape{2});
+  b.at(0) = 10.0f;
+  const auto out = kernels::fc(input, w, b, nullptr);
+  EXPECT_NEAR(out.at(0), 1.0f - 3.0f + 10.0f, 1e-6);
+  EXPECT_NEAR(out.at(1), 3.0f, 1e-6);
+}
+
+TEST(Gemm, KnownProduct) {
+  // A = [[1,2],[3,4]], B = [[5,6],[7,8]] -> C = [[19,22],[43,50]]
+  const float a[] = {1, 2, 3, 4};
+  const float b[] = {5, 6, 7, 8};
+  float c[4] = {};
+  kernels::gemm(a, b, nullptr, c, 2, 2, 2, nullptr);
+  EXPECT_FLOAT_EQ(c[0], 19);
+  EXPECT_FLOAT_EQ(c[1], 22);
+  EXPECT_FLOAT_EQ(c[2], 43);
+  EXPECT_FLOAT_EQ(c[3], 50);
+}
+
+TEST(MaxPool, BasicAndPadded) {
+  Tensor in(Shape{1, 4, 4});
+  for (std::int64_t i = 0; i < 16; ++i) in.at(i) = static_cast<float>(i);
+  const auto out = kernels::maxpool2d(in, 2, 2);
+  EXPECT_EQ(out.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 1, 1), 15.0f);
+  // Padded: pad cells are ignored by max (never selected over real values
+  // when inputs are positive).
+  const auto padded = kernels::maxpool2d(in, 3, 2, 1);
+  EXPECT_EQ(padded.shape(), (Shape{1, 2, 2}));
+  EXPECT_FLOAT_EQ(padded.at(0, 0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(padded.at(0, 1, 1), 15.0f);
+}
+
+TEST(AvgPool, ExcludesPadFromCount) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0) = 4.0f;
+  in.at(1) = 4.0f;
+  in.at(2) = 4.0f;
+  in.at(3) = 4.0f;
+  // kernel 3, stride 2, pad 1: each window sees 4 valid cells at the corner.
+  const auto out = kernels::avgpool2d(in, 3, 2, 1);
+  EXPECT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out.at(0), 4.0f);  // mean over valid cells only
+}
+
+TEST(AvgPool, SimpleMean) {
+  Tensor in(Shape{1, 2, 2});
+  in.at(0) = 1.0f;
+  in.at(1) = 2.0f;
+  in.at(2) = 3.0f;
+  in.at(3) = 4.0f;
+  const auto out = kernels::avgpool2d(in, 2, 2);
+  EXPECT_FLOAT_EQ(out.at(0), 2.5f);
+}
+
+TEST(GlobalAvgPool, AveragesPerChannel) {
+  Tensor in(Shape{2, 2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) in.at(i) = 2.0f;
+  for (std::int64_t i = 4; i < 8; ++i) in.at(i) = 6.0f;
+  const auto out = kernels::global_avgpool(in);
+  EXPECT_EQ(out.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(out.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 6.0f);
+}
+
+TEST(Relu, ClampsNegatives) {
+  Tensor in(Shape{4});
+  in.at(0) = -1.0f;
+  in.at(1) = 0.0f;
+  in.at(2) = 2.0f;
+  in.at(3) = -0.5f;
+  const auto out = kernels::relu(in);
+  EXPECT_FLOAT_EQ(out.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(3), 0.0f);
+}
+
+TEST(BatchNorm, IdentityParams) {
+  Rng rng(4);
+  const auto in = Tensor::randn(Shape{3, 4, 4}, rng);
+  Tensor params(Shape{4, 3});
+  for (std::int64_t c = 0; c < 3; ++c) {
+    params.at(0 * 3 + c) = 1.0f;  // gamma
+    params.at(1 * 3 + c) = 0.0f;  // beta
+    params.at(2 * 3 + c) = 0.0f;  // mean
+    params.at(3 * 3 + c) = 1.0f;  // var
+  }
+  const auto out = kernels::batchnorm(in, params, 0.0f);
+  EXPECT_LT(max_abs_diff(in, out), 1e-6);
+}
+
+TEST(BatchNorm, NormalizesKnownValues) {
+  Tensor in(Shape{1, 1, 2});
+  in.at(0) = 3.0f;
+  in.at(1) = 5.0f;
+  Tensor params(Shape{4, 1});
+  params.at(0) = 2.0f;   // gamma
+  params.at(1) = 1.0f;   // beta
+  params.at(2) = 4.0f;   // mean
+  params.at(3) = 4.0f;   // var
+  const auto out = kernels::batchnorm(in, params, 0.0f);
+  // y = 2*(x-4)/2 + 1 = x - 3
+  EXPECT_NEAR(out.at(0), 0.0f, 1e-5);
+  EXPECT_NEAR(out.at(1), 2.0f, 1e-5);
+}
+
+TEST(Add, Elementwise) {
+  const auto a = Tensor::full(Shape{2, 2, 2}, 1.5f);
+  const auto b = Tensor::full(Shape{2, 2, 2}, 2.5f);
+  const auto out = kernels::add(a, b);
+  EXPECT_DOUBLE_EQ(out.sum(), 4.0 * 8);
+}
+
+TEST(Concat, StacksChannels) {
+  const auto a = Tensor::full(Shape{1, 2, 2}, 1.0f);
+  const auto b = Tensor::full(Shape{3, 2, 2}, 2.0f);
+  const auto out = kernels::concat_channels({a, b});
+  EXPECT_EQ(out.shape(), (Shape{4, 2, 2}));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(out.at(3, 1, 1), 2.0f);
+}
+
+TEST(Softmax, SumsToOneAndOrders) {
+  Tensor in(Shape{3});
+  in.at(0) = 1.0f;
+  in.at(1) = 3.0f;
+  in.at(2) = 2.0f;
+  const auto out = kernels::softmax(in);
+  EXPECT_NEAR(out.sum(), 1.0, 1e-6);
+  EXPECT_GT(out.at(1), out.at(2));
+  EXPECT_GT(out.at(2), out.at(0));
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  Tensor in(Shape{2});
+  in.at(0) = 1000.0f;
+  in.at(1) = 1001.0f;
+  const auto out = kernels::softmax(in);
+  EXPECT_TRUE(out.all_finite());
+  EXPECT_NEAR(out.sum(), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace scalpel

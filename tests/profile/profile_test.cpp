@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "profile/compute_profile.hpp"
+#include "profile/energy_model.hpp"
+#include "profile/latency_model.hpp"
+#include "util/assert.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(ComputeProfile, PresetsArePositive) {
+  for (const char* name :
+       {"iot_camera", "raspberry_pi4", "smartphone", "jetson_nano", "edge_cpu",
+        "edge_gpu_t4", "edge_gpu_v100"}) {
+    const auto p = profiles::by_name(name);
+    EXPECT_GT(p.peak_flops, 0.0) << name;
+    EXPECT_GT(p.mem_bw, 0.0) << name;
+    EXPECT_GE(p.layer_overhead, 0.0) << name;
+    EXPECT_EQ(p.name, name);
+  }
+}
+
+TEST(ComputeProfile, UnknownPresetThrows) {
+  EXPECT_THROW(profiles::by_name("tpu_v9"), ContractViolation);
+}
+
+TEST(ComputeProfile, DeviceClassOrdering) {
+  EXPECT_LT(profiles::iot_camera().peak_flops,
+            profiles::raspberry_pi4().peak_flops);
+  EXPECT_LT(profiles::raspberry_pi4().peak_flops,
+            profiles::smartphone().peak_flops);
+  EXPECT_LT(profiles::smartphone().peak_flops,
+            profiles::jetson_nano().peak_flops);
+  EXPECT_LT(profiles::edge_cpu().peak_flops,
+            profiles::edge_gpu_t4().peak_flops);
+  EXPECT_LT(profiles::edge_gpu_t4().peak_flops,
+            profiles::edge_gpu_v100().peak_flops);
+}
+
+TEST(ComputeProfile, EffectiveFlopsUsesEfficiency) {
+  const auto p = profiles::edge_cpu();
+  EXPECT_LT(p.effective_flops(LayerKind::kConv), p.peak_flops);
+  EXPECT_GT(p.effective_flops(LayerKind::kConv),
+            p.effective_flops(LayerKind::kDWConv));
+}
+
+TEST(ComputeProfile, ScaledCutsBothRates) {
+  const auto p = profiles::edge_gpu_t4();
+  const auto half = p.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.peak_flops, p.peak_flops * 0.5);
+  EXPECT_DOUBLE_EQ(half.mem_bw, p.mem_bw * 0.5);
+  EXPECT_THROW(p.scaled(0.0), ContractViolation);
+  EXPECT_THROW(p.scaled(1.5), ContractViolation);
+}
+
+TEST(LatencyModel, InputLayerIsFree) {
+  const auto g = models::tiny_cnn();
+  EXPECT_EQ(LatencyModel::layer_latency(g, 0, profiles::smartphone()), 0.0);
+}
+
+TEST(LatencyModel, FasterDeviceIsNeverSlower) {
+  const auto g = models::mobilenet_v1();
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const auto id = static_cast<NodeId>(i);
+    EXPECT_LE(LatencyModel::layer_latency(g, id, profiles::jetson_nano()),
+              LatencyModel::layer_latency(g, id, profiles::iot_camera()) +
+                  1e-12)
+        << "node " << i;
+  }
+}
+
+class WholeGraphOrderingTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WholeGraphOrderingTest, GraphLatencyDecreasesWithCapability) {
+  const auto g = models::by_name(GetParam());
+  const double slow = LatencyModel::graph_latency(g, profiles::iot_camera());
+  const double mid = LatencyModel::graph_latency(g, profiles::smartphone());
+  const double fast =
+      LatencyModel::graph_latency(g, profiles::edge_gpu_v100());
+  EXPECT_GT(slow, mid);
+  EXPECT_GT(mid, fast);
+  EXPECT_GT(fast, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Zoo, WholeGraphOrderingTest,
+                         ::testing::Values("alexnet", "vgg16", "resnet18",
+                                           "mobilenet_v1", "tiny_yolo"));
+
+TEST(LatencyModel, PrefixMatchesPerLayerSums) {
+  const auto g = models::resnet18();
+  const auto profile = profiles::edge_cpu();
+  const auto per = LatencyModel::per_layer(g, profile);
+  const auto prefix = LatencyModel::prefix(g, profile);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < per.size(); ++i) {
+    acc += per[i];
+    ASSERT_NEAR(prefix[i], acc, 1e-12);
+  }
+  EXPECT_NEAR(prefix.back(), LatencyModel::graph_latency(g, profile), 1e-12);
+}
+
+TEST(LatencyModel, RangeLatencyAdditive) {
+  const auto g = models::vgg16();
+  const auto profile = profiles::smartphone();
+  const NodeId mid = 20;
+  const double a = LatencyModel::range_latency(g, 0, mid, profile);
+  const double b = LatencyModel::range_latency(g, mid, g.output(), profile);
+  const double whole =
+      LatencyModel::range_latency(g, 0, g.output(), profile);
+  EXPECT_NEAR(a + b, whole, 1e-12);
+}
+
+TEST(LatencyModel, RooflineMemoryBound) {
+  // A memory-starved profile must be limited by bytes, not FLOPs.
+  ComputeProfile starved = profiles::edge_cpu();
+  starved.mem_bw = 1e6;  // 1 MB/s
+  starved.layer_overhead = 0.0;
+  const auto g = models::tiny_cnn();
+  const auto& node = g.node(1);  // first conv
+  const std::int64_t bytes = node.out_shape.bytes() + node.params * 4 +
+                             g.node(0).out_shape.bytes();
+  const double expect = static_cast<double>(bytes) / starved.mem_bw;
+  EXPECT_NEAR(LatencyModel::layer_latency(g, 1, starved), expect, 1e-9);
+}
+
+TEST(TransferLatency, LinearInBytesPlusRtt) {
+  EXPECT_NEAR(transfer_latency(1'000'000, mbps(8.0), 0.002), 1.0 + 0.002,
+              1e-9);
+  EXPECT_NEAR(transfer_latency(0, mbps(8.0), 0.002), 0.002, 1e-12);
+  EXPECT_THROW(transfer_latency(10, 0.0, 0.0), ContractViolation);
+  EXPECT_THROW(transfer_latency(-1, 1.0, 0.0), ContractViolation);
+}
+
+TEST(EnergyModel, TaskEnergyComposition) {
+  const auto e = profiles::energy_phone();
+  const double j = e.task_energy(0.1, 0.2, 0.3);
+  EXPECT_NEAR(j, e.p_active * 0.1 + e.p_tx * 0.2 + e.p_idle * 0.3, 1e-12);
+  EXPECT_THROW(e.task_energy(-0.1, 0.0, 0.0), ContractViolation);
+}
+
+TEST(EnergyModel, PresetsOrdered) {
+  EXPECT_LT(profiles::energy_iot().p_active,
+            profiles::energy_phone().p_active);
+  EXPECT_LT(profiles::energy_phone().p_active,
+            profiles::energy_jetson().p_active);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(mbps(8.0), 1e6);
+  EXPECT_DOUBLE_EQ(gbps(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(gflops(2.0), 2e9);
+  EXPECT_DOUBLE_EQ(ms(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(to_ms(0.25), 250.0);
+  EXPECT_DOUBLE_EQ(kib(2.0), 2048.0);
+  EXPECT_DOUBLE_EQ(mib(1.0), 1048576.0);
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,76 @@
+#include "surgery/accuracy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(AccuracyModel, FinalDepthHitsAMax) {
+  const auto m = AccuracyModel::for_model("resnet18");
+  EXPECT_NEAR(m.accuracy_at(1.0), m.a_max, 1e-12);
+}
+
+TEST(AccuracyModel, AccuracyMonotoneInDepth) {
+  const auto m = AccuracyModel::for_model("vgg16");
+  double prev = 0.0;
+  for (double d = 0.05; d <= 1.0; d += 0.05) {
+    const double a = m.accuracy_at(d);
+    EXPECT_GT(a, prev);
+    EXPECT_LE(a, m.a_max + 1e-12);
+    prev = a;
+  }
+}
+
+TEST(AccuracyModel, CapabilityMonotoneAndBounded) {
+  const auto m = AccuracyModel::for_model("mobilenet_v1");
+  double prev = 0.0;
+  for (double d = 0.05; d <= 1.0; d += 0.05) {
+    const double c = m.capability(d);
+    EXPECT_GT(c, prev);
+    EXPECT_LE(c, 1.0 + 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(m.capability(1.0), 1.0, 1e-12);
+}
+
+TEST(AccuracyModel, ConditionalAccuracyRisesWithTheta) {
+  const auto m = AccuracyModel::for_model("alexnet");
+  const double base = m.conditional_accuracy(0.5, 0.0);
+  EXPECT_NEAR(base, m.accuracy_at(0.5), 1e-12);
+  double prev = base;
+  for (double theta = 0.2; theta < 1.0; theta += 0.2) {
+    const double a = m.conditional_accuracy(0.5, theta);
+    EXPECT_GT(a, prev);
+    EXPECT_LE(a, m.selective_ceiling + 1e-12);
+    prev = a;
+  }
+}
+
+TEST(AccuracyModel, DomainChecks) {
+  const AccuracyModel m;
+  EXPECT_THROW(m.accuracy_at(0.0), ContractViolation);
+  EXPECT_THROW(m.accuracy_at(1.5), ContractViolation);
+  EXPECT_THROW(m.capability(-0.1), ContractViolation);
+  EXPECT_THROW(m.conditional_accuracy(0.5, 1.0), ContractViolation);
+  EXPECT_THROW(m.conditional_accuracy(0.5, -0.1), ContractViolation);
+}
+
+TEST(AccuracyModel, PerModelCalibrations) {
+  EXPECT_NEAR(AccuracyModel::for_model("lenet5").a_max, 0.992, 1e-9);
+  EXPECT_NEAR(AccuracyModel::for_model("vgg16").a_max, 0.715, 1e-9);
+  EXPECT_NEAR(AccuracyModel::for_model("alexnet").a_max, 0.565, 1e-9);
+  // Unknown models get the generic default.
+  EXPECT_NEAR(AccuracyModel::for_model("mystery_net").a_max, 0.75, 1e-9);
+}
+
+TEST(AccuracyModel, DeeperModelsSaturateSlower) {
+  // The saturation shape means early exits on AlexNet-like curves capture
+  // relatively more accuracy than the linear interpolation would.
+  const auto m = AccuracyModel::for_model("resnet18");
+  EXPECT_GT(m.accuracy_at(0.5), 0.5 * m.a_max);
+}
+
+}  // namespace
+}  // namespace scalpel

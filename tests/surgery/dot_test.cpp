@@ -1,0 +1,70 @@
+#include "surgery/dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "surgery/exit_candidates.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Dot, PlainGraphContainsAllNodesAndEdges) {
+  const auto g = models::tiny_cnn();
+  const auto dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph \"tiny_cnn\""), std::string::npos);
+  // Every node id appears.
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " ["), std::string::npos)
+        << i;
+  }
+  // Edge count matches the graph.
+  std::size_t edges = 0;
+  for (const auto& n : g.nodes()) edges += n.inputs.size();
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find(" -> "); pos != std::string::npos;
+       pos = dot.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, edges);
+}
+
+TEST(Dot, PlanHighlightsCutAndExits) {
+  const auto g = models::tiny_cnn();
+  ExitCandidateOptions opts;
+  opts.num_classes = 10;
+  const auto cands = find_exit_candidates(g, opts);
+  ASSERT_FALSE(cands.empty());
+  SurgeryPlan plan;
+  plan.partition_after = cands[0].attach;
+  plan.policy.exits = {{0, 0.3}};
+  const auto dot = to_dot(g, plan, cands);
+  EXPECT_NE(dot.find("label=\"cut\""), std::string::npos);
+  EXPECT_NE(dot.find("lightblue"), std::string::npos);
+}
+
+TEST(Dot, DeviceOnlyPlanHasNoCutMarker) {
+  const auto g = models::lenet5();
+  SurgeryPlan plan;
+  plan.device_only = true;
+  const auto dot = to_dot(g, plan, {});
+  EXPECT_EQ(dot.find("label=\"cut\""), std::string::npos);
+}
+
+TEST(Dot, ResidualModelRendersBranchEdges) {
+  const auto g = models::resnet18(10, 64);
+  const auto dot = to_dot(g);
+  // Residual adds have two incoming edges; sanity: at least one node has
+  // two distinct predecessors rendered.
+  const auto add_id = g.find("b1_add");
+  ASSERT_TRUE(add_id.has_value());
+  const std::string target = "-> n" + std::to_string(*add_id);
+  std::size_t count = 0;
+  for (std::size_t pos = dot.find(target); pos != std::string::npos;
+       pos = dot.find(target, pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+}
+
+}  // namespace
+}  // namespace scalpel

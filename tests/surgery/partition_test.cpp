@@ -1,0 +1,132 @@
+#include "surgery/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "nn/models.hpp"
+#include "profile/compute_profile.hpp"
+#include "profile/latency_model.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Partition, CurveCoversAllCutsPlusDeviceOnly) {
+  const auto g = models::mobilenet_v1();
+  LinkSpec link{mbps(50.0), ms(2.0)};
+  const auto curve = partition_curve(g, profiles::raspberry_pi4(),
+                                     profiles::edge_gpu_t4(), link);
+  EXPECT_EQ(curve.size(), g.clean_cuts().size() + 1);
+  EXPECT_TRUE(curve.back().device_only);
+  EXPECT_EQ(curve.back().upload_time, 0.0);
+  EXPECT_EQ(curve.back().server_time, 0.0);
+}
+
+TEST(Partition, OptimalIsCurveMinimum) {
+  const auto g = models::vgg16();
+  LinkSpec link{mbps(20.0), ms(1.0)};
+  const auto device = profiles::smartphone();
+  const auto server = profiles::edge_gpu_t4();
+  const auto best = optimal_partition(g, device, server, link);
+  double min_total = std::numeric_limits<double>::infinity();
+  for (const auto& c : partition_curve(g, device, server, link)) {
+    min_total = std::min(min_total, c.total());
+  }
+  EXPECT_NEAR(best.total(), min_total, 1e-12);
+}
+
+TEST(Partition, PieceTimingsConsistentWithModels) {
+  const auto g = models::alexnet();
+  LinkSpec link{mbps(10.0), ms(5.0)};
+  const auto device = profiles::raspberry_pi4();
+  const auto server = profiles::edge_cpu();
+  for (const auto& c : partition_curve(g, device, server, link)) {
+    if (c.device_only) {
+      EXPECT_NEAR(c.device_time, LatencyModel::graph_latency(g, device),
+                  1e-9);
+      continue;
+    }
+    EXPECT_NEAR(c.device_time,
+                LatencyModel::range_latency(g, 0, c.cut_after, device) +
+                    LatencyModel::layer_latency(g, 0, device),
+                1e-9);
+    EXPECT_NEAR(c.upload_time,
+                transfer_latency(g.node(c.cut_after).out_shape.bytes(),
+                                 link.bandwidth, link.rtt),
+                1e-9);
+    EXPECT_NEAR(c.server_time,
+                LatencyModel::range_latency(g, c.cut_after, g.output(),
+                                            server),
+                1e-9);
+  }
+}
+
+TEST(Partition, HighBandwidthPushesCutEarlier) {
+  // With a huge pipe, offloading early (small device time) wins; with a
+  // trickle, the cut moves deep or to device-only.
+  const auto g = models::vgg16();
+  const auto device = profiles::smartphone();
+  const auto server = profiles::edge_gpu_v100();
+  const auto fast = optimal_partition(g, device, server,
+                                      LinkSpec{gbps(10.0), ms(0.1)});
+  const auto slow = optimal_partition(g, device, server,
+                                      LinkSpec{mbps(0.5), ms(0.1)});
+  const double fast_device_fraction =
+      fast.device_only ? 1.0
+                       : static_cast<double>(g.prefix_flops(fast.cut_after)) /
+                             static_cast<double>(g.total_flops());
+  const double slow_device_fraction =
+      slow.device_only ? 1.0
+                       : static_cast<double>(g.prefix_flops(slow.cut_after)) /
+                             static_cast<double>(g.total_flops());
+  EXPECT_LT(fast_device_fraction, slow_device_fraction);
+}
+
+TEST(Partition, WeakDeviceOffloadsEverythingOnGoodLink) {
+  const auto g = models::vgg16();
+  const auto best = optimal_partition(g, profiles::iot_camera(),
+                                      profiles::edge_gpu_v100(),
+                                      LinkSpec{gbps(1.0), ms(0.5)});
+  EXPECT_FALSE(best.device_only);
+  EXPECT_EQ(best.cut_after, 0);  // raw input upload
+}
+
+TEST(Partition, FastDeviceSlowLinkStaysLocal) {
+  const auto g = models::tiny_cnn();
+  const auto best = optimal_partition(g, profiles::jetson_nano(),
+                                      profiles::edge_cpu(),
+                                      LinkSpec{mbps(0.1), ms(50.0)});
+  EXPECT_TRUE(best.device_only);
+}
+
+/// Property: the returned choice beats (or ties) every manually evaluated
+/// alternative across random device/server/link draws.
+TEST(Partition, OptimalityPropertyUnderRandomConditions) {
+  const auto g = models::resnet18();
+  Rng rng(2024);
+  for (int trial = 0; trial < 20; ++trial) {
+    ComputeProfile device = profiles::raspberry_pi4();
+    device.peak_flops *= rng.uniform(0.2, 8.0);
+    device.mem_bw *= rng.uniform(0.2, 8.0);
+    ComputeProfile server = profiles::edge_gpu_t4();
+    server.peak_flops *= rng.uniform(0.05, 2.0);
+    LinkSpec link{mbps(rng.uniform(1.0, 500.0)), ms(rng.uniform(0.1, 20.0))};
+    const auto best = optimal_partition(g, device, server, link);
+    for (const auto& c : partition_curve(g, device, server, link)) {
+      ASSERT_LE(best.total(), c.total() + 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Partition, RequiresPositiveBandwidth) {
+  const auto g = models::tiny_cnn();
+  EXPECT_THROW(optimal_partition(g, profiles::smartphone(),
+                                 profiles::edge_cpu(), LinkSpec{0.0, 0.0}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace scalpel

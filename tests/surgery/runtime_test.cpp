@@ -1,0 +1,127 @@
+#include "surgery/multi_exit_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+namespace {
+
+struct Fixture {
+  Graph g = models::tiny_cnn();
+  std::vector<ExitCandidate> cands;
+  Fixture() {
+    ExitCandidateOptions opts;
+    opts.num_classes = 10;
+    opts.min_spacing = 0.0;
+    cands = find_exit_candidates(g, opts);
+  }
+  Tensor input(std::uint64_t seed) const {
+    Rng rng(seed);
+    return Tensor::randn(g.node(0).out_shape, rng, 0.5f);
+  }
+};
+
+TEST(MultiExitRuntime, ProbThresholdMapping) {
+  EXPECT_DOUBLE_EQ(MultiExitRuntime::prob_threshold(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(MultiExitRuntime::prob_threshold(0.8), 0.9);
+  EXPECT_THROW(MultiExitRuntime::prob_threshold(1.0), ContractViolation);
+}
+
+TEST(MultiExitRuntime, EmptyPolicyMatchesPlainExecutor) {
+  Fixture f;
+  const MultiExitRuntime me(f.g, f.cands, {}, 42);
+  const Executor plain(f.g, 42);
+  const auto in = f.input(1);
+  const auto r = me.infer(in);
+  EXPECT_EQ(r.exit_index, -1);
+  EXPECT_EQ(max_abs_diff(r.probs, plain.run(in)), 0.0);
+  EXPECT_EQ(r.executed_flops, f.g.total_flops());
+}
+
+TEST(MultiExitRuntime, OutputIsAlwaysDistribution) {
+  Fixture f;
+  ExitPolicy p;
+  p.exits = {{0, 0.0}};
+  const MultiExitRuntime me(f.g, f.cands, p, 7);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto r = me.infer(f.input(s));
+    EXPECT_NEAR(r.probs.sum(), 1.0, 1e-5);
+    EXPECT_GE(r.confidence, 0.0);
+    EXPECT_LE(r.confidence, 1.0);
+  }
+}
+
+TEST(MultiExitRuntime, EarlyExitExecutesFewerFlops) {
+  Fixture f;
+  ExitPolicy aggressive;
+  aggressive.exits = {{0, 0.0}};  // threshold 0.5: fires whenever top1 > 0.5
+  const MultiExitRuntime me(f.g, f.cands, aggressive, 9);
+  const MultiExitRuntime vanilla(f.g, f.cands, {}, 9);
+  // At least some inputs should exit early; when they do, executed flops
+  // must be strictly fewer than the full path (head is tiny vs the suffix).
+  int early = 0;
+  for (std::uint64_t s = 0; s < 30; ++s) {
+    const auto in = f.input(s + 100);
+    const auto r = me.infer(in);
+    if (r.exit_index >= 0) {
+      ++early;
+      EXPECT_LT(r.executed_flops, f.g.total_flops());
+      EXPECT_GE(r.confidence, MultiExitRuntime::prob_threshold(0.0));
+    } else {
+      EXPECT_GT(r.executed_flops, f.g.total_flops());  // heads are overhead
+    }
+  }
+  // Untrained heads still produce confident outputs on some inputs; if this
+  // ever becomes flaky the threshold can be relaxed, but determinism of the
+  // seeded weights makes it stable.
+  SUCCEED() << early << "/30 exited early";
+}
+
+TEST(MultiExitRuntime, NearImpossibleThresholdNeverExitsEarly) {
+  Fixture f;
+  ExitPolicy p;
+  p.exits = {{0, 0.999999}};  // demands ~certainty from a 10-way softmax
+  const MultiExitRuntime me(f.g, f.cands, p, 11);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto r = me.infer(f.input(s + 300));
+    EXPECT_EQ(r.exit_index, -1);
+  }
+}
+
+TEST(MultiExitRuntime, DeterministicAcrossRuns) {
+  Fixture f;
+  ExitPolicy p;
+  p.exits = {{0, 0.2}};
+  const MultiExitRuntime a(f.g, f.cands, p, 13);
+  const MultiExitRuntime b(f.g, f.cands, p, 13);
+  const auto in = f.input(5);
+  const auto ra = a.infer(in);
+  const auto rb = b.infer(in);
+  EXPECT_EQ(ra.exit_index, rb.exit_index);
+  EXPECT_EQ(max_abs_diff(ra.probs, rb.probs), 0.0);
+}
+
+TEST(MultiExitRuntime, ValidatesPolicy) {
+  Fixture f;
+  ExitPolicy bad;
+  bad.exits = {{f.cands.size() + 3, 0.1}};
+  EXPECT_THROW(MultiExitRuntime(f.g, f.cands, bad, 1), ContractViolation);
+}
+
+TEST(MultiExitRuntime, MultipleExitsEvaluateInDepthOrder) {
+  Fixture f;
+  ASSERT_GE(f.cands.size(), 2u);
+  ExitPolicy p;
+  p.exits = {{0, 0.999999}, {1, 0.0}};  // first never fires, second may
+  const MultiExitRuntime me(f.g, f.cands, p, 17);
+  for (std::uint64_t s = 0; s < 10; ++s) {
+    const auto r = me.infer(f.input(s + 400));
+    EXPECT_NE(r.exit_index, 0);  // exit 0's threshold is unreachable
+  }
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,186 @@
+#include "surgery/exit_setting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/models.hpp"
+#include "profile/compute_profile.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+struct Fixture {
+  Graph g;
+  std::vector<ExitCandidate> cands;
+  AccuracyModel acc;
+  ComputeProfile profile = profiles::raspberry_pi4();
+
+  explicit Fixture(const std::string& model = "tiny_cnn",
+                   std::size_t max_cands = 4) {
+    g = models::by_name(model);
+    acc = AccuracyModel::for_model(model);
+    ExitCandidateOptions opts;
+    opts.num_classes = 10;
+    opts.min_spacing = 0.0;
+    opts.max_candidates = max_cands;
+    cands = find_exit_candidates(g, opts);
+  }
+};
+
+ExitSettingOptions small_opts(double min_accuracy) {
+  ExitSettingOptions o;
+  o.min_accuracy = min_accuracy;
+  o.theta_grid = {0.0, 0.3, 0.6};
+  o.max_exits = 3;
+  o.coverage_bins = 200;
+  return o;
+}
+
+TEST(ExitSetting, ExhaustiveFindsFeasibleImprovement) {
+  Fixture f;
+  const auto opts = small_opts(0.70);
+  const auto r = exhaustive_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.stats.expected_accuracy, opts.min_accuracy - 1e-9);
+  // Exits must help on a compute-bound device.
+  const auto vanilla = evaluate_policy(f.g, f.cands, {}, f.acc);
+  const double vanilla_latency = expected_policy_latency(
+      f.g, f.cands, {}, vanilla, f.profile);
+  EXPECT_LE(r.expected_latency, vanilla_latency + 1e-12);
+}
+
+TEST(ExitSetting, DpMatchesExhaustiveWithinTolerance) {
+  for (const char* model : {"tiny_cnn", "lenet5"}) {
+    Fixture f(model);
+    for (double floor : {0.0, 0.60, 0.75}) {
+      const auto opts = small_opts(floor);
+      const auto ex =
+          exhaustive_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+      const auto dp = dp_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+      ASSERT_EQ(ex.feasible, dp.feasible) << model << " floor " << floor;
+      if (!ex.feasible) continue;
+      // DP is near-optimal up to coverage discretization.
+      EXPECT_LE(dp.expected_latency, ex.expected_latency * 1.05 + 1e-9)
+          << model << " floor " << floor;
+      EXPECT_GE(dp.stats.expected_accuracy, floor - 1e-9);
+    }
+  }
+}
+
+TEST(ExitSetting, GreedyIsFeasibleAndNeverWorseThanVanilla) {
+  Fixture f("tiny_cnn", 6);
+  const auto opts = small_opts(0.70);
+  const auto r = greedy_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GE(r.stats.expected_accuracy, opts.min_accuracy - 1e-9);
+  const auto vanilla = evaluate_policy(f.g, f.cands, {}, f.acc);
+  EXPECT_LE(r.expected_latency,
+            expected_policy_latency(f.g, f.cands, {}, vanilla, f.profile) +
+                1e-12);
+}
+
+TEST(ExitSetting, GreedyNeverBeatsExhaustive) {
+  Fixture f;
+  const auto opts = small_opts(0.65);
+  const auto ex = exhaustive_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  const auto gr = greedy_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  ASSERT_TRUE(ex.feasible && gr.feasible);
+  EXPECT_GE(gr.expected_latency, ex.expected_latency - 1e-12);
+}
+
+TEST(ExitSetting, InfeasibleFloorReported) {
+  Fixture f;
+  // tiny_cnn a_max = 0.80; a floor above it is unsatisfiable.
+  const auto opts = small_opts(0.90);
+  EXPECT_FALSE(
+      exhaustive_exit_setting(f.g, f.cands, f.acc, f.profile, opts).feasible);
+  EXPECT_FALSE(
+      dp_exit_setting(f.g, f.cands, f.acc, f.profile, opts).feasible);
+  EXPECT_FALSE(
+      greedy_exit_setting(f.g, f.cands, f.acc, f.profile, opts).feasible);
+}
+
+TEST(ExitSetting, TighterFloorCostsLatency) {
+  Fixture f;
+  const auto loose = dp_exit_setting(f.g, f.cands, f.acc, f.profile,
+                                     small_opts(0.0));
+  const auto tight = dp_exit_setting(f.g, f.cands, f.acc, f.profile,
+                                     small_opts(0.78));
+  ASSERT_TRUE(loose.feasible && tight.feasible);
+  EXPECT_LE(loose.expected_latency, tight.expected_latency + 1e-12);
+}
+
+TEST(ExitSetting, MaxExitsHonored) {
+  Fixture f("tiny_cnn", 6);
+  auto opts = small_opts(0.0);
+  opts.max_exits = 1;
+  const auto r = dp_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.policy.exits.size(), 1u);
+}
+
+TEST(ExitSetting, DpScalesBetterThanExhaustive) {
+  Fixture f("mobilenet_v1", 8);
+  ASSERT_GE(f.cands.size(), 6u);
+  // In the regime the DP targets (several exits, fine threshold grid) the
+  // exhaustive subset x grid enumeration is combinatorial while the DP stays
+  // ~linear in candidates x bins.
+  ExitSettingOptions opts;
+  opts.min_accuracy = 0.60;
+  opts.theta_grid = {0.0, 0.15, 0.30, 0.45, 0.60};
+  opts.max_exits = 4;
+  opts.coverage_bins = 80;
+  const auto dp = dp_exit_setting(f.g, f.cands, f.acc, f.profile, opts);
+  const auto ex = exhaustive_exit_setting(f.g, f.cands, f.acc, f.profile,
+                                          opts);
+  ASSERT_TRUE(dp.feasible);
+  ASSERT_TRUE(ex.feasible);
+  EXPECT_LT(dp.evaluations, ex.evaluations);
+  // And it stays near-optimal.
+  EXPECT_LE(dp.expected_latency, ex.expected_latency * 1.05 + 1e-9);
+}
+
+TEST(ExitSetting, CostTableDpHandlesUniformCosts) {
+  Fixture f;
+  ExitCostTable costs;
+  costs.segment.assign(f.cands.size(), 1.0);
+  costs.head.assign(f.cands.size(), 0.1);
+  costs.tail = 1.0;
+  const auto opts = small_opts(0.0);
+  const auto r = dp_exit_setting_costs(f.g, f.cands, f.acc, costs, opts);
+  ASSERT_TRUE(r.feasible);
+  // With exits nearly free and no accuracy floor, enabling exits must beat
+  // running everything.
+  const double no_exit_cost =
+      static_cast<double>(f.cands.size()) * 1.0 + 1.0;
+  EXPECT_LT(r.expected_latency, no_exit_cost);
+}
+
+TEST(ExitSetting, PolicyCostAgreesWithStatsIntegration) {
+  Fixture f;
+  ExitCostTable costs;
+  costs.segment.assign(f.cands.size(), 2.0);
+  costs.head.assign(f.cands.size(), 0.5);
+  costs.tail = 3.0;
+  ExitPolicy p;
+  p.exits = {{0, 0.2}};
+  if (f.cands.size() > 2) p.exits.push_back({2, 0.4});
+  const auto stats = evaluate_policy(f.g, f.cands, p, f.acc);
+  // Manual: every candidate segment paid by reach at that point.
+  double manual = 0.0;
+  double reach = 1.0;
+  std::size_t next = 0;
+  for (std::size_t c = 0; c < f.cands.size(); ++c) {
+    manual += reach * 2.0;
+    if (next < p.exits.size() && p.exits[next].candidate == c) {
+      manual += reach * 0.5;
+      reach -= stats.fire_prob[next];
+      ++next;
+    }
+  }
+  manual += reach * 3.0;
+  EXPECT_NEAR(policy_cost(f.cands, p, stats, costs), manual, 1e-12);
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,135 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  Shape s{3, 4, 5};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 60);
+  EXPECT_EQ(s.bytes(), 240);
+  EXPECT_EQ(s[0], 3);
+  EXPECT_EQ(s.to_string(), "[3x4x5]");
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{2, 3}), (Shape{2, 3}));
+  EXPECT_NE((Shape{2, 3}), (Shape{3, 2}));
+  EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
+}
+
+TEST(Shape, RejectsNonPositiveDims) {
+  EXPECT_THROW((Shape{0, 3}), ContractViolation);
+  EXPECT_THROW((Shape{3, -1}), ContractViolation);
+}
+
+TEST(Shape, EmptyShapeHasZeroNumel) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FullFillsValue) {
+  auto t = Tensor::full(Shape{4}, 2.5f);
+  EXPECT_DOUBLE_EQ(t.sum(), 10.0);
+}
+
+TEST(Tensor, ChwIndexingRoundTrips) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  t.at(0, 0, 0) = 1.0f;
+  EXPECT_EQ(t.at(1, 2, 3), 7.0f);
+  EXPECT_EQ(t.at(0, 0, 0), 1.0f);
+  // Flat layout: ((c*H)+h)*W + w
+  EXPECT_EQ(t.at((1 * 3 + 2) * 4 + 3), 7.0f);
+}
+
+TEST(Tensor, ChwIndexingBoundsChecked) {
+  Tensor t(Shape{2, 3, 4});
+  EXPECT_THROW(t.at(2, 0, 0), ContractViolation);
+  EXPECT_THROW(t.at(0, 3, 0), ContractViolation);
+  EXPECT_THROW(t.at(0, 0, 4), ContractViolation);
+  EXPECT_THROW(t.at(-1, 0, 0), ContractViolation);
+}
+
+TEST(Tensor, ChwAccessorRequiresRank3) {
+  Tensor t(Shape{6});
+  EXPECT_THROW(t.at(0, 0, 0), ContractViolation);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3});
+  for (std::int64_t i = 0; i < 6; ++i) t.at(i) = static_cast<float>(i);
+  const Tensor r = t.reshaped(Shape{6});
+  EXPECT_EQ(r.shape(), (Shape{6}));
+  for (std::int64_t i = 0; i < 6; ++i) EXPECT_EQ(r.at(i), static_cast<float>(i));
+}
+
+TEST(Tensor, ReshapeRejectsCountMismatch) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.reshaped(Shape{7}), ContractViolation);
+}
+
+TEST(Tensor, RandnIsDeterministicPerSeed) {
+  Rng a(99);
+  Rng b(99);
+  const auto t1 = Tensor::randn(Shape{100}, a);
+  const auto t2 = Tensor::randn(Shape{100}, b);
+  EXPECT_EQ(max_abs_diff(t1, t2), 0.0);
+}
+
+TEST(Tensor, RandnApproxMoments) {
+  Rng rng(7);
+  const auto t = Tensor::randn(Shape{100, 100}, rng, 2.0f);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    sum += t.at(i);
+    sq += static_cast<double>(t.at(i)) * t.at(i);
+  }
+  const double mean = sum / static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sq / static_cast<double>(t.numel()), 4.0, 0.2);
+}
+
+TEST(Tensor, AllFiniteDetectsNan) {
+  Tensor t(Shape{3});
+  EXPECT_TRUE(t.all_finite());
+  t.at(1) = std::nanf("");
+  EXPECT_FALSE(t.all_finite());
+}
+
+TEST(Tensor, AbsMax) {
+  Tensor t(Shape{3});
+  t.at(0) = -5.0f;
+  t.at(1) = 2.0f;
+  EXPECT_DOUBLE_EQ(t.abs_max(), 5.0);
+}
+
+TEST(Tensor, MaxAbsDiffRequiresMatchingShapes) {
+  Tensor a(Shape{2});
+  Tensor b(Shape{3});
+  EXPECT_THROW(max_abs_diff(a, b), ContractViolation);
+}
+
+TEST(Tensor, MaxAbsDiffComputes) {
+  Tensor a = Tensor::full(Shape{4}, 1.0f);
+  Tensor b = Tensor::full(Shape{4}, 1.0f);
+  b.at(2) = 3.0f;
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 2.0);
+}
+
+}  // namespace
+}  // namespace scalpel

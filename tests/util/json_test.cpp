@@ -1,0 +1,136 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Json, ScalarsRoundTrip) {
+  EXPECT_EQ(Json::null().dump(), "null");
+  EXPECT_EQ(Json::boolean(true).dump(), "true");
+  EXPECT_EQ(Json::boolean(false).dump(), "false");
+  EXPECT_EQ(Json::number(42).dump(), "42");
+  EXPECT_EQ(Json::number(-3.5).dump(), "-3.5");
+  EXPECT_EQ(Json::string("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, TypedAccessors) {
+  EXPECT_TRUE(Json::boolean(true).as_bool());
+  EXPECT_DOUBLE_EQ(Json::number(2.5).as_number(), 2.5);
+  EXPECT_EQ(Json::number(7).as_int(), 7);
+  EXPECT_EQ(Json::string("x").as_string(), "x");
+  EXPECT_THROW(Json::number(1).as_string(), ContractViolation);
+  EXPECT_THROW(Json::string("x").as_number(), ContractViolation);
+  EXPECT_THROW(Json::number(1.5).as_int(), ContractViolation);
+}
+
+TEST(Json, ArrayOperations) {
+  Json a = Json::array();
+  a.push_back(Json::number(1));
+  a.push_back(Json::string("two"));
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.at(0).as_int(), 1);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+  EXPECT_THROW(a.at(2), ContractViolation);
+  EXPECT_EQ(a.dump(), "[1,\"two\"]");
+}
+
+TEST(Json, ObjectOperationsPreserveInsertionOrder) {
+  Json o = Json::object();
+  o.set("z", Json::number(1));
+  o.set("a", Json::number(2));
+  o.set("z", Json::number(3));  // overwrite keeps position
+  EXPECT_EQ(o.size(), 2u);
+  EXPECT_TRUE(o.contains("a"));
+  EXPECT_FALSE(o.contains("b"));
+  EXPECT_EQ(o.at("z").as_int(), 3);
+  EXPECT_EQ(o.dump(), "{\"z\":3,\"a\":2}");
+  EXPECT_THROW(o.at("missing"), ContractViolation);
+}
+
+TEST(Json, StringEscaping) {
+  const Json s = Json::string("a\"b\\c\nd\te\x01");
+  const std::string dumped = s.dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+  EXPECT_EQ(Json::parse(dumped).as_string(), s.as_string());
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_TRUE(Json::parse(" true ").as_bool());
+  EXPECT_DOUBLE_EQ(Json::parse("-12.25e1").as_number(), -122.5);
+  EXPECT_EQ(Json::parse("\"x\\u0041y\"").as_string(), "xAy");
+}
+
+TEST(Json, ParseNested) {
+  const auto j = Json::parse(
+      R"({"name":"lab","devices":[{"id":0,"rate":2.5},{"id":1,"rate":1.0}],)"
+      R"("ok":true})");
+  EXPECT_EQ(j.at("name").as_string(), "lab");
+  EXPECT_EQ(j.at("devices").size(), 2u);
+  EXPECT_DOUBLE_EQ(j.at("devices").at(0).at("rate").as_number(), 2.5);
+  EXPECT_TRUE(j.at("ok").as_bool());
+}
+
+TEST(Json, RoundTripComplexDocument) {
+  Json o = Json::object();
+  Json& arr = o.set("list", Json::array());
+  for (int i = 0; i < 5; ++i) {
+    Json item = Json::object();
+    item.set("i", Json::number(i));
+    item.set("sq", Json::number(i * i));
+    arr.push_back(std::move(item));
+  }
+  o.set("meta", Json::string("round trip"));
+  const Json parsed = Json::parse(o.dump());
+  EXPECT_EQ(parsed, o);
+  const Json pretty_parsed = Json::parse(o.dump_pretty());
+  EXPECT_EQ(pretty_parsed, o);
+}
+
+TEST(Json, PrettyPrintShape) {
+  Json o = Json::object();
+  o.set("a", Json::number(1));
+  Json arr = Json::array();
+  arr.push_back(Json::number(2));
+  o.set("b", std::move(arr));
+  const std::string s = o.dump_pretty();
+  EXPECT_NE(s.find("{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}"),
+            std::string::npos);
+}
+
+TEST(Json, ParseErrorsAreDiagnosed) {
+  EXPECT_THROW(Json::parse(""), ContractViolation);
+  EXPECT_THROW(Json::parse("{"), ContractViolation);
+  EXPECT_THROW(Json::parse("[1,]"), ContractViolation);
+  EXPECT_THROW(Json::parse("{\"a\":1,}"), ContractViolation);
+  EXPECT_THROW(Json::parse("tru"), ContractViolation);
+  EXPECT_THROW(Json::parse("1 2"), ContractViolation);
+  EXPECT_THROW(Json::parse("\"unterminated"), ContractViolation);
+  EXPECT_THROW(Json::parse("{a:1}"), ContractViolation);
+}
+
+TEST(Json, NumbersPrintIntegersCleanly) {
+  EXPECT_EQ(Json::number(1e6).dump(), "1000000");
+  EXPECT_EQ(Json::number(0.5).dump(), "0.5");
+  // Round-trips preserve value.
+  EXPECT_DOUBLE_EQ(Json::parse(Json::number(0.1).dump()).as_number(), 0.1);
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(Json::number(std::numeric_limits<double>::infinity()),
+               ContractViolation);
+}
+
+TEST(Json, EqualityIsStructural) {
+  const auto a = Json::parse(R"({"x":[1,2],"y":"s"})");
+  const auto b = Json::parse(R"({ "x" : [ 1 , 2 ] , "y" : "s" })");
+  EXPECT_EQ(a, b);
+  const auto c = Json::parse(R"({"x":[1,3],"y":"s"})");
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace scalpel

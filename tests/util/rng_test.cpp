@@ -1,0 +1,202 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(v, -3.0);
+    ASSERT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(2, 6);
+    ASSERT_GE(v, 2);
+    ASSERT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(19);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntRejectsBadRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform_int(3, 2), ContractViolation);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(23);
+  const double lambda = 4.0;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(lambda);
+  EXPECT_NEAR(sum / n, 1.0 / lambda, 0.01);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  Rng rng(29);
+  for (int i = 0; i < 10000; ++i) ASSERT_GE(rng.exponential(0.5), 0.0);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate) {
+  Rng rng(1);
+  EXPECT_THROW(rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW(rng.exponential(-1.0), ContractViolation);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(31);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(2.0, 3.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(Rng, LognormalMeanAndCov) {
+  Rng rng(37);
+  const int n = 200000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.lognormal_mean_cov(5.0, 0.4);
+    ASSERT_GT(v, 0.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double cov = std::sqrt(sq / n - mean * mean) / mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(cov, 0.4, 0.02);
+}
+
+TEST(Rng, LognormalZeroCovIsDeterministic) {
+  Rng rng(41);
+  EXPECT_DOUBLE_EQ(rng.lognormal_mean_cov(3.0, 0.0), 3.0);
+}
+
+class PoissonMeanTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(PoissonMeanTest, SampleMeanMatches) {
+  const double mean = GetParam();
+  Rng rng(43);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.poisson(mean);
+    ASSERT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, mean, std::max(0.05, mean * 0.03));
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, PoissonMeanTest,
+                         ::testing::Values(0.1, 1.0, 5.0, 30.0, 100.0));
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(47);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(53);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsDegenerateInput) {
+  Rng rng(1);
+  EXPECT_THROW(rng.categorical({}), ContractViolation);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(rng.categorical({1.0, -1.0}), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto w = v;
+  rng.shuffle(w);
+  EXPECT_NE(v, w);  // astronomically unlikely to be identity
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(61);
+  Rng child1 = parent.split();
+  Rng child2 = parent.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.next_u64() == child2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,81 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace scalpel {
+namespace {
+
+TEST(Table, RejectsEmptyHeaders) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), ContractViolation);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), ContractViolation);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::int64_t{42}), "42");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "with,comma"});
+  t.add_row({"with\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_NE(csv.find("a,b\n"), std::string::npos);
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"a"});
+  t.add_row({"v0"});
+  t.add_row({"v1"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 1u);
+  EXPECT_EQ(t.row(1)[0], "v1");
+}
+
+TEST(Csv, WritesFile) {
+  Table t({"h"});
+  t.add_row({"v"});
+  const auto path =
+      std::filesystem::temp_directory_path() / "scalpel_csv_test.csv";
+  ASSERT_TRUE(write_csv(t, path.string()));
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::getline(in, line);
+  EXPECT_EQ(line, "v");
+  std::filesystem::remove(path);
+}
+
+TEST(Csv, FailsGracefullyOnBadPath) {
+  Table t({"h"});
+  EXPECT_FALSE(write_csv(t, "/nonexistent_dir_xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace scalpel

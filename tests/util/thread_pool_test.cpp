@@ -1,0 +1,94 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+namespace scalpel {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToHardware) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::atomic<int> value{0};
+  auto f = pool.submit([&] { value = 42; });
+  f.get();
+  EXPECT_EQ(value, 42);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) ASSERT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, 11, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum, 10);
+}
+
+TEST(ThreadPool, ParallelForSumsCorrectly) {
+  ThreadPool pool(8);
+  const std::size_t n = 100000;
+  std::atomic<std::int64_t> total{0};
+  pool.parallel_for(0, n, [&](std::size_t lo, std::size_t hi) {
+    std::int64_t local = 0;
+    for (std::size_t i = lo; i < hi; ++i) local += static_cast<std::int64_t>(i);
+    total += local;
+  });
+  EXPECT_EQ(total, static_cast<std::int64_t>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo == 0) throw std::runtime_error("chunk fail");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::shared(), &ThreadPool::shared());
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> fs;
+  for (int i = 0; i < 200; ++i) {
+    fs.push_back(pool.submit([&] { ++count; }));
+  }
+  for (auto& f : fs) f.get();
+  EXPECT_EQ(count, 200);
+}
+
+}  // namespace
+}  // namespace scalpel
