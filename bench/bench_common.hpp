@@ -1,17 +1,21 @@
 #pragma once
 
 // Shared plumbing for the figure/table reproduction binaries: a consistent
-// header block, scheme runners, and a DES wrapper. Every bench prints the
+// header block, scheme runners, and DES wrappers. Every bench prints the
 // rows/series of one reconstructed table or figure from the evaluation.
+// Measured cells come from replicated DES runs and carry a 95% CI
+// (methodology: EXPERIMENTS.md, "Replication methodology").
 
 #include <cmath>
 #include <cstdio>
 #include <string>
 
 #include "baselines/baselines.hpp"
+#include "util/assert.hpp"
 #include "core/joint.hpp"
 #include "core/objective.hpp"
 #include "edge/builders.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -41,20 +45,85 @@ inline Decision run_scheme(const ProblemInstance& instance,
   return baselines::by_name(instance, name);
 }
 
-/// Short DES validation run for a decision.
+/// DES validation options. Warmup is explicit — earlier revisions silently
+/// used horizon * 0.1, which let short-horizon benches discard every
+/// completion and report empty Samples as zeros.
+struct SimulateOptions {
+  double horizon = 40.0;
+  double warmup = 4.0;
+  std::uint64_t seed = 1;
+  std::size_t replications = 8;  // for simulate_replicated
+  std::size_t threads = 0;       // 0 = one per hardware core
+};
+
+inline SimulateOptions sim_opts(double horizon, std::uint64_t seed = 1) {
+  SimulateOptions o;
+  o.horizon = horizon;
+  o.warmup = horizon * 0.1;  // the historical default, now stated
+  o.seed = seed;
+  return o;
+}
+
+/// Single-replication DES run (kept for transient/trace studies that need
+/// one concrete trajectory). Asserts post-warmup completions > 0.
+inline SimMetrics simulate(const ProblemInstance& instance, const Decision& d,
+                           const SimulateOptions& opts) {
+  Simulator::Options o;
+  o.horizon = opts.horizon;
+  o.warmup = opts.warmup;
+  o.seed = opts.seed;
+  Simulator sim(instance, d, o);
+  SimMetrics m = sim.run();
+  SCALPEL_REQUIRE(m.completed > 0,
+                  "bench simulation finished zero post-warmup tasks; "
+                  "lengthen the horizon or shrink the warmup");
+  return m;
+}
+
 inline SimMetrics simulate(const ProblemInstance& instance, const Decision& d,
                            double horizon = 40.0, std::uint64_t seed = 1) {
-  Simulator::Options opts;
-  opts.horizon = horizon;
-  opts.warmup = horizon * 0.1;
-  opts.seed = seed;
-  Simulator sim(instance, d, opts);
-  return sim.run();
+  return simulate(instance, d, sim_opts(horizon, seed));
+}
+
+/// Replicated DES run: fans opts.replications independent seeds across the
+/// pool and aggregates per-replication scalars (see ScenarioRunner).
+inline ReplicatedMetrics simulate_replicated(const ProblemInstance& instance,
+                                             const Decision& d,
+                                             const SimulateOptions& opts) {
+  ScenarioRunner::Options ro;
+  ro.replications = opts.replications;
+  ro.threads = opts.threads;
+  ro.sim.horizon = opts.horizon;
+  ro.sim.warmup = opts.warmup;
+  ro.sim.seed = opts.seed;
+  return ScenarioRunner(instance, d, ro).run();
+}
+
+inline ReplicatedMetrics simulate_replicated(const ProblemInstance& instance,
+                                             const Decision& d,
+                                             double horizon = 40.0,
+                                             std::uint64_t seed = 1) {
+  return simulate_replicated(instance, d, sim_opts(horizon, seed));
 }
 
 inline std::string fmt_ms(double seconds) {
   if (!std::isfinite(seconds)) return "unstable";
   return Table::num(to_ms(seconds), 2);
+}
+
+/// "mean ± ci" cell (in ms) from per-replication second-valued samples.
+inline std::string fmt_mean_ci_ms(const Samples& per_rep_seconds,
+                                  int precision = 1) {
+  if (per_rep_seconds.empty()) return "-";
+  const Summary s = summarize(per_rep_seconds);
+  return Table::mean_ci(to_ms(s.mean), to_ms(s.ci95), precision);
+}
+
+/// "mean ± ci" cell for dimensionless per-replication samples.
+inline std::string fmt_mean_ci(const Samples& per_rep, int precision = 3) {
+  if (per_rep.empty()) return "-";
+  const Summary s = summarize(per_rep);
+  return Table::mean_ci(s.mean, s.ci95, precision);
 }
 
 }  // namespace scalpel::bench

@@ -15,17 +15,18 @@ int main() {
   copts.seed = 29;
   const ProblemInstance instance(clusters::campus(copts));
 
-  Table t({"scheme", "DES mean ms", "energy mJ/task", "offload frac."});
+  Table t({"scheme", "DES mean ms (±95% CI)", "energy mJ/task (±95% CI)",
+           "offload frac."});
   const std::vector<std::string> schemes = {"device_only", "edge_only",
                                             "neurosurgeon",
                                             "local_multi_exit", "joint"};
   for (const auto& scheme : schemes) {
     const auto d = bench::run_scheme(instance, scheme);
-    const auto m = bench::simulate(instance, d, 30.0);
-    t.add_row({scheme,
-               m.completed ? Table::num(to_ms(m.latency.mean()), 1) : "-",
-               m.completed ? Table::num(m.mean_task_energy * 1e3, 1) : "-",
-               Table::num(m.offload_fraction, 2)});
+    const auto m = bench::simulate_replicated(instance, d, 30.0);
+    const Summary energy = summarize(m.task_energy);
+    t.add_row({scheme, bench::fmt_mean_ci_ms(m.mean_latency),
+               Table::mean_ci(energy.mean * 1e3, energy.ci95 * 1e3, 1),
+               bench::fmt_mean_ci(m.offload_fraction, 2)});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected shape: device-only burns the most device energy on\n"

@@ -38,7 +38,7 @@ ClusterTopology lab_with_difficulty(const DifficultyModel& diff) {
 int main() {
   bench::banner("F15", "Sensitivity to the input-difficulty mix");
   Table t({"difficulty", "joint ms", "joint w/o exits ms", "exit gain",
-           "DES mean ms", "DES accuracy"});
+           "DES mean ms (±95% CI)", "DES accuracy (±95% CI)"});
   for (const char* preset :
        {"easy_heavy", "bimodal_easy", "uniform", "hard_heavy"}) {
     const ProblemInstance instance(
@@ -48,7 +48,7 @@ int main() {
     JointOptions ne = bench::joint_opts();
     ne.enable_exits = false;
     const auto no_exits = JointOptimizer(ne).optimize(instance);
-    const auto m = bench::simulate(instance, joint, 40.0);
+    const auto m = bench::simulate_replicated(instance, joint, 40.0);
     std::string gain = "-";
     if (std::isfinite(joint.mean_latency) &&
         std::isfinite(no_exits.mean_latency)) {
@@ -56,8 +56,8 @@ int main() {
     }
     t.add_row({preset, bench::fmt_ms(joint.mean_latency),
                bench::fmt_ms(no_exits.mean_latency), gain,
-               m.completed ? Table::num(to_ms(m.latency.mean()), 1) : "-",
-               Table::num(m.measured_accuracy, 3)});
+               bench::fmt_mean_ci_ms(m.mean_latency),
+               bench::fmt_mean_ci(m.accuracy)});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected shape: the exit gain is largest for easy-dominated\n"

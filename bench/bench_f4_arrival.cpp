@@ -1,6 +1,6 @@
 // F4 — Mean/p99 latency vs task arrival rate, all schemes, on the campus
-// cluster. Analytical prediction plus DES measurement; unstable schemes are
-// reported as such.
+// cluster. Analytical prediction plus replicated DES measurement (mean ±
+// 95% CI over 8 seeds); unstable schemes are reported as such.
 
 #include "bench_common.hpp"
 
@@ -11,8 +11,8 @@ int main() {
   const std::vector<std::string> schemes = {"device_only", "edge_only",
                                             "neurosurgeon", "local_multi_exit",
                                             "random", "joint"};
-  Table t({"rate/dev", "scheme", "pred. mean ms", "DES mean ms", "DES p99 ms",
-           "deadline sat."});
+  Table t({"rate/dev", "scheme", "pred. mean ms", "DES mean ms (±95% CI)",
+           "DES p99 ms (±95% CI)", "deadline sat."});
   for (double rate : {0.5, 1.0, 2.0, 4.0}) {
     clusters::CampusOptions copts;
     copts.num_devices = 12;
@@ -22,11 +22,11 @@ int main() {
     const ProblemInstance instance(clusters::campus(copts));
     for (const auto& scheme : schemes) {
       const auto d = bench::run_scheme(instance, scheme);
-      const auto m = bench::simulate(instance, d, 30.0);
+      const auto m = bench::simulate_replicated(instance, d, 30.0);
       t.add_row({Table::num(rate, 1), scheme, bench::fmt_ms(d.mean_latency),
-                 m.completed ? Table::num(to_ms(m.latency.mean()), 2) : "-",
-                 m.completed ? Table::num(to_ms(m.latency.p99()), 2) : "-",
-                 Table::num(m.deadline_satisfaction, 3)});
+                 bench::fmt_mean_ci_ms(m.mean_latency),
+                 bench::fmt_mean_ci_ms(m.p99_latency),
+                 bench::fmt_mean_ci(m.deadline_satisfaction)});
     }
   }
   std::printf("%s\n", t.to_string().c_str());

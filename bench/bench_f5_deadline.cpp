@@ -22,16 +22,17 @@ int main() {
   bench::banner("F5", "Deadline satisfaction vs deadline tightness");
   const std::vector<std::string> schemes = {"neurosurgeon", "local_multi_exit",
                                             "joint"};
-  Table t({"deadline ms", "scheme", "pred. sat.", "DES sat.", "DES mean ms"});
+  Table t({"deadline ms", "scheme", "pred. sat.", "DES sat. (±95% CI)",
+           "DES mean ms (±95% CI)"});
   for (double deadline_ms : {50.0, 100.0, 150.0, 250.0, 400.0, 800.0}) {
     const ProblemInstance instance(with_deadline(ms(deadline_ms)));
     for (const auto& scheme : schemes) {
       const auto d = bench::run_scheme(instance, scheme);
       const double pred = predicted_deadline_satisfaction(instance, d);
-      const auto m = bench::simulate(instance, d, 30.0);
+      const auto m = bench::simulate_replicated(instance, d, 30.0);
       t.add_row({Table::num(deadline_ms, 0), scheme, Table::num(pred, 3),
-                 Table::num(m.deadline_satisfaction, 3),
-                 m.completed ? Table::num(to_ms(m.latency.mean()), 2) : "-"});
+                 bench::fmt_mean_ci(m.deadline_satisfaction),
+                 bench::fmt_mean_ci_ms(m.mean_latency)});
     }
   }
   std::printf("%s\n", t.to_string().c_str());

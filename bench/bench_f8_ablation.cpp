@@ -40,25 +40,25 @@ int main() {
     variants.push_back(v);
   }
 
-  Table t({"variant", "pred. mean ms", "DES mean ms", "DES p99 ms",
-           "deadline sat.", "offload frac."});
+  Table t({"variant", "pred. mean ms", "DES mean ms (±95% CI)",
+           "DES p99 ms (±95% CI)", "deadline sat.", "offload frac."});
   for (const auto& v : variants) {
     const auto d = JointOptimizer(v.opts).optimize(instance);
-    const auto m = bench::simulate(instance, d, 30.0);
+    const auto m = bench::simulate_replicated(instance, d, 30.0);
     t.add_row({v.name, bench::fmt_ms(d.mean_latency),
-               m.completed ? Table::num(to_ms(m.latency.mean()), 2) : "-",
-               m.completed ? Table::num(to_ms(m.latency.p99()), 2) : "-",
-               Table::num(m.deadline_satisfaction, 3),
-               Table::num(m.offload_fraction, 2)});
+               bench::fmt_mean_ci_ms(m.mean_latency),
+               bench::fmt_mean_ci_ms(m.p99_latency),
+               bench::fmt_mean_ci(m.deadline_satisfaction),
+               bench::fmt_mean_ci(m.offload_fraction, 2)});
   }
   // Plain neurosurgeon as the no-joint-anything anchor.
   const auto ns = bench::run_scheme(instance, "neurosurgeon");
-  const auto mns = bench::simulate(instance, ns, 30.0);
+  const auto mns = bench::simulate_replicated(instance, ns, 30.0);
   t.add_row({"neurosurgeon (anchor)", bench::fmt_ms(ns.mean_latency),
-             mns.completed ? Table::num(to_ms(mns.latency.mean()), 2) : "-",
-             mns.completed ? Table::num(to_ms(mns.latency.p99()), 2) : "-",
-             Table::num(mns.deadline_satisfaction, 3),
-             Table::num(mns.offload_fraction, 2)});
+             bench::fmt_mean_ci_ms(mns.mean_latency),
+             bench::fmt_mean_ci_ms(mns.p99_latency),
+             bench::fmt_mean_ci(mns.deadline_satisfaction),
+             bench::fmt_mean_ci(mns.offload_fraction, 2)});
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Expected shape: full joint <= each single-sided variant;\n"
               "both single-sided variants still beat the anchor.\n");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Two-tier CI entry point (see README "Testing"):
+#   ./ci.sh          — warnings-as-errors build + fast test tier (every push)
+#   ./ci.sh full     — same build + the full suite including slow DES tests
+set -euo pipefail
+
+TIER="${1:-fast}"
+BUILD_DIR="${BUILD_DIR:-build-ci}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+case "$TIER" in
+  fast)
+    ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
+    ;;
+  full)
+    ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+    ;;
+  *)
+    echo "usage: $0 [fast|full]" >&2
+    exit 2
+    ;;
+esac

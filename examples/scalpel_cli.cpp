@@ -3,12 +3,12 @@
 // through JSON files so the pieces compose in shell pipelines.
 //
 //   scalpel_cli topology --preset small_lab --out topo.json
-//   scalpel_cli topology --preset campus --devices 24 --servers 4 \
+//   scalpel_cli topology --preset campus --devices 24 --servers 4
 //       --seed 7 --out topo.json
-//   scalpel_cli optimize --topology topo.json --scheme joint \
+//   scalpel_cli optimize --topology topo.json --scheme joint
 //       --out decision.json
-//   scalpel_cli simulate --topology topo.json --decision decision.json \
-//       --horizon 60
+//   scalpel_cli simulate --topology topo.json --decision decision.json
+//       --horizon 60 --reps 16 --threads 8
 //   scalpel_cli models
 
 #include <cmath>
@@ -25,7 +25,9 @@
 #include "core/serialize.hpp"
 #include "edge/builders.hpp"
 #include "nn/models.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+#include "util/stats.hpp"
 #include "util/units.hpp"
 
 using namespace scalpel;
@@ -42,7 +44,8 @@ namespace {
                "local_multi_exit|random] [--objective latency|deadline] "
                "--out FILE\n"
                "  scalpel_cli simulate --topology FILE --decision FILE "
-               "[--horizon SECONDS] [--seed S]\n"
+               "[--horizon SECONDS] [--warmup SECONDS] [--seed S] "
+               "[--reps N] [--threads T]\n"
                "  scalpel_cli models\n");
   std::exit(2);
 }
@@ -157,17 +160,48 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
 
   Simulator::Options opts;
   opts.horizon = std::stod(flag_or(flags, "horizon", "60"));
-  opts.warmup = opts.horizon * 0.1;
+  opts.warmup = std::stod(flag_or(
+      flags, "warmup", std::to_string(opts.horizon * 0.1)));
   opts.seed = std::stoull(flag_or(flags, "seed", "1"));
-  Simulator sim(instance, decision, opts);
-  const auto m = sim.run();
-  std::printf("completed=%zu mean=%.2fms p95=%.2fms p99=%.2fms "
-              "deadline_sat=%.3f accuracy=%.3f offload=%.2f "
-              "energy=%.1fmJ/task\n",
-              m.completed, to_ms(m.latency.mean()), to_ms(m.latency.p95()),
-              to_ms(m.latency.p99()), m.deadline_satisfaction,
-              m.measured_accuracy, m.offload_fraction,
-              m.mean_task_energy * 1e3);
+  const auto reps =
+      static_cast<std::size_t>(std::stoul(flag_or(flags, "reps", "1")));
+  const auto threads =
+      static_cast<std::size_t>(std::stoul(flag_or(flags, "threads", "0")));
+
+  if (reps <= 1) {
+    Simulator sim(instance, decision, opts);
+    const auto m = sim.run();
+    std::printf("completed=%zu mean=%.2fms p95=%.2fms p99=%.2fms "
+                "deadline_sat=%.3f accuracy=%.3f offload=%.2f "
+                "energy=%.1fmJ/task\n",
+                m.completed, to_ms(m.latency.mean()), to_ms(m.latency.p95()),
+                to_ms(m.latency.p99()), m.deadline_satisfaction,
+                m.measured_accuracy, m.offload_fraction,
+                m.mean_task_energy * 1e3);
+    return 0;
+  }
+
+  // Replicated run: deterministic per-replication substreams, aggregated
+  // into mean ± 95% CI (bit-identical for any --threads value).
+  ScenarioRunner::Options ro;
+  ro.replications = reps;
+  ro.threads = threads;
+  ro.sim = opts;
+  const auto agg = ScenarioRunner(instance, decision, ro).run();
+  const auto mean = summarize(agg.mean_latency);
+  const auto p95 = summarize(agg.p95_latency);
+  const auto p99 = summarize(agg.p99_latency);
+  const auto sat = summarize(agg.deadline_satisfaction);
+  const auto acc = summarize(agg.accuracy);
+  const auto off = summarize(agg.offload_fraction);
+  const auto energy = summarize(agg.task_energy);
+  std::printf("reps=%zu completed=%zu mean=%.2f±%.2fms p95=%.2f±%.2fms "
+              "p99=%.2f±%.2fms deadline_sat=%.3f±%.3f accuracy=%.3f±%.3f "
+              "offload=%.2f±%.2f energy=%.1f±%.1fmJ/task\n",
+              reps, agg.completed, to_ms(mean.mean), to_ms(mean.ci95),
+              to_ms(p95.mean), to_ms(p95.ci95), to_ms(p99.mean),
+              to_ms(p99.ci95), sat.mean, sat.ci95, acc.mean, acc.ci95,
+              off.mean, off.ci95, energy.mean * 1e3, energy.ci95 * 1e3);
   return 0;
 }
 

@@ -21,7 +21,7 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   // Seed the full 256-bit state from splitmix64, per the xoshiro authors'
   // recommendation; guards against the all-zero state.
   std::uint64_t s = seed;
@@ -123,5 +123,39 @@ std::size_t Rng::categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::split() { return Rng(next_u64()); }
+
+std::uint64_t Rng::substream_seed(std::uint64_t seed,
+                                  std::uint64_t stream_id) {
+  // Domain-separate from the root stream (substream 0 must not replay the
+  // parent), fold in the stream id at golden-ratio stride, then run two
+  // SplitMix64 finalizations so adjacent ids avalanche into unrelated seeds.
+  std::uint64_t s = (seed ^ 0x8e9c5c2f3a1db4d7ULL) +
+                    stream_id * 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t a = splitmix64(s);
+  const std::uint64_t b = splitmix64(s);
+  return a ^ rotl(b, 23);
+}
+
+Rng Rng::substream(std::uint64_t stream_id) const {
+  return Rng(substream_seed(seed_, stream_id));
+}
+
+void Rng::jump() {
+  // Jump polynomial published with xoshiro256**: equivalent to 2^128 calls
+  // to next_u64().
+  static constexpr std::uint64_t kJump[] = {
+      0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+      0x39abdc4529b1661cULL};
+  std::array<std::uint64_t, 4> acc{};
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+      }
+      next_u64();
+    }
+  }
+  state_ = acc;
+}
 
 }  // namespace scalpel

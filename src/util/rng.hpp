@@ -53,9 +53,35 @@ class Rng {
   }
 
   /// Derive an independent child stream (for per-entity randomness).
+  /// Consumes one draw from this stream, so the result depends on how many
+  /// values were drawn before the call. For scheduling-independent streams
+  /// use substream() instead.
   Rng split();
 
+  /// Derive the seed of substream `stream_id` from a base seed. Pure
+  /// SplitMix64-based function of (seed, stream_id): the result never
+  /// depends on draw history, thread scheduling, or how many other
+  /// substreams were derived — the contract the replicated-simulation
+  /// runner's bit-identical aggregation rests on. Golden values are pinned
+  /// in tests/util/rng_test.cpp; do not change without updating them.
+  static std::uint64_t substream_seed(std::uint64_t seed,
+                                      std::uint64_t stream_id);
+
+  /// Independent stream `stream_id` derived from this generator's
+  /// *construction seed* (not its current state): r.substream(k) is the same
+  /// generator no matter how much r has been used or jumped.
+  Rng substream(std::uint64_t stream_id) const;
+
+  /// Advance 2^128 steps (the xoshiro256** jump polynomial): partitions one
+  /// stream into non-overlapping blocks of 2^128 draws for callers that
+  /// prefer jumping over reseeding.
+  void jump();
+
+  /// The seed this generator was constructed with (substream derivation key).
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_ = 0;
   std::array<std::uint64_t, 4> state_{};
 };
 

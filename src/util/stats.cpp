@@ -52,6 +52,23 @@ double RunningStat::ci95_halfwidth() const {
   return 1.959963984540054 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+double t_critical_975(std::size_t df) {
+  SCALPEL_REQUIRE(df >= 1, "t critical value needs df >= 1");
+  // Two-sided 95% (upper-tail 0.975) quantiles of Student's t.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  constexpr std::size_t kTableSize = sizeof(kTable) / sizeof(kTable[0]);
+  if (df <= kTableSize) return kTable[df - 1];
+  return 1.959963984540054;  // normal limit
+}
+
+void Samples::merge(const Samples& other) {
+  xs_.insert(xs_.end(), other.xs_.begin(), other.xs_.end());
+  sorted_ = false;
+}
+
 void Samples::ensure_sorted() const {
   if (!sorted_) {
     std::sort(xs_.begin(), xs_.end());
@@ -66,12 +83,20 @@ double Samples::mean() const {
   return s / static_cast<double>(xs_.size());
 }
 
-double Samples::stddev() const {
+double Samples::variance() const {
   if (xs_.size() < 2) return 0.0;
   const double m = mean();
   double s = 0.0;
   for (double x : xs_) s += (x - m) * (x - m);
-  return std::sqrt(s / static_cast<double>(xs_.size() - 1));
+  return s / static_cast<double>(xs_.size() - 1);
+}
+
+double Samples::stddev() const { return std::sqrt(variance()); }
+
+double Samples::ci95_halfwidth() const {
+  if (xs_.size() < 2) return 0.0;
+  return t_critical_975(xs_.size() - 1) * stddev() /
+         std::sqrt(static_cast<double>(xs_.size()));
 }
 
 double Samples::min() const {
@@ -94,6 +119,27 @@ double Samples::quantile(double q) const {
   const double frac = pos - static_cast<double>(lo);
   if (lo + 1 >= xs_.size()) return xs_.back();
   return xs_[lo] * (1.0 - frac) + xs_[lo + 1] * frac;
+}
+
+bool Summary::covers(double value) const {
+  return value >= mean - ci95 && value <= mean + ci95;
+}
+
+Summary summarize(const Samples& samples) {
+  Summary s;
+  s.n = samples.count();
+  if (s.n == 0) return s;
+  s.mean = samples.mean();
+  s.stddev = samples.stddev();
+  s.ci95 = samples.ci95_halfwidth();
+  return s;
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  Samples s;
+  s.reserve(xs.size());
+  for (double x : xs) s.add(x);
+  return summarize(s);
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)

@@ -38,11 +38,20 @@ class Samples {
  public:
   void add(double x) { xs_.push_back(x); }
   void reserve(std::size_t n) { xs_.reserve(n); }
+  /// Append every sample of `other` (replication fan-in). Merge order does
+  /// not affect any statistic except the raw values() ordering.
+  void merge(const Samples& other);
 
   std::size_t count() const { return xs_.size(); }
   bool empty() const { return xs_.empty(); }
   double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
   double stddev() const;
+  /// Half-width of the 95% Student-t confidence interval on the mean; 0 for
+  /// fewer than two samples. Uses the t distribution (not the normal
+  /// approximation) because replication counts are small (often 8-30).
+  double ci95_halfwidth() const;
   double min() const;
   double max() const;
   /// Exact quantile with linear interpolation; q in [0, 1]. Requires data.
@@ -58,6 +67,26 @@ class Samples {
   mutable bool sorted_ = false;
   void ensure_sorted() const;
 };
+
+/// Point summary of a set of per-replication scalars: what a reconstructed
+/// figure cell reports ("mean ± 95% CI over n replications").
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ci95 = 0.0;  // half-width, Student-t
+
+  /// True when `value` lies inside [mean - ci95, mean + ci95].
+  bool covers(double value) const;
+};
+
+Summary summarize(const Samples& samples);
+Summary summarize(const std::vector<double>& xs);
+
+/// Two-sided 97.5% Student-t critical value for `df` degrees of freedom
+/// (exact table through df=30, normal limit beyond). Exposed so tests and
+/// documentation can state the CI formula precisely.
+double t_critical_975(std::size_t df);
 
 /// Fixed-bin histogram over [lo, hi); under/overflow captured at the edges.
 class Histogram {

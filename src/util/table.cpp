@@ -25,17 +25,32 @@ std::string Table::num(double v, int precision) {
 
 std::string Table::num(std::int64_t v) { return std::to_string(v); }
 
+std::string Table::mean_ci(double mean, double ci95, int precision) {
+  return num(mean, precision) + " ± " + num(ci95, precision);
+}
+
 std::string Table::to_string() const {
+  // Display width, not byte count: multi-byte UTF-8 sequences (e.g. the "±"
+  // in mean_ci cells) occupy one terminal column but several bytes.
+  auto display_width = [](const std::string& s) {
+    std::size_t w = 0;
+    for (unsigned char ch : s) {
+      if ((ch & 0xc0) != 0x80) ++w;  // skip UTF-8 continuation bytes
+    }
+    return w;
+  };
   std::vector<std::size_t> widths(headers_.size());
   for (std::size_t c = 0; c < headers_.size(); ++c) {
-    widths[c] = headers_[c].size();
-    for (const auto& r : rows_) widths[c] = std::max(widths[c], r[c].size());
+    widths[c] = display_width(headers_[c]);
+    for (const auto& r : rows_) {
+      widths[c] = std::max(widths[c], display_width(r[c]));
+    }
   }
   std::ostringstream out;
   auto emit_row = [&](const std::vector<std::string>& cells) {
     for (std::size_t c = 0; c < cells.size(); ++c) {
       out << (c == 0 ? "| " : " | ");
-      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+      out << cells[c] << std::string(widths[c] - display_width(cells[c]), ' ');
     }
     out << " |\n";
   };

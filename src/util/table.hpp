@@ -17,6 +17,8 @@ class Table {
   /// Convenience: format doubles with fixed precision.
   static std::string num(double v, int precision = 3);
   static std::string num(std::int64_t v);
+  /// "mean ± ci" cell for replicated measurements (both at `precision`).
+  static std::string mean_ci(double mean, double ci95, int precision = 2);
 
   /// Render with aligned columns and a header rule.
   std::string to_string() const;

@@ -52,8 +52,9 @@ TEST(Admission, OffloadBoundTakesBottleneckStage) {
   dd.server = 0;
   dd.compute_share = 1.0;
   dd.bandwidth = mbps(1.0);  // starved uplink dominates
-  const auto& b_model = build_plan_model(inst, 0, dd).breakdown();
-  const double s_up = static_cast<double>(b_model.upload_bytes) / dd.bandwidth;
+  const auto model = build_plan_model(inst, 0, dd);
+  const double s_up =
+      static_cast<double>(model.breakdown().upload_bytes) / dd.bandwidth;
   const double bound = admission::max_sustainable_rate(inst, 0, dd, 1.0);
   EXPECT_NEAR(bound, 1.0 / s_up, 1.0 / s_up * 1e-6);
 }

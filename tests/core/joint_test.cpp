@@ -166,7 +166,9 @@ TEST(Joint, HandlesOverloadByKeepingWorkLocalOrShedding) {
   // Every stable prediction should be positive; unstable ones are permitted
   // under genuine overload but the decision must remain well-formed.
   for (const auto& p : d.predicted) {
-    if (p.stable) EXPECT_GT(p.expected_latency, 0.0);
+    if (p.stable) {
+      EXPECT_GT(p.expected_latency, 0.0);
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include "edge/builders.hpp"
 #include "profile/latency_model.hpp"
 #include "sched/queueing.hpp"
+#include "sim/runner.hpp"
 #include "util/units.hpp"
 
 namespace scalpel {
@@ -380,6 +381,67 @@ TEST(Simulator, SeriesDisabledByDefault) {
   Simulator sim(inst, local_decision(inst), fast_run(50.0, 65));
   const auto m = sim.run();
   EXPECT_TRUE(m.series.tasks_in_flight.empty());
+}
+
+TEST(Simulator, ReplicatedCiCoversQueueingTheory) {
+  // Statistical validity of the replicated runner: Poisson arrivals into a
+  // deterministic on-device service are an M/D/1 queue exactly, so the 95%
+  // CI over independent replications must cover the analytical sojourn
+  // prediction from queueing.hpp (deterministic given the fixed base seed).
+  const ProblemInstance probe(single_device(1.0));
+  const double service = LatencyModel::graph_latency(
+      probe.bundle_for(0).graph, probe.topology().device(0).compute);
+  const double rate = 0.6 / service;  // rho = 0.6
+  const ProblemInstance inst(single_device(rate));
+  const auto d = local_decision(inst);
+
+  ScenarioRunner::Options opts;
+  opts.replications = 10;
+  opts.threads = 4;
+  opts.sim.horizon = 1500.0 * service;
+  opts.sim.warmup = 150.0 * service;
+  opts.sim.seed = 67;
+  const auto m = ScenarioRunner(inst, d, opts).run();
+  ASSERT_GT(m.completed, 5000u);
+
+  const double predicted = queueing::md1_sojourn(rate, service);
+  const Summary lat = m.latency_summary();
+  EXPECT_TRUE(lat.covers(predicted))
+      << "95% CI [" << lat.mean - lat.ci95 << ", " << lat.mean + lat.ci95
+      << "] misses the M/D/1 prediction " << predicted;
+  // The CI must also be informative, not vacuously wide.
+  EXPECT_LT(lat.ci95, predicted * 0.2);
+}
+
+TEST(Simulator, ReplicatedTimeSeriesSatisfiesLittlesLaw) {
+  // L = lambda * W must hold within tolerance on every replication's
+  // recorded TimeSeries, not just on one lucky seed.
+  const ProblemInstance inst(single_device(2.0));
+  const auto d = local_decision(inst);
+  ScenarioRunner::Options opts;
+  opts.replications = 4;
+  opts.threads = 2;
+  opts.sim.horizon = 800.0;
+  opts.sim.warmup = 80.0;
+  opts.sim.seed = 71;
+  opts.sim.series_window = 5.0;
+  const auto m = ScenarioRunner(inst, d, opts).run();
+  ASSERT_EQ(m.replications.size(), 4u);
+  for (const auto& rep : m.replications) {
+    ASSERT_GT(rep.series.tasks_in_flight.size(), 100u);
+    double l_sum = 0.0;
+    std::size_t count = 0;
+    const std::size_t skip = rep.series.tasks_in_flight.size() / 10;
+    for (std::size_t i = skip; i < rep.series.tasks_in_flight.size(); ++i) {
+      l_sum += rep.series.tasks_in_flight[i];
+      ++count;
+    }
+    const double l_avg = l_sum / static_cast<double>(count);
+    const double throughput = static_cast<double>(rep.completed) /
+                              (opts.sim.horizon - opts.sim.warmup);
+    const double littles = throughput * rep.latency.mean();
+    EXPECT_NEAR(l_avg, littles, littles * 0.1 + 0.02);
+  }
 }
 
 TEST(Simulator, MultiDeviceSmallLabRuns) {

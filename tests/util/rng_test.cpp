@@ -187,6 +187,109 @@ TEST(Rng, ShuffleIsPermutation) {
   EXPECT_EQ(v, w);
 }
 
+// Golden values pin the cross-platform bit-identical contract documented in
+// rng.hpp: any change to the generator, the seeding procedure, or the
+// substream derivation invalidates every recorded simulation result and must
+// be made deliberately (regenerate with a throwaway main()).
+TEST(Rng, GoldenNextU64DefaultSeed) {
+  Rng rng;
+  const std::uint64_t expected[] = {
+      0x422ea740d0977210ULL, 0xe062b061b42e2928ULL, 0x5a071fc5930841b6ULL,
+      0x01334ef8ed3cc2bdULL, 0xe45cbd6a2d9e96dbULL};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(Rng, GoldenNextU64Seed123) {
+  Rng rng(123);
+  const std::uint64_t expected[] = {
+      0x325a8fa1d1a069f9ULL, 0xf835e3c7656d4d5eULL, 0x77aa2b46c3f2a62fULL,
+      0x20820299aacf8206ULL, 0x5678d8b3959d78deULL};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(Rng, GoldenSubstreamSeeds) {
+  EXPECT_EQ(Rng::substream_seed(1, 0), 0x215e73fdcd7e7f20ULL);
+  EXPECT_EQ(Rng::substream_seed(1, 1), 0xaafc5bb17b9c470bULL);
+  EXPECT_EQ(Rng::substream_seed(1, 2), 0x720769ed6fa476e1ULL);
+  EXPECT_EQ(Rng::substream_seed(7, 0), 0xd18cc42759cabfdeULL);
+  EXPECT_EQ(Rng::substream_seed(7, 1000000), 0x942ffe8144b26942ULL);
+}
+
+TEST(Rng, GoldenSubstreamDraws) {
+  Rng sub = Rng(42).substream(3);
+  const std::uint64_t expected[] = {
+      0x65feeef7f195f0cfULL, 0xe391a3b27f30c0d8ULL, 0x4fd5b71b2f0ad514ULL};
+  for (std::uint64_t e : expected) EXPECT_EQ(sub.next_u64(), e);
+}
+
+TEST(Rng, GoldenJump) {
+  Rng rng(99);
+  rng.jump();
+  const std::uint64_t expected[] = {
+      0xb193d099972f6eaaULL, 0xb85a11383ff56dd2ULL, 0xc1def13336c81e0aULL};
+  for (std::uint64_t e : expected) EXPECT_EQ(rng.next_u64(), e);
+}
+
+TEST(Rng, SubstreamIgnoresDrawHistory) {
+  // The substream is keyed on the construction seed, not the current state:
+  // the fan-out must hand replication r the same stream no matter how much
+  // of the parent was consumed first.
+  Rng fresh(77);
+  Rng used(77);
+  for (int i = 0; i < 1000; ++i) used.next_u64();
+  Rng a = fresh.substream(5);
+  Rng b = used.substream(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SubstreamsDistinctPerId) {
+  Rng parent(7);
+  Rng s0 = parent.substream(0);
+  Rng s1 = parent.substream(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (s0.next_u64() == s1.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SubstreamZeroDiffersFromRoot) {
+  Rng root(7);
+  Rng s0 = root.substream(0);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (root.next_u64() == s0.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SubstreamSeedsCollisionFreeOverManyIds) {
+  Rng parent(13);
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t id = 0; id < 10000; ++id) {
+    seeds.insert(Rng::substream_seed(13, id));
+  }
+  EXPECT_EQ(seeds.size(), 10000u);
+}
+
+TEST(Rng, JumpDivergesFromUnjumpedStream) {
+  Rng a(3);
+  Rng b(3);
+  b.jump();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, SeedAccessorReturnsConstructionSeed) {
+  Rng rng(1234);
+  rng.next_u64();
+  rng.jump();
+  EXPECT_EQ(rng.seed(), 1234u);
+}
+
 TEST(Rng, SplitStreamsAreIndependentlySeeded) {
   Rng parent(61);
   Rng child1 = parent.split();
