@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_f12_energy.cpp" "bench/CMakeFiles/bench_f12_energy.dir/bench_f12_energy.cpp.o" "gcc" "bench/CMakeFiles/bench_f12_energy.dir/bench_f12_energy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baselines/CMakeFiles/scalpel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/scalpel_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/scalpel_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/edge/CMakeFiles/scalpel_edge.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/surgery/CMakeFiles/scalpel_surgery.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/scalpel_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/scalpel_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/scalpel_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

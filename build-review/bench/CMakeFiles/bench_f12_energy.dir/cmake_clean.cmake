@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_energy.dir/bench_f12_energy.cpp.o"
+  "CMakeFiles/bench_f12_energy.dir/bench_f12_energy.cpp.o.d"
+  "bench_f12_energy"
+  "bench_f12_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f13_quantization.dir/bench_f13_quantization.cpp.o"
+  "CMakeFiles/bench_f13_quantization.dir/bench_f13_quantization.cpp.o.d"
+  "bench_f13_quantization"
+  "bench_f13_quantization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f13_quantization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

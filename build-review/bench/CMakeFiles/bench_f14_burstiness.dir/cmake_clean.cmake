@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f14_burstiness.dir/bench_f14_burstiness.cpp.o"
+  "CMakeFiles/bench_f14_burstiness.dir/bench_f14_burstiness.cpp.o.d"
+  "bench_f14_burstiness"
+  "bench_f14_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f14_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

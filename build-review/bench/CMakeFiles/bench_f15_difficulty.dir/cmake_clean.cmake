@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_difficulty.dir/bench_f15_difficulty.cpp.o"
+  "CMakeFiles/bench_f15_difficulty.dir/bench_f15_difficulty.cpp.o.d"
+  "bench_f15_difficulty"
+  "bench_f15_difficulty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_difficulty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

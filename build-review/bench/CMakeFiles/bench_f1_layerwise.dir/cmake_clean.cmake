@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f1_layerwise.dir/bench_f1_layerwise.cpp.o"
+  "CMakeFiles/bench_f1_layerwise.dir/bench_f1_layerwise.cpp.o.d"
+  "bench_f1_layerwise"
+  "bench_f1_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f1_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

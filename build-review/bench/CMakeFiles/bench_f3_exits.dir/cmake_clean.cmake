@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f3_exits.dir/bench_f3_exits.cpp.o"
+  "CMakeFiles/bench_f3_exits.dir/bench_f3_exits.cpp.o.d"
+  "bench_f3_exits"
+  "bench_f3_exits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f3_exits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_arrival.dir/bench_f4_arrival.cpp.o"
+  "CMakeFiles/bench_f4_arrival.dir/bench_f4_arrival.cpp.o.d"
+  "bench_f4_arrival"
+  "bench_f4_arrival.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

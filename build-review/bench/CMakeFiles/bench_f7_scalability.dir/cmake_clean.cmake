@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_scalability.dir/bench_f7_scalability.cpp.o"
+  "CMakeFiles/bench_f7_scalability.dir/bench_f7_scalability.cpp.o.d"
+  "bench_f7_scalability"
+  "bench_f7_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f8_ablation.dir/bench_f8_ablation.cpp.o"
+  "CMakeFiles/bench_f8_ablation.dir/bench_f8_ablation.cpp.o.d"
+  "bench_f8_ablation"
+  "bench_f8_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f8_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

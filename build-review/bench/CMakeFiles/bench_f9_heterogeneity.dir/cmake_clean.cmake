@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f9_heterogeneity.dir/bench_f9_heterogeneity.cpp.o"
+  "CMakeFiles/bench_f9_heterogeneity.dir/bench_f9_heterogeneity.cpp.o.d"
+  "bench_f9_heterogeneity"
+  "bench_f9_heterogeneity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f9_heterogeneity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

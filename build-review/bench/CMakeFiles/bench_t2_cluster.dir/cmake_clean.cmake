@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_cluster.dir/bench_t2_cluster.cpp.o"
+  "CMakeFiles/bench_t2_cluster.dir/bench_t2_cluster.cpp.o.d"
+  "bench_t2_cluster"
+  "bench_t2_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_offloading.dir/adaptive_offloading.cpp.o"
+  "CMakeFiles/adaptive_offloading.dir/adaptive_offloading.cpp.o.d"
+  "adaptive_offloading"
+  "adaptive_offloading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_offloading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

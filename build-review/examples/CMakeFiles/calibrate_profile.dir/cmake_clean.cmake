@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_profile.dir/calibrate_profile.cpp.o"
+  "CMakeFiles/calibrate_profile.dir/calibrate_profile.cpp.o.d"
+  "calibrate_profile"
+  "calibrate_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_cli.dir/scalpel_cli.cpp.o"
+  "CMakeFiles/scalpel_cli.dir/scalpel_cli.cpp.o.d"
+  "scalpel_cli"
+  "scalpel_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

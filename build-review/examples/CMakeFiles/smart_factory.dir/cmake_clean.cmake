@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_factory.dir/smart_factory.cpp.o"
+  "CMakeFiles/smart_factory.dir/smart_factory.cpp.o.d"
+  "smart_factory"
+  "smart_factory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_factory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("tensor")
+subdirs("nn")
+subdirs("profile")
+subdirs("surgery")
+subdirs("edge")
+subdirs("sched")
+subdirs("core")
+subdirs("baselines")
+subdirs("sim")

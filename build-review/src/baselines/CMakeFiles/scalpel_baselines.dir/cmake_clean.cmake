@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/scalpel_baselines.dir/baselines.cpp.o.d"
+  "libscalpel_baselines.a"
+  "libscalpel_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/admission.cpp" "src/core/CMakeFiles/scalpel_core.dir/admission.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/admission.cpp.o.d"
+  "/root/repo/src/core/instance.cpp" "src/core/CMakeFiles/scalpel_core.dir/instance.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/instance.cpp.o.d"
+  "/root/repo/src/core/joint.cpp" "src/core/CMakeFiles/scalpel_core.dir/joint.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/joint.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/core/CMakeFiles/scalpel_core.dir/objective.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/objective.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "src/core/CMakeFiles/scalpel_core.dir/online.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/online.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/core/CMakeFiles/scalpel_core.dir/serialize.cpp.o" "gcc" "src/core/CMakeFiles/scalpel_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/surgery/CMakeFiles/scalpel_surgery.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/edge/CMakeFiles/scalpel_edge.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/scalpel_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/scalpel_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/scalpel_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_core.dir/admission.cpp.o"
+  "CMakeFiles/scalpel_core.dir/admission.cpp.o.d"
+  "CMakeFiles/scalpel_core.dir/instance.cpp.o"
+  "CMakeFiles/scalpel_core.dir/instance.cpp.o.d"
+  "CMakeFiles/scalpel_core.dir/joint.cpp.o"
+  "CMakeFiles/scalpel_core.dir/joint.cpp.o.d"
+  "CMakeFiles/scalpel_core.dir/objective.cpp.o"
+  "CMakeFiles/scalpel_core.dir/objective.cpp.o.d"
+  "CMakeFiles/scalpel_core.dir/online.cpp.o"
+  "CMakeFiles/scalpel_core.dir/online.cpp.o.d"
+  "CMakeFiles/scalpel_core.dir/serialize.cpp.o"
+  "CMakeFiles/scalpel_core.dir/serialize.cpp.o.d"
+  "libscalpel_core.a"
+  "libscalpel_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

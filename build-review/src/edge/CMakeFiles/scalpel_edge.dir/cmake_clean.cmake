@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_edge.dir/builders.cpp.o"
+  "CMakeFiles/scalpel_edge.dir/builders.cpp.o.d"
+  "CMakeFiles/scalpel_edge.dir/cluster.cpp.o"
+  "CMakeFiles/scalpel_edge.dir/cluster.cpp.o.d"
+  "CMakeFiles/scalpel_edge.dir/dynamics.cpp.o"
+  "CMakeFiles/scalpel_edge.dir/dynamics.cpp.o.d"
+  "libscalpel_edge.a"
+  "libscalpel_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

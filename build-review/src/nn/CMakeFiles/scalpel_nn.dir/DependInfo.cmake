@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/executor.cpp" "src/nn/CMakeFiles/scalpel_nn.dir/executor.cpp.o" "gcc" "src/nn/CMakeFiles/scalpel_nn.dir/executor.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/scalpel_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/scalpel_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/kernels.cpp" "src/nn/CMakeFiles/scalpel_nn.dir/kernels.cpp.o" "gcc" "src/nn/CMakeFiles/scalpel_nn.dir/kernels.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/scalpel_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/scalpel_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/scalpel_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/scalpel_nn.dir/models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_nn.dir/executor.cpp.o"
+  "CMakeFiles/scalpel_nn.dir/executor.cpp.o.d"
+  "CMakeFiles/scalpel_nn.dir/graph.cpp.o"
+  "CMakeFiles/scalpel_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/scalpel_nn.dir/kernels.cpp.o"
+  "CMakeFiles/scalpel_nn.dir/kernels.cpp.o.d"
+  "CMakeFiles/scalpel_nn.dir/layer.cpp.o"
+  "CMakeFiles/scalpel_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/scalpel_nn.dir/models.cpp.o"
+  "CMakeFiles/scalpel_nn.dir/models.cpp.o.d"
+  "libscalpel_nn.a"
+  "libscalpel_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/compute_profile.cpp" "src/profile/CMakeFiles/scalpel_profile.dir/compute_profile.cpp.o" "gcc" "src/profile/CMakeFiles/scalpel_profile.dir/compute_profile.cpp.o.d"
+  "/root/repo/src/profile/energy_model.cpp" "src/profile/CMakeFiles/scalpel_profile.dir/energy_model.cpp.o" "gcc" "src/profile/CMakeFiles/scalpel_profile.dir/energy_model.cpp.o.d"
+  "/root/repo/src/profile/latency_model.cpp" "src/profile/CMakeFiles/scalpel_profile.dir/latency_model.cpp.o" "gcc" "src/profile/CMakeFiles/scalpel_profile.dir/latency_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/scalpel_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_profile.dir/compute_profile.cpp.o"
+  "CMakeFiles/scalpel_profile.dir/compute_profile.cpp.o.d"
+  "CMakeFiles/scalpel_profile.dir/energy_model.cpp.o"
+  "CMakeFiles/scalpel_profile.dir/energy_model.cpp.o.d"
+  "CMakeFiles/scalpel_profile.dir/latency_model.cpp.o"
+  "CMakeFiles/scalpel_profile.dir/latency_model.cpp.o.d"
+  "libscalpel_profile.a"
+  "libscalpel_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

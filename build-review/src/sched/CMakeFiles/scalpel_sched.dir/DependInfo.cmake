@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/offloading.cpp" "src/sched/CMakeFiles/scalpel_sched.dir/offloading.cpp.o" "gcc" "src/sched/CMakeFiles/scalpel_sched.dir/offloading.cpp.o.d"
+  "/root/repo/src/sched/queueing.cpp" "src/sched/CMakeFiles/scalpel_sched.dir/queueing.cpp.o" "gcc" "src/sched/CMakeFiles/scalpel_sched.dir/queueing.cpp.o.d"
+  "/root/repo/src/sched/shares.cpp" "src/sched/CMakeFiles/scalpel_sched.dir/shares.cpp.o" "gcc" "src/sched/CMakeFiles/scalpel_sched.dir/shares.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

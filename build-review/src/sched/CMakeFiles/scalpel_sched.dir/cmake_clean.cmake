@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_sched.dir/offloading.cpp.o"
+  "CMakeFiles/scalpel_sched.dir/offloading.cpp.o.d"
+  "CMakeFiles/scalpel_sched.dir/queueing.cpp.o"
+  "CMakeFiles/scalpel_sched.dir/queueing.cpp.o.d"
+  "CMakeFiles/scalpel_sched.dir/shares.cpp.o"
+  "CMakeFiles/scalpel_sched.dir/shares.cpp.o.d"
+  "libscalpel_sched.a"
+  "libscalpel_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_sim.dir/fluid.cpp.o"
+  "CMakeFiles/scalpel_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/scalpel_sim.dir/runner.cpp.o"
+  "CMakeFiles/scalpel_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/scalpel_sim.dir/simulator.cpp.o"
+  "CMakeFiles/scalpel_sim.dir/simulator.cpp.o.d"
+  "libscalpel_sim.a"
+  "libscalpel_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalpel_sim.a"
+)

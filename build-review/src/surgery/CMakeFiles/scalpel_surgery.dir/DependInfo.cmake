@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/surgery/accuracy_model.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/accuracy_model.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/accuracy_model.cpp.o.d"
+  "/root/repo/src/surgery/difficulty.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/difficulty.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/difficulty.cpp.o.d"
+  "/root/repo/src/surgery/dot.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/dot.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/dot.cpp.o.d"
+  "/root/repo/src/surgery/exit_candidates.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_candidates.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_candidates.cpp.o.d"
+  "/root/repo/src/surgery/exit_policy.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_policy.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_policy.cpp.o.d"
+  "/root/repo/src/surgery/exit_setting.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_setting.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/exit_setting.cpp.o.d"
+  "/root/repo/src/surgery/multi_exit_runtime.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/multi_exit_runtime.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/multi_exit_runtime.cpp.o.d"
+  "/root/repo/src/surgery/partition.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/partition.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/partition.cpp.o.d"
+  "/root/repo/src/surgery/plan.cpp" "src/surgery/CMakeFiles/scalpel_surgery.dir/plan.cpp.o" "gcc" "src/surgery/CMakeFiles/scalpel_surgery.dir/plan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/nn/CMakeFiles/scalpel_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/scalpel_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

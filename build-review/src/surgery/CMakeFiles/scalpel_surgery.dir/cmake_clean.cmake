@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_surgery.dir/accuracy_model.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/accuracy_model.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/difficulty.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/difficulty.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/dot.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/dot.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/exit_candidates.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/exit_candidates.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/exit_policy.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/exit_policy.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/exit_setting.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/exit_setting.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/multi_exit_runtime.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/multi_exit_runtime.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/partition.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/partition.cpp.o.d"
+  "CMakeFiles/scalpel_surgery.dir/plan.cpp.o"
+  "CMakeFiles/scalpel_surgery.dir/plan.cpp.o.d"
+  "libscalpel_surgery.a"
+  "libscalpel_surgery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

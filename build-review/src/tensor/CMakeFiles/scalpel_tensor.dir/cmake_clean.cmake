@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/scalpel_tensor.dir/tensor.cpp.o.d"
+  "libscalpel_tensor.a"
+  "libscalpel_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

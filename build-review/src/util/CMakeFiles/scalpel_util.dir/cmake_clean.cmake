@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalpel_util.dir/csv.cpp.o"
+  "CMakeFiles/scalpel_util.dir/csv.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/json.cpp.o"
+  "CMakeFiles/scalpel_util.dir/json.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/log.cpp.o"
+  "CMakeFiles/scalpel_util.dir/log.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/rng.cpp.o"
+  "CMakeFiles/scalpel_util.dir/rng.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/stats.cpp.o"
+  "CMakeFiles/scalpel_util.dir/stats.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/table.cpp.o"
+  "CMakeFiles/scalpel_util.dir/table.cpp.o.d"
+  "CMakeFiles/scalpel_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/scalpel_util.dir/thread_pool.cpp.o.d"
+  "libscalpel_util.a"
+  "libscalpel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalpel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/nn/executor_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/executor_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/graph_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/graph_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/kernels_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/kernels_test.cpp.o.d"
+  "CMakeFiles/test_nn.dir/nn/models_test.cpp.o"
+  "CMakeFiles/test_nn.dir/nn/models_test.cpp.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched.dir/sched/offloading_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/offloading_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/queueing_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/queueing_test.cpp.o.d"
+  "CMakeFiles/test_sched.dir/sched/shares_test.cpp.o"
+  "CMakeFiles/test_sched.dir/sched/shares_test.cpp.o.d"
+  "test_sched"
+  "test_sched.pdb"
+  "test_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

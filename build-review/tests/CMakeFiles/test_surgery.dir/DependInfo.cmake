@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/surgery/accuracy_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/accuracy_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/accuracy_test.cpp.o.d"
+  "/root/repo/tests/surgery/candidates_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/candidates_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/candidates_test.cpp.o.d"
+  "/root/repo/tests/surgery/difficulty_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/difficulty_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/difficulty_test.cpp.o.d"
+  "/root/repo/tests/surgery/dot_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/dot_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/dot_test.cpp.o.d"
+  "/root/repo/tests/surgery/partition_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/partition_test.cpp.o.d"
+  "/root/repo/tests/surgery/plan_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/plan_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/plan_test.cpp.o.d"
+  "/root/repo/tests/surgery/policy_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/policy_test.cpp.o.d"
+  "/root/repo/tests/surgery/quantize_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/quantize_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/quantize_test.cpp.o.d"
+  "/root/repo/tests/surgery/runtime_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/runtime_test.cpp.o.d"
+  "/root/repo/tests/surgery/setting_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/setting_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/setting_test.cpp.o.d"
+  "/root/repo/tests/surgery/zoo_sweep_test.cpp" "tests/CMakeFiles/test_surgery.dir/surgery/zoo_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_surgery.dir/surgery/zoo_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/baselines/CMakeFiles/scalpel_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/scalpel_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/scalpel_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/edge/CMakeFiles/scalpel_edge.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/surgery/CMakeFiles/scalpel_surgery.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/profile/CMakeFiles/scalpel_profile.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/nn/CMakeFiles/scalpel_nn.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/tensor/CMakeFiles/scalpel_tensor.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sched/CMakeFiles/scalpel_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/scalpel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surgery.dir/surgery/accuracy_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/accuracy_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/candidates_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/candidates_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/difficulty_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/difficulty_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/dot_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/dot_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/partition_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/partition_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/plan_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/plan_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/policy_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/policy_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/quantize_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/quantize_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/runtime_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/runtime_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/setting_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/setting_test.cpp.o.d"
+  "CMakeFiles/test_surgery.dir/surgery/zoo_sweep_test.cpp.o"
+  "CMakeFiles/test_surgery.dir/surgery/zoo_sweep_test.cpp.o.d"
+  "test_surgery"
+  "test_surgery.pdb"
+  "test_surgery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surgery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
