@@ -37,9 +37,10 @@ int main() {
     copts.joint = bench::joint_opts();
     OnlineController controller(topo, copts);
     if (adaptive) {
-      sim.set_controller([&](double, const std::vector<double>& bw)
+      sim.set_controller([&](double, const std::vector<double>& bw,
+                             const std::vector<bool>& alive)
                              -> std::optional<Decision> {
-        if (controller.observe(bw)) {
+        if (controller.observe(bw, alive)) {
           ++reopts;
           return controller.decision();
         }

@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Two-tier CI entry point (see README "Testing"):
+# Three-tier CI entry point (see README "Testing"):
 #   ./ci.sh          — warnings-as-errors build + fast test tier (every push)
 #   ./ci.sh full     — same build + the full suite including slow DES tests
+#   ./ci.sh asan     — ASan+UBSan build (halt on first report) + fast tier
 set -euo pipefail
 
 TIER="${1:-fast}"
-BUILD_DIR="${BUILD_DIR:-build-ci}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON
+DEFAULT_DIR=build-ci
+EXTRA=()
+if [[ "$TIER" == "asan" ]]; then
+  DEFAULT_DIR=build-asan
+  EXTRA=(-DSCALPEL_SANITIZE=ON)
+fi
+BUILD_DIR="${BUILD_DIR:-$DEFAULT_DIR}"
+
+cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON "${EXTRA[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 case "$TIER" in
-  fast)
+  fast|asan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
     ;;
   full)
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "usage: $0 [fast|full]" >&2
+    echo "usage: $0 [fast|full|asan]" >&2
     exit 2
     ;;
 esac

@@ -59,9 +59,10 @@ int main() {
     OnlineController controller(topo, copts);
     std::vector<double> reopts;
     if (adaptive) {
-      sim.set_controller([&](double now, const std::vector<double>& bw)
+      sim.set_controller([&](double now, const std::vector<double>& bw,
+                             const std::vector<bool>& alive)
                              -> std::optional<Decision> {
-        if (controller.observe(bw)) {
+        if (controller.observe(bw, alive)) {
           reopts.push_back(now);
           return controller.decision();
         }

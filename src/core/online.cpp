@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/objective.hpp"
 #include "util/assert.hpp"
 
 namespace scalpel {
@@ -16,14 +17,63 @@ OnlineController::OnlineController(const ClusterTopology& topology,
   for (const auto& c : instance_.topology().cells()) {
     solved_bandwidth_.push_back(c.bandwidth);
   }
+  alive_.assign(instance_.topology().servers().size(), true);
+  solved_alive_ = alive_;
+}
+
+Decision OnlineController::device_only_fallback() const {
+  Decision d;
+  d.scheme = "device_fallback";
+  d.per_device.resize(instance_.topology().devices().size());
+  for (auto& dd : d.per_device) dd.plan.device_only = true;
+  evaluate_decision(instance_, d);
+  return d;
+}
+
+Decision OnlineController::solve_excluding_dead() const {
+  // Rebuild the topology with only the live servers (ids compact to
+  // 0..k-1), solve, then map the chosen server ids back.
+  const auto& topo = instance_.topology();
+  ClusterTopology reduced;
+  for (const auto& c : topo.cells()) reduced.add_cell(c);
+  for (const auto& d : topo.devices()) reduced.add_device(d);
+  std::vector<ServerId> live_ids;
+  for (const auto& s : topo.servers()) {
+    if (!alive_[static_cast<std::size_t>(s.id)]) continue;
+    live_ids.push_back(s.id);
+    reduced.add_server(s);
+  }
+  const ProblemInstance sub(reduced);
+  Decision d = JointOptimizer(opts_.joint).optimize(sub);
+  for (auto& dd : d.per_device) {
+    if (dd.plan.device_only) continue;
+    dd.server = live_ids[static_cast<std::size_t>(dd.server)];
+  }
+  // Re-evaluate against the full instance so predictions and the grant
+  // validation refer to the real server ids.
+  evaluate_decision(instance_, d);
+  return d;
 }
 
 void OnlineController::solve() {
-  const JointOptimizer optimizer(opts_.joint);
-  decision_ = optimizer.optimize(instance_);
+  bool any_alive = false;
+  bool all_alive = true;
+  for (bool a : alive_) {
+    any_alive = any_alive || a;
+    all_alive = all_alive && a;
+  }
+  if (!any_alive) {
+    decision_ = device_only_fallback();
+  } else if (!all_alive) {
+    decision_ = solve_excluding_dead();
+  } else {
+    const JointOptimizer optimizer(opts_.joint);
+    decision_ = optimizer.optimize(instance_);
+  }
   for (const auto& c : instance_.topology().cells()) {
     solved_bandwidth_[static_cast<std::size_t>(c.id)] = c.bandwidth;
   }
+  solved_alive_ = alive_;
   solved_ = true;
 }
 
@@ -33,9 +83,19 @@ const Decision& OnlineController::decision() {
 }
 
 bool OnlineController::observe(const std::vector<double>& cell_bandwidth) {
+  return observe(cell_bandwidth,
+                 std::vector<bool>(instance_.topology().servers().size(),
+                                   true));
+}
+
+bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
+                               const std::vector<bool>& server_alive) {
   SCALPEL_REQUIRE(
       cell_bandwidth.size() == instance_.topology().cells().size(),
       "observation must cover every cell");
+  SCALPEL_REQUIRE(
+      server_alive.size() == instance_.topology().servers().size(),
+      "observation must cover every server");
   if (!solved_) solve();
   bool drifted = false;
   for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
@@ -47,14 +107,20 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth) {
       break;
     }
   }
-  if (!drifted) return false;
+  const bool liveness_changed = server_alive != solved_alive_;
+  if (!drifted && !liveness_changed) {
+    alive_ = server_alive;
+    return false;
+  }
   // Adopt the observed conditions and re-solve.
   auto& topo = instance_.mutable_topology();
   for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
     topo.set_cell_bandwidth(static_cast<CellId>(c), cell_bandwidth[c]);
   }
+  alive_ = server_alive;
   solve();
   ++reoptimizations_;
+  if (liveness_changed) ++failovers_;
   return true;
 }
 

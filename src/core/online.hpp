@@ -6,10 +6,14 @@
 
 namespace scalpel {
 
-/// Online re-optimization under bandwidth dynamics: monitors the observed
-/// per-cell bandwidth and re-runs the joint optimizer when conditions drift
-/// beyond a hysteresis band (re-optimizing on every fluctuation would thrash
-/// plans that real deployments cache on devices).
+/// Online re-optimization under bandwidth dynamics and hard failures:
+/// monitors the observed per-cell bandwidth and per-server liveness,
+/// re-running the joint optimizer when conditions drift beyond a hysteresis
+/// band (re-optimizing on every fluctuation would thrash plans that real
+/// deployments cache on devices) or when any server's liveness flips (a
+/// crash is a hard signal — no hysteresis). Dead servers are excluded from
+/// the solve; with no server reachable the controller degrades to a
+/// device-only deployment rather than failing.
 class OnlineController {
  public:
   struct Options {
@@ -29,18 +33,32 @@ class OnlineController {
   /// id). Returns true if a re-optimization was triggered.
   bool observe(const std::vector<double>& cell_bandwidth);
 
+  /// Full observation: bandwidths plus per-server liveness (indexed by
+  /// server id). Liveness changes always re-solve; dead servers receive no
+  /// assignment; all-dead falls back to device-only execution.
+  bool observe(const std::vector<double>& cell_bandwidth,
+               const std::vector<bool>& server_alive);
+
   std::size_t reoptimizations() const { return reoptimizations_; }
+  /// Liveness-triggered re-optimizations (subset of reoptimizations()).
+  std::size_t failovers() const { return failovers_; }
+  const std::vector<bool>& server_alive() const { return alive_; }
   const ProblemInstance& instance() const { return instance_; }
 
  private:
   void solve();
+  Decision solve_excluding_dead() const;
+  Decision device_only_fallback() const;
 
   Options opts_;
   ProblemInstance instance_;
   std::vector<double> solved_bandwidth_;  // per cell at last solve
+  std::vector<bool> alive_;               // per server, latest observation
+  std::vector<bool> solved_alive_;        // per server at last solve
   Decision decision_;
   bool solved_ = false;
   std::size_t reoptimizations_ = 0;
+  std::size_t failovers_ = 0;
 };
 
 }  // namespace scalpel

@@ -65,6 +65,114 @@ BandwidthTrace BandwidthTrace::random_walk(double base, double step,
   return BandwidthTrace(std::move(segs));
 }
 
+FaultSchedule::FaultSchedule(std::vector<FaultEvent> events)
+    : events_(std::move(events)) {
+  for (const auto& ev : events_) {
+    SCALPEL_REQUIRE(std::isfinite(ev.time) && ev.time >= 0.0,
+                    "fault event time must be finite and non-negative");
+    SCALPEL_REQUIRE(ev.id >= 0, "fault event target id must be non-negative");
+  }
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time < b.time;
+                   });
+}
+
+bool FaultSchedule::up_at(FaultTarget target, std::int32_t id,
+                          double t) const {
+  bool up = true;
+  for (const auto& ev : events_) {
+    if (ev.time > t) break;
+    if (ev.target == target && ev.id == id) up = ev.up;
+  }
+  return up;
+}
+
+bool FaultSchedule::server_up(std::int32_t server, double t) const {
+  return up_at(FaultTarget::Server, server, t);
+}
+
+bool FaultSchedule::link_up(std::int32_t cell, double t) const {
+  return up_at(FaultTarget::Link, cell, t);
+}
+
+double FaultSchedule::availability(FaultTarget target, std::int32_t id,
+                                   double horizon) const {
+  SCALPEL_REQUIRE(horizon > 0.0, "availability horizon must be positive");
+  bool up = true;
+  double up_time = 0.0;
+  double last = 0.0;
+  for (const auto& ev : events_) {
+    if (ev.target != target || ev.id != id) continue;
+    const double t = std::min(ev.time, horizon);
+    if (up) up_time += t - last;
+    last = t;
+    up = ev.up;
+    if (ev.time >= horizon) break;
+  }
+  if (up) up_time += horizon - last;
+  return up_time / horizon;
+}
+
+double FaultSchedule::server_availability(std::int32_t server,
+                                          double horizon) const {
+  return availability(FaultTarget::Server, server, horizon);
+}
+
+double FaultSchedule::link_availability(std::int32_t cell,
+                                        double horizon) const {
+  return availability(FaultTarget::Link, cell, horizon);
+}
+
+FaultSchedule FaultSchedule::merged(const FaultSchedule& other) const {
+  std::vector<FaultEvent> all = events_;
+  all.insert(all.end(), other.events_.begin(), other.events_.end());
+  return FaultSchedule(std::move(all));
+}
+
+FaultSchedule FaultSchedule::server_crash(std::int32_t server, double down_at,
+                                          double up_at) {
+  SCALPEL_REQUIRE(up_at >= down_at, "recovery cannot precede the crash");
+  std::vector<FaultEvent> evs{{down_at, FaultTarget::Server, server, false}};
+  if (std::isfinite(up_at)) {
+    evs.push_back({up_at, FaultTarget::Server, server, true});
+  }
+  return FaultSchedule(std::move(evs));
+}
+
+FaultSchedule FaultSchedule::link_outage(std::int32_t cell, double down_at,
+                                         double up_at) {
+  SCALPEL_REQUIRE(up_at >= down_at, "restore cannot precede the outage");
+  std::vector<FaultEvent> evs{{down_at, FaultTarget::Link, cell, false}};
+  if (std::isfinite(up_at)) {
+    evs.push_back({up_at, FaultTarget::Link, cell, true});
+  }
+  return FaultSchedule(std::move(evs));
+}
+
+FaultSchedule FaultSchedule::exponential_servers(std::size_t num_servers,
+                                                 double mtbf, double mttr,
+                                                 double horizon,
+                                                 const Rng& rng) {
+  SCALPEL_REQUIRE(mtbf > 0.0 && mttr > 0.0, "MTBF and MTTR must be positive");
+  SCALPEL_REQUIRE(horizon > 0.0, "horizon must be positive");
+  std::vector<FaultEvent> evs;
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    Rng r = rng.substream(static_cast<std::uint64_t>(s));
+    const auto id = static_cast<std::int32_t>(s);
+    double t = 0.0;
+    while (true) {
+      t += r.exponential(1.0 / mtbf);
+      if (t >= horizon) break;
+      evs.push_back({t, FaultTarget::Server, id, false});
+      t += r.exponential(1.0 / mttr);
+      if (t >= horizon) break;  // stays down past the horizon
+      evs.push_back({t, FaultTarget::Server, id, true});
+    }
+  }
+  return FaultSchedule(std::move(evs));
+}
+
 BandwidthTrace BandwidthTrace::gilbert(double good_bw, double bad_bw,
                                        double mean_good_s, double mean_bad_s,
                                        double horizon, Rng& rng) {

@@ -44,4 +44,63 @@ class BandwidthTrace {
   std::vector<Segment> segments_;
 };
 
+/// What a fault event hits.
+enum class FaultTarget { Server, Link };
+
+/// One liveness transition: a server crashing/recovering or a cell uplink
+/// dropping/restoring. Everything starts up at t = 0; redundant transitions
+/// (downing an already-down target) are no-ops, so generated schedules can
+/// be merged freely.
+struct FaultEvent {
+  double time = 0.0;
+  FaultTarget target = FaultTarget::Server;
+  std::int32_t id = -1;  // ServerId or CellId depending on target
+  bool up = false;       // false = crash/outage, true = recover/restore
+};
+
+/// A deterministic script of hard failures driving the simulator's fault
+/// injection (BandwidthTrace models smooth drift; this models resources
+/// disappearing outright). Events are kept sorted by time, ties in insertion
+/// order, so replaying a schedule is deterministic.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+  explicit FaultSchedule(std::vector<FaultEvent> events);
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+  /// Liveness at time t (events at exactly t already applied).
+  bool server_up(std::int32_t server, double t) const;
+  bool link_up(std::int32_t cell, double t) const;
+
+  /// Fraction of [0, horizon] the target is up.
+  double server_availability(std::int32_t server, double horizon) const;
+  double link_availability(std::int32_t cell, double horizon) const;
+
+  /// Union of two scripts (events re-sorted by time).
+  FaultSchedule merged(const FaultSchedule& other) const;
+
+  /// One crash/recover cycle. up_at = +inf means the server never recovers.
+  static FaultSchedule server_crash(std::int32_t server, double down_at,
+                                    double up_at);
+  static FaultSchedule link_outage(std::int32_t cell, double down_at,
+                                   double up_at);
+
+  /// Independent alternating up/down renewal process per server: exponential
+  /// time-to-failure (mean `mtbf`) and repair time (mean `mttr`). Server s is
+  /// driven by rng.substream(s), so the script depends only on the rng's
+  /// construction seed, never on draw history.
+  static FaultSchedule exponential_servers(std::size_t num_servers,
+                                           double mtbf, double mttr,
+                                           double horizon, const Rng& rng);
+
+ private:
+  double availability(FaultTarget target, std::int32_t id,
+                      double horizon) const;
+  bool up_at(FaultTarget target, std::int32_t id, double t) const;
+
+  std::vector<FaultEvent> events_;
+};
+
 }  // namespace scalpel

@@ -79,6 +79,13 @@ void FluidResource::complete_due(double now) {
   for (auto& f : fired) f(now);
 }
 
+void FluidResource::clear(double now) {
+  advance(now);
+  if (!jobs_.empty()) ++epoch_;
+  jobs_.clear();
+  weight_sum_ = 0.0;
+}
+
 double FluidResource::busy_time(double now) const {
   double extra = 0.0;
   if (!jobs_.empty() && now > last_update_) extra = now - last_update_;

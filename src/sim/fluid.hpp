@@ -36,6 +36,12 @@ class FluidResource {
   /// Settle progress to `now` and fire every job due (remaining ~ 0).
   void complete_due(double now);
 
+  /// Settle progress to `now` and drop every active job without firing its
+  /// completion (fault injection: the resource crashed; callers fail or
+  /// resteer the owning tasks themselves). Bumps the epoch so armed
+  /// wake-ups go stale.
+  void clear(double now);
+
   /// Total time the resource was non-idle (utilization accounting).
   double busy_time(double now) const;
 

@@ -60,6 +60,12 @@ ReplicatedMetrics ScenarioRunner::run() const {
     }
     agg.arrived += m.arrived;
     agg.completed += m.completed;
+    agg.failed += m.failed;
+    agg.availability.add(m.availability);
+    if (m.completed + m.failed > 0) {
+      agg.failed_fraction.add(static_cast<double>(m.failed) /
+                              static_cast<double>(m.completed + m.failed));
+    }
     if (m.completed > 0) {
       agg.mean_latency.add(m.latency.mean());
       agg.p50_latency.add(m.latency.p50());

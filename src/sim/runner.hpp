@@ -25,9 +25,12 @@ struct ReplicatedMetrics {
   Samples task_energy;            // joules per completed task
   Samples offload_fraction;       // fraction in [0, 1]
   Samples throughput;             // post-warmup completions per second
+  Samples availability;           // schedule-implied server up-fraction
+  Samples failed_fraction;        // failed / (completed + failed), post-warmup
 
   std::size_t arrived = 0;    // total across replications
   std::size_t completed = 0;  // total across replications
+  std::size_t failed = 0;     // post-warmup fault-policy drops, total
 
   Summary latency_summary() const { return summarize(mean_latency); }
 };

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/objective.hpp"
@@ -12,6 +13,7 @@ namespace scalpel {
 struct Simulator::Task {
   DeviceId device = -1;
   double arrival = 0.0;
+  double difficulty = 0.0;  // sampled once; re-used by fault re-executions
   TaskPhases phases;
   bool counted = false;   // arrived after warmup -> contributes to metrics
   // Decision parameters captured at arrival (plan swaps must not corrupt
@@ -23,6 +25,9 @@ struct Simulator::Task {
   // Phase timestamps for energy accounting.
   double device_done = 0.0;
   double upload_done = 0.0;
+  // Fault bookkeeping.
+  std::size_t retries = 0;  // re-dispatch attempts so far
+  bool faulted = false;     // lost a server/link at least once
 };
 
 /// Per-device compiled state: the PlanModel the tasks sample from plus the
@@ -31,6 +36,9 @@ struct Simulator::Task {
 /// fluid slot, so it cannot multiply its weight by queueing several jobs.
 struct Simulator::CompiledDevice {
   std::unique_ptr<PlanModel> plan;
+  /// Device-only variant of `plan` (same exit policy) used when a fault
+  /// resteers a task back onto the device. Null when plan is device-only.
+  std::unique_ptr<PlanModel> fallback;
   bool device_only = true;
   ServerId server = -1;
   double share = 0.0;
@@ -42,20 +50,32 @@ struct Simulator::CompiledDevice {
   double burst_state_until = 0.0;
   std::deque<std::shared_ptr<Task>> upload_queue;
   bool uploading = false;
+  std::shared_ptr<Task> uploading_task;  // the job occupying the fluid slot
   std::deque<std::shared_ptr<Task>> server_queue;
   bool serving = false;
+  std::shared_ptr<Task> serving_task;
 };
 
 Simulator::Simulator(const ProblemInstance& instance, Decision decision,
                      Options options)
     : instance_(&instance), decision_(std::move(decision)),
-      options_(options) {
+      options_(std::move(options)) {
   SCALPEL_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
   SCALPEL_REQUIRE(options_.warmup >= 0.0 && options_.warmup < options_.horizon,
                   "warmup must lie inside the horizon");
+  SCALPEL_REQUIRE(options_.faults.retry_backoff > 0.0 &&
+                      options_.faults.retry_timeout > 0.0,
+                  "fault retry backoff/timeout must be positive");
   const auto& topo = instance_->topology();
   SCALPEL_REQUIRE(decision_.per_device.size() == topo.devices().size(),
                   "decision must cover every device");
+  for (const auto& ev : options_.faults.schedule.events()) {
+    const auto limit = ev.target == FaultTarget::Server
+                           ? topo.servers().size()
+                           : topo.cells().size();
+    SCALPEL_REQUIRE(ev.id >= 0 && static_cast<std::size_t>(ev.id) < limit,
+                    "fault event targets an unknown server/cell");
+  }
 
   Rng master(options_.seed);
   for (std::size_t i = 0; i < topo.devices().size(); ++i) {
@@ -69,6 +89,8 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
   for (std::size_t j = 0; j < topo.servers().size(); ++j) {
     servers_.push_back(std::make_unique<FluidResource>(1.0));
   }
+  server_up_.assign(topo.servers().size(), true);
+  link_up_.assign(topo.cells().size(), true);
   apply_decision(decision_);
   metrics_.per_device.resize(topo.devices().size());
 }
@@ -125,6 +147,19 @@ void Simulator::compile_device(DeviceId dev) {
           ? device.compute
           : instance_->topology().server(dd.server).compute,
       link, device.difficulty);
+  if (dd.plan.device_only) {
+    cd.fallback.reset();
+  } else {
+    // Same surgery with the cut disabled: what the device runs when a fault
+    // strands its offloaded stream.
+    SurgeryPlan local = dd.plan;
+    local.device_only = true;
+    LinkSpec no_link;
+    no_link.bandwidth = 1.0;
+    cd.fallback = std::make_unique<PlanModel>(
+        bundle.graph, bundle.candidates, local, bundle.accuracy,
+        device.compute, device.compute, no_link, device.difficulty);
+  }
 }
 
 void Simulator::apply_decision(const Decision& decision) {
@@ -164,7 +199,8 @@ void Simulator::on_arrival(DeviceId dev) {
   task->device = dev;
   task->arrival = now_;
   task->counted = now_ >= options_.warmup;
-  task->phases = cd.plan->phases_for(device.difficulty.sample(rng));
+  task->difficulty = device.difficulty.sample(rng);
+  task->phases = cd.plan->phases_for(task->difficulty);
   task->server = cd.server;
   task->rtt = cd.rtt;
   task->bw_weight = cd.bandwidth;
@@ -203,30 +239,50 @@ void Simulator::start_upload(const std::shared_ptr<Task>& task) {
   begin_upload_job(task);
 }
 
+void Simulator::advance_upload_queue(DeviceId dev) {
+  auto& cd = *devices_[static_cast<std::size_t>(dev)];
+  if (cd.upload_queue.empty()) {
+    cd.uploading = false;
+    return;
+  }
+  auto next = cd.upload_queue.front();
+  cd.upload_queue.pop_front();
+  begin_upload_job(next);
+}
+
 void Simulator::begin_upload_job(const std::shared_ptr<Task>& task) {
   const auto& device = instance_->topology().device(task->device);
-  auto* link = cell_links_[static_cast<std::size_t>(device.cell)].get();
+  const auto cell = static_cast<std::size_t>(device.cell);
+  // A dead link or dead target server fails the transfer before it starts.
+  if (!link_up_[cell] ||
+      !server_up_[static_cast<std::size_t>(task->server)]) {
+    advance_upload_queue(task->device);
+    handle_fault(task);
+    return;
+  }
+  auto* link = cell_links_[cell].get();
+  auto& owner = *devices_[static_cast<std::size_t>(task->device)];
+  owner.uploading_task = task;
   link->add_job(now_, static_cast<double>(task->phases.upload_bytes),
                 task->bw_weight, [this, task](double t) {
                   // Propagation/setup delay after the transfer drains.
                   schedule(t + task->rtt,
                            [this, task] { start_server_phase(task); });
                   // Head-of-line advance for this device's upload stream.
-                  auto& cd =
-                      *devices_[static_cast<std::size_t>(task->device)];
-                  if (cd.upload_queue.empty()) {
-                    cd.uploading = false;
-                  } else {
-                    auto next = cd.upload_queue.front();
-                    cd.upload_queue.pop_front();
-                    begin_upload_job(next);
-                  }
+                  devices_[static_cast<std::size_t>(task->device)]
+                      ->uploading_task.reset();
+                  advance_upload_queue(task->device);
                 });
   arm_fluid(link);
 }
 
 void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
   SCALPEL_REQUIRE(task->server >= 0, "offloaded task lost its server");
+  // The server may have crashed while the upload or rtt was in progress.
+  if (!server_up_[static_cast<std::size_t>(task->server)]) {
+    handle_fault(task);
+    return;
+  }
   task->upload_done = now_;
   if (task->phases.server_time <= 0.0) {
     complete(task, now_);
@@ -241,22 +297,179 @@ void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
   begin_server_job(task);
 }
 
+void Simulator::advance_server_queue(DeviceId dev) {
+  auto& cd = *devices_[static_cast<std::size_t>(dev)];
+  if (cd.server_queue.empty()) {
+    cd.serving = false;
+    return;
+  }
+  auto next = cd.server_queue.front();
+  cd.server_queue.pop_front();
+  begin_server_job(next);
+}
+
 void Simulator::begin_server_job(const std::shared_ptr<Task>& task) {
+  if (!server_up_[static_cast<std::size_t>(task->server)]) {
+    advance_server_queue(task->device);
+    handle_fault(task);
+    return;
+  }
   auto* server = servers_[static_cast<std::size_t>(task->server)].get();
+  auto& owner = *devices_[static_cast<std::size_t>(task->device)];
+  owner.serving_task = task;
   server->add_job(now_, task->phases.server_time, task->cpu_weight,
                   [this, task](double t) {
+                    devices_[static_cast<std::size_t>(task->device)]
+                        ->serving_task.reset();
                     complete(task, t);
-                    auto& cd =
-                        *devices_[static_cast<std::size_t>(task->device)];
-                    if (cd.server_queue.empty()) {
-                      cd.serving = false;
-                    } else {
-                      auto next = cd.server_queue.front();
-                      cd.server_queue.pop_front();
-                      begin_server_job(next);
-                    }
+                    advance_server_queue(task->device);
                   });
   arm_fluid(server);
+}
+
+void Simulator::on_fault_event(const FaultEvent& ev) {
+  if (ev.target == FaultTarget::Server) {
+    const auto s = static_cast<std::size_t>(ev.id);
+    if (ev.up) {
+      if (!server_up_[s]) {
+        server_up_[s] = true;
+        --down_servers_;
+      }
+    } else if (server_up_[s]) {
+      on_server_down(ev.id);
+    }
+  } else {
+    const auto c = static_cast<std::size_t>(ev.id);
+    if (ev.up) {
+      if (!link_up_[c]) {
+        link_up_[c] = true;
+        --down_links_;
+      }
+    } else if (link_up_[c]) {
+      on_link_down(ev.id);
+    }
+  }
+}
+
+void Simulator::on_server_down(ServerId s) {
+  server_up_[static_cast<std::size_t>(s)] = false;
+  ++down_servers_;
+  // Every fluid job on this server belongs to a task targeting it; drop them
+  // all at once, then fail/resteer the owners.
+  servers_[static_cast<std::size_t>(s)]->clear(now_);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& cd = *devices_[i];
+    std::vector<std::shared_ptr<Task>> victims;
+    for (auto it = cd.server_queue.begin(); it != cd.server_queue.end();) {
+      if ((*it)->server == s) {
+        victims.push_back(*it);
+        it = cd.server_queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (cd.serving_task && cd.serving_task->server == s) {
+      victims.insert(victims.begin(), cd.serving_task);
+      cd.serving_task.reset();
+      advance_server_queue(static_cast<DeviceId>(i));
+    }
+    for (auto& v : victims) handle_fault(v);
+  }
+}
+
+void Simulator::on_link_down(CellId c) {
+  link_up_[static_cast<std::size_t>(c)] = false;
+  ++down_links_;
+  cell_links_[static_cast<std::size_t>(c)]->clear(now_);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (instance_->topology().device(static_cast<DeviceId>(i)).cell != c) {
+      continue;
+    }
+    auto& cd = *devices_[i];
+    std::vector<std::shared_ptr<Task>> victims;
+    if (cd.uploading_task) {
+      victims.push_back(cd.uploading_task);
+      cd.uploading_task.reset();
+    }
+    for (auto& t : cd.upload_queue) victims.push_back(t);
+    cd.upload_queue.clear();
+    cd.uploading = false;
+    for (auto& v : victims) handle_fault(v);
+  }
+}
+
+void Simulator::handle_fault(const std::shared_ptr<Task>& task) {
+  task->faulted = true;
+  switch (options_.faults.policy) {
+    case FaultPolicy::Drop:
+      fail(task, now_);
+      return;
+    case FaultPolicy::RetryOnDevice:
+      resteer_local(task);
+      return;
+    case FaultPolicy::RetryOffload: {
+      const auto& f = options_.faults;
+      if (task->retries >= f.max_retries ||
+          now_ + f.retry_backoff - task->arrival > f.retry_timeout) {
+        fail(task, now_);
+        return;
+      }
+      ++task->retries;
+      if (task->counted) {
+        ++metrics_.per_device[static_cast<std::size_t>(task->device)].retries;
+      }
+      schedule(now_ + f.retry_backoff, [this, task] { redispatch(task); });
+      return;
+    }
+  }
+}
+
+void Simulator::resteer_local(const std::shared_ptr<Task>& task) {
+  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (task->counted) {
+    ++metrics_.per_device[static_cast<std::size_t>(task->device)].resteered;
+  }
+  // Re-execute the whole task on the device under the device-only variant of
+  // its plan (the partial server-side work is lost with the server).
+  PlanModel* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
+  task->phases = fb->phases_for(task->difficulty);
+  task->server = -1;
+  task->rtt = 0.0;
+  task->bw_weight = 0.0;
+  task->cpu_weight = 0.0;
+  const double start = std::max(now_, cd.busy_until);
+  cd.busy_until = start + task->phases.device_time;
+  schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
+}
+
+void Simulator::redispatch(const std::shared_ptr<Task>& task) {
+  // Re-enter the pipeline end-to-end under the device's *current* plan — by
+  // now an online controller may have re-solved around the failure. If the
+  // plan no longer offloads, this degenerates to a device re-execution.
+  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  task->phases = cd.plan->phases_for(task->difficulty);
+  task->server = cd.server;
+  task->rtt = cd.rtt;
+  task->bw_weight = cd.bandwidth;
+  task->cpu_weight = cd.share;
+  const double start = std::max(now_, cd.busy_until);
+  cd.busy_until = start + task->phases.device_time;
+  schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
+}
+
+void Simulator::fail(const std::shared_ptr<Task>& task, double now) {
+  in_flight_integral_ += static_cast<double>(in_flight_) *
+                         (now - in_flight_last_t_);
+  in_flight_last_t_ = now;
+  --in_flight_;
+  ++metrics_.failed_all;
+  if (!task->counted) return;
+  auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
+  ++dm.failed;
+  // A dropped deadline-bearing task is a miss, not a statistical no-show —
+  // otherwise shedding load would inflate deadline satisfaction.
+  const auto& device = instance_->topology().device(task->device);
+  if (device.deadline > 0.0) ++dm.deadline_total;
 }
 
 void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
@@ -265,12 +478,14 @@ void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
   in_flight_last_t_ = now;
   --in_flight_;
   ++window_completions_;
+  ++metrics_.completed_all;
   if (!task->counted) return;
   const auto i = static_cast<std::size_t>(task->device);
   auto& dm = metrics_.per_device[i];
   const double latency = now - task->arrival;
   dm.latency.add(latency);
   ++dm.completed;
+  if (task->faulted || any_outage()) metrics_.outage_latency.add(latency);
   const auto& device = instance_->topology().device(task->device);
   if (device.deadline > 0.0) {
     ++dm.deadline_total;
@@ -313,7 +528,7 @@ void Simulator::controller_tick() {
   for (std::size_t c = 0; c < cell_links_.size(); ++c) {
     bw[c] = cell_links_[c]->capacity();
   }
-  if (auto next = controller_(now_, bw)) {
+  if (auto next = controller_(now_, bw, server_up_)) {
     apply_decision(*next);
   }
   schedule(now_ + options_.control_interval, [this] { controller_tick(); });
@@ -335,6 +550,11 @@ void Simulator::arm_fluid(FluidResource* resource) {
 SimMetrics Simulator::run() {
   const auto& topo = instance_->topology();
 
+  // Fault-schedule transitions are scheduled first so a crash at time t
+  // precedes any arrival at the same timestamp.
+  for (const auto& ev : options_.faults.schedule.events()) {
+    schedule(ev.time, [this, ev] { on_fault_event(ev); });
+  }
   // Seed arrivals.
   for (std::size_t i = 0; i < topo.devices().size(); ++i) {
     const auto dev = static_cast<DeviceId>(i);
@@ -379,6 +599,8 @@ SimMetrics Simulator::run() {
 
   // Aggregate.
   metrics_.horizon = options_.horizon;
+  metrics_.in_flight_end = static_cast<std::size_t>(std::max<std::int64_t>(
+      0, in_flight_));
   std::size_t deadline_met = 0;
   std::size_t deadline_total = 0;
   double acc_sum = 0.0;
@@ -387,6 +609,9 @@ SimMetrics Simulator::run() {
   for (const auto& dm : metrics_.per_device) {
     metrics_.arrived += dm.arrived;
     metrics_.completed += dm.completed;
+    metrics_.failed += dm.failed;
+    metrics_.retried += dm.retries;
+    metrics_.resteered += dm.resteered;
     for (double v : dm.latency.values()) metrics_.latency.add(v);
     deadline_met += dm.deadline_met;
     deadline_total += dm.deadline_total;
@@ -412,6 +637,14 @@ SimMetrics Simulator::run() {
   for (const auto& s : servers_) {
     metrics_.server_utilization.push_back(
         s->busy_time(std::min(now_, options_.horizon)) / options_.horizon);
+  }
+  if (!options_.faults.schedule.empty() && !servers_.empty()) {
+    double avail = 0.0;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      avail += options_.faults.schedule.server_availability(
+          static_cast<std::int32_t>(s), options_.horizon);
+    }
+    metrics_.availability = avail / static_cast<double>(servers_.size());
   }
   return metrics_;
 }

@@ -22,8 +22,11 @@ struct DeviceMetrics {
   Samples latency;                // seconds, post-warmup completions
   std::size_t arrived = 0;
   std::size_t completed = 0;
+  std::size_t failed = 0;         // dropped by the fault policy
+  std::size_t resteered = 0;      // re-executed on-device after a fault
+  std::size_t retries = 0;        // re-dispatch attempts after a fault
   std::size_t deadline_met = 0;   // among completed with a deadline
-  std::size_t deadline_total = 0;
+  std::size_t deadline_total = 0; // completed + failed deadline-bearing tasks
   double accuracy_sum = 0.0;      // sum of per-task correctness probability
   double energy_sum = 0.0;        // joules across completed tasks
   std::size_t offloaded = 0;
@@ -50,6 +53,39 @@ struct SimMetrics {
   std::vector<double> server_utilization;  // busy fraction per server
   double offload_fraction = 0.0;
   double horizon = 0.0;
+  // --- fault injection (all zero/1.0 without a FaultSchedule) ---
+  std::size_t failed = 0;     // post-warmup tasks dropped by the fault policy
+  std::size_t retried = 0;    // post-warmup re-dispatch attempts
+  std::size_t resteered = 0;  // post-warmup device-fallback re-executions
+  /// Mean over servers of the up-fraction of [0, horizon] per the schedule.
+  double availability = 1.0;
+  /// Latencies of counted completions that either survived a fault or
+  /// finished while some server/link was down (p99-during-outage etc.).
+  Samples outage_latency;
+  /// Whole-run conservation counters (warmup tasks included):
+  ///   arrived == completed_all + failed_all + in_flight_end
+  std::size_t completed_all = 0;
+  std::size_t failed_all = 0;
+  std::size_t in_flight_end = 0;
+};
+
+/// What to do with a task in flight on a crashed server or severed link.
+enum class FaultPolicy {
+  Drop,           // fail the task (counted, never completed)
+  RetryOnDevice,  // re-execute the whole task on the device, device-only plan
+  RetryOffload,   // back off and re-dispatch through the *current* plan
+                  // (bounded retries + timeout; pairs with an online
+                  // controller that excludes dead servers)
+};
+
+struct FaultOptions {
+  FaultPolicy policy = FaultPolicy::RetryOnDevice;
+  std::size_t max_retries = 3;  // per-task re-dispatch budget (RetryOffload)
+  double retry_backoff = 0.5;   // seconds before a re-dispatch attempt
+  /// A retrying task older than this (since arrival) is failed instead of
+  /// re-dispatched — degraded service must stay bounded.
+  double retry_timeout = 30.0;
+  FaultSchedule schedule;
 };
 
 /// Trace-driven discrete-event simulator of the edge deployment executing a
@@ -75,10 +111,13 @@ class Simulator {
     double burst_hold = 2.0;
     /// Time-series sampling window (seconds); 0 disables recording.
     double series_window = 0.0;
+    /// Hard-failure script and in-flight-task policy (empty = no faults).
+    FaultOptions faults;
   };
 
   using Controller = std::function<std::optional<Decision>(
-      double now, const std::vector<double>& cell_bandwidth)>;
+      double now, const std::vector<double>& cell_bandwidth,
+      const std::vector<bool>& server_alive)>;
 
   Simulator(const ProblemInstance& instance, Decision decision,
             Options options);
@@ -102,14 +141,25 @@ class Simulator {
   void finish_device_phase(const std::shared_ptr<Task>& task);
   void start_upload(const std::shared_ptr<Task>& task);
   void begin_upload_job(const std::shared_ptr<Task>& task);
+  void advance_upload_queue(DeviceId dev);
   void start_server_phase(const std::shared_ptr<Task>& task);
   void begin_server_job(const std::shared_ptr<Task>& task);
+  void advance_server_queue(DeviceId dev);
   void complete(const std::shared_ptr<Task>& task, double now);
+  void fail(const std::shared_ptr<Task>& task, double now);
   void arm_fluid(FluidResource* resource);
   void apply_decision(const Decision& decision);
   void compile_device(DeviceId dev);
   void controller_tick();
   void series_tick();
+  // Fault injection.
+  void on_fault_event(const FaultEvent& ev);
+  void on_server_down(ServerId s);
+  void on_link_down(CellId c);
+  void handle_fault(const std::shared_ptr<Task>& task);
+  void resteer_local(const std::shared_ptr<Task>& task);
+  void redispatch(const std::shared_ptr<Task>& task);
+  bool any_outage() const { return down_servers_ > 0 || down_links_ > 0; }
 
   const ProblemInstance* instance_;
   Decision decision_;
@@ -133,6 +183,11 @@ class Simulator {
   Controller controller_;
 
   std::vector<std::unique_ptr<CompiledDevice>> devices_;
+  // Liveness state driven by the fault schedule (everything starts up).
+  std::vector<bool> server_up_;
+  std::vector<bool> link_up_;
+  std::size_t down_servers_ = 0;
+  std::size_t down_links_ = 0;
   SimMetrics metrics_;
   // Time-series accumulators.
   std::int64_t in_flight_ = 0;

@@ -56,8 +56,23 @@ void ThreadPool::parallel_for(
     futures.push_back(submit([&fn, lo, hi] { fn(lo, hi); }));
     lo = hi;
   }
-  fn(begin, std::min(end, begin + chunk));
-  for (auto& f : futures) f.get();  // rethrows task exceptions
+  // An exception (from the caller's chunk or an early future) must not
+  // unwind past the remaining futures: their tasks capture `fn` by
+  // reference into this frame. Drain every future first, then rethrow.
+  std::exception_ptr first_error;
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::shared() {

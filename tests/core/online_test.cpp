@@ -66,5 +66,78 @@ TEST(Online, ValidatesObservationArity) {
   EXPECT_THROW(ctl.observe({0.0}), ContractViolation);
 }
 
+TEST(Online, ValidatesLivenessArity) {
+  const auto topo = clusters::small_lab();  // 1 cell, 2 servers
+  OnlineController ctl(topo, fast_opts());
+  const std::vector<double> bw = {topo.cell(0).bandwidth};
+  EXPECT_THROW(ctl.observe(bw, {true}), ContractViolation);
+  EXPECT_THROW(ctl.observe(bw, {true, true, true}), ContractViolation);
+  EXPECT_NO_THROW(ctl.observe(bw, {true, true}));
+}
+
+TEST(Online, DeadServerExcludedFromAssignment) {
+  // small_lab has 2 servers; kill server 0 and every offloaded device must
+  // land on server 1, with a failover recorded.
+  const auto topo = clusters::small_lab();
+  OnlineController ctl(topo, fast_opts());
+  ctl.decision();
+  const std::vector<double> bw = {topo.cell(0).bandwidth};
+  EXPECT_TRUE(ctl.observe(bw, {false, true}));
+  EXPECT_EQ(ctl.failovers(), 1u);
+  const auto& d = ctl.decision();
+  bool any_offload = false;
+  for (const auto& dd : d.per_device) {
+    if (dd.plan.device_only) continue;
+    any_offload = true;
+    EXPECT_EQ(dd.server, 1);
+  }
+  // The surviving T4 still beats pure on-device execution for this lab.
+  EXPECT_TRUE(any_offload);
+}
+
+TEST(Online, AllServersDeadFallsBackToDeviceOnly) {
+  const auto topo = clusters::small_lab();
+  OnlineController ctl(topo, fast_opts());
+  const std::vector<double> bw = {topo.cell(0).bandwidth};
+  EXPECT_TRUE(ctl.observe(bw, {false, false}));
+  const auto& d = ctl.decision();
+  EXPECT_EQ(d.scheme, "device_fallback");
+  for (const auto& dd : d.per_device) {
+    EXPECT_TRUE(dd.plan.device_only);
+  }
+  // Degraded, never crashed: the decision is still fully evaluated.
+  EXPECT_EQ(d.predicted.size(), d.per_device.size());
+}
+
+TEST(Online, RecoveryRestoresOffloading) {
+  const auto topo = clusters::small_lab();
+  OnlineController ctl(topo, fast_opts());
+  const std::vector<double> bw = {topo.cell(0).bandwidth};
+  ASSERT_TRUE(ctl.observe(bw, {false, false}));
+  for (const auto& dd : ctl.decision().per_device) {
+    ASSERT_TRUE(dd.plan.device_only);
+  }
+  // Both servers come back: the controller must re-solve and offload again.
+  EXPECT_TRUE(ctl.observe(bw, {true, true}));
+  bool any_offload = false;
+  for (const auto& dd : ctl.decision().per_device) {
+    if (!dd.plan.device_only) any_offload = true;
+  }
+  EXPECT_TRUE(any_offload);
+  EXPECT_GE(ctl.failovers(), 2u);
+}
+
+TEST(Online, UnchangedLivenessDoesNotResolve) {
+  // Liveness re-solves are edge-triggered: repeating the same alive vector
+  // (with steady bandwidth) must not burn another optimization.
+  const auto topo = clusters::small_lab();
+  OnlineController ctl(topo, fast_opts());
+  const std::vector<double> bw = {topo.cell(0).bandwidth};
+  EXPECT_TRUE(ctl.observe(bw, {false, true}));
+  const auto n = ctl.reoptimizations();
+  EXPECT_FALSE(ctl.observe(bw, {false, true}));
+  EXPECT_EQ(ctl.reoptimizations(), n);
+}
+
 }  // namespace
 }  // namespace scalpel

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
 
 #include "edge/builders.hpp"
@@ -193,6 +194,103 @@ TEST(BandwidthTrace, GilbertAlternatesStates) {
   const double mean = tr.mean(200.0);
   EXPECT_GT(mean, mbps(10.0));
   EXPECT_LT(mean, mbps(100.0));
+}
+
+TEST(FaultSchedule, EventsSortedByTime) {
+  FaultSchedule s({{10.0, FaultTarget::Server, 1, false},
+                   {2.0, FaultTarget::Link, 0, false},
+                   {5.0, FaultTarget::Server, 0, false}});
+  ASSERT_EQ(s.events().size(), 3u);
+  EXPECT_DOUBLE_EQ(s.events()[0].time, 2.0);
+  EXPECT_DOUBLE_EQ(s.events()[1].time, 5.0);
+  EXPECT_DOUBLE_EQ(s.events()[2].time, 10.0);
+}
+
+TEST(FaultSchedule, LivenessQueries) {
+  const auto s = FaultSchedule::server_crash(0, 10.0, 20.0);
+  EXPECT_TRUE(s.server_up(0, 0.0));
+  EXPECT_TRUE(s.server_up(0, 9.999));
+  EXPECT_FALSE(s.server_up(0, 10.0));  // events at exactly t applied
+  EXPECT_FALSE(s.server_up(0, 19.999));
+  EXPECT_TRUE(s.server_up(0, 20.0));
+  // Untouched targets are always up.
+  EXPECT_TRUE(s.server_up(1, 15.0));
+  EXPECT_TRUE(s.link_up(0, 15.0));
+}
+
+TEST(FaultSchedule, AvailabilityIntegratesDowntime) {
+  const auto s = FaultSchedule::server_crash(0, 10.0, 20.0);
+  EXPECT_NEAR(s.server_availability(0, 100.0), 0.9, 1e-12);
+  EXPECT_NEAR(s.server_availability(1, 100.0), 1.0, 1e-12);
+  // Downtime clipped at the horizon.
+  EXPECT_NEAR(s.server_availability(0, 15.0), 10.0 / 15.0, 1e-12);
+  // Permanent crash: down from 10 forever.
+  const auto perm = FaultSchedule::server_crash(
+      0, 10.0, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(perm.events().size(), 1u);
+  EXPECT_NEAR(perm.server_availability(0, 40.0), 0.25, 1e-12);
+}
+
+TEST(FaultSchedule, ZeroDurationOutageIsInvisibleToAvailability) {
+  const auto s = FaultSchedule::link_outage(0, 5.0, 5.0);
+  EXPECT_NEAR(s.link_availability(0, 10.0), 1.0, 1e-12);
+  // The momentary down state is still observable at the instant itself.
+  EXPECT_EQ(s.events().size(), 2u);
+}
+
+TEST(FaultSchedule, MergedCombinesScripts) {
+  const auto s = FaultSchedule::server_crash(0, 10.0, 20.0)
+                     .merged(FaultSchedule::link_outage(0, 5.0, 8.0));
+  EXPECT_EQ(s.events().size(), 4u);
+  EXPECT_FALSE(s.link_up(0, 6.0));
+  EXPECT_FALSE(s.server_up(0, 12.0));
+  EXPECT_TRUE(s.server_up(0, 6.0));
+}
+
+TEST(FaultSchedule, ExponentialServersDeterministicPerSeed) {
+  Rng rng(11);
+  const auto a = FaultSchedule::exponential_servers(3, 20.0, 5.0, 200.0, rng);
+  // Substream derivation keys off the construction seed, not draw history:
+  // a used rng must produce the same script.
+  Rng used(11);
+  used.next_u64();
+  used.uniform();
+  const auto b =
+      FaultSchedule::exponential_servers(3, 20.0, 5.0, 200.0, used);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events()[i].time, b.events()[i].time);
+    EXPECT_EQ(a.events()[i].id, b.events()[i].id);
+    EXPECT_EQ(a.events()[i].up, b.events()[i].up);
+  }
+  EXPECT_GT(a.events().size(), 0u);
+  for (const auto& ev : a.events()) {
+    EXPECT_LT(ev.time, 200.0);
+    EXPECT_EQ(ev.target, FaultTarget::Server);
+    EXPECT_GE(ev.id, 0);
+    EXPECT_LT(ev.id, 3);
+  }
+  // Per-server events alternate down/up starting with a crash.
+  for (std::int32_t s = 0; s < 3; ++s) {
+    bool expect_up = false;
+    for (const auto& ev : a.events()) {
+      if (ev.id != s) continue;
+      EXPECT_EQ(ev.up, expect_up);
+      expect_up = !expect_up;
+    }
+  }
+}
+
+TEST(FaultSchedule, Validates) {
+  EXPECT_THROW(FaultSchedule({{-1.0, FaultTarget::Server, 0, false}}),
+               ContractViolation);
+  EXPECT_THROW(FaultSchedule({{1.0, FaultTarget::Server, -2, false}}),
+               ContractViolation);
+  EXPECT_THROW(FaultSchedule::server_crash(0, 10.0, 5.0), ContractViolation);
+  Rng rng(1);
+  EXPECT_THROW(FaultSchedule::exponential_servers(2, 0.0, 1.0, 10.0, rng),
+               ContractViolation);
+  EXPECT_TRUE(FaultSchedule().empty());
 }
 
 }  // namespace

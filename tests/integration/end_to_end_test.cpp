@@ -133,8 +133,9 @@ TEST(EndToEnd, OnlineAdaptationBeatsStaticUnderBandwidthDrop) {
   Simulator adaptive_sim(inst, static_decision, aopts);
   adaptive_sim.set_cell_trace(0, trace);
   adaptive_sim.set_controller(
-      [&](double, const std::vector<double>& bw) -> std::optional<Decision> {
-        if (controller.observe(bw)) return controller.decision();
+      [&](double, const std::vector<double>& bw,
+          const std::vector<bool>& alive) -> std::optional<Decision> {
+        if (controller.observe(bw, alive)) return controller.decision();
         return std::nullopt;
       });
   const auto adaptive_m = adaptive_sim.run();

@@ -108,5 +108,78 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTopologyTest,
                          ::testing::Values(101, 202, 303, 404, 505, 606, 707,
                                            808));
 
+// Fault-schedule fuzz: random crash/recover interleavings (including
+// zero-duration outages and crash-at-t=0) under every retry policy. Whatever
+// the schedule throws at it, the simulator must preserve conservation
+//   arrived == completed_all + failed_all + in_flight_end
+// keep availability in [0, 1], and never emit a negative latency.
+class FuzzFaultTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzFaultTest, RandomScheduleKeepsInvariants) {
+  const std::uint64_t seed = GetParam();
+  clusters::CampusOptions copts;
+  copts.seed = seed;
+  copts.num_devices = 4 + (seed % 5);
+  copts.num_servers = 2 + (seed % 2);
+  const ProblemInstance instance(clusters::campus(copts));
+  const auto& topo = instance.topology();
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  // Random schedule: per server and per link, a handful of down/up pairs
+  // with exponential spacing, sometimes zero-width, sometimes at t=0.
+  Rng rng(seed * 7919 + 13);
+  std::vector<FaultEvent> events;
+  const double horizon = 20.0;
+  for (std::size_t s = 0; s < topo.servers().size(); ++s) {
+    double t = rng.uniform() < 0.25 ? 0.0 : rng.exponential(0.3);
+    while (t < horizon) {
+      const double width =
+          rng.uniform() < 0.2 ? 0.0 : rng.exponential(0.8);
+      events.push_back({t, FaultTarget::Server,
+                        static_cast<std::int32_t>(s), false});
+      events.push_back({t + width, FaultTarget::Server,
+                        static_cast<std::int32_t>(s), true});
+      t += width + rng.exponential(0.3);
+    }
+  }
+  for (std::size_t c = 0; c < topo.cells().size(); ++c) {
+    if (rng.uniform() < 0.5) continue;
+    const double t = rng.exponential(0.2) * horizon * 0.5;
+    events.push_back({t, FaultTarget::Link,
+                      static_cast<std::int32_t>(c), false});
+    events.push_back({t + rng.exponential(2.0), FaultTarget::Link,
+                      static_cast<std::int32_t>(c), true});
+  }
+
+  Simulator::Options sopts;
+  sopts.horizon = horizon;
+  sopts.warmup = 1.0;
+  sopts.seed = seed;
+  sopts.faults.schedule = FaultSchedule(events);
+  const FaultPolicy policies[] = {FaultPolicy::Drop, FaultPolicy::RetryOnDevice,
+                                  FaultPolicy::RetryOffload};
+  sopts.faults.policy = policies[seed % 3];
+  sopts.faults.max_retries = 1 + seed % 4;
+  sopts.faults.retry_backoff = 0.1 + 0.1 * static_cast<double>(seed % 3);
+  sopts.faults.retry_timeout = 5.0;
+
+  const auto m = Simulator(instance, d, sopts).run();
+  EXPECT_EQ(m.arrived, m.completed_all + m.failed_all + m.in_flight_end)
+      << "policy=" << static_cast<int>(sopts.faults.policy);
+  EXPECT_GE(m.availability, 0.0);
+  EXPECT_LE(m.availability, 1.0);
+  if (!m.latency.empty()) {
+    EXPECT_GE(m.latency.min(), 0.0);
+  }
+  if (!m.outage_latency.empty()) {
+    EXPECT_GE(m.outage_latency.min(), 0.0);
+  }
+  EXPECT_LE(m.outage_latency.count(), m.latency.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
+                                           110));
+
 }  // namespace
 }  // namespace scalpel

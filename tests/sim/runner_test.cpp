@@ -83,6 +83,48 @@ TEST(ScenarioRunner, AggregateBitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ScenarioRunner, FaultScheduleAggregatesBitIdenticalAcrossThreads) {
+  // Fault injection must not break the determinism contract: with a crash /
+  // recovery script active, per-replication and folded aggregates are still
+  // bit-identical for 1, 2, and 8 worker threads.
+  const ProblemInstance inst(single_device(4.0));
+  Decision d;
+  d.scheme = "test_offload";
+  d.per_device.resize(1);
+  d.per_device[0].plan.partition_after = 0;
+  d.per_device[0].server = 0;
+  d.per_device[0].compute_share = 1.0;
+  d.per_device[0].bandwidth = inst.topology().cell(0).bandwidth;
+  evaluate_decision(inst, d);
+
+  auto with_faults = [&](std::size_t threads) {
+    auto o = runner_opts(8, threads);
+    o.sim.faults.schedule = FaultSchedule::server_crash(0, 20.0, 35.0);
+    o.sim.faults.policy = FaultPolicy::RetryOffload;
+    o.sim.faults.max_retries = 50;
+    o.sim.faults.retry_timeout = 40.0;
+    return ScenarioRunner(inst, d, o).run();
+  };
+  const auto base = with_faults(1);
+  EXPECT_GT(base.failed + base.arrived - base.completed, 0u);
+  EXPECT_EQ(base.availability.count(), 8u);
+  for (std::size_t threads : {2ul, 8ul}) {
+    const auto m = with_faults(threads);
+    EXPECT_EQ(m.arrived, base.arrived);
+    EXPECT_EQ(m.completed, base.completed);
+    EXPECT_EQ(m.failed, base.failed);
+    EXPECT_EQ(m.mean_latency.values(), base.mean_latency.values());
+    EXPECT_EQ(m.availability.values(), base.availability.values());
+    EXPECT_EQ(m.failed_fraction.values(), base.failed_fraction.values());
+    ASSERT_EQ(m.replications.size(), base.replications.size());
+    for (std::size_t r = 0; r < m.replications.size(); ++r) {
+      EXPECT_EQ(m.replications[r].completed, base.replications[r].completed);
+      EXPECT_EQ(m.replications[r].failed, base.replications[r].failed);
+      EXPECT_EQ(m.replications[r].retried, base.replications[r].retried);
+    }
+  }
+}
+
 TEST(ScenarioRunner, DistinctSubstreamsPerReplicationId) {
   std::set<std::uint64_t> seeds;
   for (std::size_t r = 0; r < 64; ++r) {

@@ -224,7 +224,8 @@ TEST(Simulator, ControllerSwapsDecisionMidRun) {
   opts.control_interval = 10.0;
   Simulator sim(inst, offload, opts);
   bool swapped = false;
-  sim.set_controller([&](double now, const std::vector<double>&)
+  sim.set_controller([&](double now, const std::vector<double>&,
+                         const std::vector<bool>&)
                          -> std::optional<Decision> {
     if (now >= 150.0 && !swapped) {
       swapped = true;
@@ -248,10 +249,12 @@ TEST(Simulator, ValidatesOptions) {
   EXPECT_THROW(Simulator(inst, d, bad), ContractViolation);
   Simulator::Options ok = fast_run();
   Simulator sim(inst, d, ok);
-  EXPECT_THROW(sim.set_controller([](double, const std::vector<double>&) {
-    return std::optional<Decision>{};
-  }),
-               ContractViolation);  // no control_interval configured
+  EXPECT_THROW(
+      sim.set_controller([](double, const std::vector<double>&,
+                            const std::vector<bool>&) {
+        return std::optional<Decision>{};
+      }),
+      ContractViolation);  // no control_interval configured
   EXPECT_THROW(sim.set_cell_trace(7, BandwidthTrace::constant(1.0)),
                ContractViolation);
 }
