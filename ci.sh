@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Three-tier CI entry point (see README "Testing"):
+# Tiered CI entry point (see README "Testing"):
 #   ./ci.sh          — warnings-as-errors build + fast test tier (every push)
 #   ./ci.sh full     — same build + the full suite including slow DES tests
 #   ./ci.sh asan     — ASan+UBSan build (halt on first report) + fast tier
+#   ./ci.sh tsan     — ThreadSanitizer build + fast tier (parallel runner)
 set -euo pipefail
 
 TIER="${1:-fast}"
@@ -13,6 +14,9 @@ EXTRA=()
 if [[ "$TIER" == "asan" ]]; then
   DEFAULT_DIR=build-asan
   EXTRA=(-DSCALPEL_SANITIZE=ON)
+elif [[ "$TIER" == "tsan" ]]; then
+  DEFAULT_DIR=build-tsan
+  EXTRA=(-DSCALPEL_SANITIZE=thread)
 fi
 BUILD_DIR="${BUILD_DIR:-$DEFAULT_DIR}"
 
@@ -20,14 +24,14 @@ cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON "${EXTRA[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 case "$TIER" in
-  fast|asan)
+  fast|asan|tsan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
     ;;
   full)
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     ;;
   *)
-    echo "usage: $0 [fast|full|asan]" >&2
+    echo "usage: $0 [fast|full|asan|tsan]" >&2
     exit 2
     ;;
 esac

@@ -9,6 +9,8 @@
 //       --out decision.json
 //   scalpel_cli simulate --topology topo.json --decision decision.json
 //       --horizon 60 --reps 16 --threads 8
+//   scalpel_cli admission --topology topo.json [--decision decision.json]
+//       --headroom 0.9 --rungs 4
 //   scalpel_cli models
 
 #include <cmath>
@@ -20,14 +22,17 @@
 #include <string>
 
 #include "baselines/baselines.hpp"
+#include "core/admission.hpp"
 #include "core/joint.hpp"
 #include "core/objective.hpp"
+#include "core/online.hpp"
 #include "core/serialize.hpp"
 #include "edge/builders.hpp"
 #include "nn/models.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
+#include "util/table.hpp"
 #include "util/units.hpp"
 
 using namespace scalpel;
@@ -46,6 +51,8 @@ namespace {
                "  scalpel_cli simulate --topology FILE --decision FILE "
                "[--horizon SECONDS] [--warmup SECONDS] [--seed S] "
                "[--reps N] [--threads T]\n"
+               "  scalpel_cli admission --topology FILE [--decision FILE] "
+               "[--scheme joint|...] [--headroom H] [--rungs N]\n"
                "  scalpel_cli models\n");
   std::exit(2);
 }
@@ -205,6 +212,80 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Admission report: how much load each device can sustain under a decision,
+// what the cluster-level throttle plan would admit, and the precomputed
+// surgery-based degradation ladder the online controller would walk under
+// sustained overload.
+int cmd_admission(const std::map<std::string, std::string>& flags) {
+  const std::string topo_path = flag_or(flags, "topology", "");
+  if (topo_path.empty()) usage();
+  const auto topo =
+      serialize::topology_from_json(Json::parse(read_file(topo_path)));
+  const ProblemInstance instance(topo);
+
+  Decision decision;
+  const std::string decision_path = flag_or(flags, "decision", "");
+  if (!decision_path.empty()) {
+    decision =
+        serialize::decision_from_json(Json::parse(read_file(decision_path)));
+    evaluate_decision(instance, decision);
+  } else {
+    const std::string scheme = flag_or(flags, "scheme", "joint");
+    decision = scheme == "joint"
+                   ? JointOptimizer(JointOptions{}).optimize(instance)
+                   : baselines::by_name(instance, scheme);
+  }
+  const double headroom = std::stod(flag_or(flags, "headroom", "0.9"));
+
+  std::printf("admission report for scheme=%s (headroom %.2f)\n\n",
+              decision.scheme.c_str(), headroom);
+  const auto plan =
+      admission::propose_throttle_fixed_point(instance, decision, headroom);
+  Table load({"device", "offered /s", "sustainable /s", "admitted /s",
+              "admit frac"});
+  for (std::size_t i = 0; i < decision.per_device.size(); ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const auto& dev = topo.device(id);
+    const double sustainable = admission::max_sustainable_rate(
+        instance, id, decision.per_device[i], 1.0);
+    load.add_row({dev.name, Table::num(dev.arrival_rate, 2),
+                  Table::num(sustainable, 2),
+                  Table::num(plan.admitted_rate[i], 2),
+                  Table::num(dev.arrival_rate > 0.0
+                                 ? plan.admitted_rate[i] / dev.arrival_rate
+                                 : 1.0,
+                             3)});
+  }
+  std::printf("%s\n", load.to_string().c_str());
+  std::printf("throttle plan: %s (fixed point in %zu iteration%s)\n\n",
+              plan.throttled ? "throttled" : "all load admitted",
+              plan.iterations, plan.iterations == 1 ? "" : "s");
+
+  LadderOptions lo;
+  lo.rungs =
+      static_cast<std::size_t>(std::stoul(flag_or(flags, "rungs", "4")));
+  const auto ladder = build_degradation_ladder(instance, decision, lo);
+  std::printf("degradation ladder (rung 0 = deployed plan):\n");
+  Table lt({"rung", "accuracy floor", "predicted accuracy",
+            "min sustainable /s", "quantized uploads"});
+  for (std::size_t k = 0; k < ladder.size(); ++k) {
+    double min_sustain = 1e18;
+    bool quantized = false;
+    for (std::size_t i = 0; i < ladder[k].plans.size(); ++i) {
+      min_sustain = std::min(min_sustain, ladder[k].sustainable[i]);
+      quantized = quantized || ladder[k].plans[i].quantize_upload;
+    }
+    lt.add_row({Table::num(static_cast<std::int64_t>(k)),
+                Table::num(ladder[k].accuracy_floor, 3),
+                Table::num(ladder[k].predicted_accuracy, 3),
+                std::isfinite(min_sustain) ? Table::num(min_sustain, 2)
+                                           : "unbounded",
+                quantized ? "yes" : "no"});
+  }
+  std::printf("%s\n", lt.to_string().c_str());
+  return 0;
+}
+
 int cmd_models() {
   for (const auto& name : models::zoo_names()) {
     const auto g = models::by_name(name);
@@ -226,6 +307,7 @@ int main(int argc, char** argv) {
     if (cmd == "topology") return cmd_topology(parse_flags(argc, argv, 2));
     if (cmd == "optimize") return cmd_optimize(parse_flags(argc, argv, 2));
     if (cmd == "simulate") return cmd_simulate(parse_flags(argc, argv, 2));
+    if (cmd == "admission") return cmd_admission(parse_flags(argc, argv, 2));
     if (cmd == "models") return cmd_models();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

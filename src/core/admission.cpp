@@ -61,6 +61,53 @@ ThrottlePlan propose_throttle(const ProblemInstance& instance,
   return plan;
 }
 
+ThrottlePlan propose_throttle_fixed_point(const ProblemInstance& instance,
+                                          const Decision& decision,
+                                          double utilization_headroom,
+                                          std::size_t max_iters) {
+  SCALPEL_REQUIRE(max_iters > 0, "fixed point needs at least one iteration");
+  ThrottlePlan plan = propose_throttle(instance, decision,
+                                       utilization_headroom);
+  if (!plan.throttled) return plan;
+
+  const auto& topo = instance.topology();
+  // One bundle-sharing working instance whose rates track the iterate.
+  ProblemInstance work(topo);
+  for (std::size_t iter = 1; iter < max_iters; ++iter) {
+    for (std::size_t i = 0; i < plan.admitted_rate.size(); ++i) {
+      work.mutable_topology().set_device_arrival_rate(
+          static_cast<DeviceId>(i), std::max(1e-6, plan.admitted_rate[i]));
+    }
+    bool changed = false;
+    for (std::size_t i = 0; i < plan.admitted_rate.size(); ++i) {
+      const double sustainable = max_sustainable_rate(
+          work, static_cast<DeviceId>(i), decision.per_device[i],
+          utilization_headroom);
+      const double next = std::min(plan.admitted_rate[i], sustainable);
+      if (next < plan.admitted_rate[i] - 1e-12) {
+        plan.admitted_rate[i] = next;
+        changed = true;
+      }
+    }
+    ++plan.iterations;
+    if (!changed) break;
+  }
+
+  // Final accounting is always relative to the *original* offered load.
+  double offered_total = 0.0;
+  double admitted_total = 0.0;
+  plan.throttled = false;
+  for (std::size_t i = 0; i < plan.admitted_rate.size(); ++i) {
+    const double offered = topo.device(static_cast<DeviceId>(i)).arrival_rate;
+    plan.throttled =
+        plan.throttled || plan.admitted_rate[i] < offered - 1e-12;
+    offered_total += offered;
+    admitted_total += plan.admitted_rate[i];
+  }
+  plan.admitted_fraction = admitted_total / offered_total;
+  return plan;
+}
+
 ClusterTopology throttled_topology(const ProblemInstance& instance,
                                    const ThrottlePlan& plan) {
   const auto& topo = instance.topology();

@@ -30,6 +30,8 @@ struct ThrottlePlan {
   double admitted_fraction = 1.0;
   /// True if any device had to be throttled.
   bool throttled = false;
+  /// Refinement rounds performed (1 for the one-shot propose_throttle).
+  std::size_t iterations = 1;
 };
 
 /// Uniform-headroom throttling: every unstable device's rate is reduced to
@@ -39,6 +41,19 @@ struct ThrottlePlan {
 ThrottlePlan propose_throttle(const ProblemInstance& instance,
                               const Decision& decision,
                               double utilization_headroom = 0.9);
+
+/// Cluster-level fixed point of propose_throttle: re-evaluates every
+/// device's sustainable rate on the topology implied by the previous
+/// iterate's admitted rates and tightens until the plan stops changing (or
+/// `max_iters`). Under the current per-device stability model the bounds do
+/// not depend on the other devices' rates, so the fixed point lands after
+/// one refinement round — the iteration is the contract that keeps the plan
+/// stable if cross-device coupling ever enters the model, and tests assert
+/// the result is a true fixed point (idempotent, evaluator-stable).
+ThrottlePlan propose_throttle_fixed_point(const ProblemInstance& instance,
+                                          const Decision& decision,
+                                          double utilization_headroom = 0.9,
+                                          std::size_t max_iters = 8);
 
 /// Applies a throttle plan to a copy of the topology (scaling arrival
 /// rates), for re-optimization or simulation of the throttled system.

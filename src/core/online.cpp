@@ -1,11 +1,124 @@
 #include "core/online.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/objective.hpp"
+#include "surgery/exit_setting.hpp"
 #include "util/assert.hpp"
 
 namespace scalpel {
+
+namespace {
+
+bool same_plan(const SurgeryPlan& a, const SurgeryPlan& b) {
+  if (a.device_only != b.device_only ||
+      a.quantize_upload != b.quantize_upload ||
+      a.partition_after != b.partition_after ||
+      a.policy.exits.size() != b.policy.exits.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.policy.exits.size(); ++i) {
+    if (a.policy.exits[i].candidate != b.policy.exits[i].candidate ||
+        a.policy.exits[i].theta != b.policy.exits[i].theta) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<LadderRung> build_degradation_ladder(
+    const ProblemInstance& instance, const Decision& base,
+    const LadderOptions& opts, const JointOptions& joint) {
+  const auto& topo = instance.topology();
+  const std::size_t n = topo.devices().size();
+  SCALPEL_REQUIRE(base.per_device.size() == n,
+                  "ladder base must cover every device");
+  SCALPEL_REQUIRE(opts.accuracy_step > 0.0,
+                  "ladder accuracy step must be positive");
+
+  std::vector<LadderRung> ladder;
+  std::vector<double> prev_acc(n);
+
+  double rate_total = 0.0;
+  for (const auto& d : topo.devices()) rate_total += d.arrival_rate;
+
+  LadderRung r0;
+  r0.accuracy_floor = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto id = static_cast<DeviceId>(i);
+    const PlanModel pm = build_plan_model(instance, id, base.per_device[i]);
+    prev_acc[i] = pm.expected_accuracy();
+    r0.plans.push_back(base.per_device[i].plan);
+    r0.sustainable.push_back(
+        admission::max_sustainable_rate(instance, id, base.per_device[i], 1.0));
+    r0.predicted_accuracy +=
+        topo.device(id).arrival_rate / rate_total * prev_acc[i];
+    r0.accuracy_floor = std::min(r0.accuracy_floor, prev_acc[i]);
+  }
+  const std::vector<double> base_acc = prev_acc;
+  ladder.push_back(std::move(r0));
+
+  for (std::size_t k = 1; k <= opts.rungs; ++k) {
+    const LadderRung& prev = ladder.back();
+    LadderRung rung;
+    rung.accuracy_floor = 1.0;
+    std::vector<double> rung_acc(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<DeviceId>(i);
+      const auto& device = topo.device(id);
+      const auto& bundle = instance.bundle_for(id);
+      const double floor_k =
+          std::max(0.0, base_acc[i] - static_cast<double>(k) *
+                                          opts.accuracy_step);
+      ExitSettingOptions eo;
+      eo.min_accuracy = floor_k;
+      eo.theta_grid = joint.theta_grid;
+      eo.max_exits = joint.max_exits;
+      eo.coverage_bins = joint.dp_coverage_bins;
+      eo.difficulty = device.difficulty;
+      SurgeryPlan plan = prev.plans[i];
+      const auto res = dp_exit_setting(bundle.graph, bundle.candidates,
+                                       bundle.accuracy, device.compute, eo);
+      if (res.feasible) plan.policy = res.policy;
+      if (!plan.device_only && k >= opts.quantize_from) {
+        plan.quantize_upload = true;
+      }
+      DeviceDecision dd = base.per_device[i];
+      dd.plan = plan;
+      double acc = build_plan_model(instance, id, dd).expected_accuracy();
+      double sustainable =
+          admission::max_sustainable_rate(instance, id, dd, 1.0);
+      // The DP only promises the floor, not ordering between rungs: reject a
+      // candidate that would raise accuracy or shrink capacity relative to
+      // the rung above, keeping the ladder monotone in both.
+      if (acc > prev_acc[i] + 1e-9 ||
+          sustainable < prev.sustainable[i] - 1e-9) {
+        plan = prev.plans[i];
+        acc = prev_acc[i];
+        sustainable = prev.sustainable[i];
+      }
+      rung.plans.push_back(plan);
+      rung.sustainable.push_back(sustainable);
+      rung_acc[i] = acc;
+      rung.predicted_accuracy += device.arrival_rate / rate_total * acc;
+      rung.accuracy_floor = std::min(rung.accuracy_floor, floor_k);
+    }
+    bool distinct = false;
+    for (std::size_t i = 0; i < n && !distinct; ++i) {
+      distinct = !same_plan(rung.plans[i], prev.plans[i]);
+    }
+    // A duplicate rung is skipped, but deeper floors may still unlock new
+    // plans, so keep descending.
+    if (distinct) {
+      prev_acc = rung_acc;
+      ladder.push_back(std::move(rung));
+    }
+  }
+  return ladder;
+}
 
 OnlineController::OnlineController(const ClusterTopology& topology)
     : OnlineController(topology, Options{}) {}
@@ -121,7 +234,102 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
   solve();
   ++reoptimizations_;
   if (liveness_changed) ++failovers_;
+  if (!ladder_.empty()) rebuild_ladder();
   return true;
+}
+
+void OnlineController::rebuild_ladder() {
+  ladder_ = build_degradation_ladder(instance_, decision_,
+                                     opts_.overload.ladder, opts_.joint);
+  if (rung_ >= ladder_.size()) rung_ = ladder_.size() - 1;
+  if (rung_ > 0) apply_rung();
+}
+
+void OnlineController::apply_rung() {
+  for (std::size_t i = 0; i < decision_.per_device.size(); ++i) {
+    decision_.per_device[i].plan = ladder_[rung_].plans[i];
+  }
+  evaluate_decision(instance_, decision_);
+}
+
+bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
+                               const std::vector<bool>& server_alive,
+                               const std::vector<double>& offered_rate,
+                               const std::vector<double>& queue_depth) {
+  const std::size_t n = instance_.topology().devices().size();
+  SCALPEL_REQUIRE(offered_rate.size() == n && queue_depth.size() == n,
+                  "overload observation must cover every device");
+  // The base observation rebuilds the ladder itself when it re-solves (the
+  // ladder is anchored to the solved plans); first call builds it here.
+  bool changed = observe(cell_bandwidth, server_alive);
+  if (ladder_.empty()) rebuild_ladder();
+
+  const auto& o = opts_.overload;
+  const LadderRung& cur = ladder_[rung_];
+  const bool gated = !admit_fraction_.empty();
+  // Recovery unwinds in reverse order of escalation — the gate clears
+  // before any rung climbs — so calm is judged against what the next
+  // recovery step must sustain.
+  const LadderRung& target = gated ? cur : ladder_[rung_ > 0 ? rung_ - 1 : 0];
+  bool overloaded = false;
+  bool calm = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    SCALPEL_REQUIRE(offered_rate[i] >= 0.0 && queue_depth[i] >= 0.0,
+                    "offered rate and queue depth must be non-negative");
+    if (offered_rate[i] > o.overload_margin * cur.sustainable[i] + 1e-12 ||
+        queue_depth[i] > o.queue_trigger) {
+      overloaded = true;
+    }
+    if (offered_rate[i] > o.recover_margin * target.sustainable[i] ||
+        queue_depth[i] > 0.5 * o.queue_trigger) {
+      calm = false;
+    }
+  }
+
+  if (overloaded) {
+    calm_streak_ = 0;
+    if (++overload_streak_ >= o.trigger_windows) {
+      overload_streak_ = 0;
+      if (rung_ + 1 < ladder_.size()) {
+        ++rung_;
+        ++degradations_;
+        apply_rung();
+        changed = true;
+      } else {
+        // Ladder exhausted: shed load at the door, scaled so admitted
+        // traffic fits under the bottom rung's capacity.
+        std::vector<double> gate(n, 1.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          if (offered_rate[i] <= 0.0) continue;
+          const double cap = o.throttle_headroom * cur.sustainable[i];
+          gate[i] = std::clamp(cap / offered_rate[i], 0.0, 1.0);
+        }
+        if (gate != admit_fraction_) {
+          if (!gated) ++throttle_activations_;
+          admit_fraction_ = std::move(gate);
+          changed = true;
+        }
+      }
+    }
+  } else if (calm) {
+    overload_streak_ = 0;
+    if (++calm_streak_ >= o.recovery_windows) {
+      calm_streak_ = 0;
+      if (gated) {
+        admit_fraction_.clear();
+        changed = true;
+      } else if (rung_ > 0) {
+        --rung_;
+        ++recoveries_;
+        apply_rung();
+        changed = true;
+      }
+    }
+  } else {
+    overload_streak_ = 0;
+    calm_streak_ = 0;
+  }
+  return changed;
 }
 
 }  // namespace scalpel

@@ -2,9 +2,44 @@
 
 #include <vector>
 
+#include "core/admission.hpp"
 #include "core/joint.hpp"
 
 namespace scalpel {
+
+/// One rung of the surgery-based graceful-degradation ladder: per-device
+/// SurgeryPlans that are (weakly) cheaper and less accurate than the rung
+/// above, with precomputed per-device sustainable rates so overload can be
+/// judged against the rung's capacity. Rung 0 is the undegraded base plan.
+struct LadderRung {
+  std::vector<SurgeryPlan> plans;   // per device, grants untouched
+  std::vector<double> sustainable;  // per device max rate (headroom 1.0)
+  double predicted_accuracy = 0.0;  // rate-weighted over devices
+  double accuracy_floor = 0.0;      // min generation floor across devices
+};
+
+struct LadderOptions {
+  /// Rungs generated below the base plan (ladder size <= rungs + 1 after
+  /// deduplication).
+  std::size_t rungs = 4;
+  /// Per rung, each device's accuracy floor drops by this much below its
+  /// base plan's expected accuracy — the ladder deliberately trades the
+  /// configured accuracy floors for liveness under overload.
+  double accuracy_step = 0.05;
+  /// Enable INT8-quantized uploads from this rung down (offloading plans).
+  std::size_t quantize_from = 2;
+};
+
+/// Precomputes the degradation ladder for a decision: per device and rung,
+/// re-runs the exit-setting DP (surgery/exit_setting) with a progressively
+/// lower accuracy floor — lower thresholds and earlier mandatory exits fall
+/// out of the DP — and optionally quantizes uploads. Partition point,
+/// server, and resource grants stay fixed, so every rung is feasible under
+/// the same allocation. Monotonicity is enforced: a rung never has higher
+/// predicted accuracy or lower sustainable rate than the one above it.
+std::vector<LadderRung> build_degradation_ladder(
+    const ProblemInstance& instance, const Decision& base,
+    const LadderOptions& opts, const JointOptions& joint = {});
 
 /// Online re-optimization under bandwidth dynamics and hard failures:
 /// monitors the observed per-cell bandwidth and per-server liveness,
@@ -16,11 +51,35 @@ namespace scalpel {
 /// device-only deployment rather than failing.
 class OnlineController {
  public:
+  struct OverloadControlOptions {
+    LadderOptions ladder;
+    /// A device is overloaded when its offered rate exceeds this multiple of
+    /// the current rung's sustainable rate, or its queue depth exceeds
+    /// `queue_trigger`.
+    double overload_margin = 1.0;
+    /// The cluster is calm (eligible for recovery) when every device's
+    /// offered rate is below this multiple of the *next rung up*'s
+    /// sustainable rate — the gap between the two margins is the hysteresis
+    /// band that prevents rung thrash.
+    double recover_margin = 0.7;
+    /// Queue depth (tasks buffered at the device across all stages) that
+    /// flags overload regardless of the rate estimate.
+    double queue_trigger = 16.0;
+    /// Consecutive overloaded observation windows before stepping down.
+    std::size_t trigger_windows = 2;
+    /// Consecutive calm observation windows before stepping back up.
+    std::size_t recovery_windows = 3;
+    /// Headroom for the bottom-rung admission gate (load shedding is the
+    /// last resort once the ladder is exhausted).
+    double throttle_headroom = 0.9;
+  };
+
   struct Options {
     /// Re-optimize when any cell's bandwidth deviates from the value used at
     /// the last solve by more than this relative factor.
     double hysteresis = 0.25;
     JointOptions joint;
+    OverloadControlOptions overload;
   };
 
   explicit OnlineController(const ClusterTopology& topology);
@@ -39,9 +98,33 @@ class OnlineController {
   bool observe(const std::vector<double>& cell_bandwidth,
                const std::vector<bool>& server_alive);
 
+  /// Overload-aware observation: additionally ingests per-device offered
+  /// load (tasks/s since the last observation) and per-device queue depth.
+  /// On sustained overload the controller walks down a precomputed
+  /// degradation ladder of surgery plans (lower thresholds, earlier exits,
+  /// quantized uploads) before resorting to admission-gate load shedding at
+  /// the bottom rung; it walks back up — gate first, then rungs — with
+  /// hysteresis once load subsides. Returns true when the active decision
+  /// changed (re-solve, rung change, or gate change).
+  bool observe(const std::vector<double>& cell_bandwidth,
+               const std::vector<bool>& server_alive,
+               const std::vector<double>& offered_rate,
+               const std::vector<double>& queue_depth);
+
   std::size_t reoptimizations() const { return reoptimizations_; }
   /// Liveness-triggered re-optimizations (subset of reoptimizations()).
   std::size_t failovers() const { return failovers_; }
+  /// Ladder step-downs / step-ups taken by the overload controller.
+  std::size_t degradations() const { return degradations_; }
+  std::size_t recoveries() const { return recoveries_; }
+  /// Times the bottom-rung admission gate was engaged from a clear state.
+  std::size_t throttle_activations() const { return throttle_activations_; }
+  /// Active ladder rung (0 = undegraded base plan).
+  std::size_t current_rung() const { return rung_; }
+  /// The precomputed ladder (empty until the first overload-aware observe).
+  const std::vector<LadderRung>& ladder() const { return ladder_; }
+  /// Per-device admission fractions in [0, 1]; empty when the gate is open.
+  const std::vector<double>& admit_fraction() const { return admit_fraction_; }
   const std::vector<bool>& server_alive() const { return alive_; }
   const ProblemInstance& instance() const { return instance_; }
 
@@ -49,6 +132,8 @@ class OnlineController {
   void solve();
   Decision solve_excluding_dead() const;
   Decision device_only_fallback() const;
+  void rebuild_ladder();
+  void apply_rung();
 
   Options opts_;
   ProblemInstance instance_;
@@ -59,6 +144,16 @@ class OnlineController {
   bool solved_ = false;
   std::size_t reoptimizations_ = 0;
   std::size_t failovers_ = 0;
+
+  // Overload-control state.
+  std::vector<LadderRung> ladder_;
+  std::vector<double> admit_fraction_;  // empty = gate open
+  std::size_t rung_ = 0;
+  std::size_t degradations_ = 0;
+  std::size_t recoveries_ = 0;
+  std::size_t throttle_activations_ = 0;
+  std::size_t overload_streak_ = 0;
+  std::size_t calm_streak_ = 0;
 };
 
 }  // namespace scalpel

@@ -55,6 +55,13 @@ void ClusterTopology::set_cell_bandwidth(CellId id, double bandwidth) {
   cells_[static_cast<std::size_t>(id)].bandwidth = bandwidth;
 }
 
+void ClusterTopology::set_device_arrival_rate(DeviceId id, double rate) {
+  SCALPEL_REQUIRE(rate > 0.0, "arrival rate must be positive");
+  SCALPEL_REQUIRE(id >= 0 && static_cast<std::size_t>(id) < devices_.size(),
+                  "device id out of range");
+  devices_[static_cast<std::size_t>(id)].arrival_rate = rate;
+}
+
 double ClusterTopology::path_rtt(DeviceId d, ServerId s) const {
   return cell(device(d).cell).rtt + server(s).backhaul_rtt;
 }

@@ -69,6 +69,10 @@ class ClusterTopology {
   /// bandwidths back into the optimization problem).
   void set_cell_bandwidth(CellId id, double bandwidth);
 
+  /// Adjusts a device's offered rate (admission control iterates on the
+  /// throttled system; load sweeps scale whole topologies).
+  void set_device_arrival_rate(DeviceId id, double rate);
+
   /// One-way latency overhead for device -> server transfers.
   double path_rtt(DeviceId d, ServerId s) const;
 

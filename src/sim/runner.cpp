@@ -61,10 +61,17 @@ ReplicatedMetrics ScenarioRunner::run() const {
     agg.arrived += m.arrived;
     agg.completed += m.completed;
     agg.failed += m.failed;
+    agg.shed += m.shed;
+    agg.expired += m.expired;
     agg.availability.add(m.availability);
     if (m.completed + m.failed > 0) {
       agg.failed_fraction.add(static_cast<double>(m.failed) /
                               static_cast<double>(m.completed + m.failed));
+    }
+    const std::size_t settled = m.completed + m.failed + m.shed + m.expired;
+    if (settled > 0) {
+      agg.shed_fraction.add(static_cast<double>(m.shed + m.expired) /
+                            static_cast<double>(settled));
     }
     if (m.completed > 0) {
       agg.mean_latency.add(m.latency.mean());

@@ -27,10 +27,14 @@ struct ReplicatedMetrics {
   Samples throughput;             // post-warmup completions per second
   Samples availability;           // schedule-implied server up-fraction
   Samples failed_fraction;        // failed / (completed + failed), post-warmup
+  /// (shed + expired) / (completed + failed + shed + expired), post-warmup.
+  Samples shed_fraction;
 
   std::size_t arrived = 0;    // total across replications
   std::size_t completed = 0;  // total across replications
   std::size_t failed = 0;     // post-warmup fault-policy drops, total
+  std::size_t shed = 0;       // post-warmup overload drops, total
+  std::size_t expired = 0;    // post-warmup deadline-expiry drops, total
 
   Summary latency_summary() const { return summarize(mean_latency); }
 };

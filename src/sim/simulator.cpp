@@ -45,6 +45,9 @@ struct Simulator::CompiledDevice {
   double bandwidth = 0.0;
   double rtt = 0.0;
   double busy_until = 0.0;  // FCFS device queue (deterministic service)
+  /// Tasks waiting for or occupying the device compute stage (the stage is a
+  /// deterministic schedule, not a deque, so the bound counts commitments).
+  std::size_t device_backlog = 0;
   // MMPP arrival modulation state (used when options.burst_factor > 0).
   bool burst_high = false;
   double burst_state_until = 0.0;
@@ -77,11 +80,22 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
                     "fault event targets an unknown server/cell");
   }
 
+  for (const auto& rb : options_.rate_bursts) {
+    SCALPEL_REQUIRE(rb.factor > 0.0 && rb.start >= 0.0 && rb.end >= rb.start,
+                    "rate burst needs a positive factor and an ordered window");
+  }
+
   Rng master(options_.seed);
   for (std::size_t i = 0; i < topo.devices().size(); ++i) {
     rngs_.push_back(std::make_unique<Rng>(master.next_u64()));
     devices_.push_back(std::make_unique<CompiledDevice>());
   }
+  // Admission-gate streams are drawn *after* every device stream so a gated
+  // run sees the identical arrival/difficulty realizations as an ungated one.
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    admit_rngs_.push_back(std::make_unique<Rng>(master.next_u64()));
+  }
+  arrivals_since_tick_.assign(topo.devices().size(), 0);
   for (const auto& cell : topo.cells()) {
     cell_links_.push_back(std::make_unique<FluidResource>(cell.bandwidth));
     traces_.push_back(std::nullopt);
@@ -105,9 +119,33 @@ void Simulator::set_cell_trace(CellId cell, BandwidthTrace trace) {
 }
 
 void Simulator::set_controller(Controller controller) {
+  set_controller(RichController(
+      [inner = std::move(controller)](
+          double now, const std::vector<double>& bw,
+          const std::vector<bool>& alive, const std::vector<double>&,
+          const std::vector<double>&) {
+        ControlAction action;
+        action.decision = inner(now, bw, alive);
+        return action;
+      }));
+}
+
+void Simulator::set_controller(RichController controller) {
   SCALPEL_REQUIRE(options_.control_interval > 0.0,
                   "controller needs control_interval > 0");
   controller_ = std::move(controller);
+}
+
+void Simulator::set_admission(std::vector<double> fraction) {
+  if (!fraction.empty()) {
+    SCALPEL_REQUIRE(fraction.size() == devices_.size(),
+                    "admission gate must cover every device");
+    for (double f : fraction) {
+      SCALPEL_REQUIRE(f >= 0.0 && f <= 1.0,
+                      "admission fraction must be in [0, 1]");
+    }
+  }
+  admit_fraction_ = std::move(fraction);
 }
 
 void Simulator::schedule(double t, std::function<void()> fn) {
@@ -172,6 +210,94 @@ void Simulator::apply_decision(const Decision& decision) {
   }
 }
 
+void Simulator::settle_in_flight(double now) {
+  in_flight_integral_ += static_cast<double>(in_flight_) *
+                         (now - in_flight_last_t_);
+  in_flight_last_t_ = now;
+}
+
+double Simulator::burst_multiplier() const {
+  double factor = 1.0;
+  for (const auto& rb : options_.rate_bursts) {
+    if (now_ >= rb.start && now_ < rb.end) factor *= rb.factor;
+  }
+  return factor;
+}
+
+bool Simulator::deadline_expired(const std::shared_ptr<Task>& task,
+                                 double best_case_remaining) const {
+  if (options_.overload.policy != OverloadPolicy::ShedExpired) return false;
+  const double deadline =
+      instance_->topology().device(task->device).deadline;
+  if (deadline <= 0.0) return false;  // best effort never expires
+  return now_ + best_case_remaining > task->arrival + deadline + 1e-12;
+}
+
+double Simulator::best_case_offload_remaining(
+    const std::shared_ptr<Task>& task) const {
+  // Most optimistic rest-of-pipeline time: the whole cell uplink to itself,
+  // no queueing anywhere, the server at full capacity. Only a task late even
+  // under these assumptions is *provably* late.
+  const auto& device = instance_->topology().device(task->device);
+  const double cap =
+      cell_links_[static_cast<std::size_t>(device.cell)]->capacity();
+  const double upload =
+      cap > 0.0 ? static_cast<double>(task->phases.upload_bytes) / cap : 0.0;
+  return upload + task->rtt + task->phases.server_time;
+}
+
+bool Simulator::enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
+                                const std::shared_ptr<Task>& task,
+                                std::size_t limit) {
+  if (limit == 0 || queue.size() < limit) {
+    queue.push_back(task);
+    return true;
+  }
+  const bool server_stage = &queue == &devices_[static_cast<std::size_t>(
+                                          task->device)]->server_queue;
+  auto remaining = [&](const std::shared_ptr<Task>& t) {
+    return server_stage ? t->phases.server_time
+                        : best_case_offload_remaining(t);
+  };
+  switch (options_.overload.policy) {
+    case OverloadPolicy::Block:
+      // Blocked-calls-cleared: the entrant is refused.
+      shed(task, now_, false);
+      return false;
+    case OverloadPolicy::ShedExpired:
+      // Prefer sacrificing a task that is already provably late.
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if (deadline_expired(*it, remaining(*it))) {
+          const auto victim = *it;
+          queue.erase(it);
+          shed(victim, now_, true);
+          queue.push_back(task);
+          return true;
+        }
+      }
+      [[fallthrough]];
+    case OverloadPolicy::ShedNewest: {
+      // Shed the youngest task by arrival time, preserving the work already
+      // invested in older ones (retried/resteered tasks reorder queues, so
+      // the entrant is not always the youngest).
+      auto youngest = queue.begin();
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        if ((*it)->arrival > (*youngest)->arrival) youngest = it;
+      }
+      if ((*youngest)->arrival > task->arrival) {
+        const auto victim = *youngest;
+        queue.erase(youngest);
+        shed(victim, now_, false);
+        queue.push_back(task);
+        return true;
+      }
+      shed(task, now_, false);
+      return false;
+    }
+  }
+  return false;  // unreachable
+}
+
 void Simulator::on_arrival(DeviceId dev) {
   const auto i = static_cast<std::size_t>(dev);
   const auto& device = instance_->topology().device(dev);
@@ -180,8 +306,8 @@ void Simulator::on_arrival(DeviceId dev) {
   auto& cd = *devices_[i];
 
   // Schedule the next arrival first (Poisson, or Markov-modulated when
-  // burstiness is configured).
-  double rate = device.arrival_rate;
+  // burstiness is configured; scripted bursts scale the rate directly).
+  double rate = device.arrival_rate * burst_multiplier();
   if (options_.burst_factor > 0.0) {
     SCALPEL_REQUIRE(options_.burst_factor < 1.0,
                     "burst_factor must be in [0, 1)");
@@ -207,20 +333,49 @@ void Simulator::on_arrival(DeviceId dev) {
   task->cpu_weight = cd.share;
 
   ++metrics_.per_device[i].arrived;
-  in_flight_integral_ += static_cast<double>(in_flight_) *
-                         (now_ - in_flight_last_t_);
-  in_flight_last_t_ = now_;
+  ++arrivals_since_tick_[i];
+  settle_in_flight(now_);
   ++in_flight_;
+
+  // Runtime admission gate: a refused arrival is shed before consuming any
+  // device time (its difficulty draw above keeps the RNG streams aligned
+  // with an ungated run; the coin comes from a dedicated stream).
+  if (!admit_fraction_.empty() &&
+      admit_rngs_[i]->uniform() > admit_fraction_[i]) {
+    shed(task, now_, false);
+    return;
+  }
 
   // FCFS device queue with deterministic service: the finish time is known
   // at arrival.
   const double start = std::max(now_, cd.busy_until);
+
+  // Deadline expiry at the door: the device wait is exact and the offload
+  // remainder is bounded below, so lateness here is provable (ShedExpired).
+  double best_case = (start - now_) + task->phases.device_time;
+  if (task->phases.offloaded) best_case += best_case_offload_remaining(task);
+  if (deadline_expired(task, best_case)) {
+    shed(task, now_, true);
+    return;
+  }
+
+  // Bounded device stage. Its schedule is committed at enqueue (events
+  // already posted), so every policy refuses the entrant here — which at
+  // arrival time is always the youngest task anyway.
+  const std::size_t limit = options_.overload.device_queue_limit;
+  if (limit > 0 && cd.device_backlog >= limit) {
+    shed(task, now_, false);
+    return;
+  }
+  ++cd.device_backlog;
   const double finish = start + task->phases.device_time;
   cd.busy_until = finish;
   schedule(finish, [this, task] { finish_device_phase(task); });
 }
 
 void Simulator::finish_device_phase(const std::shared_ptr<Task>& task) {
+  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (cd.device_backlog > 0) --cd.device_backlog;
   task->device_done = now_;
   if (!task->phases.offloaded) {
     complete(task, now_);
@@ -231,8 +386,13 @@ void Simulator::finish_device_phase(const std::shared_ptr<Task>& task) {
 
 void Simulator::start_upload(const std::shared_ptr<Task>& task) {
   auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (deadline_expired(task, best_case_offload_remaining(task))) {
+    shed(task, now_, true);
+    return;
+  }
   if (cd.uploading) {
-    cd.upload_queue.push_back(task);
+    enqueue_bounded(cd.upload_queue, task,
+                    options_.overload.upload_queue_limit);
     return;
   }
   cd.uploading = true;
@@ -258,6 +418,13 @@ void Simulator::begin_upload_job(const std::shared_ptr<Task>& task) {
       !server_up_[static_cast<std::size_t>(task->server)]) {
     advance_upload_queue(task->device);
     handle_fault(task);
+    return;
+  }
+  // A task that queued past its provable deadline is dropped before it
+  // occupies the uplink slot (ShedExpired).
+  if (deadline_expired(task, best_case_offload_remaining(task))) {
+    advance_upload_queue(task->device);
+    shed(task, now_, true);
     return;
   }
   auto* link = cell_links_[cell].get();
@@ -289,8 +456,13 @@ void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
     return;
   }
   auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+  if (deadline_expired(task, task->phases.server_time)) {
+    shed(task, now_, true);
+    return;
+  }
   if (cd.serving) {
-    cd.server_queue.push_back(task);
+    enqueue_bounded(cd.server_queue, task,
+                    options_.overload.server_queue_limit);
     return;
   }
   cd.serving = true;
@@ -312,6 +484,12 @@ void Simulator::begin_server_job(const std::shared_ptr<Task>& task) {
   if (!server_up_[static_cast<std::size_t>(task->server)]) {
     advance_server_queue(task->device);
     handle_fault(task);
+    return;
+  }
+  // Never start server work whose result is provably past the deadline.
+  if (deadline_expired(task, task->phases.server_time)) {
+    advance_server_queue(task->device);
+    shed(task, now_, true);
     return;
   }
   auto* server = servers_[static_cast<std::size_t>(task->server)].get();
@@ -426,9 +604,6 @@ void Simulator::handle_fault(const std::shared_ptr<Task>& task) {
 
 void Simulator::resteer_local(const std::shared_ptr<Task>& task) {
   auto& cd = *devices_[static_cast<std::size_t>(task->device)];
-  if (task->counted) {
-    ++metrics_.per_device[static_cast<std::size_t>(task->device)].resteered;
-  }
   // Re-execute the whole task on the device under the device-only variant of
   // its plan (the partial server-side work is lost with the server).
   PlanModel* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
@@ -438,6 +613,14 @@ void Simulator::resteer_local(const std::shared_ptr<Task>& task) {
   task->bw_weight = 0.0;
   task->cpu_weight = 0.0;
   const double start = std::max(now_, cd.busy_until);
+  if (deadline_expired(task, (start - now_) + task->phases.device_time)) {
+    shed(task, now_, true);
+    return;
+  }
+  if (task->counted) {
+    ++metrics_.per_device[static_cast<std::size_t>(task->device)].resteered;
+  }
+  ++cd.device_backlog;
   cd.busy_until = start + task->phases.device_time;
   schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
 }
@@ -453,14 +636,38 @@ void Simulator::redispatch(const std::shared_ptr<Task>& task) {
   task->bw_weight = cd.bandwidth;
   task->cpu_weight = cd.share;
   const double start = std::max(now_, cd.busy_until);
+  double best_case = (start - now_) + task->phases.device_time;
+  if (task->phases.offloaded) best_case += best_case_offload_remaining(task);
+  if (deadline_expired(task, best_case)) {
+    shed(task, now_, true);
+    return;
+  }
+  ++cd.device_backlog;
   cd.busy_until = start + task->phases.device_time;
   schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
 }
 
+void Simulator::shed(const std::shared_ptr<Task>& task, double now,
+                     bool expired) {
+  settle_in_flight(now);
+  --in_flight_;
+  ++metrics_.shed_all;
+  ++window_shed_;
+  if (!task->counted) return;
+  auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
+  if (expired) {
+    ++dm.expired;
+  } else {
+    ++dm.shed;
+  }
+  // A shed deadline-bearing task is a miss — overload protection must never
+  // look better than the overload it protects against.
+  const auto& device = instance_->topology().device(task->device);
+  if (device.deadline > 0.0) ++dm.deadline_total;
+}
+
 void Simulator::fail(const std::shared_ptr<Task>& task, double now) {
-  in_flight_integral_ += static_cast<double>(in_flight_) *
-                         (now - in_flight_last_t_);
-  in_flight_last_t_ = now;
+  settle_in_flight(now);
   --in_flight_;
   ++metrics_.failed_all;
   if (!task->counted) return;
@@ -473,11 +680,10 @@ void Simulator::fail(const std::shared_ptr<Task>& task, double now) {
 }
 
 void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
-  in_flight_integral_ += static_cast<double>(in_flight_) *
-                         (now - in_flight_last_t_);
-  in_flight_last_t_ = now;
+  settle_in_flight(now);
   --in_flight_;
   ++window_completions_;
+  window_accuracy_sum_ += task->phases.correct_prob;
   ++metrics_.completed_all;
   if (!task->counted) return;
   const auto i = static_cast<std::size_t>(task->device);
@@ -511,15 +717,21 @@ void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
 
 void Simulator::series_tick() {
   // Settle the in-flight integral at the window boundary.
-  in_flight_integral_ += static_cast<double>(in_flight_) *
-                         (now_ - in_flight_last_t_);
-  in_flight_last_t_ = now_;
+  settle_in_flight(now_);
   metrics_.series.tasks_in_flight.push_back(in_flight_integral_ /
                                             options_.series_window);
   in_flight_integral_ = 0.0;
   metrics_.series.completion_rate.push_back(
       static_cast<double>(window_completions_) / options_.series_window);
+  metrics_.series.mean_accuracy.push_back(
+      window_completions_
+          ? window_accuracy_sum_ / static_cast<double>(window_completions_)
+          : 0.0);
+  metrics_.series.shed_rate.push_back(static_cast<double>(window_shed_) /
+                                      options_.series_window);
   window_completions_ = 0;
+  window_accuracy_sum_ = 0.0;
+  window_shed_ = 0;
   schedule(now_ + options_.series_window, [this] { series_tick(); });
 }
 
@@ -528,9 +740,24 @@ void Simulator::controller_tick() {
   for (std::size_t c = 0; c < cell_links_.size(); ++c) {
     bw[c] = cell_links_[c]->capacity();
   }
-  if (auto next = controller_(now_, bw, server_up_)) {
-    apply_decision(*next);
+  // Load signals: offered rate since the last tick plus instantaneous queue
+  // depth across the device's whole pipeline.
+  const double span = std::max(now_ - last_controller_tick_, 1e-12);
+  std::vector<double> offered(devices_.size(), 0.0);
+  std::vector<double> qdepth(devices_.size(), 0.0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    offered[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
+    const auto& cd = *devices_[i];
+    qdepth[i] = static_cast<double>(
+        cd.device_backlog + cd.upload_queue.size() +
+        (cd.uploading_task ? 1 : 0) + cd.server_queue.size() +
+        (cd.serving_task ? 1 : 0));
   }
+  ControlAction action = controller_(now_, bw, server_up_, offered, qdepth);
+  if (action.decision) apply_decision(*action.decision);
+  if (action.admit_fraction) set_admission(*action.admit_fraction);
+  arrivals_since_tick_.assign(devices_.size(), 0);
+  last_controller_tick_ = now_;
   schedule(now_ + options_.control_interval, [this] { controller_tick(); });
 }
 
@@ -610,6 +837,8 @@ SimMetrics Simulator::run() {
     metrics_.arrived += dm.arrived;
     metrics_.completed += dm.completed;
     metrics_.failed += dm.failed;
+    metrics_.shed += dm.shed;
+    metrics_.expired += dm.expired;
     metrics_.retried += dm.retries;
     metrics_.resteered += dm.resteered;
     for (double v : dm.latency.values()) metrics_.latency.add(v);
@@ -646,6 +875,12 @@ SimMetrics Simulator::run() {
     }
     metrics_.availability = avail / static_cast<double>(servers_.size());
   }
+  // Whole-run conservation: every arrival is accounted for exactly once.
+  SCALPEL_REQUIRE(metrics_.arrived == metrics_.completed_all +
+                                          metrics_.failed_all +
+                                          metrics_.shed_all +
+                                          metrics_.in_flight_end,
+                  "task conservation violated");
   return metrics_;
 }
 

@@ -23,10 +23,16 @@ struct DeviceMetrics {
   std::size_t arrived = 0;
   std::size_t completed = 0;
   std::size_t failed = 0;         // dropped by the fault policy
+  std::size_t shed = 0;           // dropped by the overload policy (full
+                                  // queue or admission gate), post-warmup
+  std::size_t expired = 0;        // dropped because the deadline was provably
+                                  // unreachable (ShedExpired), post-warmup
   std::size_t resteered = 0;      // re-executed on-device after a fault
   std::size_t retries = 0;        // re-dispatch attempts after a fault
   std::size_t deadline_met = 0;   // among completed with a deadline
-  std::size_t deadline_total = 0; // completed + failed deadline-bearing tasks
+  /// Deadline-bearing tasks that completed, failed, or were shed/expired —
+  /// a dropped task is a miss, so shedding cannot inflate satisfaction.
+  std::size_t deadline_total = 0;
   double accuracy_sum = 0.0;      // sum of per-task correctness probability
   double energy_sum = 0.0;        // joules across completed tasks
   std::size_t offloaded = 0;
@@ -39,6 +45,10 @@ struct TimeSeries {
   double window = 1.0;                 // seconds per sample
   std::vector<double> tasks_in_flight;  // time-average per window
   std::vector<double> completion_rate;  // completions/s per window
+  /// Mean correctness probability of the window's completions (0 for an
+  /// empty window) — shows accuracy dips and recovery through a burst.
+  std::vector<double> mean_accuracy;
+  std::vector<double> shed_rate;        // overload drops/s per window
 };
 
 struct SimMetrics {
@@ -57,15 +67,21 @@ struct SimMetrics {
   std::size_t failed = 0;     // post-warmup tasks dropped by the fault policy
   std::size_t retried = 0;    // post-warmup re-dispatch attempts
   std::size_t resteered = 0;  // post-warmup device-fallback re-executions
+  // --- overload control (all zero without queue bounds / gate / expiry) ---
+  std::size_t shed = 0;       // post-warmup overload-policy drops
+  std::size_t expired = 0;    // post-warmup deadline-expiry drops
   /// Mean over servers of the up-fraction of [0, horizon] per the schedule.
   double availability = 1.0;
   /// Latencies of counted completions that either survived a fault or
   /// finished while some server/link was down (p99-during-outage etc.).
   Samples outage_latency;
   /// Whole-run conservation counters (warmup tasks included):
-  ///   arrived == completed_all + failed_all + in_flight_end
+  ///   arrived == completed_all + failed_all + shed_all + in_flight_end
+  /// Overload drops (shed + expired) are accounted separately from the
+  /// fault path so queue pressure and hardware failures stay attributable.
   std::size_t completed_all = 0;
   std::size_t failed_all = 0;
+  std::size_t shed_all = 0;
   std::size_t in_flight_end = 0;
 };
 
@@ -86,6 +102,47 @@ struct FaultOptions {
   /// re-dispatched — degraded service must stay bounded.
   double retry_timeout = 30.0;
   FaultSchedule schedule;
+};
+
+/// Which task a full bounded queue sacrifices (queues stay unbounded until a
+/// limit is configured in OverloadOptions).
+enum class OverloadPolicy {
+  Block,        // blocked-calls-cleared: the entrant is refused (tail drop)
+  ShedNewest,   // the youngest task (queued or entrant, by arrival time) is
+                // shed — invested work in older tasks is preserved
+  ShedExpired,  // like ShedNewest, but additionally a task whose best-case
+                // remaining path already overruns its deadline is dropped at
+                // enqueue/dispatch instead of wasting device/server time
+};
+
+/// Bounded-queue overload protection. A limit of 0 leaves that queue
+/// unbounded; with all limits 0 and the default policy the simulator
+/// behaves exactly as before. Deadline-expiry shedding (ShedExpired) also
+/// works with unbounded queues.
+struct OverloadOptions {
+  OverloadPolicy policy = OverloadPolicy::Block;
+  std::size_t device_queue_limit = 0;  // tasks waiting/being computed on-device
+  std::size_t upload_queue_limit = 0;  // tasks waiting behind the uplink slot
+  std::size_t server_queue_limit = 0;  // tasks waiting behind the server slot
+};
+
+/// Deterministic offered-load modulation: while now is in [start, end) every
+/// device's arrival rate is multiplied by `factor` (bursts compose
+/// multiplicatively). Unlike burst_factor's random MMPP, this scripts a
+/// reproducible burst-and-recover trace.
+struct RateBurst {
+  double start = 0.0;
+  double end = 0.0;
+  double factor = 1.0;
+};
+
+/// What a (rich) controller tick asks of the simulator: optionally swap the
+/// deployment plan, optionally (re)set the per-device admission gate — the
+/// probability in [0, 1] that a new arrival is admitted (an empty vector
+/// clears the gate). Refused arrivals are shed and count as deadline misses.
+struct ControlAction {
+  std::optional<Decision> decision;
+  std::optional<std::vector<double>> admit_fraction;
 };
 
 /// Trace-driven discrete-event simulator of the edge deployment executing a
@@ -113,11 +170,25 @@ class Simulator {
     double series_window = 0.0;
     /// Hard-failure script and in-flight-task policy (empty = no faults).
     FaultOptions faults;
+    /// Bounded queues + shedding policy (defaults leave behavior unchanged).
+    OverloadOptions overload;
+    /// Scripted offered-load multipliers (empty = none).
+    std::vector<RateBurst> rate_bursts;
   };
 
   using Controller = std::function<std::optional<Decision>(
       double now, const std::vector<double>& cell_bandwidth,
       const std::vector<bool>& server_alive)>;
+
+  /// Overload-aware controller: additionally sees the per-device offered
+  /// rate (arrivals/s since the last tick) and instantaneous queue depth
+  /// (device backlog + upload + server queues), and may drive the admission
+  /// gate as well as the plan.
+  using RichController = std::function<ControlAction(
+      double now, const std::vector<double>& cell_bandwidth,
+      const std::vector<bool>& server_alive,
+      const std::vector<double>& offered_rate,
+      const std::vector<double>& queue_depth)>;
 
   Simulator(const ProblemInstance& instance, Decision decision,
             Options options);
@@ -129,6 +200,13 @@ class Simulator {
 
   /// Attach an online controller (requires options.control_interval > 0).
   void set_controller(Controller controller);
+  void set_controller(RichController controller);
+
+  /// Static per-device admission gate: each arrival at device i is admitted
+  /// with probability fraction[i] (Bernoulli on a dedicated RNG substream so
+  /// the arrival/difficulty streams stay identical to an ungated run).
+  /// Refused arrivals are shed. An empty vector clears the gate.
+  void set_admission(std::vector<double> fraction);
 
   SimMetrics run();
 
@@ -147,6 +225,17 @@ class Simulator {
   void advance_server_queue(DeviceId dev);
   void complete(const std::shared_ptr<Task>& task, double now);
   void fail(const std::shared_ptr<Task>& task, double now);
+  // Overload control.
+  void shed(const std::shared_ptr<Task>& task, double now, bool expired);
+  void settle_in_flight(double now);
+  bool deadline_expired(const std::shared_ptr<Task>& task,
+                        double best_case_remaining) const;
+  double best_case_offload_remaining(const std::shared_ptr<Task>& task) const;
+  /// Admit `task` into `queue` honoring `limit` under the overload policy.
+  /// Returns false when the entrant itself was shed.
+  bool enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
+                       const std::shared_ptr<Task>& task, std::size_t limit);
+  double burst_multiplier() const;
   void arm_fluid(FluidResource* resource);
   void apply_decision(const Decision& decision);
   void compile_device(DeviceId dev);
@@ -180,7 +269,12 @@ class Simulator {
   std::vector<std::unique_ptr<FluidResource>> cell_links_;
   std::vector<std::unique_ptr<FluidResource>> servers_;
   std::vector<std::optional<BandwidthTrace>> traces_;
-  Controller controller_;
+  RichController controller_;
+  /// Per-device admission probability (empty = admit everything).
+  std::vector<double> admit_fraction_;
+  /// Arrivals per device since the last controller tick (offered-load signal).
+  std::vector<std::size_t> arrivals_since_tick_;
+  double last_controller_tick_ = 0.0;
 
   std::vector<std::unique_ptr<CompiledDevice>> devices_;
   // Liveness state driven by the fault schedule (everything starts up).
@@ -194,7 +288,12 @@ class Simulator {
   double in_flight_integral_ = 0.0;
   double in_flight_last_t_ = 0.0;
   std::size_t window_completions_ = 0;
+  double window_accuracy_sum_ = 0.0;
+  std::size_t window_shed_ = 0;
   std::vector<std::unique_ptr<Rng>> rngs_;  // per device
+  /// Separate per-device streams for admission-gate coin flips, so gating
+  /// never perturbs the arrival/difficulty streams shared across schemes.
+  std::vector<std::unique_ptr<Rng>> admit_rngs_;
 };
 
 }  // namespace scalpel

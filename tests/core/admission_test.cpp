@@ -107,6 +107,50 @@ TEST(Admission, StableSystemIsNotThrottled) {
   EXPECT_NEAR(plan.admitted_fraction, 1.0, 1e-9);
 }
 
+TEST(Admission, FixedPointConvergesFast) {
+  // Under the current rate-independent stability bounds the cluster-level
+  // fixed point must land after one refinement round, and must agree with
+  // the one-shot proposal.
+  const ProblemInstance inst(clusters::small_lab());
+  Decision local;
+  local.per_device.resize(4);
+  for (auto& dd : local.per_device) dd.plan.device_only = true;
+  evaluate_decision(inst, local);
+  ASSERT_FALSE(std::isfinite(local.mean_latency));
+
+  const auto fp = admission::propose_throttle_fixed_point(inst, local, 0.9);
+  EXPECT_TRUE(fp.throttled);
+  EXPECT_LE(fp.iterations, 2u);
+  const auto one = admission::propose_throttle(inst, local, 0.9);
+  ASSERT_EQ(fp.admitted_rate.size(), one.admitted_rate.size());
+  for (std::size_t i = 0; i < fp.admitted_rate.size(); ++i) {
+    EXPECT_NEAR(fp.admitted_rate[i], one.admitted_rate[i],
+                1e-9 * (1.0 + one.admitted_rate[i]));
+  }
+}
+
+TEST(Admission, FixedPointIsIdempotent) {
+  // The fixed-point plan, applied to the topology, needs no further
+  // throttling — the evaluator agrees it is stable.
+  const ProblemInstance inst(clusters::small_lab());
+  Decision local;
+  local.per_device.resize(4);
+  for (auto& dd : local.per_device) dd.plan.device_only = true;
+  evaluate_decision(inst, local);
+
+  const auto fp = admission::propose_throttle_fixed_point(inst, local, 0.9);
+  const ProblemInstance throttled(admission::throttled_topology(inst, fp));
+  Decision again;
+  again.per_device = local.per_device;
+  evaluate_decision(throttled, again);
+  EXPECT_TRUE(std::isfinite(again.mean_latency));
+
+  const auto re = admission::propose_throttle_fixed_point(throttled, again,
+                                                          0.9);
+  EXPECT_FALSE(re.throttled);
+  EXPECT_NEAR(re.admitted_fraction, 1.0, 1e-9);
+}
+
 TEST(Admission, ValidatesHeadroom) {
   const ProblemInstance inst(one_device(1.0));
   DeviceDecision dd;

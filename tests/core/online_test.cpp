@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "edge/builders.hpp"
 #include "util/assert.hpp"
 #include "util/units.hpp"
@@ -125,6 +128,174 @@ TEST(Online, RecoveryRestoresOffloading) {
   }
   EXPECT_TRUE(any_offload);
   EXPECT_GE(ctl.failovers(), 2u);
+}
+
+OnlineController::Options overload_opts() {
+  auto o = fast_opts();
+  o.overload.ladder.rungs = 3;
+  o.overload.ladder.accuracy_step = 0.1;
+  o.overload.trigger_windows = 2;
+  o.overload.recovery_windows = 2;
+  return o;
+}
+
+std::vector<double> lab_bw() {
+  return {clusters::small_lab().cell(0).bandwidth};
+}
+
+TEST(Online, LadderIsMonotone) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> zeros(4, 0.0);
+  ctl.observe(lab_bw(), {true, true}, zeros, zeros);
+  const auto& ladder = ctl.ladder();
+  ASSERT_GE(ladder.size(), 2u);
+  EXPECT_EQ(ctl.current_rung(), 0u);
+  for (std::size_t k = 1; k < ladder.size(); ++k) {
+    EXPECT_LE(ladder[k].predicted_accuracy,
+              ladder[k - 1].predicted_accuracy + 1e-9);
+    ASSERT_EQ(ladder[k].sustainable.size(), 4u);
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_GE(ladder[k].sustainable[i],
+                ladder[k - 1].sustainable[i] - 1e-9);
+    }
+  }
+  // Lower rungs buy real capacity somewhere, not just lower accuracy.
+  double gain = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    gain = std::max(gain, ladder.back().sustainable[i] -
+                              ladder.front().sustainable[i]);
+  }
+  EXPECT_GT(gain, 0.0);
+}
+
+TEST(Online, SustainedOverloadWalksDownLadderThenThrottles) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> bw = lab_bw();
+  const std::vector<double> flood(4, 1e4);
+  const std::vector<double> zeros(4, 0.0);
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  const std::size_t bottom = ctl.ladder().size() - 1;
+
+  // Two overloaded windows per step-down, then two more to engage the gate.
+  for (std::size_t w = 0; w < 2 * (bottom + 1); ++w) {
+    ctl.observe(bw, {true, true}, flood, zeros);
+  }
+  EXPECT_EQ(ctl.current_rung(), bottom);
+  EXPECT_EQ(ctl.degradations(), bottom);
+  EXPECT_EQ(ctl.throttle_activations(), 1u);
+  ASSERT_EQ(ctl.admit_fraction().size(), 4u);
+  for (const double f : ctl.admit_fraction()) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+    EXPECT_LT(f, 0.5);  // flood is far beyond any rung's capacity
+  }
+  // The active decision runs the bottom rung's plans.
+  EXPECT_EQ(ctl.decision().per_device.size(), 4u);
+}
+
+TEST(Online, RecoveryUnwindsGateFirstThenRungs) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> bw = lab_bw();
+  const std::vector<double> flood(4, 1e4);
+  const std::vector<double> zeros(4, 0.0);
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  const std::size_t bottom = ctl.ladder().size() - 1;
+  for (std::size_t w = 0; w < 2 * (bottom + 1); ++w) {
+    ctl.observe(bw, {true, true}, flood, zeros);
+  }
+  ASSERT_FALSE(ctl.admit_fraction().empty());
+
+  // Calm traffic: the gate clears before any rung climbs, then the ladder
+  // unwinds one rung per recovery streak until the base plan is back.
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  EXPECT_TRUE(ctl.admit_fraction().empty());
+  EXPECT_EQ(ctl.current_rung(), bottom);
+  for (std::size_t w = 0; w < 2 * bottom; ++w) {
+    ctl.observe(bw, {true, true}, zeros, zeros);
+  }
+  EXPECT_EQ(ctl.current_rung(), 0u);
+  EXPECT_EQ(ctl.recoveries(), bottom);
+}
+
+TEST(Online, BriefSpikesDoNotDegrade) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> bw = lab_bw();
+  const std::vector<double> flood(4, 1e4);
+  const std::vector<double> zeros(4, 0.0);
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  // Alternating spike/calm never reaches trigger_windows consecutive hits.
+  for (int w = 0; w < 6; ++w) {
+    ctl.observe(bw, {true, true}, flood, zeros);
+    ctl.observe(bw, {true, true}, zeros, zeros);
+  }
+  EXPECT_EQ(ctl.current_rung(), 0u);
+  EXPECT_EQ(ctl.degradations(), 0u);
+}
+
+TEST(Online, QueueDepthAloneTriggersDegradation) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> bw = lab_bw();
+  const std::vector<double> zeros(4, 0.0);
+  std::vector<double> deep(4, 0.0);
+  deep[0] = 100.0;  // stale rate estimate, but the backlog is undeniable
+  ctl.observe(bw, {true, true}, zeros, zeros);
+  ctl.observe(bw, {true, true}, zeros, deep);
+  ctl.observe(bw, {true, true}, zeros, deep);
+  EXPECT_GE(ctl.degradations(), 1u);
+}
+
+TEST(Online, ValidatesOverloadObservationArity) {
+  OnlineController ctl(clusters::small_lab(), overload_opts());
+  const std::vector<double> bw = lab_bw();
+  EXPECT_THROW(ctl.observe(bw, {true, true}, {1.0}, {0.0, 0.0, 0.0, 0.0}),
+               ContractViolation);
+  EXPECT_THROW(ctl.observe(bw, {true, true}, {1.0, 1.0, 1.0, 1.0}, {0.0}),
+               ContractViolation);
+}
+
+TEST(Online, SustainableRatesSurviveFailover) {
+  // Satellite of the overload work: admission control must stay coherent on
+  // the liveness-reduced topology after a crash failover.
+  OnlineController ctl(clusters::small_lab(), fast_opts());
+  ctl.decision();
+  ASSERT_TRUE(ctl.observe(lab_bw(), {false, true}));
+  const auto& d = ctl.decision();
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    const double rate = admission::max_sustainable_rate(
+        ctl.instance(), static_cast<DeviceId>(i), d.per_device[i], 0.95);
+    EXPECT_GT(rate, 0.0);
+  }
+  const auto plan =
+      admission::propose_throttle_fixed_point(ctl.instance(), d, 0.9);
+  for (const double r : plan.admitted_rate) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, 0.0);
+  }
+  EXPECT_GT(plan.admitted_fraction, 0.0);
+  EXPECT_LE(plan.admitted_fraction, 1.0);
+}
+
+TEST(Online, AllDeadFallbackKeepsAdmissionFinite) {
+  // Even the device-only fallback must quote finite sustainable rates (no
+  // division blow-ups on the degenerate no-server deployment).
+  OnlineController ctl(clusters::small_lab(), fast_opts());
+  ASSERT_TRUE(ctl.observe(lab_bw(), {false, false}));
+  const auto& d = ctl.decision();
+  ASSERT_EQ(d.scheme, "device_fallback");
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    const double rate = admission::max_sustainable_rate(
+        ctl.instance(), static_cast<DeviceId>(i), d.per_device[i], 0.95);
+    EXPECT_TRUE(std::isfinite(rate));
+    EXPECT_GT(rate, 0.0);
+  }
+  const auto plan =
+      admission::propose_throttle_fixed_point(ctl.instance(), d, 0.9);
+  EXPECT_TRUE(plan.throttled);  // small_lab overloads some device on-device
+  for (const double r : plan.admitted_rate) {
+    EXPECT_TRUE(std::isfinite(r));
+    EXPECT_GT(r, 0.0);
+  }
 }
 
 TEST(Online, UnchangedLivenessDoesNotResolve) {

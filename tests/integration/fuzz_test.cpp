@@ -12,6 +12,7 @@
 #include "core/objective.hpp"
 #include "core/serialize.hpp"
 #include "edge/builders.hpp"
+#include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 
 namespace scalpel {
@@ -164,8 +165,10 @@ TEST_P(FuzzFaultTest, RandomScheduleKeepsInvariants) {
   sopts.faults.retry_timeout = 5.0;
 
   const auto m = Simulator(instance, d, sopts).run();
-  EXPECT_EQ(m.arrived, m.completed_all + m.failed_all + m.in_flight_end)
+  EXPECT_EQ(m.arrived,
+            m.completed_all + m.failed_all + m.shed_all + m.in_flight_end)
       << "policy=" << static_cast<int>(sopts.faults.policy);
+  EXPECT_EQ(m.shed_all, 0u);  // no overload options: nothing may be shed
   EXPECT_GE(m.availability, 0.0);
   EXPECT_LE(m.availability, 1.0);
   if (!m.latency.empty()) {
@@ -180,6 +183,130 @@ TEST_P(FuzzFaultTest, RandomScheduleKeepsInvariants) {
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzFaultTest,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99,
                                            110));
+
+// Overload fuzz: random bounded-queue limits, shedding policy, admission
+// gates and scripted rate bursts layered on top of a random fault schedule.
+// Whatever is shed, the full conservation identity
+//   arrived == completed_all + failed_all + shed_all + in_flight_end
+// must hold, and the replicated runner's per-replication counters must be
+// bit-identical across thread counts even while tasks are being dropped.
+class FuzzOverloadTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzOverloadTest, SheddingKeepsConservation) {
+  const std::uint64_t seed = GetParam();
+  clusters::CampusOptions copts;
+  copts.seed = seed;
+  copts.num_devices = 4 + (seed % 4);
+  copts.num_servers = 2;
+  copts.mean_arrival_rate = 1.0 + 0.5 * static_cast<double>(seed % 4);
+  const ProblemInstance instance(clusters::campus(copts));
+  const auto& topo = instance.topology();
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  Rng rng(seed * 104729 + 7);
+  Simulator::Options sopts;
+  sopts.horizon = 15.0;
+  sopts.warmup = 1.0;
+  sopts.seed = seed;
+  const OverloadPolicy opolicies[] = {OverloadPolicy::Block,
+                                      OverloadPolicy::ShedNewest,
+                                      OverloadPolicy::ShedExpired};
+  sopts.overload.policy = opolicies[seed % 3];
+  sopts.overload.device_queue_limit = 2 + seed % 10;
+  sopts.overload.upload_queue_limit = rng.uniform() < 0.3 ? 0 : 1 + seed % 6;
+  sopts.overload.server_queue_limit = rng.uniform() < 0.3 ? 0 : 1 + seed % 6;
+  double t = 1.0 + rng.exponential(2.0);
+  for (std::uint64_t b = 0; b <= seed % 3; ++b) {
+    const double width = 1.0 + rng.exponential(3.0);
+    sopts.rate_bursts.push_back(
+        RateBurst{t, t + width, 4.0 + 20.0 * rng.uniform()});
+    t += width + rng.exponential(2.0);
+  }
+  if (rng.uniform() < 0.7) {
+    const double down = 2.0 + rng.exponential(3.0);
+    sopts.faults.schedule = FaultSchedule::server_crash(
+        static_cast<std::int32_t>(seed % topo.servers().size()), down,
+        down + rng.exponential(3.0));
+  }
+  const FaultPolicy policies[] = {FaultPolicy::Drop,
+                                  FaultPolicy::RetryOnDevice,
+                                  FaultPolicy::RetryOffload};
+  sopts.faults.policy = policies[(seed / 3) % 3];
+
+  Simulator sim(instance, d, sopts);
+  // A random per-device admission gate guarantees shedding activity even
+  // when the random limits never fill.
+  std::vector<double> gate;
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    gate.push_back(0.3 + 0.5 * rng.uniform());
+  }
+  sim.set_admission(gate);
+  const auto m = sim.run();
+  EXPECT_EQ(m.arrived,
+            m.completed_all + m.failed_all + m.shed_all + m.in_flight_end)
+      << "overload policy=" << static_cast<int>(sopts.overload.policy)
+      << " fault policy=" << static_cast<int>(sopts.faults.policy);
+  EXPECT_GT(m.shed_all, 0u);
+  EXPECT_GT(m.completed, 0u);
+  if (!m.latency.empty()) {
+    EXPECT_GE(m.latency.min(), 0.0);
+  }
+}
+
+TEST_P(FuzzOverloadTest, ReplicatedCountersThreadCountInvariant) {
+  const std::uint64_t seed = GetParam();
+  clusters::CampusOptions copts;
+  copts.seed = seed;
+  copts.num_devices = 4;
+  copts.num_servers = 2;
+  copts.mean_arrival_rate = 2.0;
+  const ProblemInstance instance(clusters::campus(copts));
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  ScenarioRunner::Options ropts;
+  ropts.replications = 4;
+  ropts.require_completions = false;
+  ropts.sim.horizon = 10.0;
+  ropts.sim.warmup = 1.0;
+  ropts.sim.seed = seed;
+  ropts.sim.overload.policy =
+      seed % 2 ? OverloadPolicy::ShedNewest : OverloadPolicy::ShedExpired;
+  ropts.sim.overload.device_queue_limit = 3;
+  ropts.sim.overload.upload_queue_limit = 2;
+  ropts.sim.overload.server_queue_limit = 2;
+  ropts.sim.rate_bursts.push_back(RateBurst{2.0, 8.0, 30.0});
+  ropts.sim.faults.schedule = FaultSchedule::server_crash(0, 4.0, 6.0);
+
+  ropts.threads = 1;
+  const auto m1 = ScenarioRunner(instance, d, ropts).run();
+  ropts.threads = 4;
+  const auto m4 = ScenarioRunner(instance, d, ropts).run();
+
+  // The burst over tight limits must actually shed — otherwise this checks
+  // nothing new over the fault fuzz.
+  EXPECT_GT(m1.shed + m1.expired, 0u);
+  EXPECT_EQ(m1.arrived, m4.arrived);
+  EXPECT_EQ(m1.shed, m4.shed);
+  EXPECT_EQ(m1.expired, m4.expired);
+  ASSERT_EQ(m1.replications.size(), m4.replications.size());
+  for (std::size_t r = 0; r < m1.replications.size(); ++r) {
+    const auto& a = m1.replications[r];
+    const auto& b = m4.replications[r];
+    EXPECT_EQ(a.arrived, b.arrived);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.failed, b.failed);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.expired, b.expired);
+    EXPECT_EQ(a.arrived,
+              a.completed_all + a.failed_all + a.shed_all + a.in_flight_end);
+    if (!a.latency.empty()) {
+      EXPECT_DOUBLE_EQ(a.latency.mean(), b.latency.mean());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOverloadTest,
+                         ::testing::Values(7, 19, 31, 43, 57, 71, 83, 97));
 
 }  // namespace
 }  // namespace scalpel
