@@ -1,0 +1,127 @@
+// OBS — Observability overhead: cost of the per-task tracing hooks on the
+// F17 overload workload (the event-densest configuration: bounded queues,
+// expiry shedding, sustained overload). Two claims are measured:
+//   1. tracing DISABLED (the default) costs < 2% wall time — the hooks
+//      compiled into the simulator hot path reduce to one branch each;
+//   2. tracing ENABLED stays modest (ring writes, no allocation).
+// Each configuration is timed over several alternating repetitions so drift
+// in machine load cancels out rather than biasing one side.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/trace.hpp"
+
+using namespace scalpel;
+
+namespace {
+
+ClusterTopology overloaded_campus() {
+  clusters::CampusOptions opts;
+  opts.num_devices = 12;
+  opts.num_servers = 2;
+  opts.seed = 17;
+  ClusterTopology topo = clusters::campus(opts);
+  // Push every device past saturation, as F17's sweep tail does.
+  for (const auto& d : topo.devices()) {
+    topo.set_device_arrival_rate(d.id, d.arrival_rate * 3.0);
+  }
+  return topo;
+}
+
+Simulator::Options f17_sim(std::size_t trace_capacity) {
+  Simulator::Options o;
+  o.horizon = 300.0;
+  o.warmup = 10.0;
+  o.seed = 17;
+  o.overload.policy = OverloadPolicy::ShedExpired;
+  o.overload.device_queue_limit = 32;
+  o.overload.upload_queue_limit = 8;
+  o.overload.server_queue_limit = 8;
+  o.trace_capacity = trace_capacity;
+  return o;
+}
+
+double time_run(const ProblemInstance& instance, const Decision& d,
+                const Simulator::Options& opts, std::size_t* events) {
+  const auto t0 = std::chrono::steady_clock::now();
+  Simulator sim(instance, d, opts);
+  const SimMetrics m = sim.run();
+  const auto t1 = std::chrono::steady_clock::now();
+  SCALPEL_REQUIRE(m.arrived > 0, "bench run produced no arrivals");
+  if (events) *events = static_cast<std::size_t>(sim.trace().recorded());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs[xs.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("OBS", "observability overhead on the F17 overload workload");
+
+  const ClusterTopology topo = overloaded_campus();
+  const ProblemInstance instance(topo);
+  const Decision d = bench::run_scheme(instance, "joint");
+
+  // Untimed sizing run: learn the event volume so the timed tracing-on runs
+  // preallocate a right-sized ring instead of paying for an oversized one.
+  std::size_t events = 0;
+  time_run(instance, d, f17_sim(1 << 22), &events);
+  std::size_t ring = 1024;
+  while (ring < events + events / 4) ring *= 2;
+
+  constexpr int kReps = 7;
+  std::vector<double> off_times;
+  std::vector<double> on_times;
+  // Warm the untraced path too before timing.
+  time_run(instance, d, f17_sim(0), nullptr);
+  for (int r = 0; r < kReps; ++r) {
+    off_times.push_back(time_run(instance, d, f17_sim(0), nullptr));
+    on_times.push_back(time_run(instance, d, f17_sim(ring), &events));
+  }
+  const double off = median(off_times);
+  const double on = median(on_times);
+  const double enabled_overhead = (on - off) / off * 100.0;
+
+  Table t({"configuration", "median wall s", "events", "overhead vs off"});
+  t.add_row({"tracing off (default)", Table::num(off, 4), "0", "baseline"});
+  t.add_row({"tracing on (sized ring)", Table::num(on, 4),
+             Table::num(static_cast<std::int64_t>(events)),
+             Table::num(enabled_overhead, 2) + " %"});
+  std::printf("%s\n", t.to_string().c_str());
+
+  // The <2% claim is about the hooks when tracing is off. The disabled
+  // tracer's record() is a single predictable branch; measure it directly
+  // and express the total hook cost as a fraction of the untraced run.
+  TaskTracer disabled;
+  const auto t0 = std::chrono::steady_clock::now();
+  constexpr std::uint64_t kCalls = 50'000'000;
+  for (std::uint64_t i = 0; i < kCalls; ++i) {
+    disabled.record(0.0, i, 0, -1, TraceEventType::kArrive);
+    // Compiler barrier: without it the whole no-op loop folds away and the
+    // per-call figure reads as exactly zero.
+    asm volatile("" : : "g"(&disabled) : "memory");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double per_call = std::chrono::duration<double>(t1 - t0).count() /
+                          static_cast<double>(kCalls);
+  SCALPEL_REQUIRE(disabled.recorded() == 0,
+                  "disabled tracer must not record");
+  const double hook_cost = per_call * static_cast<double>(events);
+  const double off_overhead = hook_cost / off * 100.0;
+
+  std::printf("disabled record(): %.2f ns/call; %zu hook sites/run -> "
+              "%.4f%% of the untraced wall time\n",
+              per_call * 1e9, events, off_overhead);
+  const bool pass = off_overhead < 2.0;
+  std::printf("%s: tracing-off overhead %.4f%% %s 2%% budget\n",
+              pass ? "PASS" : "FAIL", off_overhead, pass ? "<" : ">=");
+  return pass ? 0 : 1;
+}

@@ -23,12 +23,30 @@ BUILD_DIR="${BUILD_DIR:-$DEFAULT_DIR}"
 cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON "${EXTRA[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
+# Observability smoke: record a traced overload run through the CLI and
+# check the exported JSON parses and its events reconcile exactly with the
+# conservation counters (arrived == completed_all + failed_all + shed_all +
+# in_flight_end). Exercises the tracer, audit log, and exporters end to end.
+trace_smoke() {
+  local cli="$BUILD_DIR/examples/scalpel_cli"
+  local dir
+  dir="$(mktemp -d)"
+  "$cli" topology --preset small_lab --out "$dir/topo.json"
+  "$cli" trace --topology "$dir/topo.json" --overload 2.0 --horizon 20 \
+    --out "$dir/trace.json" --audit-out "$dir/audit.json" \
+    --metrics-out "$dir/metrics.json"
+  "$cli" validate-trace --trace "$dir/trace.json" --metrics "$dir/metrics.json"
+  rm -rf "$dir"
+}
+
 case "$TIER" in
   fast|asan|tsan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
+    trace_smoke
     ;;
   full)
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+    trace_smoke
     ;;
   *)
     echo "usage: $0 [fast|full|asan|tsan]" >&2

@@ -11,6 +11,10 @@
 //       --horizon 60 --reps 16 --threads 8
 //   scalpel_cli admission --topology topo.json [--decision decision.json]
 //       --headroom 0.9 --rungs 4
+//   scalpel_cli trace --topology topo.json --decision decision.json
+//       --overload 2.0 --out trace.json --audit-out audit.json
+//       --metrics-out metrics.json
+//   scalpel_cli validate-trace --trace trace.json --metrics metrics.json
 //   scalpel_cli models
 
 #include <cmath>
@@ -29,8 +33,12 @@
 #include "core/serialize.hpp"
 #include "edge/builders.hpp"
 #include "nn/models.hpp"
+#include "obs/audit.hpp"
+#include "obs/trace.hpp"
+#include "sim/metrics_export.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -50,9 +58,15 @@ namespace {
                "--out FILE\n"
                "  scalpel_cli simulate --topology FILE --decision FILE "
                "[--horizon SECONDS] [--warmup SECONDS] [--seed S] "
-               "[--reps N] [--threads T]\n"
+               "[--reps N] [--threads T] [--metrics-out FILE(.json|.csv)]\n"
                "  scalpel_cli admission --topology FILE [--decision FILE] "
                "[--scheme joint|...] [--headroom H] [--rungs N]\n"
+               "  scalpel_cli trace --topology FILE [--decision FILE] "
+               "--out FILE(.json|.csv) [--overload F] [--controller on|off] "
+               "[--horizon S] [--warmup S] [--seed S] [--capacity N] "
+               "[--audit-out FILE(.json|.csv)] [--metrics-out FILE]\n"
+               "  scalpel_cli validate-trace --trace FILE.json "
+               "--metrics FILE.json\n"
                "  scalpel_cli models\n");
   std::exit(2);
 }
@@ -175,6 +189,8 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   const auto threads =
       static_cast<std::size_t>(std::stoul(flag_or(flags, "threads", "0")));
 
+  const std::string metrics_out = flag_or(flags, "metrics-out", "");
+
   if (reps <= 1) {
     Simulator sim(instance, decision, opts);
     const auto m = sim.run();
@@ -185,6 +201,10 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
                 to_ms(m.latency.p99()), m.deadline_satisfaction,
                 m.measured_accuracy, m.offload_fraction,
                 m.mean_task_energy * 1e3);
+    if (!metrics_out.empty()) {
+      if (!write_sim_metrics(m, metrics_out)) return 1;
+      std::printf("wrote metrics to %s\n", metrics_out.c_str());
+    }
     return 0;
   }
 
@@ -209,6 +229,37 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
               to_ms(p95.mean), to_ms(p95.ci95), to_ms(p99.mean),
               to_ms(p99.ci95), sat.mean, sat.ci95, acc.mean, acc.ci95,
               off.mean, off.ci95, energy.mean * 1e3, energy.ci95 * 1e3);
+  if (!metrics_out.empty()) {
+    const bool csv = metrics_out.size() >= 4 &&
+                     metrics_out.compare(metrics_out.size() - 4, 4, ".csv") ==
+                         0;
+    if (csv) {
+      // One row of headline scalars per replication; the full nested detail
+      // needs the JSON form.
+      Table t({"rep", "arrived", "completed", "failed", "shed", "expired",
+               "mean_latency_s", "p95_s", "p99_s", "deadline_sat",
+               "accuracy"});
+      for (std::size_t r = 0; r < agg.replications.size(); ++r) {
+        const auto& m = agg.replications[r];
+        t.add_row({Table::num(static_cast<std::int64_t>(r)),
+                   Table::num(static_cast<std::int64_t>(m.arrived)),
+                   Table::num(static_cast<std::int64_t>(m.completed)),
+                   Table::num(static_cast<std::int64_t>(m.failed)),
+                   Table::num(static_cast<std::int64_t>(m.shed)),
+                   Table::num(static_cast<std::int64_t>(m.expired)),
+                   Table::num(m.latency.empty() ? 0.0 : m.latency.mean(), 6),
+                   Table::num(m.latency.empty() ? 0.0 : m.latency.p95(), 6),
+                   Table::num(m.latency.empty() ? 0.0 : m.latency.p99(), 6),
+                   Table::num(m.deadline_satisfaction, 4),
+                   Table::num(m.measured_accuracy, 4)});
+      }
+      write_file(metrics_out, t.to_csv());
+    } else {
+      write_file(metrics_out,
+                 replicated_metrics_to_json(agg).dump_pretty() + "\n");
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
   return 0;
 }
 
@@ -286,6 +337,182 @@ int cmd_admission(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// One traced simulation run: per-task lifecycle events to a Chrome-trace
+// JSON (or CSV), plus optionally the controller's decision audit log and the
+// full SimMetrics, all reconcilable against each other. `--overload F`
+// multiplies every device's arrival rate while the controller stays anchored
+// to the nominal topology — the F17 setup — so an overload run's rung walk
+// is visible in both the audit log and the event stream.
+int cmd_trace(const std::map<std::string, std::string>& flags) {
+  const std::string topo_path = flag_or(flags, "topology", "");
+  const std::string out = flag_or(flags, "out", "");
+  if (topo_path.empty() || out.empty()) usage();
+  const auto deployed_topo =
+      serialize::topology_from_json(Json::parse(read_file(topo_path)));
+
+  const double overload = std::stod(flag_or(flags, "overload", "1"));
+  ClusterTopology offered_topo = deployed_topo;
+  if (overload != 1.0) {
+    for (const auto& d : deployed_topo.devices()) {
+      offered_topo.set_device_arrival_rate(d.id,
+                                           d.arrival_rate * overload);
+    }
+  }
+  const ProblemInstance instance(offered_topo);
+
+  Simulator::Options opts;
+  opts.horizon = std::stod(flag_or(flags, "horizon", "60"));
+  opts.warmup = std::stod(flag_or(
+      flags, "warmup", std::to_string(opts.horizon * 0.1)));
+  opts.seed = std::stoull(flag_or(flags, "seed", "1"));
+  opts.trace_capacity = static_cast<std::size_t>(
+      std::stoul(flag_or(flags, "capacity", "1048576")));
+  const bool with_controller = flag_or(flags, "controller", "on") == "on";
+
+  Decision decision;
+  const std::string decision_path = flag_or(flags, "decision", "");
+  OnlineController ctl(deployed_topo);
+  if (with_controller) {
+    // Bounded queues + expiry shedding so the ladder has something to save.
+    opts.overload.policy = OverloadPolicy::ShedExpired;
+    opts.overload.device_queue_limit = 32;
+    opts.overload.upload_queue_limit = 8;
+    opts.overload.server_queue_limit = 8;
+    opts.control_interval = 1.0;
+    decision = ctl.decision();
+  } else if (!decision_path.empty()) {
+    decision =
+        serialize::decision_from_json(Json::parse(read_file(decision_path)));
+  } else {
+    decision = JointOptimizer(JointOptions{}).optimize(instance);
+  }
+  evaluate_decision(instance, decision);
+
+  Simulator sim(instance, decision, opts);
+  if (with_controller) {
+    sim.set_controller([&](double now, const std::vector<double>& bw,
+                           const std::vector<bool>& alive,
+                           const std::vector<double>& offered,
+                           const std::vector<double>& depth) {
+      ctl.audit_log().advance_time(now);
+      ControlAction a;
+      if (ctl.observe(bw, alive, offered, depth)) {
+        a.decision = ctl.decision();
+        a.admit_fraction = ctl.admit_fraction();
+      }
+      return a;
+    });
+  }
+  const auto m = sim.run();
+
+  if (!write_trace(sim.trace(), out)) return 1;
+  std::printf("wrote %llu events to %s (%llu overwritten in the ring)\n",
+              static_cast<unsigned long long>(sim.trace().size()),
+              out.c_str(),
+              static_cast<unsigned long long>(sim.trace().dropped()));
+  std::printf("conservation: arrived=%zu completed_all=%zu failed_all=%zu "
+              "shed_all=%zu in_flight_end=%zu\n",
+              m.arrived, m.completed_all, m.failed_all, m.shed_all,
+              m.in_flight_end);
+  if (with_controller) {
+    std::printf("controller: %zu audit records, %zu reoptimizations, "
+                "%zu degradations, %zu recoveries, final rung %zu\n",
+                ctl.audit_log().size(), ctl.reoptimizations(),
+                ctl.degradations(), ctl.recoveries(), ctl.current_rung());
+    const std::string audit_out = flag_or(flags, "audit-out", "");
+    if (!audit_out.empty()) {
+      const bool csv = audit_out.size() >= 4 &&
+                       audit_out.compare(audit_out.size() - 4, 4, ".csv") ==
+                           0;
+      write_file(audit_out,
+                 csv ? ctl.audit_log().to_table().to_csv()
+                     : ctl.audit_log().to_json().dump_pretty() + "\n");
+      std::printf("wrote audit log to %s\n", audit_out.c_str());
+    }
+  }
+  const std::string metrics_out = flag_or(flags, "metrics-out", "");
+  if (!metrics_out.empty()) {
+    if (!write_sim_metrics(m, metrics_out)) return 1;
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}
+
+// Round-trips an exported trace + metrics pair through the JSON parser and
+// checks that the per-task events reconcile exactly with the simulator's
+// conservation counters. Exit 0 = PASS; used by ci.sh's fast tier.
+int cmd_validate_trace(const std::map<std::string, std::string>& flags) {
+  const std::string trace_path = flag_or(flags, "trace", "");
+  const std::string metrics_path = flag_or(flags, "metrics", "");
+  if (trace_path.empty() || metrics_path.empty()) usage();
+  const Json trace = Json::parse(read_file(trace_path));
+  const Json metrics = Json::parse(read_file(metrics_path));
+
+  if (trace.contains("droppedEvents") &&
+      trace.at("droppedEvents").as_int() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: trace is truncated (%lld events overwritten); "
+                 "re-record with a larger --capacity\n",
+                 static_cast<long long>(trace.at("droppedEvents").as_int()));
+    return 1;
+  }
+
+  std::map<std::string, std::int64_t> counts;
+  const Json& events = trace.at("traceEvents");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // args.event carries the lifecycle name even for B/E span phases.
+    ++counts[events.at(i).at("args").at("event").as_string()];
+  }
+  auto count = [&](const char* name) {
+    const auto it = counts.find(name);
+    return it == counts.end() ? std::int64_t{0} : it->second;
+  };
+
+  const Json& c = metrics.at("conservation");
+  const std::int64_t arrived = c.at("arrived").as_int();
+  const std::int64_t completed = c.at("completed_all").as_int();
+  const std::int64_t failed = c.at("failed_all").as_int();
+  const std::int64_t shed = c.at("shed_all").as_int();
+  const std::int64_t in_flight = c.at("in_flight_end").as_int();
+
+  bool ok = true;
+  auto check = [&](const char* what, std::int64_t got, std::int64_t want) {
+    if (got != want) {
+      std::fprintf(stderr, "FAIL: %s: trace says %lld, metrics say %lld\n",
+                   what, static_cast<long long>(got),
+                   static_cast<long long>(want));
+      ok = false;
+    }
+  };
+  check("arrived", count("arrive"), arrived);
+  check("completed_all", count("complete"), completed);
+  check("failed_all", count("fail"), failed);
+  check("shed_all", count("shed") + count("expire"), shed);
+  check("terminal events",
+        count("complete") + count("fail") + count("shed") + count("expire") +
+            in_flight,
+        count("arrive"));
+  if (arrived != completed + failed + shed + in_flight) {
+    std::fprintf(stderr,
+                 "FAIL: metrics conservation broken: %lld != %lld + %lld + "
+                 "%lld + %lld\n",
+                 static_cast<long long>(arrived),
+                 static_cast<long long>(completed),
+                 static_cast<long long>(failed), static_cast<long long>(shed),
+                 static_cast<long long>(in_flight));
+    ok = false;
+  }
+  if (!ok) return 1;
+  std::printf("PASS: %zu trace events reconcile with the conservation "
+              "counters (arrived=%lld completed=%lld failed=%lld shed=%lld "
+              "in_flight_end=%lld)\n",
+              events.size(), static_cast<long long>(arrived),
+              static_cast<long long>(completed),
+              static_cast<long long>(failed), static_cast<long long>(shed),
+              static_cast<long long>(in_flight));
+  return 0;
+}
+
 int cmd_models() {
   for (const auto& name : models::zoo_names()) {
     const auto g = models::by_name(name);
@@ -308,6 +535,10 @@ int main(int argc, char** argv) {
     if (cmd == "optimize") return cmd_optimize(parse_flags(argc, argv, 2));
     if (cmd == "simulate") return cmd_simulate(parse_flags(argc, argv, 2));
     if (cmd == "admission") return cmd_admission(parse_flags(argc, argv, 2));
+    if (cmd == "trace") return cmd_trace(parse_flags(argc, argv, 2));
+    if (cmd == "validate-trace") {
+      return cmd_validate_trace(parse_flags(argc, argv, 2));
+    }
     if (cmd == "models") return cmd_models();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <limits>
+#include <string>
 
 #include "core/objective.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace scalpel::admission {
 namespace {
@@ -92,6 +95,10 @@ ThrottlePlan propose_throttle_fixed_point(const ProblemInstance& instance,
     ++plan.iterations;
     if (!changed) break;
   }
+  if (plan.iterations + 1 >= max_iters) {
+    log_debug("admission fixed point hit the iteration cap (" +
+              std::to_string(max_iters) + ") before converging");
+  }
 
   // Final accounting is always relative to the *original* offered load.
   double offered_total = 0.0;
@@ -105,6 +112,14 @@ ThrottlePlan propose_throttle_fixed_point(const ProblemInstance& instance,
     admitted_total += plan.admitted_rate[i];
   }
   plan.admitted_fraction = admitted_total / offered_total;
+  if (plan.throttled) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "admission throttle converged in %zu iters, admitting "
+                  "%.1f%% of offered load",
+                  plan.iterations + 1, plan.admitted_fraction * 100.0);
+    log_debug(buf);
+  }
   return plan;
 }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <string>
 
 #include "core/objective.hpp"
 #include "surgery/exit_setting.hpp"
@@ -120,6 +122,63 @@ std::vector<LadderRung> build_degradation_ladder(
   return ladder;
 }
 
+std::string OnlineController::plan_summary() const {
+  if (!solved_) return "unsolved";
+  std::size_t offload = 0;
+  std::size_t quantized = 0;
+  for (const auto& dd : decision_.per_device) {
+    if (!dd.plan.device_only) ++offload;
+    if (dd.plan.quantize_upload) ++quantized;
+  }
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "%s rung=%zu offload=%zu/%zu quant=%zu acc=%.3f",
+                decision_.scheme.empty() ? "plan" : decision_.scheme.c_str(),
+                rung_, offload, decision_.per_device.size(), quantized,
+                predicted_accuracy());
+  return buf;
+}
+
+double OnlineController::predicted_accuracy() const {
+  if (decision_.predicted.empty()) return 0.0;
+  const auto& devices = instance_.topology().devices();
+  double rate_total = 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < decision_.predicted.size(); ++i) {
+    const double rate = i < devices.size() ? devices[i].arrival_rate : 1.0;
+    rate_total += rate;
+    acc += rate * decision_.predicted[i].expected_accuracy;
+  }
+  return rate_total > 0.0 ? acc / rate_total : 0.0;
+}
+
+double OnlineController::mean_admit() const {
+  if (admit_fraction_.empty()) return 1.0;
+  double sum = 0.0;
+  for (double f : admit_fraction_) sum += f;
+  return sum / static_cast<double>(admit_fraction_.size());
+}
+
+AuditRecord OnlineController::audit_open(AuditCause cause,
+                                         std::string detail) const {
+  AuditRecord r;
+  r.cause = cause;
+  r.detail = std::move(detail);
+  r.plan_before = plan_summary();
+  r.rung_before = rung_;
+  r.accuracy_before = predicted_accuracy();
+  r.admit_before = mean_admit();
+  return r;
+}
+
+void OnlineController::audit_commit(AuditRecord record) {
+  record.plan_after = plan_summary();
+  record.rung_after = rung_;
+  record.accuracy_after = predicted_accuracy();
+  record.admit_after = mean_admit();
+  audit_.append(std::move(record));
+}
+
 OnlineController::OnlineController(const ClusterTopology& topology)
     : OnlineController(topology, Options{}) {}
 
@@ -191,7 +250,11 @@ void OnlineController::solve() {
 }
 
 const Decision& OnlineController::decision() {
-  if (!solved_) solve();
+  if (!solved_) {
+    AuditRecord r = audit_open(AuditCause::kInitialSolve, "first solve");
+    solve();
+    audit_commit(std::move(r));
+  }
   return decision_;
 }
 
@@ -209,14 +272,23 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
   SCALPEL_REQUIRE(
       server_alive.size() == instance_.topology().servers().size(),
       "observation must cover every server");
-  if (!solved_) solve();
+  if (!solved_) {
+    AuditRecord r = audit_open(AuditCause::kInitialSolve, "first solve");
+    solve();
+    audit_commit(std::move(r));
+  }
   bool drifted = false;
+  std::string detail;
   for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
     SCALPEL_REQUIRE(cell_bandwidth[c] > 0.0,
                     "observed bandwidth must be positive");
     const double ratio = cell_bandwidth[c] / solved_bandwidth_[c];
     if (std::abs(ratio - 1.0) > opts_.hysteresis) {
       drifted = true;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "cell %zu bandwidth %+.0f%%", c,
+                    (ratio - 1.0) * 100.0);
+      detail = buf;
       break;
     }
   }
@@ -225,16 +297,28 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
     alive_ = server_alive;
     return false;
   }
+  if (liveness_changed) {
+    for (std::size_t s = 0; s < server_alive.size(); ++s) {
+      if (server_alive[s] == solved_alive_[s]) continue;
+      if (!detail.empty()) detail += ", ";
+      detail +=
+          "server " + std::to_string(s) + (server_alive[s] ? " up" : " down");
+    }
+  }
   // Adopt the observed conditions and re-solve.
   auto& topo = instance_.mutable_topology();
   for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
     topo.set_cell_bandwidth(static_cast<CellId>(c), cell_bandwidth[c]);
   }
   alive_ = server_alive;
+  AuditRecord r = audit_open(
+      liveness_changed ? AuditCause::kFailover : AuditCause::kResolve,
+      std::move(detail));
   solve();
   ++reoptimizations_;
   if (liveness_changed) ++failovers_;
   if (!ladder_.empty()) rebuild_ladder();
+  audit_commit(std::move(r));
   return true;
 }
 
@@ -273,11 +357,19 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
   const LadderRung& target = gated ? cur : ladder_[rung_ > 0 ? rung_ - 1 : 0];
   bool overloaded = false;
   bool calm = true;
+  std::string trigger;
   for (std::size_t i = 0; i < n; ++i) {
     SCALPEL_REQUIRE(offered_rate[i] >= 0.0 && queue_depth[i] >= 0.0,
                     "offered rate and queue depth must be non-negative");
     if (offered_rate[i] > o.overload_margin * cur.sustainable[i] + 1e-12 ||
         queue_depth[i] > o.queue_trigger) {
+      if (!overloaded) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "device %zu rate %.2f/%.2f tasks/s queue %.0f", i,
+                      offered_rate[i], cur.sustainable[i], queue_depth[i]);
+        trigger = buf;
+      }
       overloaded = true;
     }
     if (offered_rate[i] > o.recover_margin * target.sustainable[i] ||
@@ -291,10 +383,12 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
     if (++overload_streak_ >= o.trigger_windows) {
       overload_streak_ = 0;
       if (rung_ + 1 < ladder_.size()) {
+        AuditRecord r = audit_open(AuditCause::kRungDown, std::move(trigger));
         ++rung_;
         ++degradations_;
         apply_rung();
         changed = true;
+        audit_commit(std::move(r));
       } else {
         // Ladder exhausted: shed load at the door, scaled so admitted
         // traffic fits under the bottom rung's capacity.
@@ -305,9 +399,13 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
           gate[i] = std::clamp(cap / offered_rate[i], 0.0, 1.0);
         }
         if (gate != admit_fraction_) {
+          AuditRecord r = audit_open(
+              gated ? AuditCause::kThrottleAdjust : AuditCause::kThrottleOn,
+              std::move(trigger));
           if (!gated) ++throttle_activations_;
           admit_fraction_ = std::move(gate);
           changed = true;
+          audit_commit(std::move(r));
         }
       }
     }
@@ -315,14 +413,20 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
     overload_streak_ = 0;
     if (++calm_streak_ >= o.recovery_windows) {
       calm_streak_ = 0;
+      const std::string calm_detail =
+          "calm for " + std::to_string(o.recovery_windows) + " windows";
       if (gated) {
+        AuditRecord r = audit_open(AuditCause::kThrottleOff, calm_detail);
         admit_fraction_.clear();
         changed = true;
+        audit_commit(std::move(r));
       } else if (rung_ > 0) {
+        AuditRecord r = audit_open(AuditCause::kRungUp, calm_detail);
         --rung_;
         ++recoveries_;
         apply_rung();
         changed = true;
+        audit_commit(std::move(r));
       }
     }
   } else {

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/admission.hpp"
 #include "core/joint.hpp"
+#include "obs/audit.hpp"
 
 namespace scalpel {
 
@@ -128,12 +130,25 @@ class OnlineController {
   const std::vector<bool>& server_alive() const { return alive_; }
   const ProblemInstance& instance() const { return instance_; }
 
+  /// Flight recorder of every decision change (solve, failover, rung walk,
+  /// gate). Call audit_log().advance_time(now) before observe() so records
+  /// carry sim time; export with to_json()/to_table().
+  DecisionAuditLog& audit_log() { return audit_; }
+  const DecisionAuditLog& audit_log() const { return audit_; }
+
  private:
   void solve();
   Decision solve_excluding_dead() const;
   Decision device_only_fallback() const;
   void rebuild_ladder();
   void apply_rung();
+  /// One-line summary of the active decision for audit records.
+  std::string plan_summary() const;
+  double predicted_accuracy() const;
+  double mean_admit() const;
+  /// Snapshots the before-state, to be completed by audit_commit().
+  AuditRecord audit_open(AuditCause cause, std::string detail) const;
+  void audit_commit(AuditRecord record);
 
   Options opts_;
   ProblemInstance instance_;
@@ -154,6 +169,8 @@ class OnlineController {
   std::size_t throttle_activations_ = 0;
   std::size_t overload_streak_ = 0;
   std::size_t calm_streak_ = 0;
+
+  DecisionAuditLog audit_;
 };
 
 }  // namespace scalpel

@@ -1,0 +1,89 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace scalpel {
+
+double HistogramMetric::quantile(double q) const {
+  SCALPEL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::size_t n = hist_.total();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < hist_.bins(); ++i) {
+    const auto c = static_cast<double>(hist_.bin_count(i));
+    if (cumulative + c >= target && c > 0.0) {
+      const double within = std::clamp((target - cumulative) / c, 0.0, 1.0);
+      return hist_.bin_low(i) +
+             (hist_.bin_high(i) - hist_.bin_low(i)) * within;
+    }
+    cumulative += c;
+  }
+  return hist_.bin_high(hist_.bins() - 1);
+}
+
+HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(name, HistogramMetric(lo, hi, bins)).first;
+  }
+  return it->second;
+}
+
+Json MetricsRegistry::to_json() const {
+  Json doc = Json::object();
+  Json& counters = doc.set("counters", Json::object());
+  for (const auto& [name, c] : counters_) {
+    counters.set(name, Json::number(static_cast<double>(c.value())));
+  }
+  Json& gauges = doc.set("gauges", Json::object());
+  for (const auto& [name, g] : gauges_) {
+    gauges.set(name, Json::number(g.value()));
+  }
+  Json& hists = doc.set("histograms", Json::object());
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry.set("count", Json::number(static_cast<double>(h.total())));
+    entry.set("p50", Json::number(h.p50()));
+    entry.set("p95", Json::number(h.p95()));
+    entry.set("p99", Json::number(h.p99()));
+    Json bins = Json::array();
+    for (std::size_t i = 0; i < h.histogram().bins(); ++i) {
+      Json bin = Json::array();
+      bin.push_back(Json::number(h.histogram().bin_low(i)));
+      bin.push_back(Json::number(h.histogram().bin_high(i)));
+      bin.push_back(
+          Json::number(static_cast<double>(h.histogram().bin_count(i))));
+      bins.push_back(std::move(bin));
+    }
+    entry.set("bins", std::move(bins));
+    hists.set(name, std::move(entry));
+  }
+  return doc;
+}
+
+Table MetricsRegistry::to_table() const {
+  Table t({"metric", "kind", "value"});
+  for (const auto& [name, c] : counters_) {
+    t.add_row({name, "counter",
+               Table::num(static_cast<std::int64_t>(c.value()))});
+  }
+  for (const auto& [name, g] : gauges_) {
+    t.add_row({name, "gauge", Table::num(g.value(), 6)});
+  }
+  for (const auto& [name, h] : histograms_) {
+    t.add_row({name + ".count", "histogram",
+               Table::num(static_cast<std::int64_t>(h.total()))});
+    t.add_row({name + ".p50", "histogram", Table::num(h.p50(), 6)});
+    t.add_row({name + ".p95", "histogram", Table::num(h.p95(), 6)});
+    t.add_row({name + ".p99", "histogram", Table::num(h.p99(), 6)});
+  }
+  return t;
+}
+
+}  // namespace scalpel

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalpel {
+class Json;
+class Table;
+
+/// Per-task lifecycle event kinds recorded by the TaskTracer. One simulated
+/// task emits kArrive exactly once and exactly one terminal event (kComplete,
+/// kFail, kShed or kExpire), so a complete trace reconciles with the
+/// simulator's conservation counters:
+///   #kArrive == #kComplete + #kFail + #kShed + #kExpire + in_flight_end.
+enum class TraceEventType : std::uint8_t {
+  kArrive = 0,    // task created at its device
+  kEnqueue,       // admitted into a stage queue (arg = TraceStage)
+  kDispatch,      // popped from a queue into a service slot (arg = TraceStage)
+  kExecStart,     // compute begins (arg = TraceStage: device or server)
+  kExecEnd,       // compute ends (arg = TraceStage)
+  kUploadStart,   // uplink transfer begins occupying the fluid slot
+  kUploadEnd,     // uplink transfer drained (before the RTT)
+  kRetry,         // fault-policy re-dispatch scheduled (arg = attempt number)
+  kResteer,       // fault-policy device-fallback re-execution
+  kShed,          // dropped by the overload policy or admission gate
+  kExpire,        // dropped because the deadline is provably unreachable
+  kFail,          // dropped by the fault policy
+  kComplete,      // finished; result delivered
+};
+
+/// Pipeline stage tag carried in TraceEvent::arg for stage-shaped events.
+enum class TraceStage : std::uint8_t { kDevice = 0, kUpload = 1, kServer = 2 };
+
+/// Short stable names ("arrive", "exec_start", ...) used by every exporter.
+const char* trace_event_name(TraceEventType type);
+const char* trace_stage_name(TraceStage stage);
+
+/// One fixed-size trace record. POD on purpose: recording is a struct copy
+/// into a preallocated ring, never an allocation.
+struct TraceEvent {
+  double time = 0.0;        // sim seconds (may differ from recording order
+                            // only for scheduled exec-start stamps)
+  std::uint64_t task = 0;   // per-run task id, assigned at arrival
+  std::int32_t device = -1;
+  std::int32_t server = -1;  // -1 when the event has no server side
+  TraceEventType type = TraceEventType::kArrive;
+  std::uint8_t arg = 0;      // TraceStage or retry attempt, by event type
+
+  bool operator==(const TraceEvent& other) const {
+    return time == other.time && task == other.task &&
+           device == other.device && server == other.server &&
+           type == other.type && arg == other.arg;
+  }
+};
+
+/// Bounded per-run event recorder. Disabled (capacity 0) it is a single
+/// predictable branch per record() call — cheap enough to leave the
+/// instrumentation hooks compiled into the simulator hot path. Enabled, it
+/// writes into a ring buffer preallocated at construction: recording never
+/// allocates, and once full the oldest events are overwritten (dropped()
+/// reports how many were lost, so exporters can flag truncated traces).
+class TaskTracer {
+ public:
+  TaskTracer() = default;  // disabled
+  explicit TaskTracer(std::size_t capacity) { reset(capacity); }
+
+  /// Re-arms the tracer with a new capacity (0 disables); clears all events.
+  void reset(std::size_t capacity);
+
+  bool enabled() const { return capacity_ != 0; }
+  std::size_t capacity() const { return capacity_; }
+  /// Events currently held (<= capacity).
+  std::size_t size() const { return size_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Total record() calls accepted (size() + dropped()).
+  std::uint64_t recorded() const { return size_ + dropped_; }
+
+  void record(double time, std::uint64_t task, std::int32_t device,
+              std::int32_t server, TraceEventType type, std::uint8_t arg = 0) {
+    if (capacity_ == 0) return;  // disabled: the whole hot path is this branch
+    TraceEvent& slot = ring_[head_];
+    slot.time = time;
+    slot.task = task;
+    slot.device = device;
+    slot.server = server;
+    slot.type = type;
+    slot.arg = arg;
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    if (size_ < capacity_) {
+      ++size_;
+    } else {
+      ++dropped_;
+    }
+  }
+
+  /// Events in recording order, oldest first (allocates; not for hot paths).
+  std::vector<TraceEvent> snapshot() const;
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  // next write position
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Chrome trace-event JSON (the `chrome://tracing` / Perfetto format):
+/// device compute, upload, and server compute phases become B/E duration
+/// pairs on pid=device / tid=task tracks; everything else is an instant
+/// event. Timestamps are microseconds of sim time.
+Json trace_to_chrome_json(const std::vector<TraceEvent>& events);
+Json trace_to_chrome_json(const TaskTracer& tracer);
+
+/// Flat tabular view (time_s, task, device, server, event, arg) for CSV
+/// export via write_csv().
+Table trace_to_table(const std::vector<TraceEvent>& events);
+
+/// Writes the Chrome trace JSON to `path`; returns false (and logs) on I/O
+/// failure. A ".csv" suffix switches to the tabular CSV form instead.
+bool write_trace(const TaskTracer& tracer, const std::string& path);
+
+/// Per-type event counts of a trace (index by TraceEventType).
+std::vector<std::size_t> trace_event_counts(
+    const std::vector<TraceEvent>& events);
+
+}  // namespace scalpel

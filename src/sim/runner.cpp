@@ -31,12 +31,16 @@ ReplicatedMetrics ScenarioRunner::run() const {
   // Results land in a pre-sized slot per replication id; the aggregation
   // below is then a fixed-order fold, independent of completion order.
   std::vector<std::unique_ptr<SimMetrics>> results(n);
+  const bool tracing = options_.sim.trace_capacity > 0;
+  std::vector<std::vector<TraceEvent>> traces(tracing ? n : 0);
 
   auto run_one = [&](std::size_t r) {
     Simulator::Options o = options_.sim;
     o.seed = replication_seed(options_.sim.seed, r);
     Simulator sim(*instance_, decision_, o);
+    if (options_.configure) options_.configure(sim, r);
     results[r] = std::make_unique<SimMetrics>(sim.run());
+    if (tracing) traces[r] = sim.trace().snapshot();
   };
 
   if (n == 1 || options_.threads == 1) {
@@ -50,6 +54,9 @@ ReplicatedMetrics ScenarioRunner::run() const {
 
   ReplicatedMetrics agg;
   agg.replications.reserve(n);
+  // Trace slots were filled by replication id, so this is already the
+  // thread-count-independent order.
+  agg.traces = std::move(traces);
   for (std::size_t r = 0; r < n; ++r) {
     SimMetrics& m = *results[r];
     if (options_.require_completions) {

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -36,6 +38,11 @@ struct ReplicatedMetrics {
   std::size_t shed = 0;       // post-warmup overload drops, total
   std::size_t expired = 0;    // post-warmup deadline-expiry drops, total
 
+  /// Per-replication event traces, indexed by replication id (empty unless
+  /// Options::sim.trace_capacity > 0). Each trace is the bit-identical
+  /// stream the replication's seed produces, regardless of thread count.
+  std::vector<std::vector<TraceEvent>> traces;
+
   Summary latency_summary() const { return summarize(mean_latency); }
 };
 
@@ -57,6 +64,12 @@ class ScenarioRunner {
     /// instead of silently aggregating empty Samples (the classic
     /// short-horizon footgun).
     bool require_completions = true;
+    /// Per-replication setup hook, called after construction and before
+    /// run() with the replication id — the place to attach controllers,
+    /// traces, or an admission gate. Must be thread-safe across
+    /// replications (it runs on the fan-out workers) and deterministic in
+    /// the replication id for reproducible aggregates.
+    std::function<void(Simulator&, std::size_t)> configure;
   };
 
   ScenarioRunner(const ProblemInstance& instance, Decision decision,

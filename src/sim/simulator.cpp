@@ -6,11 +6,13 @@
 #include "core/objective.hpp"
 #include "surgery/plan.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 
 namespace scalpel {
 
 /// One inference task in flight.
 struct Simulator::Task {
+  std::uint64_t id = 0;  // per-run trace id, assigned at arrival
   DeviceId device = -1;
   double arrival = 0.0;
   double difficulty = 0.0;  // sampled once; re-used by fault re-executions
@@ -107,6 +109,23 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
   link_up_.assign(topo.cells().size(), true);
   apply_decision(decision_);
   metrics_.per_device.resize(topo.devices().size());
+
+  // Observability wiring: the tracer ring is preallocated here so record()
+  // never allocates, and every registry handle is resolved once (metric
+  // names are listed in README "Observability").
+  tracer_.reset(options_.trace_capacity);
+  ctr_arrived_ = &registry_.counter("sim.task.arrived");
+  ctr_completed_ = &registry_.counter("sim.task.completed");
+  ctr_failed_ = &registry_.counter("sim.task.failed");
+  ctr_shed_ = &registry_.counter("sim.task.shed");
+  ctr_expired_ = &registry_.counter("sim.task.expired");
+  ctr_retry_ = &registry_.counter("sim.task.retry");
+  ctr_resteer_ = &registry_.counter("sim.task.resteer");
+  ctr_gate_refused_ = &registry_.counter("sim.gate.refused");
+  ctr_server_down_ = &registry_.counter("sim.fault.server_down");
+  ctr_link_down_ = &registry_.counter("sim.fault.link_down");
+  hist_latency_ = &registry_.histogram("sim.task.latency_seconds", 0.0,
+                                       10.0, 200);
 }
 
 Simulator::~Simulator() = default;
@@ -322,6 +341,7 @@ void Simulator::on_arrival(DeviceId dev) {
   const double next = now_ + rng.exponential(rate);
   schedule(next, [this, dev] { on_arrival(dev); });
   auto task = std::make_shared<Task>();
+  task->id = next_task_id_++;
   task->device = dev;
   task->arrival = now_;
   task->counted = now_ >= options_.warmup;
@@ -333,15 +353,18 @@ void Simulator::on_arrival(DeviceId dev) {
   task->cpu_weight = cd.share;
 
   ++metrics_.per_device[i].arrived;
+  ctr_arrived_->inc();
   ++arrivals_since_tick_[i];
   settle_in_flight(now_);
   ++in_flight_;
+  tracer_.record(now_, task->id, dev, task->server, TraceEventType::kArrive);
 
   // Runtime admission gate: a refused arrival is shed before consuming any
   // device time (its difficulty draw above keeps the RNG streams aligned
   // with an ungated run; the coin comes from a dedicated stream).
   if (!admit_fraction_.empty() &&
       admit_rngs_[i]->uniform() > admit_fraction_[i]) {
+    ctr_gate_refused_->inc();
     shed(task, now_, false);
     return;
   }
@@ -368,6 +391,12 @@ void Simulator::on_arrival(DeviceId dev) {
     return;
   }
   ++cd.device_backlog;
+  tracer_.record(now_, task->id, dev, -1, TraceEventType::kEnqueue,
+                 static_cast<std::uint8_t>(TraceStage::kDevice));
+  // The device stage schedule is committed here, so the exec-start stamp is
+  // known now even though it may lie in the future.
+  tracer_.record(start, task->id, dev, -1, TraceEventType::kExecStart,
+                 static_cast<std::uint8_t>(TraceStage::kDevice));
   const double finish = start + task->phases.device_time;
   cd.busy_until = finish;
   schedule(finish, [this, task] { finish_device_phase(task); });
@@ -377,6 +406,8 @@ void Simulator::finish_device_phase(const std::shared_ptr<Task>& task) {
   auto& cd = *devices_[static_cast<std::size_t>(task->device)];
   if (cd.device_backlog > 0) --cd.device_backlog;
   task->device_done = now_;
+  tracer_.record(now_, task->id, task->device, -1, TraceEventType::kExecEnd,
+                 static_cast<std::uint8_t>(TraceStage::kDevice));
   if (!task->phases.offloaded) {
     complete(task, now_);
     return;
@@ -391,8 +422,12 @@ void Simulator::start_upload(const std::shared_ptr<Task>& task) {
     return;
   }
   if (cd.uploading) {
-    enqueue_bounded(cd.upload_queue, task,
-                    options_.overload.upload_queue_limit);
+    if (enqueue_bounded(cd.upload_queue, task,
+                        options_.overload.upload_queue_limit)) {
+      tracer_.record(now_, task->id, task->device, task->server,
+                     TraceEventType::kEnqueue,
+                     static_cast<std::uint8_t>(TraceStage::kUpload));
+    }
     return;
   }
   cd.uploading = true;
@@ -407,6 +442,9 @@ void Simulator::advance_upload_queue(DeviceId dev) {
   }
   auto next = cd.upload_queue.front();
   cd.upload_queue.pop_front();
+  tracer_.record(now_, next->id, next->device, next->server,
+                 TraceEventType::kDispatch,
+                 static_cast<std::uint8_t>(TraceStage::kUpload));
   begin_upload_job(next);
 }
 
@@ -430,8 +468,12 @@ void Simulator::begin_upload_job(const std::shared_ptr<Task>& task) {
   auto* link = cell_links_[cell].get();
   auto& owner = *devices_[static_cast<std::size_t>(task->device)];
   owner.uploading_task = task;
+  tracer_.record(now_, task->id, task->device, task->server,
+                 TraceEventType::kUploadStart);
   link->add_job(now_, static_cast<double>(task->phases.upload_bytes),
                 task->bw_weight, [this, task](double t) {
+                  tracer_.record(t, task->id, task->device, task->server,
+                                 TraceEventType::kUploadEnd);
                   // Propagation/setup delay after the transfer drains.
                   schedule(t + task->rtt,
                            [this, task] { start_server_phase(task); });
@@ -461,8 +503,12 @@ void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
     return;
   }
   if (cd.serving) {
-    enqueue_bounded(cd.server_queue, task,
-                    options_.overload.server_queue_limit);
+    if (enqueue_bounded(cd.server_queue, task,
+                        options_.overload.server_queue_limit)) {
+      tracer_.record(now_, task->id, task->device, task->server,
+                     TraceEventType::kEnqueue,
+                     static_cast<std::uint8_t>(TraceStage::kServer));
+    }
     return;
   }
   cd.serving = true;
@@ -477,6 +523,9 @@ void Simulator::advance_server_queue(DeviceId dev) {
   }
   auto next = cd.server_queue.front();
   cd.server_queue.pop_front();
+  tracer_.record(now_, next->id, next->device, next->server,
+                 TraceEventType::kDispatch,
+                 static_cast<std::uint8_t>(TraceStage::kServer));
   begin_server_job(next);
 }
 
@@ -495,8 +544,15 @@ void Simulator::begin_server_job(const std::shared_ptr<Task>& task) {
   auto* server = servers_[static_cast<std::size_t>(task->server)].get();
   auto& owner = *devices_[static_cast<std::size_t>(task->device)];
   owner.serving_task = task;
+  tracer_.record(now_, task->id, task->device, task->server,
+                 TraceEventType::kExecStart,
+                 static_cast<std::uint8_t>(TraceStage::kServer));
   server->add_job(now_, task->phases.server_time, task->cpu_weight,
                   [this, task](double t) {
+                    tracer_.record(t, task->id, task->device, task->server,
+                                   TraceEventType::kExecEnd,
+                                   static_cast<std::uint8_t>(
+                                       TraceStage::kServer));
                     devices_[static_cast<std::size_t>(task->device)]
                         ->serving_task.reset();
                     complete(task, t);
@@ -532,6 +588,7 @@ void Simulator::on_fault_event(const FaultEvent& ev) {
 void Simulator::on_server_down(ServerId s) {
   server_up_[static_cast<std::size_t>(s)] = false;
   ++down_servers_;
+  ctr_server_down_->inc();
   // Every fluid job on this server belongs to a task targeting it; drop them
   // all at once, then fail/resteer the owners.
   servers_[static_cast<std::size_t>(s)]->clear(now_);
@@ -558,6 +615,7 @@ void Simulator::on_server_down(ServerId s) {
 void Simulator::on_link_down(CellId c) {
   link_up_[static_cast<std::size_t>(c)] = false;
   ++down_links_;
+  ctr_link_down_->inc();
   cell_links_[static_cast<std::size_t>(c)]->clear(now_);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     if (instance_->topology().device(static_cast<DeviceId>(i)).cell != c) {
@@ -593,9 +651,14 @@ void Simulator::handle_fault(const std::shared_ptr<Task>& task) {
         return;
       }
       ++task->retries;
+      ctr_retry_->inc();
       if (task->counted) {
         ++metrics_.per_device[static_cast<std::size_t>(task->device)].retries;
       }
+      tracer_.record(now_, task->id, task->device, task->server,
+                     TraceEventType::kRetry,
+                     static_cast<std::uint8_t>(
+                         std::min<std::size_t>(task->retries, 255)));
       schedule(now_ + f.retry_backoff, [this, task] { redispatch(task); });
       return;
     }
@@ -617,11 +680,15 @@ void Simulator::resteer_local(const std::shared_ptr<Task>& task) {
     shed(task, now_, true);
     return;
   }
+  ctr_resteer_->inc();
   if (task->counted) {
     ++metrics_.per_device[static_cast<std::size_t>(task->device)].resteered;
   }
+  tracer_.record(now_, task->id, task->device, -1, TraceEventType::kResteer);
   ++cd.device_backlog;
   cd.busy_until = start + task->phases.device_time;
+  tracer_.record(start, task->id, task->device, -1, TraceEventType::kExecStart,
+                 static_cast<std::uint8_t>(TraceStage::kDevice));
   schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
 }
 
@@ -644,6 +711,8 @@ void Simulator::redispatch(const std::shared_ptr<Task>& task) {
   }
   ++cd.device_backlog;
   cd.busy_until = start + task->phases.device_time;
+  tracer_.record(start, task->id, task->device, -1, TraceEventType::kExecStart,
+                 static_cast<std::uint8_t>(TraceStage::kDevice));
   schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
 }
 
@@ -651,8 +720,10 @@ void Simulator::shed(const std::shared_ptr<Task>& task, double now,
                      bool expired) {
   settle_in_flight(now);
   --in_flight_;
-  ++metrics_.shed_all;
+  (expired ? ctr_expired_ : ctr_shed_)->inc();
   ++window_shed_;
+  tracer_.record(now, task->id, task->device, task->server,
+                 expired ? TraceEventType::kExpire : TraceEventType::kShed);
   if (!task->counted) return;
   auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
   if (expired) {
@@ -669,7 +740,9 @@ void Simulator::shed(const std::shared_ptr<Task>& task, double now,
 void Simulator::fail(const std::shared_ptr<Task>& task, double now) {
   settle_in_flight(now);
   --in_flight_;
-  ++metrics_.failed_all;
+  ctr_failed_->inc();
+  tracer_.record(now, task->id, task->device, task->server,
+                 TraceEventType::kFail);
   if (!task->counted) return;
   auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
   ++dm.failed;
@@ -684,12 +757,15 @@ void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
   --in_flight_;
   ++window_completions_;
   window_accuracy_sum_ += task->phases.correct_prob;
-  ++metrics_.completed_all;
+  ctr_completed_->inc();
+  tracer_.record(now, task->id, task->device, task->server,
+                 TraceEventType::kComplete);
   if (!task->counted) return;
   const auto i = static_cast<std::size_t>(task->device);
   auto& dm = metrics_.per_device[i];
   const double latency = now - task->arrival;
   dm.latency.add(latency);
+  hist_latency_->add(latency);
   ++dm.completed;
   if (task->faulted || any_outage()) metrics_.outage_latency.add(latency);
   const auto& device = instance_->topology().device(task->device);
@@ -821,11 +897,18 @@ SimMetrics Simulator::run() {
     SCALPEL_REQUIRE(ev.time >= now_ - 1e-9, "event time went backwards");
     now_ = std::max(now_, ev.time);
     if (now_ > options_.horizon) break;
+    set_log_sim_time(now_);  // log lines carry the event-loop clock
     ev.fn();
   }
+  clear_log_sim_time();
 
-  // Aggregate.
+  // Aggregate. The whole-run conservation fields come straight from the
+  // registry counters — the registry is the single source of truth for
+  // event counts; SimMetrics is the reporting view.
   metrics_.horizon = options_.horizon;
+  metrics_.completed_all = ctr_completed_->value();
+  metrics_.failed_all = ctr_failed_->value();
+  metrics_.shed_all = ctr_shed_->value() + ctr_expired_->value();
   metrics_.in_flight_end = static_cast<std::size_t>(std::max<std::int64_t>(
       0, in_flight_));
   std::size_t deadline_met = 0;
@@ -875,6 +958,10 @@ SimMetrics Simulator::run() {
     }
     metrics_.availability = avail / static_cast<double>(servers_.size());
   }
+  registry_.gauge("sim.task.in_flight_end")
+      .set(static_cast<double>(metrics_.in_flight_end));
+  registry_.gauge("sim.availability").set(metrics_.availability);
+  registry_.gauge("sim.horizon_seconds").set(options_.horizon);
   // Whole-run conservation: every arrival is accounted for exactly once.
   SCALPEL_REQUIRE(metrics_.arrived == metrics_.completed_all +
                                           metrics_.failed_all +

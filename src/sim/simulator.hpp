@@ -11,6 +11,8 @@
 #include "core/decision.hpp"
 #include "core/instance.hpp"
 #include "edge/dynamics.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/fluid.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -174,6 +176,11 @@ class Simulator {
     OverloadOptions overload;
     /// Scripted offered-load multipliers (empty = none).
     std::vector<RateBurst> rate_bursts;
+    /// Per-task event tracing: ring-buffer capacity in events (0 disables;
+    /// a disabled tracer costs one branch per lifecycle hook). Size the ring
+    /// from the expected event volume — roughly 8-10 events per offloaded
+    /// task — or accept oldest-first overwrites (trace().dropped()).
+    std::size_t trace_capacity = 0;
   };
 
   using Controller = std::function<std::optional<Decision>(
@@ -209,6 +216,16 @@ class Simulator {
   void set_admission(std::vector<double> fraction);
 
   SimMetrics run();
+
+  /// Per-task lifecycle events of the (finished or in-progress) run; empty
+  /// unless Options::trace_capacity > 0. Events appear in causal recording
+  /// order; a fixed seed yields a bit-identical stream.
+  const TaskTracer& trace() const { return tracer_; }
+
+  /// Structured counters/gauges/histograms the run publishes into (always
+  /// on; counters cover the whole run including warmup, matching the
+  /// SimMetrics conservation fields). See README "Observability" for names.
+  const MetricsRegistry& registry() const { return registry_; }
 
  private:
   struct Task;
@@ -294,6 +311,22 @@ class Simulator {
   /// Separate per-device streams for admission-gate coin flips, so gating
   /// never perturbs the arrival/difficulty streams shared across schemes.
   std::vector<std::unique_ptr<Rng>> admit_rngs_;
+  // Observability: the tracer rings lifecycle events; the registry carries
+  // whole-run counters the SimMetrics conservation fields are copied from.
+  TaskTracer tracer_;
+  MetricsRegistry registry_;
+  std::uint64_t next_task_id_ = 0;
+  Counter* ctr_arrived_ = nullptr;
+  Counter* ctr_completed_ = nullptr;
+  Counter* ctr_failed_ = nullptr;
+  Counter* ctr_shed_ = nullptr;
+  Counter* ctr_expired_ = nullptr;
+  Counter* ctr_retry_ = nullptr;
+  Counter* ctr_resteer_ = nullptr;
+  Counter* ctr_gate_refused_ = nullptr;
+  Counter* ctr_server_down_ = nullptr;
+  Counter* ctr_link_down_ = nullptr;
+  HistogramMetric* hist_latency_ = nullptr;
 };
 
 }  // namespace scalpel

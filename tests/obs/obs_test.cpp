@@ -1,0 +1,205 @@
+// Observability building blocks in isolation: the ring-buffered TaskTracer
+// and its exporters (Chrome trace JSON must survive a round trip through the
+// project's own JSON parser), the metrics registry, and the controller
+// decision audit log.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace scalpel {
+namespace {
+
+TraceEvent ev(double t, std::uint64_t task, TraceEventType type,
+              std::uint8_t arg = 0) {
+  TraceEvent e;
+  e.time = t;
+  e.task = task;
+  e.device = 0;
+  e.type = type;
+  e.arg = arg;
+  return e;
+}
+
+TEST(TaskTracer, DisabledRecordsNothing) {
+  TaskTracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(1.0, 0, 0, -1, TraceEventType::kArrive);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.recorded(), 0u);
+}
+
+TEST(TaskTracer, RingOverflowKeepsNewestAndCountsDropped) {
+  TaskTracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(static_cast<double>(i), static_cast<std::uint64_t>(i), 0,
+                  -1, TraceEventType::kArrive);
+  }
+  EXPECT_EQ(tracer.size(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  EXPECT_EQ(tracer.recorded(), 10u);
+  const auto events = tracer.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the surviving tail: tasks 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].task, 6 + i);
+  }
+}
+
+TEST(TaskTracer, ResetRearmsAndClears) {
+  TaskTracer tracer(2);
+  tracer.record(0.0, 0, 0, -1, TraceEventType::kArrive);
+  tracer.reset(8);
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_EQ(tracer.capacity(), 8u);
+  tracer.reset(0);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(TraceExport, ChromeJsonRoundTripsThroughParser) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0.001, 7, TraceEventType::kArrive));
+  events.push_back(ev(0.002, 7, TraceEventType::kExecStart,
+                      static_cast<std::uint8_t>(TraceStage::kDevice)));
+  events.push_back(ev(0.004, 7, TraceEventType::kExecEnd,
+                      static_cast<std::uint8_t>(TraceStage::kDevice)));
+  events.push_back(ev(0.005, 7, TraceEventType::kComplete));
+
+  const Json doc = trace_to_chrome_json(events);
+  const Json parsed = Json::parse(doc.dump_pretty());
+  const Json& arr = parsed.at("traceEvents");
+  ASSERT_EQ(arr.size(), 4u);
+  // The exec pair renders as a B/E duration span on pid=device, tid=task.
+  EXPECT_EQ(arr.at(1).at("ph").as_string(), "B");
+  EXPECT_EQ(arr.at(2).at("ph").as_string(), "E");
+  EXPECT_EQ(arr.at(1).at("name").as_string(), "device-exec");
+  EXPECT_EQ(arr.at(1).at("tid").as_int(), 7);
+  EXPECT_DOUBLE_EQ(arr.at(1).at("ts").as_number(), 2000.0);  // µs
+  // Instants keep the lifecycle name and thread scope.
+  EXPECT_EQ(arr.at(0).at("ph").as_string(), "i");
+  EXPECT_EQ(arr.at(0).at("args").at("event").as_string(), "arrive");
+  EXPECT_EQ(arr.at(3).at("args").at("event").as_string(), "complete");
+}
+
+TEST(TraceExport, TracerOverloadReportsDrops) {
+  TaskTracer tracer(1);
+  tracer.record(0.0, 0, 0, -1, TraceEventType::kArrive);
+  tracer.record(1.0, 1, 0, -1, TraceEventType::kArrive);
+  const Json doc = Json::parse(trace_to_chrome_json(tracer).dump());
+  EXPECT_EQ(doc.at("droppedEvents").as_int(), 1);
+  EXPECT_EQ(doc.at("traceEvents").size(), 1u);
+}
+
+TEST(TraceExport, TableHasOneRowPerEvent) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0.5, 1, TraceEventType::kArrive));
+  events.push_back(ev(0.75, 1, TraceEventType::kShed));
+  const Table t = trace_to_table(events);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("arrive"), std::string::npos);
+  EXPECT_NE(csv.find("shed"), std::string::npos);
+}
+
+TEST(TraceExport, EventCountsIndexByType) {
+  std::vector<TraceEvent> events;
+  events.push_back(ev(0.0, 0, TraceEventType::kArrive));
+  events.push_back(ev(0.0, 1, TraceEventType::kArrive));
+  events.push_back(ev(1.0, 0, TraceEventType::kComplete));
+  const auto counts = trace_event_counts(events);
+  EXPECT_EQ(counts[static_cast<std::size_t>(TraceEventType::kArrive)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(TraceEventType::kComplete)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(TraceEventType::kFail)], 0u);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossInsertions) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("a.count");
+  a.inc();
+  // Later insertions must not invalidate the earlier handle.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i));
+  }
+  a.inc(2);
+  EXPECT_EQ(reg.counter("a.count").value(), 3u);
+  Gauge& g = reg.gauge("g.depth");
+  g.set(4.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g.depth").value(), 4.5);
+}
+
+TEST(MetricsRegistry, HistogramQuantilesInterpolate) {
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("lat", 0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.p50(), 50.0, 1.5);
+  EXPECT_NEAR(h.p95(), 95.0, 1.5);
+  EXPECT_NEAR(h.p99(), 99.0, 1.5);
+  EXPECT_EQ(h.total(), 100u);
+  // Re-requesting returns the same histogram, not a fresh one.
+  EXPECT_EQ(reg.histogram("lat", 0.0, 1.0, 2).total(), 100u);
+}
+
+TEST(MetricsRegistry, JsonExportRoundTrips) {
+  MetricsRegistry reg;
+  reg.counter("sim.task.arrived").inc(12);
+  reg.gauge("sim.availability").set(0.75);
+  reg.histogram("sim.task.latency_seconds", 0.0, 1.0, 10).add(0.25);
+  const Json doc = Json::parse(reg.to_json().dump_pretty());
+  EXPECT_EQ(doc.at("counters").at("sim.task.arrived").as_int(), 12);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sim.availability").as_number(), 0.75);
+  const Json& h = doc.at("histograms").at("sim.task.latency_seconds");
+  EXPECT_EQ(h.at("count").as_int(), 1);
+  EXPECT_EQ(h.at("bins").size(), 10u);
+}
+
+TEST(AuditLog, StampsRecordsWithTheAdvancedClock) {
+  DecisionAuditLog log;
+  log.advance_time(12.5);
+  AuditRecord r;
+  r.cause = AuditCause::kRungDown;
+  r.detail = "device 0 rate 9.10/5.00 tasks/s";
+  log.append(r);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_DOUBLE_EQ(log.records().front().time, 12.5);
+  EXPECT_EQ(std::string(audit_cause_name(log.records().front().cause)),
+            "rung_down");
+}
+
+TEST(AuditLog, EvictsOldestBeyondCapacity) {
+  DecisionAuditLog log(2);
+  for (int i = 0; i < 3; ++i) {
+    log.advance_time(static_cast<double>(i));
+    log.append(AuditRecord{});
+  }
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.dropped(), 1u);
+  EXPECT_DOUBLE_EQ(log.records().front().time, 1.0);
+}
+
+TEST(AuditLog, JsonExportRoundTrips) {
+  DecisionAuditLog log;
+  log.advance_time(3.0);
+  AuditRecord r;
+  r.cause = AuditCause::kThrottleOn;
+  r.detail = "ladder exhausted";
+  r.rung_before = 4;
+  r.rung_after = 4;
+  r.admit_before = 1.0;
+  r.admit_after = 0.6;
+  log.append(r);
+  const Json doc = Json::parse(log.to_json().dump_pretty());
+  ASSERT_EQ(doc.size(), 1u);
+  EXPECT_EQ(doc.at(0).at("cause").as_string(), "throttle_on");
+  EXPECT_DOUBLE_EQ(doc.at(0).at("admit_after").as_number(), 0.6);
+  EXPECT_DOUBLE_EQ(doc.at(0).at("time").as_number(), 3.0);
+}
+
+}  // namespace
+}  // namespace scalpel
