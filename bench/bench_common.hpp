@@ -15,6 +15,7 @@
 #include "core/joint.hpp"
 #include "core/objective.hpp"
 #include "edge/builders.hpp"
+#include "perf/build_info.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
 #include "util/table.hpp"
@@ -26,6 +27,14 @@ inline void banner(const char* id, const char* title) {
   std::printf("==================================================\n");
   std::printf("%s — %s\n", id, title);
   std::printf("==================================================\n");
+  // Benches report measured latencies/timings; a Debug or sanitizer build
+  // distorts them by an order of magnitude. Refuse to let such numbers
+  // pass as results — every table printed below this banner is suspect.
+  if (!perf::timing_trustworthy()) {
+    std::printf("!! UNOPTIMIZED BUILD (Debug or sanitizer) — timing-derived\n"
+                "!! numbers below are NOT measurements; rebuild Release.\n");
+    std::printf("==================================================\n");
+  }
 }
 
 /// Default (moderate) joint optimizer configuration used across benches.

@@ -4,6 +4,8 @@
 #   ./ci.sh full     — same build + the full suite including slow DES tests
 #   ./ci.sh asan     — ASan+UBSan build (halt on first report) + fast tier
 #   ./ci.sh tsan     — ThreadSanitizer build + fast tier (parallel runner)
+#   ./ci.sh perf     — Release build, run bench_simcore, gate ns/event
+#                      against the committed BENCH_simcore.json (>15% fails)
 set -euo pipefail
 
 TIER="${1:-fast}"
@@ -17,10 +19,22 @@ if [[ "$TIER" == "asan" ]]; then
 elif [[ "$TIER" == "tsan" ]]; then
   DEFAULT_DIR=build-tsan
   EXTRA=(-DSCALPEL_SANITIZE=thread)
+elif [[ "$TIER" == "perf" ]]; then
+  # Timing numbers are only comparable to the committed baseline from a
+  # pure-Release build (bench_common/build_info flag Debug and sanitizer
+  # builds as unoptimized, and the gate would skip itself).
+  DEFAULT_DIR=build-perf
+  EXTRA=(-DCMAKE_BUILD_TYPE=Release)
 fi
 BUILD_DIR="${BUILD_DIR:-$DEFAULT_DIR}"
 
-cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR=ON "${EXTRA[@]}"
+# The perf tier measures, it doesn't lint (the fast tier already builds with
+# -Werror); GCC 12's -O3 also trips a known -Wrestrict false positive in
+# libstdc++ string concatenation, so warnings stay non-fatal here.
+WERROR=ON
+[[ "$TIER" == "perf" ]] && WERROR=OFF
+
+cmake -B "$BUILD_DIR" -S . -DSCALPEL_WERROR="$WERROR" "${EXTRA[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
 # Observability smoke: record a traced overload run through the CLI and
@@ -48,8 +62,18 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     trace_smoke
     ;;
+  perf)
+    # Produce a candidate report and gate it against the tracked baseline.
+    # bench_simcore exits 1 when ns/event regresses past --tolerance; the
+    # candidate JSON is left behind for artifact upload / re-baselining.
+    CANDIDATE="${PERF_CANDIDATE:-$BUILD_DIR/BENCH_simcore.candidate.json}"
+    "$BUILD_DIR/bench/bench_simcore" \
+      --json "$CANDIDATE" \
+      --check BENCH_simcore.json \
+      --tolerance "${PERF_TOLERANCE:-0.15}"
+    ;;
   *)
-    echo "usage: $0 [fast|full|asan|tsan]" >&2
+    echo "usage: $0 [fast|full|asan|tsan|perf]" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstdint>
+
+namespace scalpel::perf {
+
+/// Heap-allocation counting for the perf harness. The counting operator
+/// new/delete replacements live in alloc_hook.cpp, which is built as a CMake
+/// OBJECT library (scalpel_alloc_hook) and linked only into binaries that
+/// opt in — replacement operators in a static-archive member would be
+/// silently elided as unreferenced, and unconditionally counting every
+/// allocation in every binary would be wrong anyway.
+///
+/// Binaries without the hook see alloc_hook_linked() == false and report
+/// allocations as unavailable rather than as zero.
+
+/// Total operator-new invocations so far (0 when the hook isn't linked).
+std::uint64_t alloc_count() noexcept;
+
+/// True when the counting operator new/delete are present in this binary.
+bool alloc_hook_linked() noexcept;
+
+/// Called by the hook's static initializer; not for general use.
+void register_alloc_counter(std::uint64_t (*counter)() noexcept) noexcept;
+
+}  // namespace scalpel::perf

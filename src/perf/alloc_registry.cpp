@@ -1,0 +1,29 @@
+// Accessor side of the allocation hook (see alloc_hook.hpp): always linked
+// via scalpel_perf, reads whatever counter the optional OBJECT-library hook
+// registered at startup.
+
+#include "perf/alloc_hook.hpp"
+
+#include <atomic>
+
+namespace scalpel::perf {
+namespace {
+
+std::atomic<std::uint64_t (*)() noexcept> g_counter{nullptr};
+
+}  // namespace
+
+void register_alloc_counter(std::uint64_t (*counter)() noexcept) noexcept {
+  g_counter.store(counter, std::memory_order_release);
+}
+
+bool alloc_hook_linked() noexcept {
+  return g_counter.load(std::memory_order_acquire) != nullptr;
+}
+
+std::uint64_t alloc_count() noexcept {
+  auto* fn = g_counter.load(std::memory_order_acquire);
+  return fn ? fn() : 0;
+}
+
+}  // namespace scalpel::perf

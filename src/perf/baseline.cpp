@@ -1,0 +1,118 @@
+#include "perf/baseline.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "perf/simcore_bench.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel::perf {
+namespace {
+
+double finite_positive(const Json& obj, const std::string& key) {
+  SCALPEL_REQUIRE(obj.contains(key),
+                  "simcore report is missing a required key");
+  const double v = obj.at(key).as_number();
+  SCALPEL_REQUIRE(std::isfinite(v) && v > 0.0,
+                  "simcore report value must be finite and positive");
+  return v;
+}
+
+}  // namespace
+
+void validate_simcore_report(const Json& report) {
+  SCALPEL_REQUIRE(report.is_object(), "simcore report must be an object");
+  SCALPEL_REQUIRE(report.contains("bench") &&
+                      report.at("bench").as_string() == "simcore",
+                  "not a BENCH_simcore report");
+  SCALPEL_REQUIRE(report.contains("schema_version") &&
+                      report.at("schema_version").as_int() ==
+                          kSimcoreSchemaVersion,
+                  "simcore report schema_version mismatch");
+
+  SCALPEL_REQUIRE(report.contains("build"), "report is missing build info");
+  const Json& build = report.at("build");
+  for (const char* key : {"optimized", "sanitized", "unoptimized"}) {
+    SCALPEL_REQUIRE(build.contains(key), "build info is missing a flag");
+    build.at(key).as_bool();  // kind check
+  }
+  SCALPEL_REQUIRE(build.contains("compiler") && build.contains("cpu"),
+                  "build info is missing compiler/cpu strings");
+
+  SCALPEL_REQUIRE(report.contains("workload"),
+                  "report is missing the workload definition");
+  const Json& work = report.at("workload");
+  finite_positive(work, "devices");
+  finite_positive(work, "servers");
+  finite_positive(work, "arrival_rate");
+  finite_positive(work, "horizon_seconds");
+  SCALPEL_REQUIRE(work.contains("sim_seed") && work.contains("cluster_seed"),
+                  "workload is missing its seeds");
+  SCALPEL_REQUIRE(work.contains("event_queue"),
+                  "workload is missing the event-queue choice");
+
+  SCALPEL_REQUIRE(report.contains("results"), "report is missing results");
+  const Json& results = report.at("results");
+  SCALPEL_REQUIRE(results.contains("des") && results.contains("solver"),
+                  "results must cover the DES and the solver");
+  const Json& des = results.at("des");
+  finite_positive(des, "events");
+  finite_positive(des, "best_seconds");
+  finite_positive(des, "events_per_sec");
+  finite_positive(des, "ns_per_event");
+  SCALPEL_REQUIRE(des.contains("alloc_hook") &&
+                      des.contains("allocs_per_event"),
+                  "DES results are missing the allocation figures");
+  if (des.at("alloc_hook").as_bool()) {
+    const double a = des.at("allocs_per_event").as_number();
+    SCALPEL_REQUIRE(std::isfinite(a) && a >= 0.0,
+                    "allocs_per_event must be finite and non-negative");
+  }
+  const Json& solver = results.at("solver");
+  finite_positive(solver, "best_seconds");
+  finite_positive(solver, "us_per_solve");
+}
+
+GateResult check_regression(const Json& baseline, const Json& candidate,
+                            double tolerance) {
+  SCALPEL_REQUIRE(tolerance > 0.0, "gate tolerance must be positive");
+  validate_simcore_report(baseline);
+  validate_simcore_report(candidate);
+
+  GateResult r;
+  if (candidate.at("build").at("unoptimized").as_bool()) {
+    r.passed = true;
+    r.skipped = true;
+    r.message =
+        "SKIPPED: candidate comes from an unoptimized/sanitizer build; "
+        "its timings are meaningless for regression gating";
+    return r;
+  }
+
+  r.baseline_ns_per_event =
+      baseline.at("results").at("des").at("ns_per_event").as_number();
+  r.candidate_ns_per_event =
+      candidate.at("results").at("des").at("ns_per_event").as_number();
+  r.ratio = r.candidate_ns_per_event / r.baseline_ns_per_event;
+  r.passed = r.ratio <= 1.0 + tolerance;
+
+  std::string warn;
+  const std::string& base_cpu =
+      baseline.at("build").at("cpu").as_string();
+  const std::string& cand_cpu =
+      candidate.at("build").at("cpu").as_string();
+  if (base_cpu != cand_cpu) {
+    warn = " [warning: baseline CPU \"" + base_cpu +
+           "\" differs from candidate CPU \"" + cand_cpu +
+           "\"; consider re-baselining]";
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s: ns/event %.1f vs baseline %.1f (%.2fx, tolerance %.2fx)",
+                r.passed ? "PASS" : "FAIL", r.candidate_ns_per_event,
+                r.baseline_ns_per_event, r.ratio, 1.0 + tolerance);
+  r.message = std::string(buf) + warn;
+  return r;
+}
+
+}  // namespace scalpel::perf

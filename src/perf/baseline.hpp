@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace scalpel::perf {
+
+/// Outcome of comparing a candidate BENCH_simcore report to the committed
+/// baseline.
+struct GateResult {
+  bool passed = false;   // candidate within tolerance (or gate skipped)
+  bool skipped = false;  // candidate from an unoptimized/sanitized build
+  double baseline_ns_per_event = 0.0;
+  double candidate_ns_per_event = 0.0;
+  double ratio = 0.0;    // candidate / baseline
+  std::string message;   // one-line human verdict (includes warnings)
+};
+
+/// Throws ContractViolation unless `report` is a structurally valid
+/// BENCH_simcore document: matching schema_version, every required key
+/// present, units/values finite and positive where the metric demands it.
+/// Shared by the schema golden test and the gate, so the committed baseline
+/// can never drift from what the tooling parses.
+void validate_simcore_report(const Json& report);
+
+/// The `ci.sh perf` regression gate: fails when the candidate's ns/event
+/// exceeds the baseline's by more than `tolerance` (0.15 = +15%). A
+/// candidate marked "unoptimized": true is skipped (passed, with a loud
+/// message) — Debug/sanitizer numbers must never update or fail the
+/// scoreboard. A CPU-fingerprint mismatch is surfaced in the message but
+/// does not fail the gate by itself.
+GateResult check_regression(const Json& baseline, const Json& candidate,
+                            double tolerance);
+
+}  // namespace scalpel::perf

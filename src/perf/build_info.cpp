@@ -1,0 +1,60 @@
+#include "perf/build_info.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace scalpel::perf {
+namespace {
+
+bool detect_sanitizer() {
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+BuildInfo build_info() {
+  BuildInfo b;
+#ifdef NDEBUG
+  b.optimized = true;
+#else
+  b.optimized = false;
+#endif
+  b.sanitized = detect_sanitizer();
+#if defined(__clang__)
+  b.compiler = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  b.compiler = std::string("gcc ") + __VERSION__;
+#else
+  b.compiler = "unknown";
+#endif
+  return b;
+}
+
+std::string cpu_fingerprint() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) == 0) {
+      const auto colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t start = colon + 1;
+        while (start < line.size() && line[start] == ' ') ++start;
+        return line.substr(start);
+      }
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace scalpel::perf

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+
+namespace scalpel::perf {
+
+/// Compile-time facts about the running binary that decide whether its
+/// timing numbers are meaningful. Perf reports from unoptimized or
+/// sanitizer-instrumented builds are marked "unoptimized": true and the
+/// regression gate skips them — a Debug build is routinely 10-30x slower
+/// and would either mask real regressions or fail the gate spuriously.
+struct BuildInfo {
+  bool optimized = false;   // NDEBUG was defined (Release/RelWithDebInfo)
+  bool sanitized = false;   // ASan/TSan/UBSan instrumentation present
+  std::string compiler;     // e.g. "g++ 13.2.0"
+};
+
+BuildInfo build_info();
+
+/// True when this build's wall-clock numbers are worth recording.
+inline bool timing_trustworthy() {
+  const BuildInfo b = build_info();
+  return b.optimized && !b.sanitized;
+}
+
+/// Best-effort host CPU model string (from /proc/cpuinfo; "unknown"
+/// elsewhere). Stored in the report so a baseline produced on different
+/// hardware is flagged instead of silently gating against it.
+std::string cpu_fingerprint();
+
+}  // namespace scalpel::perf

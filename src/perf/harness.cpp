@@ -1,0 +1,31 @@
+#include "perf/harness.hpp"
+
+#include <chrono>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace scalpel::perf {
+
+Timing time_best_of(std::size_t reps, std::size_t warmup_reps,
+                    const std::function<void()>& fn) {
+  SCALPEL_REQUIRE(reps > 0, "timing needs at least one rep");
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t r = 0; r < warmup_reps; ++r) fn();
+  Timing t;
+  t.reps = reps;
+  t.best_seconds = std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    fn();
+    const std::chrono::duration<double> elapsed = Clock::now() - start;
+    const double s = elapsed.count();
+    total += s;
+    if (s < t.best_seconds) t.best_seconds = s;
+  }
+  t.mean_seconds = total / static_cast<double>(reps);
+  return t;
+}
+
+}  // namespace scalpel::perf

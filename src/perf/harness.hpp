@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace scalpel::perf {
+
+/// Wall-clock measurement of one repeated workload.
+struct Timing {
+  double best_seconds = 0.0;   // min over reps — the low-noise estimator
+  double mean_seconds = 0.0;
+  std::size_t reps = 0;
+};
+
+/// Runs `fn` `reps` times and reports the minimum (and mean) wall time.
+/// Min-of-reps is the standard noise-rejection estimator for pinned
+/// deterministic workloads: every source of interference (scheduler,
+/// frequency ramps, cache pollution) only ever adds time, so the minimum
+/// is the closest observation to the workload's true cost.
+///
+/// `warmup_reps` untimed executions precede the timed ones (first-touch
+/// page faults, branch-predictor and allocator warmup).
+Timing time_best_of(std::size_t reps, std::size_t warmup_reps,
+                    const std::function<void()>& fn);
+
+}  // namespace scalpel::perf

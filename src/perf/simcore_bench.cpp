@@ -1,0 +1,153 @@
+#include "perf/simcore_bench.hpp"
+
+#include <chrono>
+
+#include "core/joint.hpp"
+#include "edge/builders.hpp"
+#include "perf/alloc_hook.hpp"
+#include "perf/build_info.hpp"
+#include "perf/harness.hpp"
+#include "sim/simulator.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel::perf {
+namespace {
+
+/// Busy-waits for `seconds` inside the timed region (gate self-test only).
+void spin_for(double seconds) {
+  using Clock = std::chrono::steady_clock;
+  const auto until =
+      Clock::now() + std::chrono::duration<double>(seconds);
+  while (Clock::now() < until) {
+  }
+}
+
+Simulator::Options sim_options(const SimcoreBenchConfig& c) {
+  Simulator::Options o;
+  o.horizon = c.horizon;
+  o.warmup = c.warmup;
+  o.seed = c.sim_seed;
+  o.event_queue = c.event_queue;
+  return o;
+}
+
+}  // namespace
+
+Json run_simcore_bench(const SimcoreBenchConfig& config) {
+  SCALPEL_REQUIRE(config.des_reps > 0 && config.solver_reps > 0,
+                  "bench needs at least one rep per section");
+
+  clusters::CampusOptions campus;
+  campus.num_devices = config.devices;
+  campus.num_servers = config.servers;
+  campus.mean_arrival_rate = config.arrival_rate;
+  campus.seed = config.cluster_seed;
+  const ProblemInstance instance(clusters::campus(campus));
+
+  // --- Solver section: the joint optimizer at the bench configuration the
+  // reproduction benches use (bench_common::joint_opts).
+  JointOptions jopts;
+  jopts.max_iterations = 4;
+  jopts.dp_coverage_bins = 60;
+  Decision decision;
+  const Timing solver_t =
+      time_best_of(config.solver_reps, /*warmup_reps=*/1, [&] {
+        decision = JointOptimizer(jopts).optimize(instance);
+      });
+
+  // --- DES section: repeated identical runs; a fixed seed makes every rep
+  // bit-identical, so min-of-reps measures the same work each time.
+  SimMetrics metrics;
+  const Timing des_t = time_best_of(config.des_reps, /*warmup_reps=*/1, [&] {
+    Simulator sim(instance, decision, sim_options(config));
+    metrics = sim.run();
+  });
+  SCALPEL_REQUIRE(metrics.events_processed > 0,
+                  "bench run dispatched zero events");
+  double des_best = des_t.best_seconds;
+  if (config.inject_slowdown > 0.0) {
+    // Honest slowdown: re-time with a busy-wait proportional to the clean
+    // best inside every rep, so the reported number is a real measurement
+    // of a genuinely slower loop.
+    const double clean_best = des_best;
+    const Timing slow_t =
+        time_best_of(config.des_reps, /*warmup_reps=*/0, [&] {
+          Simulator sim(instance, decision, sim_options(config));
+          metrics = sim.run();
+          spin_for(clean_best * config.inject_slowdown);
+        });
+    des_best = slow_t.best_seconds;
+  }
+
+  // --- Allocation section: one extra (untimed) run bracketed by the hook's
+  // counter. Only meaningful when the counting operator new is linked in.
+  double allocs_per_event = -1.0;
+  if (alloc_hook_linked()) {
+    const std::uint64_t before = alloc_count();
+    Simulator sim(instance, decision, sim_options(config));
+    metrics = sim.run();
+    const std::uint64_t after = alloc_count();
+    allocs_per_event = static_cast<double>(after - before) /
+                       static_cast<double>(metrics.events_processed);
+  }
+
+  const double events = static_cast<double>(metrics.events_processed);
+  const BuildInfo build = build_info();
+
+  Json report = Json::object();
+  report.set("bench", Json::string("simcore"));
+  report.set("schema_version",
+             Json::number(static_cast<double>(kSimcoreSchemaVersion)));
+
+  Json jbuild = Json::object();
+  jbuild.set("optimized", Json::boolean(build.optimized));
+  jbuild.set("sanitized", Json::boolean(build.sanitized));
+  // The loud flag the gate keys off: numbers from such a build are not
+  // comparable to a Release baseline.
+  jbuild.set("unoptimized", Json::boolean(!timing_trustworthy()));
+  jbuild.set("compiler", Json::string(build.compiler));
+  jbuild.set("cpu", Json::string(cpu_fingerprint()));
+  report.set("build", std::move(jbuild));
+
+  Json jwork = Json::object();
+  jwork.set("devices", Json::number(static_cast<double>(config.devices)));
+  jwork.set("servers", Json::number(static_cast<double>(config.servers)));
+  jwork.set("arrival_rate", Json::number(config.arrival_rate));
+  jwork.set("horizon_seconds", Json::number(config.horizon));
+  jwork.set("warmup_seconds", Json::number(config.warmup));
+  jwork.set("cluster_seed",
+            Json::number(static_cast<double>(config.cluster_seed)));
+  jwork.set("sim_seed", Json::number(static_cast<double>(config.sim_seed)));
+  jwork.set("event_queue",
+            Json::string(config.event_queue == EventQueueImpl::kCalendar
+                             ? "calendar"
+                             : "binary_heap"));
+  jwork.set("injected_slowdown", Json::number(config.inject_slowdown));
+  report.set("workload", std::move(jwork));
+
+  Json jdes = Json::object();
+  jdes.set("reps", Json::number(static_cast<double>(config.des_reps)));
+  jdes.set("events", Json::number(events));
+  jdes.set("tasks_arrived",
+           Json::number(static_cast<double>(metrics.arrived)));
+  jdes.set("tasks_completed",
+           Json::number(static_cast<double>(metrics.completed)));
+  jdes.set("best_seconds", Json::number(des_best));
+  jdes.set("events_per_sec", Json::number(events / des_best));
+  jdes.set("ns_per_event", Json::number(des_best * 1e9 / events));
+  jdes.set("alloc_hook", Json::boolean(alloc_hook_linked()));
+  jdes.set("allocs_per_event", Json::number(allocs_per_event));
+
+  Json jsolver = Json::object();
+  jsolver.set("reps", Json::number(static_cast<double>(config.solver_reps)));
+  jsolver.set("best_seconds", Json::number(solver_t.best_seconds));
+  jsolver.set("us_per_solve", Json::number(solver_t.best_seconds * 1e6));
+
+  Json jresults = Json::object();
+  jresults.set("des", std::move(jdes));
+  jresults.set("solver", std::move(jsolver));
+  report.set("results", std::move(jresults));
+  return report;
+}
+
+}  // namespace scalpel::perf

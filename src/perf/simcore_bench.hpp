@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/json.hpp"
+
+namespace scalpel::perf {
+
+/// The pinned BENCH_simcore workload: a campus cluster solved once by the
+/// joint optimizer, then simulated repeatedly under the resulting decision.
+/// The defaults ARE the tracked baseline workload — changing any of them
+/// re-defines the scoreboard and requires re-baselining BENCH_simcore.json
+/// (procedure: EXPERIMENTS.md, "P1 simcore perf"). Tests shrink the
+/// workload via these knobs; such reports are comparable only to
+/// themselves.
+struct SimcoreBenchConfig {
+  std::size_t devices = 48;
+  std::size_t servers = 6;
+  double arrival_rate = 4.0;   // per device, tasks/s
+  double horizon = 180.0;      // simulated seconds
+  double warmup = 10.0;
+  std::uint64_t cluster_seed = 7;
+  std::uint64_t sim_seed = 12345;
+  std::size_t des_reps = 6;    // timed DES reps (min taken)
+  std::size_t solver_reps = 3; // timed solver reps (min taken)
+  EventQueueImpl event_queue = EventQueueImpl::kCalendar;
+  /// Artificial slowdown injected into every timed DES rep, as a fraction
+  /// of the rep's own runtime (1.0 = 2x slower). Exists so `ci.sh perf`'s
+  /// gate can be demonstrated to fail; never set in real measurements.
+  double inject_slowdown = 0.0;
+};
+
+/// Current report layout; bump on any key/unit change so the gate can
+/// refuse to compare across layouts.
+constexpr int kSimcoreSchemaVersion = 1;
+
+/// Runs the microbenchmark and returns the BENCH_simcore report (see
+/// EXPERIMENTS.md for the schema). One code path serves the bench binary,
+/// the schema golden test, and the CI gate, so they can never drift apart.
+Json run_simcore_bench(const SimcoreBenchConfig& config);
+
+}  // namespace scalpel::perf

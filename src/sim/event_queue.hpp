@@ -1,0 +1,143 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace scalpel {
+
+/// One scheduled simulator event. POD on purpose: the inner loop moves these
+/// by value, so scheduling never allocates and dispatch never goes through a
+/// type-erased callable (the former std::function<void()> event payload cost
+/// a heap allocation plus an indirect call per event — see BENCH_simcore).
+/// `kind` is an opaque dispatch tag the simulator switches on; `a` and `b`
+/// carry the operands (device / resource slot / task index / epoch).
+struct SimEvent {
+  double time = 0.0;
+  std::uint64_t seq = 0;   // push order; total-order tiebreak at equal times
+  std::uint32_t kind = 0;  // dispatch tag, opaque to the queue
+  std::int32_t a = -1;     // small operand (device id, resource slot, cell)
+  std::uint64_t b = 0;     // wide operand (task index, epoch, segment index)
+};
+
+/// Strict total order on (time, seq): seq is unique per queue, so two events
+/// never compare equal and every queue implementation pops the exact same
+/// sequence — the bit-identical-determinism bar for swapping implementations.
+inline bool sim_event_before(const SimEvent& x, const SimEvent& y) {
+  return x.time != y.time ? x.time < y.time : x.seq < y.seq;
+}
+
+/// Reference implementation: std::priority_queue over (time, seq). Kept as
+/// the differential-test oracle for CalendarEventQueue and selectable via
+/// Simulator::Options::event_queue (test-only; the calendar queue is the
+/// production pick).
+class BinaryHeapEventQueue {
+ public:
+  void push(const SimEvent& ev) { heap_.push(ev); }
+  SimEvent pop_min();
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const SimEvent& x, const SimEvent& y) const {
+      return sim_event_before(y, x);
+    }
+  };
+  std::priority_queue<SimEvent, std::vector<SimEvent>, Later> heap_;
+};
+
+/// Calendar queue (Brown 1988): a ring of time buckets of width `width_`
+/// seconds, scanned in time order. push is O(1); pop scans the current
+/// "day" bucket and, with the resize policy holding mean occupancy near one
+/// event per bucket, is O(1) amortized — versus O(log n) heap sift-downs
+/// with poor locality. Pop order is exactly min (time, seq), so a run is
+/// bit-identical to one driven by BinaryHeapEventQueue (enforced by the
+/// perf-equivalence suite and the fuzz oracle in fuzz_test).
+///
+/// The width is re-estimated at every resize from the sim-time gap between
+/// recently popped events (the rate the event horizon actually advances at),
+/// falling back to spreading the current contents evenly before any pops
+/// have happened. Far-future events (e.g. committed finish times of a
+/// saturated device queue) sit untouched in their buckets until the scan
+/// reaches them; if a whole ring revolution finds nothing due, the queue
+/// jumps straight to the global minimum instead of spinning over empty days.
+class CalendarEventQueue {
+ public:
+  CalendarEventQueue() { init(kMinBuckets, 1.0); }
+
+  void push(const SimEvent& ev);
+  SimEvent pop_min();
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+
+  std::uint64_t day_of(double t) const {
+    return static_cast<std::uint64_t>(t * inv_width_);
+  }
+  void init(std::size_t nbuckets, double width);
+  /// Re-estimates the width and redistributes every event over `nbuckets`.
+  void rebucket(std::size_t nbuckets);
+  /// Finds the global minimum event (sparse-tail fallback and rebucket
+  /// re-anchor); returns bucket and slot of the minimum.
+  void find_global_min(std::size_t* bucket, std::size_t* slot) const;
+  SimEvent take(std::size_t bucket, std::size_t slot);
+
+  std::vector<std::vector<SimEvent>> buckets_;
+  std::size_t mask_ = 0;        // buckets_.size() - 1 (power of two)
+  double width_ = 1.0;          // seconds per bucket
+  double inv_width_ = 1.0;
+  std::uint64_t cur_day_ = 0;   // absolute day the scan pointer is on
+  std::size_t size_ = 0;
+  // Pop-rate stats since the last rebucket, feeding the width estimate.
+  std::uint64_t pops_since_resize_ = 0;
+  double first_pop_time_ = 0.0;
+  double last_pop_time_ = 0.0;
+};
+
+/// Which event-queue implementation a Simulator run uses. kBinaryHeap is
+/// retained for differential testing only — by construction both pop the
+/// identical sequence, and tests/sim/perf_equivalence_test.cpp holds the two
+/// to bit-identical metrics, traces, and conservation counters.
+enum class EventQueueImpl : std::uint8_t { kCalendar = 0, kBinaryHeap = 1 };
+
+/// Facade the simulator schedules through: assigns the monotonically
+/// increasing `seq` tiebreak and forwards to the selected implementation.
+class EventQueue {
+ public:
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kCalendar)
+      : impl_(impl) {}
+
+  void push(double time, std::uint32_t kind, std::int32_t a, std::uint64_t b) {
+    SimEvent ev{time, seq_++, kind, a, b};
+    if (impl_ == EventQueueImpl::kCalendar) {
+      calendar_.push(ev);
+    } else {
+      heap_.push(ev);
+    }
+  }
+  SimEvent pop_min() {
+    return impl_ == EventQueueImpl::kCalendar ? calendar_.pop_min()
+                                              : heap_.pop_min();
+  }
+  bool empty() const {
+    return impl_ == EventQueueImpl::kCalendar ? calendar_.empty()
+                                              : heap_.empty();
+  }
+  std::size_t size() const {
+    return impl_ == EventQueueImpl::kCalendar ? calendar_.size()
+                                              : heap_.size();
+  }
+
+ private:
+  EventQueueImpl impl_;
+  CalendarEventQueue calendar_;
+  BinaryHeapEventQueue heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace scalpel

@@ -40,11 +40,11 @@ void FluidResource::set_capacity(double now, double capacity) {
 }
 
 void FluidResource::add_job(double now, double demand, double weight,
-                            std::function<void(double)> done) {
+                            std::uint64_t tag) {
   SCALPEL_REQUIRE(demand > 0.0, "fluid job demand must be positive");
   SCALPEL_REQUIRE(weight > 0.0, "fluid job weight must be positive");
   advance(now);
-  jobs_.push_back(Job{demand, weight, std::move(done)});
+  jobs_.push_back(Job{demand, weight, tag});
   weight_sum_ += weight;
   ++epoch_;
 }
@@ -59,24 +59,26 @@ double FluidResource::next_completion() const {
   return last_update_ + soonest;
 }
 
-void FluidResource::complete_due(double now) {
+void FluidResource::complete_due(double now, FluidSink& sink) {
   advance(now);
-  // Collect first, then fire: callbacks may add jobs to this resource.
-  std::vector<std::function<void(double)>> fired;
+  // Collect first, then fire: the sink may add jobs to this resource from
+  // inside the callback. due_scratch_ is a member so the steady state
+  // allocates nothing (complete_due never nests on one resource).
+  due_scratch_.clear();
   for (auto it = jobs_.begin(); it != jobs_.end();) {
     // Convert the absolute slack to demand units via this job's rate.
     const double rate = capacity_ * it->weight / weight_sum_;
     if (it->remaining <= kEps * std::max(1.0, rate)) {
-      fired.push_back(std::move(it->done));
+      due_scratch_.push_back(it->tag);
       weight_sum_ -= it->weight;
       it = jobs_.erase(it);
     } else {
       ++it;
     }
   }
-  if (!fired.empty()) ++epoch_;
+  if (!due_scratch_.empty()) ++epoch_;
   if (jobs_.empty()) weight_sum_ = 0.0;  // clear accumulated fp drift
-  for (auto& f : fired) f(now);
+  for (std::uint64_t tag : due_scratch_) sink.fluid_job_done(tag, now);
 }
 
 void FluidResource::clear(double now) {

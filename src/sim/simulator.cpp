@@ -9,28 +9,16 @@
 #include "util/log.hpp"
 
 namespace scalpel {
+namespace {
 
-/// One inference task in flight.
-struct Simulator::Task {
-  std::uint64_t id = 0;  // per-run trace id, assigned at arrival
-  DeviceId device = -1;
-  double arrival = 0.0;
-  double difficulty = 0.0;  // sampled once; re-used by fault re-executions
-  TaskPhases phases;
-  bool counted = false;   // arrived after warmup -> contributes to metrics
-  // Decision parameters captured at arrival (plan swaps must not corrupt
-  // tasks already in flight).
-  ServerId server = -1;
-  double rtt = 0.0;
-  double bw_weight = 0.0;
-  double cpu_weight = 0.0;
-  // Phase timestamps for energy accounting.
-  double device_done = 0.0;
-  double upload_done = 0.0;
-  // Fault bookkeeping.
-  std::size_t retries = 0;  // re-dispatch attempts so far
-  bool faulted = false;     // lost a server/link at least once
-};
+// FluidSink tag layout: stage in the top bit, task index below. Stage 0 is
+// an uplink transfer, stage 1 a server execution.
+constexpr std::uint64_t kServerStageBit = 1ull << 32;
+
+inline std::uint64_t upload_tag(TaskIndex t) { return t; }
+inline std::uint64_t server_tag(TaskIndex t) { return kServerStageBit | t; }
+
+}  // namespace
 
 /// Per-device compiled state: the PlanModel the tasks sample from plus the
 /// decision's resource grants. The upload/server sub-queues keep a device's
@@ -53,18 +41,18 @@ struct Simulator::CompiledDevice {
   // MMPP arrival modulation state (used when options.burst_factor > 0).
   bool burst_high = false;
   double burst_state_until = 0.0;
-  std::deque<std::shared_ptr<Task>> upload_queue;
+  IndexDeque upload_queue;
   bool uploading = false;
-  std::shared_ptr<Task> uploading_task;  // the job occupying the fluid slot
-  std::deque<std::shared_ptr<Task>> server_queue;
+  TaskIndex uploading_task = kNoTask;  // the job occupying the fluid slot
+  IndexDeque server_queue;
   bool serving = false;
-  std::shared_ptr<Task> serving_task;
+  TaskIndex serving_task = kNoTask;
 };
 
 Simulator::Simulator(const ProblemInstance& instance, Decision decision,
                      Options options)
     : instance_(&instance), decision_(std::move(decision)),
-      options_(std::move(options)) {
+      options_(std::move(options)), events_(options_.event_queue) {
   SCALPEL_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
   SCALPEL_REQUIRE(options_.warmup >= 0.0 && options_.warmup < options_.horizon,
                   "warmup must lie inside the horizon");
@@ -105,10 +93,15 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
   for (std::size_t j = 0; j < topo.servers().size(); ++j) {
     servers_.push_back(std::make_unique<FluidResource>(1.0));
   }
+  for (auto& l : cell_links_) fluids_.push_back(l.get());
+  for (auto& s : servers_) fluids_.push_back(s.get());
   server_up_.assign(topo.servers().size(), true);
   link_up_.assign(topo.cells().size(), true);
   apply_decision(decision_);
   metrics_.per_device.resize(topo.devices().size());
+  // Pool warm start: enough slots for every device to have a handful of
+  // tasks in flight before the first growth stalls the inner loop.
+  tasks_.reserve(topo.devices().size() * 8);
 
   // Observability wiring: the tracer ring is preallocated here so record()
   // never allocates, and every registry handle is resolved once (metric
@@ -167,9 +160,10 @@ void Simulator::set_admission(std::vector<double> fraction) {
   admit_fraction_ = std::move(fraction);
 }
 
-void Simulator::schedule(double t, std::function<void()> fn) {
+void Simulator::schedule(double t, EvKind kind, std::int32_t a,
+                         std::uint64_t b) {
   if (t > options_.horizon) return;
-  events_.push(Event{t, event_seq_++, std::move(fn)});
+  events_.push(t, static_cast<std::uint32_t>(kind), a, b);
 }
 
 void Simulator::compile_device(DeviceId dev) {
@@ -243,39 +237,38 @@ double Simulator::burst_multiplier() const {
   return factor;
 }
 
-bool Simulator::deadline_expired(const std::shared_ptr<Task>& task,
+bool Simulator::deadline_expired(TaskIndex task,
                                  double best_case_remaining) const {
   if (options_.overload.policy != OverloadPolicy::ShedExpired) return false;
   const double deadline =
-      instance_->topology().device(task->device).deadline;
+      instance_->topology().device(tasks_.device[task]).deadline;
   if (deadline <= 0.0) return false;  // best effort never expires
-  return now_ + best_case_remaining > task->arrival + deadline + 1e-12;
+  return now_ + best_case_remaining >
+         tasks_.arrival[task] + deadline + 1e-12;
 }
 
-double Simulator::best_case_offload_remaining(
-    const std::shared_ptr<Task>& task) const {
+double Simulator::best_case_offload_remaining(TaskIndex task) const {
   // Most optimistic rest-of-pipeline time: the whole cell uplink to itself,
   // no queueing anywhere, the server at full capacity. Only a task late even
   // under these assumptions is *provably* late.
-  const auto& device = instance_->topology().device(task->device);
+  const auto& device = instance_->topology().device(tasks_.device[task]);
   const double cap =
       cell_links_[static_cast<std::size_t>(device.cell)]->capacity();
   const double upload =
-      cap > 0.0 ? static_cast<double>(task->phases.upload_bytes) / cap : 0.0;
-  return upload + task->rtt + task->phases.server_time;
+      cap > 0.0
+          ? static_cast<double>(tasks_.phases[task].upload_bytes) / cap
+          : 0.0;
+  return upload + tasks_.rtt[task] + tasks_.phases[task].server_time;
 }
 
-bool Simulator::enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
-                                const std::shared_ptr<Task>& task,
-                                std::size_t limit) {
+bool Simulator::enqueue_bounded(IndexDeque& queue, TaskIndex task,
+                                std::size_t limit, bool server_stage) {
   if (limit == 0 || queue.size() < limit) {
     queue.push_back(task);
     return true;
   }
-  const bool server_stage = &queue == &devices_[static_cast<std::size_t>(
-                                          task->device)]->server_queue;
-  auto remaining = [&](const std::shared_ptr<Task>& t) {
-    return server_stage ? t->phases.server_time
+  auto remaining = [&](TaskIndex t) {
+    return server_stage ? tasks_.phases[t].server_time
                         : best_case_offload_remaining(t);
   };
   switch (options_.overload.policy) {
@@ -285,11 +278,11 @@ bool Simulator::enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
       return false;
     case OverloadPolicy::ShedExpired:
       // Prefer sacrificing a task that is already provably late.
-      for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if (deadline_expired(*it, remaining(*it))) {
-          const auto victim = *it;
-          queue.erase(it);
-          shed(victim, now_, true);
+      for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+        const TaskIndex t = queue.at(pos);
+        if (deadline_expired(t, remaining(t))) {
+          queue.erase_at(pos);
+          shed(t, now_, true);
           queue.push_back(task);
           return true;
         }
@@ -299,13 +292,16 @@ bool Simulator::enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
       // Shed the youngest task by arrival time, preserving the work already
       // invested in older ones (retried/resteered tasks reorder queues, so
       // the entrant is not always the youngest).
-      auto youngest = queue.begin();
-      for (auto it = queue.begin(); it != queue.end(); ++it) {
-        if ((*it)->arrival > (*youngest)->arrival) youngest = it;
+      std::size_t youngest = 0;
+      for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+        if (tasks_.arrival[queue.at(pos)] >
+            tasks_.arrival[queue.at(youngest)]) {
+          youngest = pos;
+        }
       }
-      if ((*youngest)->arrival > task->arrival) {
-        const auto victim = *youngest;
-        queue.erase(youngest);
+      if (tasks_.arrival[queue.at(youngest)] > tasks_.arrival[task]) {
+        const TaskIndex victim = queue.at(youngest);
+        queue.erase_at(youngest);
         shed(victim, now_, false);
         queue.push_back(task);
         return true;
@@ -339,25 +335,26 @@ void Simulator::on_arrival(DeviceId dev) {
                           : (1.0 - options_.burst_factor);
   }
   const double next = now_ + rng.exponential(rate);
-  schedule(next, [this, dev] { on_arrival(dev); });
-  auto task = std::make_shared<Task>();
-  task->id = next_task_id_++;
-  task->device = dev;
-  task->arrival = now_;
-  task->counted = now_ >= options_.warmup;
-  task->difficulty = device.difficulty.sample(rng);
-  task->phases = cd.plan->phases_for(task->difficulty);
-  task->server = cd.server;
-  task->rtt = cd.rtt;
-  task->bw_weight = cd.bandwidth;
-  task->cpu_weight = cd.share;
+  schedule(next, EvKind::kArrival, dev);
+  const TaskIndex task = tasks_.acquire();
+  tasks_.id[task] = next_task_id_++;
+  tasks_.device[task] = dev;
+  tasks_.arrival[task] = now_;
+  if (now_ >= options_.warmup) tasks_.flags[task] |= TaskPool::kCounted;
+  tasks_.difficulty[task] = device.difficulty.sample(rng);
+  tasks_.phases[task] = cd.plan->phases_for(tasks_.difficulty[task]);
+  tasks_.server[task] = cd.server;
+  tasks_.rtt[task] = cd.rtt;
+  tasks_.bw_weight[task] = cd.bandwidth;
+  tasks_.cpu_weight[task] = cd.share;
 
   ++metrics_.per_device[i].arrived;
   ctr_arrived_->inc();
   ++arrivals_since_tick_[i];
   settle_in_flight(now_);
   ++in_flight_;
-  tracer_.record(now_, task->id, dev, task->server, TraceEventType::kArrive);
+  tracer_.record(now_, tasks_.id[task], dev, tasks_.server[task],
+                 TraceEventType::kArrive);
 
   // Runtime admission gate: a refused arrival is shed before consuming any
   // device time (its difficulty draw above keeps the RNG streams aligned
@@ -375,8 +372,10 @@ void Simulator::on_arrival(DeviceId dev) {
 
   // Deadline expiry at the door: the device wait is exact and the offload
   // remainder is bounded below, so lateness here is provable (ShedExpired).
-  double best_case = (start - now_) + task->phases.device_time;
-  if (task->phases.offloaded) best_case += best_case_offload_remaining(task);
+  double best_case = (start - now_) + tasks_.phases[task].device_time;
+  if (tasks_.phases[task].offloaded) {
+    best_case += best_case_offload_remaining(task);
+  }
   if (deadline_expired(task, best_case)) {
     shed(task, now_, true);
     return;
@@ -391,41 +390,42 @@ void Simulator::on_arrival(DeviceId dev) {
     return;
   }
   ++cd.device_backlog;
-  tracer_.record(now_, task->id, dev, -1, TraceEventType::kEnqueue,
+  tracer_.record(now_, tasks_.id[task], dev, -1, TraceEventType::kEnqueue,
                  static_cast<std::uint8_t>(TraceStage::kDevice));
   // The device stage schedule is committed here, so the exec-start stamp is
   // known now even though it may lie in the future.
-  tracer_.record(start, task->id, dev, -1, TraceEventType::kExecStart,
+  tracer_.record(start, tasks_.id[task], dev, -1, TraceEventType::kExecStart,
                  static_cast<std::uint8_t>(TraceStage::kDevice));
-  const double finish = start + task->phases.device_time;
+  const double finish = start + tasks_.phases[task].device_time;
   cd.busy_until = finish;
-  schedule(finish, [this, task] { finish_device_phase(task); });
+  schedule(finish, EvKind::kDeviceDone, -1, task);
 }
 
-void Simulator::finish_device_phase(const std::shared_ptr<Task>& task) {
-  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+void Simulator::finish_device_phase(TaskIndex task) {
+  auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   if (cd.device_backlog > 0) --cd.device_backlog;
-  task->device_done = now_;
-  tracer_.record(now_, task->id, task->device, -1, TraceEventType::kExecEnd,
+  tasks_.device_done[task] = now_;
+  tracer_.record(now_, tasks_.id[task], tasks_.device[task], -1,
+                 TraceEventType::kExecEnd,
                  static_cast<std::uint8_t>(TraceStage::kDevice));
-  if (!task->phases.offloaded) {
+  if (!tasks_.phases[task].offloaded) {
     complete(task, now_);
     return;
   }
   start_upload(task);
 }
 
-void Simulator::start_upload(const std::shared_ptr<Task>& task) {
-  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+void Simulator::start_upload(TaskIndex task) {
+  auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   if (deadline_expired(task, best_case_offload_remaining(task))) {
     shed(task, now_, true);
     return;
   }
   if (cd.uploading) {
     if (enqueue_bounded(cd.upload_queue, task,
-                        options_.overload.upload_queue_limit)) {
-      tracer_.record(now_, task->id, task->device, task->server,
-                     TraceEventType::kEnqueue,
+                        options_.overload.upload_queue_limit, false)) {
+      tracer_.record(now_, tasks_.id[task], tasks_.device[task],
+                     tasks_.server[task], TraceEventType::kEnqueue,
                      static_cast<std::uint8_t>(TraceStage::kUpload));
     }
     return;
@@ -440,73 +440,62 @@ void Simulator::advance_upload_queue(DeviceId dev) {
     cd.uploading = false;
     return;
   }
-  auto next = cd.upload_queue.front();
-  cd.upload_queue.pop_front();
-  tracer_.record(now_, next->id, next->device, next->server,
-                 TraceEventType::kDispatch,
+  const TaskIndex next = cd.upload_queue.pop_front();
+  tracer_.record(now_, tasks_.id[next], tasks_.device[next],
+                 tasks_.server[next], TraceEventType::kDispatch,
                  static_cast<std::uint8_t>(TraceStage::kUpload));
   begin_upload_job(next);
 }
 
-void Simulator::begin_upload_job(const std::shared_ptr<Task>& task) {
-  const auto& device = instance_->topology().device(task->device);
+void Simulator::begin_upload_job(TaskIndex task) {
+  const auto& device = instance_->topology().device(tasks_.device[task]);
   const auto cell = static_cast<std::size_t>(device.cell);
   // A dead link or dead target server fails the transfer before it starts.
   if (!link_up_[cell] ||
-      !server_up_[static_cast<std::size_t>(task->server)]) {
-    advance_upload_queue(task->device);
+      !server_up_[static_cast<std::size_t>(tasks_.server[task])]) {
+    advance_upload_queue(tasks_.device[task]);
     handle_fault(task);
     return;
   }
   // A task that queued past its provable deadline is dropped before it
   // occupies the uplink slot (ShedExpired).
   if (deadline_expired(task, best_case_offload_remaining(task))) {
-    advance_upload_queue(task->device);
+    advance_upload_queue(tasks_.device[task]);
     shed(task, now_, true);
     return;
   }
   auto* link = cell_links_[cell].get();
-  auto& owner = *devices_[static_cast<std::size_t>(task->device)];
+  auto& owner = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   owner.uploading_task = task;
-  tracer_.record(now_, task->id, task->device, task->server,
-                 TraceEventType::kUploadStart);
-  link->add_job(now_, static_cast<double>(task->phases.upload_bytes),
-                task->bw_weight, [this, task](double t) {
-                  tracer_.record(t, task->id, task->device, task->server,
-                                 TraceEventType::kUploadEnd);
-                  // Propagation/setup delay after the transfer drains.
-                  schedule(t + task->rtt,
-                           [this, task] { start_server_phase(task); });
-                  // Head-of-line advance for this device's upload stream.
-                  devices_[static_cast<std::size_t>(task->device)]
-                      ->uploading_task.reset();
-                  advance_upload_queue(task->device);
-                });
-  arm_fluid(link);
+  tracer_.record(now_, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task], TraceEventType::kUploadStart);
+  link->add_job(now_, static_cast<double>(tasks_.phases[task].upload_bytes),
+                tasks_.bw_weight[task], upload_tag(task));
+  arm_fluid(cell);
 }
 
-void Simulator::start_server_phase(const std::shared_ptr<Task>& task) {
-  SCALPEL_REQUIRE(task->server >= 0, "offloaded task lost its server");
+void Simulator::start_server_phase(TaskIndex task) {
+  SCALPEL_REQUIRE(tasks_.server[task] >= 0, "offloaded task lost its server");
   // The server may have crashed while the upload or rtt was in progress.
-  if (!server_up_[static_cast<std::size_t>(task->server)]) {
+  if (!server_up_[static_cast<std::size_t>(tasks_.server[task])]) {
     handle_fault(task);
     return;
   }
-  task->upload_done = now_;
-  if (task->phases.server_time <= 0.0) {
+  tasks_.upload_done[task] = now_;
+  if (tasks_.phases[task].server_time <= 0.0) {
     complete(task, now_);
     return;
   }
-  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
-  if (deadline_expired(task, task->phases.server_time)) {
+  auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
+  if (deadline_expired(task, tasks_.phases[task].server_time)) {
     shed(task, now_, true);
     return;
   }
   if (cd.serving) {
     if (enqueue_bounded(cd.server_queue, task,
-                        options_.overload.server_queue_limit)) {
-      tracer_.record(now_, task->id, task->device, task->server,
-                     TraceEventType::kEnqueue,
+                        options_.overload.server_queue_limit, true)) {
+      tracer_.record(now_, tasks_.id[task], tasks_.device[task],
+                     tasks_.server[task], TraceEventType::kEnqueue,
                      static_cast<std::uint8_t>(TraceStage::kServer));
     }
     return;
@@ -521,44 +510,59 @@ void Simulator::advance_server_queue(DeviceId dev) {
     cd.serving = false;
     return;
   }
-  auto next = cd.server_queue.front();
-  cd.server_queue.pop_front();
-  tracer_.record(now_, next->id, next->device, next->server,
-                 TraceEventType::kDispatch,
+  const TaskIndex next = cd.server_queue.pop_front();
+  tracer_.record(now_, tasks_.id[next], tasks_.device[next],
+                 tasks_.server[next], TraceEventType::kDispatch,
                  static_cast<std::uint8_t>(TraceStage::kServer));
   begin_server_job(next);
 }
 
-void Simulator::begin_server_job(const std::shared_ptr<Task>& task) {
-  if (!server_up_[static_cast<std::size_t>(task->server)]) {
-    advance_server_queue(task->device);
+void Simulator::begin_server_job(TaskIndex task) {
+  if (!server_up_[static_cast<std::size_t>(tasks_.server[task])]) {
+    advance_server_queue(tasks_.device[task]);
     handle_fault(task);
     return;
   }
   // Never start server work whose result is provably past the deadline.
-  if (deadline_expired(task, task->phases.server_time)) {
-    advance_server_queue(task->device);
+  if (deadline_expired(task, tasks_.phases[task].server_time)) {
+    advance_server_queue(tasks_.device[task]);
     shed(task, now_, true);
     return;
   }
-  auto* server = servers_[static_cast<std::size_t>(task->server)].get();
-  auto& owner = *devices_[static_cast<std::size_t>(task->device)];
+  const auto srv = static_cast<std::size_t>(tasks_.server[task]);
+  auto* server = servers_[srv].get();
+  auto& owner = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   owner.serving_task = task;
-  tracer_.record(now_, task->id, task->device, task->server,
-                 TraceEventType::kExecStart,
+  tracer_.record(now_, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task], TraceEventType::kExecStart,
                  static_cast<std::uint8_t>(TraceStage::kServer));
-  server->add_job(now_, task->phases.server_time, task->cpu_weight,
-                  [this, task](double t) {
-                    tracer_.record(t, task->id, task->device, task->server,
-                                   TraceEventType::kExecEnd,
-                                   static_cast<std::uint8_t>(
-                                       TraceStage::kServer));
-                    devices_[static_cast<std::size_t>(task->device)]
-                        ->serving_task.reset();
-                    complete(task, t);
-                    advance_server_queue(task->device);
-                  });
-  arm_fluid(server);
+  server->add_job(now_, tasks_.phases[task].server_time,
+                  tasks_.cpu_weight[task], server_tag(task));
+  arm_fluid(cell_links_.size() + srv);
+}
+
+void Simulator::fluid_job_done(std::uint64_t tag, double now) {
+  const TaskIndex task = static_cast<TaskIndex>(tag & 0xffffffffu);
+  if ((tag & kServerStageBit) == 0) {
+    // Uplink transfer drained.
+    tracer_.record(now, tasks_.id[task], tasks_.device[task],
+                   tasks_.server[task], TraceEventType::kUploadEnd);
+    // Propagation/setup delay after the transfer drains.
+    schedule(now + tasks_.rtt[task], EvKind::kServerArrive, -1, task);
+    // Head-of-line advance for this device's upload stream.
+    const DeviceId dev = tasks_.device[task];
+    devices_[static_cast<std::size_t>(dev)]->uploading_task = kNoTask;
+    advance_upload_queue(dev);
+    return;
+  }
+  // Server execution finished.
+  tracer_.record(now, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task], TraceEventType::kExecEnd,
+                 static_cast<std::uint8_t>(TraceStage::kServer));
+  const DeviceId dev = tasks_.device[task];
+  devices_[static_cast<std::size_t>(dev)]->serving_task = kNoTask;
+  complete(task, now);  // releases the pool slot; read fields before this
+  advance_server_queue(dev);
 }
 
 void Simulator::on_fault_event(const FaultEvent& ev) {
@@ -594,21 +598,22 @@ void Simulator::on_server_down(ServerId s) {
   servers_[static_cast<std::size_t>(s)]->clear(now_);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     auto& cd = *devices_[i];
-    std::vector<std::shared_ptr<Task>> victims;
-    for (auto it = cd.server_queue.begin(); it != cd.server_queue.end();) {
-      if ((*it)->server == s) {
-        victims.push_back(*it);
-        it = cd.server_queue.erase(it);
+    std::vector<TaskIndex> victims;
+    for (std::size_t pos = 0; pos < cd.server_queue.size();) {
+      const TaskIndex t = cd.server_queue.at(pos);
+      if (tasks_.server[t] == s) {
+        victims.push_back(t);
+        cd.server_queue.erase_at(pos);
       } else {
-        ++it;
+        ++pos;
       }
     }
-    if (cd.serving_task && cd.serving_task->server == s) {
+    if (cd.serving_task != kNoTask && tasks_.server[cd.serving_task] == s) {
       victims.insert(victims.begin(), cd.serving_task);
-      cd.serving_task.reset();
+      cd.serving_task = kNoTask;
       advance_server_queue(static_cast<DeviceId>(i));
     }
-    for (auto& v : victims) handle_fault(v);
+    for (TaskIndex v : victims) handle_fault(v);
   }
 }
 
@@ -622,20 +627,22 @@ void Simulator::on_link_down(CellId c) {
       continue;
     }
     auto& cd = *devices_[i];
-    std::vector<std::shared_ptr<Task>> victims;
-    if (cd.uploading_task) {
+    std::vector<TaskIndex> victims;
+    if (cd.uploading_task != kNoTask) {
       victims.push_back(cd.uploading_task);
-      cd.uploading_task.reset();
+      cd.uploading_task = kNoTask;
     }
-    for (auto& t : cd.upload_queue) victims.push_back(t);
+    for (std::size_t pos = 0; pos < cd.upload_queue.size(); ++pos) {
+      victims.push_back(cd.upload_queue.at(pos));
+    }
     cd.upload_queue.clear();
     cd.uploading = false;
-    for (auto& v : victims) handle_fault(v);
+    for (TaskIndex v : victims) handle_fault(v);
   }
 }
 
-void Simulator::handle_fault(const std::shared_ptr<Task>& task) {
-  task->faulted = true;
+void Simulator::handle_fault(TaskIndex task) {
+  tasks_.flags[task] |= TaskPool::kFaulted;
   switch (options_.faults.policy) {
     case FaultPolicy::Drop:
       fail(task, now_);
@@ -645,87 +652,98 @@ void Simulator::handle_fault(const std::shared_ptr<Task>& task) {
       return;
     case FaultPolicy::RetryOffload: {
       const auto& f = options_.faults;
-      if (task->retries >= f.max_retries ||
-          now_ + f.retry_backoff - task->arrival > f.retry_timeout) {
+      if (tasks_.retries[task] >= f.max_retries ||
+          now_ + f.retry_backoff - tasks_.arrival[task] > f.retry_timeout) {
         fail(task, now_);
         return;
       }
-      ++task->retries;
+      ++tasks_.retries[task];
       ctr_retry_->inc();
-      if (task->counted) {
-        ++metrics_.per_device[static_cast<std::size_t>(task->device)].retries;
+      if (tasks_.counted(task)) {
+        ++metrics_.per_device[static_cast<std::size_t>(tasks_.device[task])]
+              .retries;
       }
-      tracer_.record(now_, task->id, task->device, task->server,
-                     TraceEventType::kRetry,
+      tracer_.record(now_, tasks_.id[task], tasks_.device[task],
+                     tasks_.server[task], TraceEventType::kRetry,
                      static_cast<std::uint8_t>(
-                         std::min<std::size_t>(task->retries, 255)));
-      schedule(now_ + f.retry_backoff, [this, task] { redispatch(task); });
+                         std::min<std::size_t>(tasks_.retries[task], 255)));
+      schedule(now_ + f.retry_backoff, EvKind::kRedispatch, -1, task);
       return;
     }
   }
 }
 
-void Simulator::resteer_local(const std::shared_ptr<Task>& task) {
-  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
+void Simulator::resteer_local(TaskIndex task) {
+  auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   // Re-execute the whole task on the device under the device-only variant of
   // its plan (the partial server-side work is lost with the server).
   PlanModel* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
-  task->phases = fb->phases_for(task->difficulty);
-  task->server = -1;
-  task->rtt = 0.0;
-  task->bw_weight = 0.0;
-  task->cpu_weight = 0.0;
+  tasks_.phases[task] = fb->phases_for(tasks_.difficulty[task]);
+  tasks_.server[task] = -1;
+  tasks_.rtt[task] = 0.0;
+  tasks_.bw_weight[task] = 0.0;
+  tasks_.cpu_weight[task] = 0.0;
   const double start = std::max(now_, cd.busy_until);
-  if (deadline_expired(task, (start - now_) + task->phases.device_time)) {
+  if (deadline_expired(task,
+                       (start - now_) + tasks_.phases[task].device_time)) {
     shed(task, now_, true);
     return;
   }
   ctr_resteer_->inc();
-  if (task->counted) {
-    ++metrics_.per_device[static_cast<std::size_t>(task->device)].resteered;
+  if (tasks_.counted(task)) {
+    ++metrics_.per_device[static_cast<std::size_t>(tasks_.device[task])]
+          .resteered;
   }
-  tracer_.record(now_, task->id, task->device, -1, TraceEventType::kResteer);
+  tracer_.record(now_, tasks_.id[task], tasks_.device[task], -1,
+                 TraceEventType::kResteer);
   ++cd.device_backlog;
-  cd.busy_until = start + task->phases.device_time;
-  tracer_.record(start, task->id, task->device, -1, TraceEventType::kExecStart,
+  cd.busy_until = start + tasks_.phases[task].device_time;
+  tracer_.record(start, tasks_.id[task], tasks_.device[task], -1,
+                 TraceEventType::kExecStart,
                  static_cast<std::uint8_t>(TraceStage::kDevice));
-  schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
+  schedule(cd.busy_until, EvKind::kDeviceDone, -1, task);
 }
 
-void Simulator::redispatch(const std::shared_ptr<Task>& task) {
+void Simulator::redispatch(TaskIndex task) {
   // Re-enter the pipeline end-to-end under the device's *current* plan — by
   // now an online controller may have re-solved around the failure. If the
   // plan no longer offloads, this degenerates to a device re-execution.
-  auto& cd = *devices_[static_cast<std::size_t>(task->device)];
-  task->phases = cd.plan->phases_for(task->difficulty);
-  task->server = cd.server;
-  task->rtt = cd.rtt;
-  task->bw_weight = cd.bandwidth;
-  task->cpu_weight = cd.share;
+  auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
+  tasks_.phases[task] = cd.plan->phases_for(tasks_.difficulty[task]);
+  tasks_.server[task] = cd.server;
+  tasks_.rtt[task] = cd.rtt;
+  tasks_.bw_weight[task] = cd.bandwidth;
+  tasks_.cpu_weight[task] = cd.share;
   const double start = std::max(now_, cd.busy_until);
-  double best_case = (start - now_) + task->phases.device_time;
-  if (task->phases.offloaded) best_case += best_case_offload_remaining(task);
+  double best_case = (start - now_) + tasks_.phases[task].device_time;
+  if (tasks_.phases[task].offloaded) {
+    best_case += best_case_offload_remaining(task);
+  }
   if (deadline_expired(task, best_case)) {
     shed(task, now_, true);
     return;
   }
   ++cd.device_backlog;
-  cd.busy_until = start + task->phases.device_time;
-  tracer_.record(start, task->id, task->device, -1, TraceEventType::kExecStart,
+  cd.busy_until = start + tasks_.phases[task].device_time;
+  tracer_.record(start, tasks_.id[task], tasks_.device[task], -1,
+                 TraceEventType::kExecStart,
                  static_cast<std::uint8_t>(TraceStage::kDevice));
-  schedule(cd.busy_until, [this, task] { finish_device_phase(task); });
+  schedule(cd.busy_until, EvKind::kDeviceDone, -1, task);
 }
 
-void Simulator::shed(const std::shared_ptr<Task>& task, double now,
-                     bool expired) {
+void Simulator::shed(TaskIndex task, double now, bool expired) {
   settle_in_flight(now);
   --in_flight_;
   (expired ? ctr_expired_ : ctr_shed_)->inc();
   ++window_shed_;
-  tracer_.record(now, task->id, task->device, task->server,
+  tracer_.record(now, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task],
                  expired ? TraceEventType::kExpire : TraceEventType::kShed);
-  if (!task->counted) return;
-  auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
+  if (!tasks_.counted(task)) {
+    tasks_.release(task);
+    return;
+  }
+  auto& dm = metrics_.per_device[static_cast<std::size_t>(tasks_.device[task])];
   if (expired) {
     ++dm.expired;
   } else {
@@ -733,62 +751,74 @@ void Simulator::shed(const std::shared_ptr<Task>& task, double now,
   }
   // A shed deadline-bearing task is a miss — overload protection must never
   // look better than the overload it protects against.
-  const auto& device = instance_->topology().device(task->device);
+  const auto& device = instance_->topology().device(tasks_.device[task]);
   if (device.deadline > 0.0) ++dm.deadline_total;
+  tasks_.release(task);
 }
 
-void Simulator::fail(const std::shared_ptr<Task>& task, double now) {
+void Simulator::fail(TaskIndex task, double now) {
   settle_in_flight(now);
   --in_flight_;
   ctr_failed_->inc();
-  tracer_.record(now, task->id, task->device, task->server,
-                 TraceEventType::kFail);
-  if (!task->counted) return;
-  auto& dm = metrics_.per_device[static_cast<std::size_t>(task->device)];
+  tracer_.record(now, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task], TraceEventType::kFail);
+  if (!tasks_.counted(task)) {
+    tasks_.release(task);
+    return;
+  }
+  auto& dm = metrics_.per_device[static_cast<std::size_t>(tasks_.device[task])];
   ++dm.failed;
   // A dropped deadline-bearing task is a miss, not a statistical no-show —
   // otherwise shedding load would inflate deadline satisfaction.
-  const auto& device = instance_->topology().device(task->device);
+  const auto& device = instance_->topology().device(tasks_.device[task]);
   if (device.deadline > 0.0) ++dm.deadline_total;
+  tasks_.release(task);
 }
 
-void Simulator::complete(const std::shared_ptr<Task>& task, double now) {
+void Simulator::complete(TaskIndex task, double now) {
   settle_in_flight(now);
   --in_flight_;
   ++window_completions_;
-  window_accuracy_sum_ += task->phases.correct_prob;
+  window_accuracy_sum_ += tasks_.phases[task].correct_prob;
   ctr_completed_->inc();
-  tracer_.record(now, task->id, task->device, task->server,
-                 TraceEventType::kComplete);
-  if (!task->counted) return;
-  const auto i = static_cast<std::size_t>(task->device);
+  tracer_.record(now, tasks_.id[task], tasks_.device[task],
+                 tasks_.server[task], TraceEventType::kComplete);
+  if (!tasks_.counted(task)) {
+    tasks_.release(task);
+    return;
+  }
+  const auto i = static_cast<std::size_t>(tasks_.device[task]);
   auto& dm = metrics_.per_device[i];
-  const double latency = now - task->arrival;
+  const double latency = now - tasks_.arrival[task];
   dm.latency.add(latency);
   hist_latency_->add(latency);
   ++dm.completed;
-  if (task->faulted || any_outage()) metrics_.outage_latency.add(latency);
-  const auto& device = instance_->topology().device(task->device);
+  if (tasks_.faulted(task) || any_outage()) {
+    metrics_.outage_latency.add(latency);
+  }
+  const auto& device = instance_->topology().device(tasks_.device[task]);
   if (device.deadline > 0.0) {
     ++dm.deadline_total;
     if (latency <= device.deadline) ++dm.deadline_met;
   }
-  dm.accuracy_sum += task->phases.correct_prob;
+  const TaskPhases& phases = tasks_.phases[task];
+  dm.accuracy_sum += phases.correct_prob;
   // Device-side energy: active while computing, transmitting while the
   // upload drains, idling while the server works.
   const double upload_dur =
-      task->phases.offloaded ? task->upload_done - task->device_done : 0.0;
+      phases.offloaded ? tasks_.upload_done[task] - tasks_.device_done[task]
+                       : 0.0;
   const double idle_dur =
-      task->phases.offloaded ? now - task->upload_done : 0.0;
-  dm.energy_sum += device.energy.task_energy(task->phases.device_time,
-                                             upload_dur, idle_dur);
-  if (task->phases.offloaded) ++dm.offloaded;
+      phases.offloaded ? now - tasks_.upload_done[task] : 0.0;
+  dm.energy_sum += device.energy.task_energy(phases.device_time, upload_dur,
+                                             idle_dur);
+  if (phases.offloaded) ++dm.offloaded;
   const std::size_t slot =
-      task->phases.exit_index < 0
-          ? 0
-          : static_cast<std::size_t>(task->phases.exit_index) + 1;
+      phases.exit_index < 0 ? 0
+                            : static_cast<std::size_t>(phases.exit_index) + 1;
   if (dm.exit_histogram.size() <= slot) dm.exit_histogram.resize(slot + 1, 0);
   ++dm.exit_histogram[slot];
+  tasks_.release(task);
 }
 
 void Simulator::series_tick() {
@@ -808,7 +838,7 @@ void Simulator::series_tick() {
   window_completions_ = 0;
   window_accuracy_sum_ = 0.0;
   window_shed_ = 0;
-  schedule(now_ + options_.series_window, [this] { series_tick(); });
+  schedule(now_ + options_.series_window, EvKind::kSeries);
 }
 
 void Simulator::controller_tick() {
@@ -826,28 +856,69 @@ void Simulator::controller_tick() {
     const auto& cd = *devices_[i];
     qdepth[i] = static_cast<double>(
         cd.device_backlog + cd.upload_queue.size() +
-        (cd.uploading_task ? 1 : 0) + cd.server_queue.size() +
-        (cd.serving_task ? 1 : 0));
+        (cd.uploading_task != kNoTask ? 1 : 0) + cd.server_queue.size() +
+        (cd.serving_task != kNoTask ? 1 : 0));
   }
   ControlAction action = controller_(now_, bw, server_up_, offered, qdepth);
   if (action.decision) apply_decision(*action.decision);
   if (action.admit_fraction) set_admission(*action.admit_fraction);
   arrivals_since_tick_.assign(devices_.size(), 0);
   last_controller_tick_ = now_;
-  schedule(now_ + options_.control_interval, [this] { controller_tick(); });
+  schedule(now_ + options_.control_interval, EvKind::kController);
 }
 
-void Simulator::arm_fluid(FluidResource* resource) {
+void Simulator::arm_fluid(std::size_t slot) {
+  FluidResource* resource = fluids_[slot];
   const double t = resource->next_completion();
   if (!std::isfinite(t)) return;
-  const auto epoch = resource->epoch();
   // Fluid completions may land beyond the horizon; in-flight tasks are
   // simply abandoned there.
-  schedule(std::max(t, now_), [this, resource, epoch] {
-    if (resource->epoch() != epoch) return;  // stale wake-up
-    resource->complete_due(now_);
-    arm_fluid(resource);
-  });
+  schedule(std::max(t, now_), EvKind::kFluidWake,
+           static_cast<std::int32_t>(slot), resource->epoch());
+}
+
+void Simulator::dispatch(const SimEvent& ev) {
+  switch (static_cast<EvKind>(ev.kind)) {
+    case EvKind::kArrival:
+      on_arrival(static_cast<DeviceId>(ev.a));
+      return;
+    case EvKind::kDeviceDone:
+      finish_device_phase(static_cast<TaskIndex>(ev.b));
+      return;
+    case EvKind::kServerArrive:
+      start_server_phase(static_cast<TaskIndex>(ev.b));
+      return;
+    case EvKind::kRedispatch:
+      redispatch(static_cast<TaskIndex>(ev.b));
+      return;
+    case EvKind::kFluidWake: {
+      const std::size_t slot = static_cast<std::size_t>(ev.a);
+      FluidResource* resource = fluids_[slot];
+      if (resource->epoch() != ev.b) return;  // stale wake-up
+      resource->complete_due(now_, *this);
+      arm_fluid(slot);
+      return;
+    }
+    case EvKind::kFaultEvent:
+      on_fault_event(
+          options_.faults.schedule.events()[static_cast<std::size_t>(ev.b)]);
+      return;
+    case EvKind::kController:
+      controller_tick();
+      return;
+    case EvKind::kSeries:
+      series_tick();
+      return;
+    case EvKind::kBandwidth: {
+      const auto c = static_cast<std::size_t>(ev.a);
+      const auto& seg =
+          traces_[c]->segments()[static_cast<std::size_t>(ev.b)];
+      cell_links_[c]->set_capacity(now_, seg.bandwidth);
+      arm_fluid(c);
+      return;
+    }
+  }
+  SCALPEL_REQUIRE(false, "unknown simulator event kind");
 }
 
 SimMetrics Simulator::run() {
@@ -855,50 +926,49 @@ SimMetrics Simulator::run() {
 
   // Fault-schedule transitions are scheduled first so a crash at time t
   // precedes any arrival at the same timestamp.
-  for (const auto& ev : options_.faults.schedule.events()) {
-    schedule(ev.time, [this, ev] { on_fault_event(ev); });
+  const auto& fault_events = options_.faults.schedule.events();
+  for (std::size_t f = 0; f < fault_events.size(); ++f) {
+    schedule(fault_events[f].time, EvKind::kFaultEvent, -1, f);
   }
   // Seed arrivals.
   for (std::size_t i = 0; i < topo.devices().size(); ++i) {
     const auto dev = static_cast<DeviceId>(i);
     const double first =
         rngs_[i]->exponential(topo.device(dev).arrival_rate);
-    schedule(first, [this, dev] { on_arrival(dev); });
+    schedule(first, EvKind::kArrival, dev);
   }
   // Bandwidth trace change-points.
   for (std::size_t c = 0; c < traces_.size(); ++c) {
     if (!traces_[c]) continue;
     auto* link = cell_links_[c].get();
-    for (const auto& seg : traces_[c]->segments()) {
-      if (seg.start <= 0.0) {
-        link->set_capacity(0.0, seg.bandwidth);
+    const auto& segs = traces_[c]->segments();
+    for (std::size_t s = 0; s < segs.size(); ++s) {
+      if (segs[s].start <= 0.0) {
+        link->set_capacity(0.0, segs[s].bandwidth);
         continue;
       }
-      const double bw = seg.bandwidth;
-      schedule(seg.start, [this, link, bw] {
-        link->set_capacity(now_, bw);
-        arm_fluid(link);
-      });
+      schedule(segs[s].start, EvKind::kBandwidth,
+               static_cast<std::int32_t>(c), s);
     }
   }
   // Controller ticks.
   if (controller_) {
-    schedule(options_.control_interval, [this] { controller_tick(); });
+    schedule(options_.control_interval, EvKind::kController);
   }
   // Time-series sampling.
   if (options_.series_window > 0.0) {
     metrics_.series.window = options_.series_window;
-    schedule(options_.series_window, [this] { series_tick(); });
+    schedule(options_.series_window, EvKind::kSeries);
   }
 
   while (!events_.empty()) {
-    Event ev = events_.top();
-    events_.pop();
+    const SimEvent ev = events_.pop_min();
     SCALPEL_REQUIRE(ev.time >= now_ - 1e-9, "event time went backwards");
     now_ = std::max(now_, ev.time);
     if (now_ > options_.horizon) break;
     set_log_sim_time(now_);  // log lines carry the event-loop clock
-    ev.fn();
+    ++events_processed_;
+    dispatch(ev);
   }
   clear_log_sim_time();
 
@@ -906,6 +976,7 @@ SimMetrics Simulator::run() {
   // registry counters — the registry is the single source of truth for
   // event counts; SimMetrics is the reporting view.
   metrics_.horizon = options_.horizon;
+  metrics_.events_processed = events_processed_;
   metrics_.completed_all = ctr_completed_->value();
   metrics_.failed_all = ctr_failed_->value();
   metrics_.shed_all = ctr_shed_->value() + ctr_expired_->value();
@@ -962,6 +1033,13 @@ SimMetrics Simulator::run() {
       .set(static_cast<double>(metrics_.in_flight_end));
   registry_.gauge("sim.availability").set(metrics_.availability);
   registry_.gauge("sim.horizon_seconds").set(options_.horizon);
+  registry_.gauge("sim.events_processed")
+      .set(static_cast<double>(metrics_.events_processed));
+  // Pool-discipline check: the conservation identity below equates arrivals
+  // with terminal events; live() catching in_flight_end proves no task slot
+  // leaked or double-released either.
+  SCALPEL_REQUIRE(tasks_.live() == metrics_.in_flight_end,
+                  "task pool live count diverged from in-flight accounting");
   // Whole-run conservation: every arrival is accounted for exactly once.
   SCALPEL_REQUIRE(metrics_.arrived == metrics_.completed_all +
                                           metrics_.failed_all +

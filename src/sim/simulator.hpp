@@ -1,11 +1,8 @@
 #pragma once
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <queue>
 #include <vector>
 
 #include "core/decision.hpp"
@@ -13,7 +10,9 @@
 #include "edge/dynamics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/fluid.hpp"
+#include "sim/task_pool.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 
@@ -85,6 +84,12 @@ struct SimMetrics {
   std::size_t failed_all = 0;
   std::size_t shed_all = 0;
   std::size_t in_flight_end = 0;
+  /// Discrete events dispatched by the run's inner loop (arrivals, phase
+  /// completions, fluid wake-ups, controller/series ticks, ...). The
+  /// denominator of the ns/event and allocations/event figures BENCH_simcore
+  /// tracks; identical across event-queue implementations and thread counts
+  /// for a fixed seed.
+  std::size_t events_processed = 0;
 };
 
 /// What to do with a task in flight on a crashed server or severed link.
@@ -153,7 +158,15 @@ struct ControlAction {
 /// Validates the analytical objective (M/M/1-style predictions) and exposes
 /// effects the closed form cannot (work-conserving spare capacity, transient
 /// overload, bandwidth dynamics).
-class Simulator {
+///
+/// The inner loop is engineered for throughput (scoreboard: BENCH_simcore):
+/// events are POD records dispatched through one switch (no std::function on
+/// the per-event path — only the per-tick controller callback stays type-
+/// erased), the default event queue is a calendar queue, and task records
+/// live in a recycled structure-of-arrays pool (TaskPool). Determinism bar:
+/// for a fixed seed, aggregates and traces are bit-identical for any thread
+/// count and for either event-queue implementation.
+class Simulator : private FluidSink {
  public:
   struct Options {
     double horizon = 60.0;      // simulated seconds
@@ -181,6 +194,11 @@ class Simulator {
     /// from the expected event volume — roughly 8-10 events per offloaded
     /// task — or accept oldest-first overwrites (trace().dropped()).
     std::size_t trace_capacity = 0;
+    /// Event-queue implementation. kBinaryHeap is the pre-calendar reference
+    /// kept for differential testing; both pop the identical (time, seq)
+    /// sequence, so runs are bit-identical either way (enforced by
+    /// tests/sim/perf_equivalence_test.cpp).
+    EventQueueImpl event_queue = EventQueueImpl::kCalendar;
   };
 
   using Controller = std::function<std::optional<Decision>(
@@ -228,32 +246,48 @@ class Simulator {
   const MetricsRegistry& registry() const { return registry_; }
 
  private:
-  struct Task;
   struct CompiledDevice;
 
-  void schedule(double t, std::function<void()> fn);
+  /// Dispatch tags of the POD event records (SimEvent::kind).
+  enum class EvKind : std::uint32_t {
+    kArrival,      // a = device
+    kDeviceDone,   // b = task index
+    kServerArrive, // b = task index (upload drained + RTT elapsed)
+    kRedispatch,   // b = task index (fault-policy retry backoff elapsed)
+    kFluidWake,    // a = fluid slot (cells, then servers), b = armed epoch
+    kFaultEvent,   // b = index into the fault schedule's event list
+    kController,
+    kSeries,
+    kBandwidth,    // a = cell, b = segment index of its trace
+  };
+
+  void schedule(double t, EvKind kind, std::int32_t a = -1,
+                std::uint64_t b = 0);
+  void dispatch(const SimEvent& ev);
+  // FluidSink: tag encodes (stage, task) — see tag helpers in simulator.cpp.
+  void fluid_job_done(std::uint64_t tag, double now) override;
   void on_arrival(DeviceId dev);
-  void finish_device_phase(const std::shared_ptr<Task>& task);
-  void start_upload(const std::shared_ptr<Task>& task);
-  void begin_upload_job(const std::shared_ptr<Task>& task);
+  void finish_device_phase(TaskIndex task);
+  void start_upload(TaskIndex task);
+  void begin_upload_job(TaskIndex task);
   void advance_upload_queue(DeviceId dev);
-  void start_server_phase(const std::shared_ptr<Task>& task);
-  void begin_server_job(const std::shared_ptr<Task>& task);
+  void start_server_phase(TaskIndex task);
+  void begin_server_job(TaskIndex task);
   void advance_server_queue(DeviceId dev);
-  void complete(const std::shared_ptr<Task>& task, double now);
-  void fail(const std::shared_ptr<Task>& task, double now);
+  void complete(TaskIndex task, double now);
+  void fail(TaskIndex task, double now);
   // Overload control.
-  void shed(const std::shared_ptr<Task>& task, double now, bool expired);
+  void shed(TaskIndex task, double now, bool expired);
   void settle_in_flight(double now);
-  bool deadline_expired(const std::shared_ptr<Task>& task,
-                        double best_case_remaining) const;
-  double best_case_offload_remaining(const std::shared_ptr<Task>& task) const;
+  bool deadline_expired(TaskIndex task, double best_case_remaining) const;
+  double best_case_offload_remaining(TaskIndex task) const;
   /// Admit `task` into `queue` honoring `limit` under the overload policy.
-  /// Returns false when the entrant itself was shed.
-  bool enqueue_bounded(std::deque<std::shared_ptr<Task>>& queue,
-                       const std::shared_ptr<Task>& task, std::size_t limit);
+  /// Returns false when the entrant itself was shed. `server_stage` selects
+  /// the best-case-remaining estimate used for expiry decisions.
+  bool enqueue_bounded(IndexDeque& queue, TaskIndex task, std::size_t limit,
+                       bool server_stage);
   double burst_multiplier() const;
-  void arm_fluid(FluidResource* resource);
+  void arm_fluid(std::size_t slot);
   void apply_decision(const Decision& decision);
   void compile_device(DeviceId dev);
   void controller_tick();
@@ -262,29 +296,23 @@ class Simulator {
   void on_fault_event(const FaultEvent& ev);
   void on_server_down(ServerId s);
   void on_link_down(CellId c);
-  void handle_fault(const std::shared_ptr<Task>& task);
-  void resteer_local(const std::shared_ptr<Task>& task);
-  void redispatch(const std::shared_ptr<Task>& task);
+  void handle_fault(TaskIndex task);
+  void resteer_local(TaskIndex task);
+  void redispatch(TaskIndex task);
   bool any_outage() const { return down_servers_ > 0 || down_links_ > 0; }
 
   const ProblemInstance* instance_;
   Decision decision_;
   Options options_;
 
-  struct Event {
-    double time;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    bool operator>(const Event& other) const {
-      return time != other.time ? time > other.time : seq > other.seq;
-    }
-  };
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
-  std::uint64_t event_seq_ = 0;
+  EventQueue events_;
   double now_ = 0.0;
+  std::size_t events_processed_ = 0;
 
   std::vector<std::unique_ptr<FluidResource>> cell_links_;
   std::vector<std::unique_ptr<FluidResource>> servers_;
+  /// Flat wake-up view: slots [0, #cells) are the cell links, then servers.
+  std::vector<FluidResource*> fluids_;
   std::vector<std::optional<BandwidthTrace>> traces_;
   RichController controller_;
   /// Per-device admission probability (empty = admit everything).
@@ -294,6 +322,8 @@ class Simulator {
   double last_controller_tick_ = 0.0;
 
   std::vector<std::unique_ptr<CompiledDevice>> devices_;
+  /// Recycled structure-of-arrays records of every task in flight.
+  TaskPool tasks_;
   // Liveness state driven by the fault schedule (everything starts up).
   std::vector<bool> server_up_;
   std::vector<bool> link_up_;

@@ -1,0 +1,175 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace scalpel {
+namespace {
+
+std::vector<SimEvent> drain(EventQueue& q) {
+  std::vector<SimEvent> out;
+  while (!q.empty()) out.push_back(q.pop_min());
+  return out;
+}
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  EventQueue q(EventQueueImpl::kCalendar);
+  Rng rng(42);
+  std::vector<double> times;
+  for (int i = 0; i < 500; ++i) {
+    const double t = 100.0 * rng.uniform();
+    times.push_back(t);
+    q.push(t, 0, i, 0);
+  }
+  std::sort(times.begin(), times.end());
+  const auto popped = drain(q);
+  ASSERT_EQ(popped.size(), times.size());
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].time, times[i]);
+    if (i > 0) {
+      EXPECT_TRUE(sim_event_before(popped[i - 1], popped[i]));
+    }
+  }
+}
+
+TEST(CalendarQueue, EqualTimesPopInPushOrder) {
+  // The seq tiebreak makes (time, seq) a strict total order: ties resolve
+  // to push order, exactly like the reference heap.
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int i = 0; i < 100; ++i) q.push(1.5, 0, i, 0);
+  const auto popped = drain(q);
+  ASSERT_EQ(popped.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(popped[static_cast<std::size_t>(i)].a, i);
+}
+
+TEST(CalendarQueue, GrowsAndShrinksWithLoad) {
+  EventQueue q(EventQueueImpl::kCalendar);
+  Rng rng(7);
+  // Interleave pushes with pops so the width estimator sees real pop gaps.
+  double now = 0.0;
+  std::size_t pushed = 0;
+  for (int i = 0; i < 5000; ++i) {
+    q.push(now + rng.exponential(1.0), 0, i, 0);
+    ++pushed;
+    if (i % 3 == 0 && !q.empty()) {
+      now = q.pop_min().time;
+      --pushed;
+    }
+  }
+  EXPECT_EQ(q.size(), pushed);
+  double last = 0.0;
+  while (!q.empty()) {
+    const SimEvent ev = q.pop_min();
+    EXPECT_GE(ev.time, last);
+    last = ev.time;
+  }
+}
+
+TEST(CalendarQueue, SparseFarFutureEventsAreFound) {
+  // A near cluster plus events days beyond the ring's span: after the near
+  // ones drain, the global-min fallback must land on the far ones instead
+  // of spinning over empty buckets.
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int i = 0; i < 64; ++i) q.push(0.001 * i, 0, i, 0);
+  q.push(1e6, 0, -2, 0);
+  q.push(2e6, 0, -3, 0);
+  const auto popped = drain(q);
+  ASSERT_EQ(popped.size(), 66u);
+  EXPECT_EQ(popped[64].a, -2);
+  EXPECT_EQ(popped[65].a, -3);
+}
+
+TEST(CalendarQueue, PushBehindScanPointerStillPops) {
+  // The simulator may schedule an event at (or barely after) the time of
+  // the event being dispatched — a day the scan pointer already passed if
+  // widths shrank. The queue must rewind rather than lose it.
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int i = 0; i < 256; ++i) {
+    q.push(10.0 + 0.1 * i, 0, i, 0);
+  }
+  // Drain half (advances cur_day_ deep into the ring), then push earlier.
+  for (int i = 0; i < 128; ++i) (void)q.pop_min();
+  q.push(10.0 + 0.1 * 127, 0, -5, 0);  // behind the scan pointer
+  const SimEvent next = q.pop_min();
+  EXPECT_EQ(next.a, -5);
+}
+
+TEST(CalendarQueue, AllEventsAtOneInstant) {
+  // Zero pop-time spread drives the width estimate to its clamp; ordering
+  // must survive.
+  EventQueue q(EventQueueImpl::kCalendar);
+  for (int i = 0; i < 300; ++i) q.push(7.25, 0, i, 0);
+  const auto popped = drain(q);
+  ASSERT_EQ(popped.size(), 300u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_EQ(popped[static_cast<std::size_t>(i)].a, i);
+  }
+}
+
+TEST(CalendarQueue, RejectsNonFiniteAndNegativeTimes) {
+  EventQueue q(EventQueueImpl::kCalendar);
+  EXPECT_THROW(q.push(-1.0, 0, 0, 0), ContractViolation);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::quiet_NaN(), 0, 0, 0),
+               ContractViolation);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), 0, 0, 0),
+               ContractViolation);
+}
+
+TEST(EventQueue, CalendarMatchesHeapOracleOnRandomStreams) {
+  // Property check: identical interleaved push/pop streams through both
+  // implementations produce identical pop sequences (time, seq, payload).
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    EventQueue cal(EventQueueImpl::kCalendar);
+    EventQueue heap(EventQueueImpl::kBinaryHeap);
+    Rng rng(seed);
+    double now = 0.0;
+    for (int step = 0; step < 4000; ++step) {
+      const double u = rng.uniform();
+      if (u < 0.55 || cal.empty()) {
+        // Mix of near-future, same-instant and far-future pushes, on a few
+        // different time scales to stress the width estimator.
+        double t = now;
+        const double v = rng.uniform();
+        if (v < 0.4) {
+          t = now + rng.exponential(2.0);
+        } else if (v < 0.7) {
+          t = now + rng.exponential(0.01);
+        } else if (v < 0.9) {
+          t = now;  // same instant: seq tiebreak
+        } else {
+          t = now + 1000.0 * rng.uniform();  // far future
+        }
+        const auto kind = static_cast<std::uint32_t>(step % 7);
+        cal.push(t, kind, step, seed);
+        heap.push(t, kind, step, seed);
+      } else {
+        const SimEvent a = cal.pop_min();
+        const SimEvent b = heap.pop_min();
+        ASSERT_EQ(a.time, b.time) << "seed " << seed << " step " << step;
+        ASSERT_EQ(a.seq, b.seq) << "seed " << seed << " step " << step;
+        ASSERT_EQ(a.kind, b.kind);
+        ASSERT_EQ(a.a, b.a);
+        ASSERT_EQ(a.b, b.b);
+        ASSERT_GE(a.time, now);
+        now = a.time;
+      }
+      ASSERT_EQ(cal.size(), heap.size());
+    }
+    while (!cal.empty()) {
+      const SimEvent a = cal.pop_min();
+      const SimEvent b = heap.pop_min();
+      ASSERT_EQ(a.time, b.time);
+      ASSERT_EQ(a.seq, b.seq);
+    }
+    EXPECT_TRUE(heap.empty());
+  }
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -10,151 +12,198 @@
 namespace scalpel {
 namespace {
 
+/// Test sink: records every completion as (tag, time) in fire order.
+struct RecordingSink : FluidSink {
+  std::vector<std::pair<std::uint64_t, double>> done;
+
+  void fluid_job_done(std::uint64_t tag, double now) override {
+    done.emplace_back(tag, now);
+  }
+
+  /// Completion time of `tag`, or -1 when it has not fired.
+  double time_of(std::uint64_t tag) const {
+    for (const auto& [t, at] : done) {
+      if (t == tag) return at;
+    }
+    return -1.0;
+  }
+};
+
 TEST(Fluid, SingleJobFinishesAtDemandOverCapacity) {
   FluidResource r(10.0);
-  double done_at = -1.0;
-  r.add_job(0.0, 50.0, 1.0, [&](double t) { done_at = t; });
+  RecordingSink sink;
+  r.add_job(0.0, 50.0, 1.0, 7);
   EXPECT_NEAR(r.next_completion(), 5.0, 1e-9);
-  r.complete_due(5.0);
-  EXPECT_NEAR(done_at, 5.0, 1e-9);
+  r.complete_due(5.0, sink);
+  EXPECT_NEAR(sink.time_of(7), 5.0, 1e-9);
   EXPECT_TRUE(r.idle());
 }
 
 TEST(Fluid, EqualWeightsShareEqually) {
   FluidResource r(10.0);
-  std::vector<double> done(2, -1.0);
-  r.add_job(0.0, 50.0, 1.0, [&](double t) { done[0] = t; });
-  r.add_job(0.0, 50.0, 1.0, [&](double t) { done[1] = t; });
+  RecordingSink sink;
+  r.add_job(0.0, 50.0, 1.0, 0);
+  r.add_job(0.0, 50.0, 1.0, 1);
   // Each gets 5.0/s: both finish at t=10.
   EXPECT_NEAR(r.next_completion(), 10.0, 1e-9);
-  r.complete_due(10.0);
-  EXPECT_NEAR(done[0], 10.0, 1e-9);
-  EXPECT_NEAR(done[1], 10.0, 1e-9);
+  r.complete_due(10.0, sink);
+  EXPECT_NEAR(sink.time_of(0), 10.0, 1e-9);
+  EXPECT_NEAR(sink.time_of(1), 10.0, 1e-9);
 }
 
 TEST(Fluid, WeightsBiasRates) {
   FluidResource r(12.0);
-  double heavy = -1.0;
-  double light = -1.0;
-  r.add_job(0.0, 60.0, 2.0, [&](double t) { heavy = t; });  // rate 8
-  r.add_job(0.0, 60.0, 1.0, [&](double t) { light = t; });  // rate 4
+  RecordingSink sink;
+  r.add_job(0.0, 60.0, 2.0, 0);  // heavy: rate 8
+  r.add_job(0.0, 60.0, 1.0, 1);  // light: rate 4
   // Heavy finishes at t=7.5; then light runs at full 12: remaining
   // 60-4*7.5=30 -> +2.5s -> t=10.
   EXPECT_NEAR(r.next_completion(), 7.5, 1e-9);
-  r.complete_due(7.5);
-  EXPECT_NEAR(heavy, 7.5, 1e-9);
-  EXPECT_LT(light, 0.0);  // still running
+  r.complete_due(7.5, sink);
+  EXPECT_NEAR(sink.time_of(0), 7.5, 1e-9);
+  EXPECT_LT(sink.time_of(1), 0.0);  // still running
   EXPECT_NEAR(r.next_completion(), 10.0, 1e-9);
-  r.complete_due(10.0);
-  EXPECT_NEAR(light, 10.0, 1e-9);
+  r.complete_due(10.0, sink);
+  EXPECT_NEAR(sink.time_of(1), 10.0, 1e-9);
 }
 
 TEST(Fluid, WorkConservingAfterDeparture) {
   // The surviving job accelerates once the other leaves — total finish time
   // must equal the work-conserving schedule, not the static-share one.
   FluidResource r(10.0);
-  double a = -1.0;
-  double b = -1.0;
-  r.add_job(0.0, 20.0, 1.0, [&](double t) { a = t; });
-  r.add_job(0.0, 80.0, 1.0, [&](double t) { b = t; });
-  r.complete_due(4.0);  // a done at 4 (5/s each)
-  EXPECT_NEAR(a, 4.0, 1e-9);
-  // b has 60 left, now at 10/s -> finishes at 10. Static half-share would
-  // have taken until 16.
+  RecordingSink sink;
+  r.add_job(0.0, 20.0, 1.0, 0);
+  r.add_job(0.0, 80.0, 1.0, 1);
+  r.complete_due(4.0, sink);  // job 0 done at 4 (5/s each)
+  EXPECT_NEAR(sink.time_of(0), 4.0, 1e-9);
+  // Job 1 has 60 left, now at 10/s -> finishes at 10. Static half-share
+  // would have taken until 16.
   EXPECT_NEAR(r.next_completion(), 10.0, 1e-9);
-  r.complete_due(10.0);
-  EXPECT_NEAR(b, 10.0, 1e-9);
+  r.complete_due(10.0, sink);
+  EXPECT_NEAR(sink.time_of(1), 10.0, 1e-9);
 }
 
 TEST(Fluid, LateArrivalSlowsIncumbent) {
   FluidResource r(10.0);
-  double a = -1.0;
-  r.add_job(0.0, 100.0, 1.0, [&](double t) { a = t; });
+  RecordingSink sink;
+  r.add_job(0.0, 100.0, 1.0, 0);
   // At t=5, 50 demand left; a second equal job arrives.
-  r.add_job(5.0, 200.0, 1.0, [](double) {});
-  // a now progresses at 5/s: 50/5 = 10 more seconds.
+  r.add_job(5.0, 200.0, 1.0, 1);
+  // Job 0 now progresses at 5/s: 50/5 = 10 more seconds.
   EXPECT_NEAR(r.next_completion(), 15.0, 1e-9);
-  r.complete_due(15.0);
-  EXPECT_NEAR(a, 15.0, 1e-9);
+  r.complete_due(15.0, sink);
+  EXPECT_NEAR(sink.time_of(0), 15.0, 1e-9);
 }
 
 TEST(Fluid, CapacityChangeMidFlight) {
   FluidResource r(10.0);
-  double done = -1.0;
-  r.add_job(0.0, 100.0, 1.0, [&](double t) { done = t; });
+  RecordingSink sink;
+  r.add_job(0.0, 100.0, 1.0, 0);
   r.set_capacity(5.0, 2.0);  // 50 demand left at 2/s -> +25s
   EXPECT_NEAR(r.next_completion(), 30.0, 1e-9);
-  r.complete_due(30.0);
-  EXPECT_NEAR(done, 30.0, 1e-9);
+  r.complete_due(30.0, sink);
+  EXPECT_NEAR(sink.time_of(0), 30.0, 1e-9);
 }
 
 TEST(Fluid, EpochBumpsOnMutation) {
   FluidResource r(1.0);
+  RecordingSink sink;
   const auto e0 = r.epoch();
-  r.add_job(0.0, 1.0, 1.0, [](double) {});
+  r.add_job(0.0, 1.0, 1.0, 0);
   EXPECT_GT(r.epoch(), e0);
   const auto e1 = r.epoch();
   r.set_capacity(0.1, 2.0);
   EXPECT_GT(r.epoch(), e1);
   const auto e2 = r.epoch();
-  r.complete_due(0.6);  // job finishes
+  r.complete_due(0.6, sink);  // job finishes
   EXPECT_GT(r.epoch(), e2);
 }
 
 TEST(Fluid, IdleWhenEmpty) {
   FluidResource r(5.0);
+  RecordingSink sink;
   EXPECT_TRUE(r.idle());
   EXPECT_TRUE(std::isinf(r.next_completion()));
-  r.complete_due(3.0);  // harmless on idle
+  r.complete_due(3.0, sink);  // harmless on idle
   EXPECT_TRUE(r.idle());
+  EXPECT_TRUE(sink.done.empty());
 }
 
 TEST(Fluid, BusyTimeAccounting) {
   FluidResource r(10.0);
+  RecordingSink sink;
   EXPECT_EQ(r.busy_time(5.0), 0.0);
-  r.add_job(5.0, 50.0, 1.0, [](double) {});
-  r.complete_due(10.0);
+  r.add_job(5.0, 50.0, 1.0, 0);
+  r.complete_due(10.0, sink);
   EXPECT_NEAR(r.busy_time(20.0), 5.0, 1e-9);  // busy only 5..10
 }
 
-TEST(Fluid, CompletionCallbackMayAddJobs) {
+TEST(Fluid, SinkMayAddJobsFromCompletion) {
+  // The simulator's sink schedules follow-up work from inside
+  // fluid_job_done — sometimes straight back onto the same resource.
+  struct ChainingSink : FluidSink {
+    FluidResource* r = nullptr;
+    double second_done = -1.0;
+
+    void fluid_job_done(std::uint64_t tag, double now) override {
+      if (tag == 0) {
+        r->add_job(now, 10.0, 1.0, 1);
+      } else {
+        second_done = now;
+      }
+    }
+  };
   FluidResource r(10.0);
-  double second_done = -1.0;
-  r.add_job(0.0, 10.0, 1.0, [&](double t) {
-    r.add_job(t, 10.0, 1.0, [&](double t2) { second_done = t2; });
-  });
-  r.complete_due(1.0);
+  ChainingSink sink;
+  sink.r = &r;
+  r.add_job(0.0, 10.0, 1.0, 0);
+  r.complete_due(1.0, sink);
   EXPECT_NEAR(r.next_completion(), 2.0, 1e-9);
-  r.complete_due(2.0);
-  EXPECT_NEAR(second_done, 2.0, 1e-9);
+  r.complete_due(2.0, sink);
+  EXPECT_NEAR(sink.second_done, 2.0, 1e-9);
+}
+
+TEST(Fluid, CompletionsFireInAddOrder) {
+  // Jobs finishing in the same settle fire their tags in add order — part
+  // of the simulator's determinism contract.
+  FluidResource r(10.0);
+  RecordingSink sink;
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    r.add_job(0.0, 10.0, 1.0, tag);
+  }
+  r.complete_due(4.0, sink);
+  ASSERT_EQ(sink.done.size(), 4u);
+  for (std::uint64_t tag = 0; tag < 4; ++tag) {
+    EXPECT_EQ(sink.done[tag].first, tag);
+  }
 }
 
 TEST(Fluid, ValidatesInputs) {
   EXPECT_THROW(FluidResource(0.0), ContractViolation);
   FluidResource r(1.0);
-  EXPECT_THROW(r.add_job(0.0, 0.0, 1.0, [](double) {}), ContractViolation);
-  EXPECT_THROW(r.add_job(0.0, 1.0, 0.0, [](double) {}), ContractViolation);
+  EXPECT_THROW(r.add_job(0.0, 0.0, 1.0, 0), ContractViolation);
+  EXPECT_THROW(r.add_job(0.0, 1.0, 0.0, 0), ContractViolation);
   EXPECT_THROW(r.set_capacity(0.0, -1.0), ContractViolation);
 }
 
 TEST(Fluid, ManyJobsConservation) {
   // Total service delivered equals capacity x busy time.
   FluidResource r(7.0);
+  RecordingSink sink;
   double total_demand = 0.0;
-  int completed = 0;
   for (int i = 0; i < 20; ++i) {
     const double demand = 3.0 + i;
     total_demand += demand;
-    r.add_job(0.0, demand, 1.0 + (i % 3), [&](double) { ++completed; });
+    r.add_job(0.0, demand, 1.0 + (i % 3), static_cast<std::uint64_t>(i));
   }
   // Everything must drain by total_demand / capacity.
   const double drain = total_demand / 7.0;
   double t = 0.0;
   while (!r.idle()) {
     t = r.next_completion();
-    r.complete_due(t);
+    r.complete_due(t, sink);
   }
-  EXPECT_EQ(completed, 20);
+  EXPECT_EQ(sink.done.size(), 20u);
   EXPECT_NEAR(t, drain, 1e-6);
 }
 
