@@ -8,6 +8,10 @@
 //   bench_simcore --queue binary_heap     time the reference heap queue
 //   bench_simcore --scale 0.25            shrink the horizon (quick look;
 //                                         NOT comparable to the baseline)
+//   bench_simcore --shards 8              shard count for the sharded
+//                                         section (0 drops the section)
+//   bench_simcore --sweep 1000000         metro-scale sweep up to N devices
+//                                         through the sharded engine
 //   bench_simcore --inject-slowdown 1.0   gate self-test: spin 1x extra
 //
 // Exit status: 0 on success/gate pass, 1 on gate fail, 2 on usage error.
@@ -77,6 +81,10 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "bench_simcore: unknown queue %s\n", q.c_str());
         return 2;
       }
+    } else if (arg == "--shards") {
+      config.shards = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--sweep") {
+      config.sweep_max_devices = static_cast<std::size_t>(std::atol(next()));
     } else if (arg == "--inject-slowdown") {
       config.inject_slowdown = std::atof(next());
     } else {
@@ -91,6 +99,7 @@ int main(int argc, char** argv) {
     }
     config.horizon *= scale;
     config.warmup *= scale;
+    config.sweep_horizon *= scale;
   }
 
   if (!perf::timing_trustworthy()) {

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Tiered CI entry point (see README "Testing"):
 #   ./ci.sh          — warnings-as-errors build + fast test tier (every push)
+#                      plus a one-seed slice of the shard determinism matrix
 #   ./ci.sh full     — same build + the full suite including slow DES tests
 #   ./ci.sh asan     — ASan+UBSan build (halt on first report) + fast tier
-#   ./ci.sh tsan     — ThreadSanitizer build + fast tier (parallel runner)
-#   ./ci.sh perf     — Release build, run bench_simcore, gate ns/event
+#   ./ci.sh tsan     — ThreadSanitizer build + fast tier + the FULL
+#                      shard×thread determinism matrix (the barrier and
+#                      envelope hand-off run under the race detector)
+#   ./ci.sh perf     — Release build, run bench_simcore (classic + sharded
+#                      sections and the 10k→1M metro sweep), gate ns/event
 #                      against the committed BENCH_simcore.json (>15% fails)
 set -euo pipefail
 
@@ -53,9 +57,23 @@ trace_smoke() {
   rm -rf "$dir"
 }
 
+# One-seed slice of the shard×thread determinism matrix: every scenario
+# shape and both plan unit tests, seed index 0 only. Fast enough for every
+# push; the full four-seed matrix (label "shard") runs in full/tsan.
+shard_slice() {
+  "$BUILD_DIR/tests/test_shard" --gtest_filter='Seeds/ShardEquivalenceTest.*/0:ShardEquivalence.*:ShardPlan.*'
+}
+
 case "$TIER" in
-  fast|asan|tsan)
+  fast|asan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
+    shard_slice
+    trace_smoke
+    ;;
+  tsan)
+    # The sharded engine's only concurrency is inside the epoch barriers;
+    # tsan gets the whole matrix, fuzzer included.
+    ctest --test-dir "$BUILD_DIR" -L 'fast|shard' --output-on-failure -j "$JOBS"
     trace_smoke
     ;;
   full)
@@ -66,8 +84,11 @@ case "$TIER" in
     # Produce a candidate report and gate it against the tracked baseline.
     # bench_simcore exits 1 when ns/event regresses past --tolerance; the
     # candidate JSON is left behind for artifact upload / re-baselining.
+    # --shards/--sweep match how the committed baseline is produced, so the
+    # sharded section gates too and the metro sweep stays fresh.
     CANDIDATE="${PERF_CANDIDATE:-$BUILD_DIR/BENCH_simcore.candidate.json}"
     "$BUILD_DIR/bench/bench_simcore" \
+      --shards 4 --sweep 1000000 \
       --json "$CANDIDATE" \
       --check BENCH_simcore.json \
       --tolerance "${PERF_TOLERANCE:-0.15}"

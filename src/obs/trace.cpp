@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <fstream>
+#include <tuple>
 
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -180,6 +182,17 @@ std::vector<std::size_t> trace_event_counts(
     ++counts[idx];
   }
   return counts;
+}
+
+std::vector<TraceEvent> reconcile_trace(std::vector<TraceEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& x, const TraceEvent& y) {
+                     return std::tie(x.time, x.task, x.type, x.arg, x.device,
+                                     x.server) < std::tie(y.time, y.task,
+                                                          y.type, y.arg,
+                                                          y.device, y.server);
+                   });
+  return events;
 }
 
 }  // namespace scalpel

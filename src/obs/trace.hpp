@@ -125,4 +125,11 @@ bool write_trace(const TaskTracer& tracer, const std::string& path);
 std::vector<std::size_t> trace_event_counts(
     const std::vector<TraceEvent>& events);
 
+/// Canonical order for comparing traces of equivalent runs that recorded
+/// events in different orders (e.g. the single-loop simulator vs. the
+/// sharded one, whose per-shard rings interleave differently): stable sort
+/// by (time, task, type, arg, device, server). Two runs are trace-equivalent
+/// iff their reconciled streams compare equal element-wise.
+std::vector<TraceEvent> reconcile_trace(std::vector<TraceEvent> events);
+
 }  // namespace scalpel

@@ -50,6 +50,9 @@ void validate_simcore_report(const Json& report) {
                   "workload is missing its seeds");
   SCALPEL_REQUIRE(work.contains("event_queue"),
                   "workload is missing the event-queue choice");
+  SCALPEL_REQUIRE(work.contains("shards") &&
+                      work.at("shards").as_number() >= 0.0,
+                  "workload is missing the shard count");
 
   SCALPEL_REQUIRE(report.contains("results"), "report is missing results");
   const Json& results = report.at("results");
@@ -71,6 +74,38 @@ void validate_simcore_report(const Json& report) {
   const Json& solver = results.at("solver");
   finite_positive(solver, "best_seconds");
   finite_positive(solver, "us_per_solve");
+
+  // Sharded-engine section: present iff the workload ran with shards > 0.
+  const bool sharded_workload = work.at("shards").as_number() > 0.0;
+  SCALPEL_REQUIRE(results.contains("sharded") == sharded_workload,
+                  "sharded section must match the workload's shard count");
+  if (sharded_workload) {
+    const Json& sharded = results.at("sharded");
+    finite_positive(sharded, "shards");
+    finite_positive(sharded, "events");
+    finite_positive(sharded, "best_seconds");
+    finite_positive(sharded, "events_per_sec");
+    finite_positive(sharded, "ns_per_event");
+    SCALPEL_REQUIRE(sharded.contains("bit_identical") &&
+                        sharded.at("bit_identical").as_bool(),
+                    "a sharded timing is only publishable when the run was "
+                    "bit-identical to the single loop");
+  }
+
+  // Metro sweep: optional informational scaling data (never gated), but
+  // when present every point must carry usable numbers.
+  if (results.contains("metro_sweep")) {
+    const Json& sweep = results.at("metro_sweep");
+    SCALPEL_REQUIRE(sweep.is_array() && sweep.size() > 0,
+                    "metro_sweep must be a non-empty array");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      const Json& p = sweep.at(i);
+      finite_positive(p, "devices");
+      finite_positive(p, "events");
+      finite_positive(p, "wall_seconds");
+      finite_positive(p, "events_per_sec");
+    }
+  }
 }
 
 GateResult check_regression(const Json& baseline, const Json& candidate,
@@ -96,6 +131,24 @@ GateResult check_regression(const Json& baseline, const Json& candidate,
   r.ratio = r.candidate_ns_per_event / r.baseline_ns_per_event;
   r.passed = r.ratio <= 1.0 + tolerance;
 
+  // The sharded loop gates with the same tolerance whenever both sides
+  // measured it; a report without the section simply isn't compared.
+  std::string sharded_note;
+  if (baseline.at("results").contains("sharded") &&
+      candidate.at("results").contains("sharded")) {
+    const double base_ns =
+        baseline.at("results").at("sharded").at("ns_per_event").as_number();
+    const double cand_ns =
+        candidate.at("results").at("sharded").at("ns_per_event").as_number();
+    r.ratio_sharded = cand_ns / base_ns;
+    r.passed = r.passed && r.ratio_sharded <= 1.0 + tolerance;
+    char sbuf[96];
+    std::snprintf(sbuf, sizeof(sbuf),
+                  "; sharded ns/event %.1f vs %.1f (%.2fx)", cand_ns, base_ns,
+                  r.ratio_sharded);
+    sharded_note = sbuf;
+  }
+
   std::string warn;
   const std::string& base_cpu =
       baseline.at("build").at("cpu").as_string();
@@ -111,7 +164,7 @@ GateResult check_regression(const Json& baseline, const Json& candidate,
                 "%s: ns/event %.1f vs baseline %.1f (%.2fx, tolerance %.2fx)",
                 r.passed ? "PASS" : "FAIL", r.candidate_ns_per_event,
                 r.baseline_ns_per_event, r.ratio, 1.0 + tolerance);
-  r.message = std::string(buf) + warn;
+  r.message = std::string(buf) + sharded_note + warn;
   return r;
 }
 

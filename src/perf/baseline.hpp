@@ -14,6 +14,9 @@ struct GateResult {
   double baseline_ns_per_event = 0.0;
   double candidate_ns_per_event = 0.0;
   double ratio = 0.0;    // candidate / baseline
+  /// Sharded-engine comparison (0.0 when either report lacks the section).
+  /// When present it gates with the same tolerance as the classic loop.
+  double ratio_sharded = 0.0;
   std::string message;   // one-line human verdict (includes warnings)
 };
 

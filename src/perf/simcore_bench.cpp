@@ -3,10 +3,12 @@
 #include <chrono>
 
 #include "core/joint.hpp"
+#include "core/objective.hpp"
 #include "edge/builders.hpp"
 #include "perf/alloc_hook.hpp"
 #include "perf/build_info.hpp"
 #include "perf/harness.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "util/assert.hpp"
 
@@ -29,6 +31,71 @@ Simulator::Options sim_options(const SimcoreBenchConfig& c) {
   o.seed = c.sim_seed;
   o.event_queue = c.event_queue;
   return o;
+}
+
+/// The non-negotiable bar for publishing a sharded timing: the sharded run
+/// reproduced the single-loop run exactly, counters and accumulated floats
+/// alike. Bitwise comparison on doubles is deliberate.
+bool metrics_bit_identical(const SimMetrics& a, const SimMetrics& b) {
+  return a.events_processed == b.events_processed && a.arrived == b.arrived &&
+         a.completed_all == b.completed_all && a.failed_all == b.failed_all &&
+         a.shed_all == b.shed_all && a.in_flight_end == b.in_flight_end &&
+         a.retried == b.retried && a.resteered == b.resteered &&
+         a.latency.mean() == b.latency.mean() &&
+         a.deadline_satisfaction == b.deadline_satisfaction &&
+         a.mean_task_energy == b.mean_task_energy;
+}
+
+/// One metro-sweep point: a tiled city of 100-device cells under a light
+/// device-only load, run once through the sharded engine. Device-only keeps
+/// the per-server share REQUIRE trivially satisfiable at any device count;
+/// the epoch barriers (lookahead ≈ cell RTT + backhaul) still run at full
+/// cadence, so the sweep measures exactly the sharded loop's scaling.
+Json metro_point(const SimcoreBenchConfig& config, std::size_t devices) {
+  clusters::CampusOptions copts;
+  copts.num_devices = devices;
+  copts.num_servers = 32;
+  copts.devices_per_cell = 100;
+  copts.cell_rtt = 10e-3;
+  copts.mean_arrival_rate = 0.05;
+  copts.deadline = 0.0;  // best effort: pure event-loop throughput
+  copts.seed = config.cluster_seed;
+  const ProblemInstance instance(clusters::campus(copts));
+
+  Decision d;
+  d.scheme = "metro-device-only";
+  d.per_device.resize(instance.topology().devices().size());
+  for (auto& dd : d.per_device) dd.plan.device_only = true;
+  evaluate_decision(instance, d);
+
+  Simulator::Options opts;
+  opts.horizon = config.sweep_horizon;
+  opts.warmup = 0.0;
+  opts.seed = config.sim_seed;
+  opts.event_queue = config.event_queue;
+  ShardOptions sopts;
+  sopts.shards = config.shards;
+
+  SimMetrics m;
+  const Timing t = time_best_of(1, /*warmup_reps=*/0, [&] {
+    ShardedSimulator sim(instance, d, opts, sopts);
+    m = sim.run();
+  });
+  SCALPEL_REQUIRE(m.events_processed > 0, "metro point dispatched no events");
+
+  Json p = Json::object();
+  p.set("devices", Json::number(static_cast<double>(devices)));
+  p.set("cells", Json::number(
+                     static_cast<double>(instance.topology().cells().size())));
+  p.set("shards", Json::number(static_cast<double>(config.shards)));
+  p.set("horizon_seconds", Json::number(config.sweep_horizon));
+  p.set("tasks_arrived", Json::number(static_cast<double>(m.arrived)));
+  p.set("events", Json::number(static_cast<double>(m.events_processed)));
+  p.set("wall_seconds", Json::number(t.best_seconds));
+  p.set("events_per_sec",
+        Json::number(static_cast<double>(m.events_processed) /
+                     t.best_seconds));
+  return p;
 }
 
 }  // namespace
@@ -91,6 +158,24 @@ Json run_simcore_bench(const SimcoreBenchConfig& config) {
                        static_cast<double>(metrics.events_processed);
   }
 
+  // --- Sharded section: the same pinned workload through the cell-sharded
+  // engine. Bit-identity with the single-loop run is REQUIREd before the
+  // timing is published — a fast-but-wrong shard path must never make the
+  // scoreboard.
+  SimMetrics sharded_metrics;
+  Timing sharded_t{};
+  if (config.shards > 0) {
+    ShardOptions sopts;
+    sopts.shards = config.shards;
+    sharded_t = time_best_of(config.des_reps, /*warmup_reps=*/1, [&] {
+      ShardedSimulator sim(instance, decision, sim_options(config), sopts);
+      sharded_metrics = sim.run();
+    });
+    SCALPEL_REQUIRE(metrics_bit_identical(metrics, sharded_metrics),
+                    "sharded bench run diverged from the single-loop run; "
+                    "refusing to publish its timing");
+  }
+
   const double events = static_cast<double>(metrics.events_processed);
   const BuildInfo build = build_info();
 
@@ -122,6 +207,7 @@ Json run_simcore_bench(const SimcoreBenchConfig& config) {
             Json::string(config.event_queue == EventQueueImpl::kCalendar
                              ? "calendar"
                              : "binary_heap"));
+  jwork.set("shards", Json::number(static_cast<double>(config.shards)));
   jwork.set("injected_slowdown", Json::number(config.inject_slowdown));
   report.set("workload", std::move(jwork));
 
@@ -146,6 +232,36 @@ Json run_simcore_bench(const SimcoreBenchConfig& config) {
   Json jresults = Json::object();
   jresults.set("des", std::move(jdes));
   jresults.set("solver", std::move(jsolver));
+
+  if (config.shards > 0) {
+    const double sev = static_cast<double>(sharded_metrics.events_processed);
+    Json jshard = Json::object();
+    jshard.set("shards", Json::number(static_cast<double>(config.shards)));
+    jshard.set("reps", Json::number(static_cast<double>(config.des_reps)));
+    jshard.set("events", Json::number(sev));
+    jshard.set("best_seconds", Json::number(sharded_t.best_seconds));
+    jshard.set("events_per_sec",
+               Json::number(sev / sharded_t.best_seconds));
+    jshard.set("ns_per_event",
+               Json::number(sharded_t.best_seconds * 1e9 / sev));
+    // Always true when present: the REQUIRE above already enforced it. The
+    // key documents the contract in the artifact itself.
+    jshard.set("bit_identical", Json::boolean(true));
+    jresults.set("sharded", std::move(jshard));
+  }
+
+  if (config.sweep_max_devices > 0) {
+    SCALPEL_REQUIRE(config.shards > 0,
+                    "the metro sweep runs the sharded engine; set shards");
+    Json sweep = Json::array();
+    for (const std::size_t div : {100u, 10u, 1u}) {
+      const std::size_t devices = config.sweep_max_devices / div;
+      if (devices == 0) continue;
+      sweep.push_back(metro_point(config, devices));
+    }
+    jresults.set("metro_sweep", std::move(sweep));
+  }
+
   report.set("results", std::move(jresults));
   return report;
 }

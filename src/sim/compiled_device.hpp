@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+#include "sim/task_pool.hpp"
+#include "surgery/plan.hpp"
+
+namespace scalpel {
+
+/// FIFO serialization chain of one (device, server) stream: a device's
+/// offloaded tasks targeting one server occupy at most one fluid slot on that
+/// server, so a burst cannot multiply its granted weight by queueing several
+/// jobs. Chains are per-(device, server) — not per-device — so streams to
+/// different servers (possible after an online replan moves the device) never
+/// serialize against each other; each chain's state lives entirely with the
+/// server that owns it, which is what lets the sharded simulator place it in
+/// the server's shard.
+struct ServerChain {
+  ServerId server = -1;
+  IndexDeque queue;
+  bool serving = false;
+  TaskIndex serving_task = kNoTask;
+};
+
+/// Per-device compiled state shared by the single-loop Simulator and the
+/// cell-sharded ShardedSimulator: the PlanModel the tasks sample from plus
+/// the decision's resource grants and the device-side queue/stage state.
+struct CompiledDevice {
+  std::shared_ptr<const PlanModel> plan;
+  /// Device-only variant of `plan` (same exit policy) used when a fault
+  /// resteers a task back onto the device. Null when plan is device-only.
+  std::shared_ptr<const PlanModel> fallback;
+  bool device_only = true;
+  ServerId server = -1;
+  double share = 0.0;
+  double bandwidth = 0.0;
+  double rtt = 0.0;
+  double busy_until = 0.0;  // FCFS device queue (deterministic service)
+  /// Tasks waiting for or occupying the device compute stage (the stage is a
+  /// deterministic schedule, not a deque, so the bound counts commitments).
+  std::size_t device_backlog = 0;
+  // MMPP arrival modulation state (used when options.burst_factor > 0).
+  bool burst_high = false;
+  double burst_state_until = 0.0;
+  IndexDeque upload_queue;
+  bool uploading = false;
+  TaskIndex uploading_task = kNoTask;  // the job occupying the fluid slot
+  /// Per-(device, server) serialization chains, created on first use. A
+  /// device targets one server at a time, so this stays tiny (it only grows
+  /// when an online replan retargets the device mid-run).
+  std::vector<ServerChain> chains;
+  /// Per-device arrival counter; task id = (device << 32) | arrival_seq, a
+  /// scheme that is invariant to how devices are partitioned into shards.
+  std::uint32_t arrival_seq = 0;
+
+  ServerChain& chain_for(ServerId s) {
+    for (auto& ch : chains) {
+      if (ch.server == s) return ch;
+    }
+    chains.push_back(ServerChain{});
+    chains.back().server = s;
+    return chains.back();
+  }
+
+  ServerChain* find_chain(ServerId s) {
+    for (auto& ch : chains) {
+      if (ch.server == s) return &ch;
+    }
+    return nullptr;
+  }
+
+  /// Tasks waiting in or occupying any server chain (queue-depth signal).
+  std::size_t server_stage_depth() const {
+    std::size_t n = 0;
+    for (const auto& ch : chains) {
+      n += ch.queue.size() + (ch.serving_task != kNoTask ? 1 : 0);
+    }
+    return n;
+  }
+};
+
+/// Task id scheme shared by both simulators: high word = device, low word =
+/// per-device arrival sequence. Shard-partition invariant by construction.
+inline std::uint64_t make_task_id(DeviceId dev, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dev)) << 32) |
+         seq;
+}
+
+/// Value-keyed memoization of PlanModel compilation. A metro-scale topology
+/// has millions of devices but only a handful of distinct (model, compute
+/// class, plan, grant) combinations; sharing the compiled PlanModel turns
+/// construction from minutes of repeated work into a hash lookup per device.
+/// The key serializes every input PlanModel construction reads (bundle
+/// identity, plan content, both compute profiles, link, difficulty), so a
+/// hit is semantically exact, never heuristic.
+class PlanModelCache {
+ public:
+  std::shared_ptr<const PlanModel> get_or_compile(
+      const ModelBundle& bundle, const SurgeryPlan& plan,
+      const ComputeProfile& device, const ComputeProfile& server,
+      const LinkSpec& link, const DifficultyModel& difficulty);
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const PlanModel>> cache_;
+};
+
+/// Compiles `dd` into `cd` exactly as the single-loop simulator always has
+/// (plan + device-only fallback, grants, rtt). With a non-null `cache` the
+/// PlanModels are shared across identical devices.
+void compile_device_decision(const ProblemInstance& instance, DeviceId dev,
+                             const DeviceDecision& dd, CompiledDevice& cd,
+                             PlanModelCache* cache);
+
+}  // namespace scalpel

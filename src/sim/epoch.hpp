@@ -1,0 +1,137 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "surgery/plan.hpp"
+
+namespace scalpel {
+
+/// A task migrating from its device's shard to its target server's shard at
+/// an epoch barrier: the full structure-of-arrays row of the task, plus the
+/// absolute time its kServerArrive fires in the receiving shard. POD so the
+/// outbox/inbox exchange is a memcpy-class operation.
+///
+/// Envelopes exist because the upload drain happens where the device lives
+/// while the server stage happens where the server lives. Conservative
+/// lookahead makes the handoff safe: a cross-shard task always travels for
+/// its path RTT, and epochs are never longer than the minimum cross-shard
+/// RTT, so an envelope created inside epoch k can only fire at or after the
+/// barrier ending epoch k — by which time it has been delivered.
+struct TaskEnvelope {
+  double arrive_time = 0.0;  // upload drain + rtt (absolute sim seconds)
+  std::uint64_t id = 0;
+  double arrival = 0.0;
+  double difficulty = 0.0;
+  double rtt = 0.0;
+  double bw_weight = 0.0;
+  double cpu_weight = 0.0;
+  double device_done = 0.0;
+  TaskPhases phases;
+  std::int32_t device = -1;
+  std::int32_t server = -1;
+  std::uint16_t retries = 0;
+  std::uint8_t flags = 0;
+};
+
+/// Kind of one order-sensitive accounting record. Integer counters merge by
+/// addition across shards, but Samples vectors, energy/accuracy sums, the
+/// in-flight integral, and the windowed time series are all sensitive to the
+/// order floating-point accumulation happens in. Every shard therefore logs
+/// its arrivals/terminals as MetricRecords and the coordinator replays the
+/// deterministically merged log through the exact single-loop accumulation
+/// arithmetic — bit-identical for any shard or thread count.
+enum class MetricRecordKind : std::uint8_t {
+  kArrival = 0,  // in-flight +1 (logged only when the time series is on)
+  kComplete,
+  kFail,
+  kShed,
+  kExpire,
+  kSeries,  // window boundary (serial phase; carries no task fields)
+};
+
+/// Sort key position of records the serial reduction phase emits. Serial
+/// records carry the global serial counter (they replay in exactly the order
+/// the serial phase executed, which mirrors the single loop's seq order:
+/// scripted events schedule before task events). Mid-epoch records carry
+/// kMidEpochSeq, sorting after every serial record at an equal timestamp —
+/// matching the single loop, where a task event at a barrier's exact time has
+/// a larger seq than the scripted event that defined the barrier.
+constexpr std::uint64_t kMidEpochSeq =
+    std::numeric_limits<std::uint64_t>::max();
+
+struct MetricRecord {
+  double time = 0.0;
+  std::uint64_t serial_seq = kMidEpochSeq;
+  std::uint64_t id = 0;            // task id; tiebreak at equal times
+  double latency = 0.0;            // kComplete only
+  double correct_prob = 0.0;       // kComplete only
+  double energy = 0.0;             // kComplete only (device-side joules)
+  std::int32_t device = -1;
+  std::int32_t exit_slot = 0;      // kComplete only: exit histogram slot
+  MetricRecordKind kind = MetricRecordKind::kArrival;
+  std::uint8_t flags = 0;
+
+  enum : std::uint8_t {
+    kCounted = 1,          // arrived post-warmup: contributes to DeviceMetrics
+    kOutageOrFaulted = 2,  // completion during an outage or after a fault
+    kOffloaded = 4,
+  };
+};
+
+/// Partial order matching the single-loop processing order everywhere the
+/// sharded simulator guarantees bit-identity: time, then serial-phase order.
+/// Deliberately NOT refined further — one event's cascade can emit several
+/// records at the identical timestamp (an upload drain advancing the queue
+/// can shed multiple expired tasks at one `now`), and the single loop folds
+/// those in cascade order, which is exactly the per-shard log order. The
+/// merge is therefore *stable*: ties keep the earliest input log and preserve
+/// each log's internal order. Equal-time mid-epoch records from different
+/// shards are the measure-zero cross-shard coincidence covered by the
+/// tie-break caveat in EXPERIMENTS.md.
+inline bool metric_record_before(const MetricRecord& a,
+                                 const MetricRecord& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.serial_seq < b.serial_seq;
+}
+
+/// K-way merge of per-shard record logs (each already nondecreasing in the
+/// sort key, because shards log in processing order) into one globally
+/// ordered stream.
+std::vector<MetricRecord> merge_metric_records(
+    const std::vector<const std::vector<MetricRecord>*>& logs);
+
+/// One synchronization point of the sharded run. Scripted global events
+/// (fault transitions, bandwidth change-points, controller and series ticks)
+/// happen here, in the serial reduction phase, in exactly this order:
+/// envelope delivery, faults, bandwidth, controller, series — the same order
+/// the single loop's (time, seq) tiebreak yields for events seeded at
+/// construction vs. rescheduled ticks.
+struct EpochBarrier {
+  double time = 0.0;
+  bool controller = false;
+  bool series = false;
+  /// Indices into the fault schedule's event list due exactly at `time`.
+  std::vector<std::size_t> fault_events;
+  /// (cell, segment) bandwidth change-points due exactly at `time`.
+  std::vector<std::pair<std::int32_t, std::size_t>> bandwidth_changes;
+
+  bool scripted() const {
+    return controller || series || !fault_events.empty() ||
+           !bandwidth_changes.empty();
+  }
+};
+
+/// Builds the barrier agenda: every scripted event time (computed with the
+/// exact floating-point recurrences the single loop uses when rescheduling
+/// ticks), the horizon as the final barrier, and filler barriers so no two
+/// consecutive barriers are more than `lookahead` apart. An infinite
+/// lookahead (no cross-shard pairs) inserts no fillers.
+std::vector<EpochBarrier> build_epoch_barriers(
+    double horizon, double lookahead, double control_interval,
+    bool has_controller, double series_window,
+    const std::vector<double>& fault_times,
+    const std::vector<std::vector<double>>& bandwidth_times);
+
+}  // namespace scalpel

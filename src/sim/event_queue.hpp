@@ -120,6 +120,17 @@ class EventQueue {
       heap_.push(ev);
     }
   }
+  /// Re-inserts an already-sequenced event unchanged. The sharded simulator
+  /// bounds each epoch by popping the queue minimum and pushing it back when
+  /// it lies at/past the barrier — keeping the original seq preserves the
+  /// (time, seq) total order that the determinism bar rests on.
+  void push_raw(const SimEvent& ev) {
+    if (impl_ == EventQueueImpl::kCalendar) {
+      calendar_.push(ev);
+    } else {
+      heap_.push(ev);
+    }
+  }
   SimEvent pop_min() {
     return impl_ == EventQueueImpl::kCalendar ? calendar_.pop_min()
                                               : heap_.pop_min();

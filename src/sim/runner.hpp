@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 
@@ -70,6 +71,19 @@ class ScenarioRunner {
     /// replications (it runs on the fan-out workers) and deterministic in
     /// the replication id for reproducible aggregates.
     std::function<void(Simulator&, std::size_t)> configure;
+    /// > 0 runs every replication on the cell-sharded engine
+    /// (ShardedSimulator) with this shard count instead of the single-loop
+    /// Simulator. The results are bit-identical either way (that's the
+    /// sharding determinism bar); the sharded path is for metro-scale
+    /// topologies where one event loop is the bottleneck.
+    std::size_t shards = 0;
+    /// Worker threads inside each sharded replication (ShardOptions::
+    /// threads). Defaults to 1: the fan-out already parallelizes across
+    /// replications, so per-replication threading only pays off when
+    /// replications < cores.
+    std::size_t shard_threads = 1;
+    /// Sharded-path twin of `configure` (same contract).
+    std::function<void(ShardedSimulator&, std::size_t)> configure_sharded;
   };
 
   ScenarioRunner(const ProblemInstance& instance, Decision decision,

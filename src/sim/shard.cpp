@@ -1,0 +1,1460 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+namespace {
+
+// Same FluidSink tag layout as the single-loop simulator: stage in the top
+// bit, task index below.
+constexpr std::uint64_t kShardServerStageBit = 1ull << 32;
+
+inline std::uint64_t upload_tag(TaskIndex t) { return t; }
+inline std::uint64_t server_tag(TaskIndex t) { return kShardServerStageBit | t; }
+
+/// Key of a (device, server) chain in its server-shard's chain map. The
+/// single loop keeps chains inside CompiledDevice; the sharded simulator
+/// moves them to the server's shard so a device with in-flight tasks to
+/// servers in two shards (possible after an online replan) never has two
+/// shards mutating its CompiledDevice concurrently.
+inline std::uint64_t chain_key(DeviceId dev, ServerId srv) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dev)) << 32) |
+         static_cast<std::uint32_t>(srv);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ShardPlan
+
+ShardPlan ShardPlan::build(const ClusterTopology& topo, std::size_t requested) {
+  const auto& cells = topo.cells();
+  const auto& servers = topo.servers();
+  SCALPEL_REQUIRE(!cells.empty(), "shard plan needs at least one cell");
+
+  ShardPlan p;
+  const std::size_t want =
+      std::max<std::size_t>(1, std::min(requested, cells.size()));
+
+  // Contiguous cell blocks: cell c -> shard c * want / C (monotone, balanced
+  // within one).
+  p.cell_shard.resize(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    p.cell_shard[c] = static_cast<std::int32_t>(c * want / cells.size());
+  }
+
+  // Each server joins the shard of its nearest cell by path RTT, ties to the
+  // lowest cell id — a pure function of the topology.
+  p.server_shard.resize(servers.size());
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    std::size_t best = 0;
+    double best_rtt = cells[0].rtt + servers[s].backhaul_rtt;
+    for (std::size_t c = 1; c < cells.size(); ++c) {
+      const double rtt = cells[c].rtt + servers[s].backhaul_rtt;
+      if (rtt < best_rtt) {
+        best = c;
+        best_rtt = rtt;
+      }
+    }
+    p.server_shard[s] = p.cell_shard[best];
+  }
+
+  // Merge any shards joined by a zero-RTT (cell, server) pair: conservative
+  // execution needs a strictly positive minimum cross-shard delay.
+  std::vector<std::int32_t> parent(want);
+  for (std::size_t i = 0; i < want; ++i) parent[i] = static_cast<std::int32_t>(i);
+  auto find = [&parent](std::int32_t x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+      x = parent[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (cells[c].rtt + servers[s].backhaul_rtt > 0.0) continue;
+      const std::int32_t a = find(p.cell_shard[c]);
+      const std::int32_t b = find(p.server_shard[s]);
+      if (a != b) parent[static_cast<std::size_t>(b)] = a;
+    }
+  }
+  // Compact relabel in order of first appearance over cells (server labels
+  // are cell labels, so scanning cells covers every root).
+  std::vector<std::int32_t> compact(want, -1);
+  std::int32_t next = 0;
+  for (auto& label : p.cell_shard) {
+    const std::int32_t root = find(label);
+    if (compact[static_cast<std::size_t>(root)] < 0) {
+      compact[static_cast<std::size_t>(root)] = next++;
+    }
+    label = compact[static_cast<std::size_t>(root)];
+  }
+  for (auto& label : p.server_shard) {
+    label = compact[static_cast<std::size_t>(find(label))];
+    SCALPEL_REQUIRE(label >= 0, "server shard label escaped the relabel");
+  }
+  p.num_shards = static_cast<std::size_t>(next);
+
+  p.device_shard.resize(topo.devices().size());
+  for (std::size_t d = 0; d < p.device_shard.size(); ++d) {
+    p.device_shard[d] =
+        p.cell_shard[static_cast<std::size_t>(topo.devices()[d].cell)];
+  }
+
+  // Lookahead: the minimum path RTT over all cross-shard (cell, server)
+  // pairs. Decision-independent, so it survives online replans.
+  p.lookahead = std::numeric_limits<double>::infinity();
+  for (std::size_t s = 0; s < servers.size(); ++s) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (p.server_shard[s] == p.cell_shard[c]) continue;
+      p.lookahead =
+          std::min(p.lookahead, cells[c].rtt + servers[s].backhaul_rtt);
+    }
+  }
+  SCALPEL_REQUIRE(!std::isfinite(p.lookahead) || p.lookahead > 0.0,
+                  "zero-RTT cross-shard pair survived shard merging");
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// ShardCore: one shard's event engine. Every handler is a line-for-line port
+// of the Simulator member of the same name; divergences are (a) order-
+// sensitive floating-point folds become MetricRecords replayed later, (b)
+// (device, server) chains live in the server-shard's map, (c) the upload
+// drain hands cross-shard tasks to the outbox instead of scheduling
+// kServerArrive locally.
+
+struct ShardCore final : FluidSink {
+  enum class Ev : std::uint32_t {
+    kArrival,       // a = device
+    kDeviceDone,    // b = task index
+    kServerArrive,  // b = task index (upload drained + RTT elapsed)
+    kRedispatch,    // b = task index (fault-policy retry backoff elapsed)
+    kFluidWake,     // a = *global* fluid slot (cells, then servers), b = epoch
+    // Cross-shard offload whose target server is scripted down at the arrival
+    // instant: the fault fires on the device's shard, replacing the single
+    // loop's kServerArrive -> !server_up_ -> handle_fault (one event either
+    // way, so events_processed stays identical).
+    kOffloadFault,  // b = task index
+  };
+
+  explicit ShardCore(EventQueueImpl impl) : events(impl) {}
+
+  ShardedSimulator* g = nullptr;
+  std::int32_t sid = 0;
+  std::vector<DeviceId> my_devices;  // ascending global id
+
+  EventQueue events;
+  TaskPool tasks;
+  /// (device, server) chains owned by this shard's servers (chain_key).
+  std::unordered_map<std::uint64_t, ServerChain> chains;
+  TaskTracer tracer;
+  MetricsRegistry registry;
+  Counter* ctr_arrived = nullptr;
+  Counter* ctr_completed = nullptr;
+  Counter* ctr_failed = nullptr;
+  Counter* ctr_shed = nullptr;
+  Counter* ctr_expired = nullptr;
+  Counter* ctr_retry = nullptr;
+  Counter* ctr_resteer = nullptr;
+  Counter* ctr_gate_refused = nullptr;
+  std::vector<MetricRecord> log;
+  std::vector<TaskEnvelope> outbox;
+
+  double now = 0.0;
+  /// Last *popped* event time — the utilization clock. `now` is bumped to
+  /// every barrier so serial-phase work uses the right clock, but the single
+  /// loop's now_ only advances on pops, and server busy-time settles at that.
+  double last_event_time = 0.0;
+  std::size_t events_processed = 0;
+  /// Set by the coordinator around serial phases: traces and records emitted
+  /// while true go to the global serial streams (ordered by serial_seq).
+  bool serial_mode = false;
+
+  const ClusterTopology& topo() const { return g->instance_->topology(); }
+  bool series_on() const { return g->options_.series_window > 0.0; }
+
+  void schedule(double t, Ev kind, std::int32_t a = -1, std::uint64_t b = 0) {
+    if (t > g->options_.horizon) return;
+    events.push(t, static_cast<std::uint32_t>(kind), a, b);
+  }
+
+  void trace_rec(double t, std::uint64_t id, std::int32_t dev,
+                 std::int32_t srv, TraceEventType type, std::uint8_t arg = 0) {
+    (serial_mode ? g->serial_tracer_ : tracer)
+        .record(t, id, dev, srv, type, arg);
+  }
+
+  void push_record(MetricRecord r) {
+    if (serial_mode) {
+      r.serial_seq = g->serial_seq_++;
+      g->serial_log_.push_back(r);
+    } else {
+      r.serial_seq = kMidEpochSeq;
+      log.push_back(r);
+    }
+  }
+
+  void record_arrival(TaskIndex task) {
+    if (!series_on()) return;  // in-flight integral is the only consumer
+    MetricRecord r;
+    r.time = now;
+    r.id = tasks.id[task];
+    r.device = tasks.device[task];
+    r.kind = MetricRecordKind::kArrival;
+    push_record(r);
+  }
+
+  /// kFail / kShed / kExpire records (kComplete carries more and is emitted
+  /// inline in complete_task).
+  void record_terminal(MetricRecordKind kind, TaskIndex task, double at) {
+    const bool counted = tasks.counted(task);
+    if (!counted && !series_on()) return;
+    MetricRecord r;
+    r.time = at;
+    r.id = tasks.id[task];
+    r.device = tasks.device[task];
+    r.kind = kind;
+    if (counted) r.flags |= MetricRecord::kCounted;
+    push_record(r);
+  }
+
+  ServerChain& chain_for(DeviceId dev, ServerId srv) {
+    return chains[chain_key(dev, srv)];
+  }
+
+  double burst_multiplier() const {
+    double factor = 1.0;
+    for (const auto& rb : g->options_.rate_bursts) {
+      if (now >= rb.start && now < rb.end) factor *= rb.factor;
+    }
+    return factor;
+  }
+
+  bool deadline_expired(TaskIndex task, double best_case_remaining) const {
+    if (g->options_.overload.policy != OverloadPolicy::ShedExpired) {
+      return false;
+    }
+    const double deadline = topo().device(tasks.device[task]).deadline;
+    if (deadline <= 0.0) return false;  // best effort never expires
+    return now + best_case_remaining > tasks.arrival[task] + deadline + 1e-12;
+  }
+
+  double best_case_offload_remaining(TaskIndex task) const {
+    const auto& device = topo().device(tasks.device[task]);
+    const double cap =
+        g->cell_links_[static_cast<std::size_t>(device.cell)]->capacity();
+    const double upload =
+        cap > 0.0
+            ? static_cast<double>(tasks.phases[task].upload_bytes) / cap
+            : 0.0;
+    return upload + tasks.rtt[task] + tasks.phases[task].server_time;
+  }
+
+  bool enqueue_bounded(IndexDeque& queue, TaskIndex task, std::size_t limit,
+                       bool server_stage) {
+    if (limit == 0 || queue.size() < limit) {
+      queue.push_back(task);
+      return true;
+    }
+    auto remaining = [&](TaskIndex t) {
+      return server_stage ? tasks.phases[t].server_time
+                          : best_case_offload_remaining(t);
+    };
+    switch (g->options_.overload.policy) {
+      case OverloadPolicy::Block:
+        shed_task(task, now, false);
+        return false;
+      case OverloadPolicy::ShedExpired:
+        for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+          const TaskIndex t = queue.at(pos);
+          if (deadline_expired(t, remaining(t))) {
+            queue.erase_at(pos);
+            shed_task(t, now, true);
+            queue.push_back(task);
+            return true;
+          }
+        }
+        [[fallthrough]];
+      case OverloadPolicy::ShedNewest: {
+        std::size_t youngest = 0;
+        for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+          if (tasks.arrival[queue.at(pos)] >
+              tasks.arrival[queue.at(youngest)]) {
+            youngest = pos;
+          }
+        }
+        if (tasks.arrival[queue.at(youngest)] > tasks.arrival[task]) {
+          const TaskIndex victim = queue.at(youngest);
+          queue.erase_at(youngest);
+          shed_task(victim, now, false);
+          queue.push_back(task);
+          return true;
+        }
+        shed_task(task, now, false);
+        return false;
+      }
+    }
+    return false;  // unreachable
+  }
+
+  void on_arrival(DeviceId dev) {
+    const auto i = static_cast<std::size_t>(dev);
+    const auto& device = topo().device(dev);
+    auto& rng = g->rngs_[i];
+    auto& cd = g->devices_[i];
+
+    double rate = device.arrival_rate * burst_multiplier();
+    if (g->options_.burst_factor > 0.0) {
+      SCALPEL_REQUIRE(g->options_.burst_factor < 1.0,
+                      "burst_factor must be in [0, 1)");
+      while (now >= cd.burst_state_until) {
+        cd.burst_high = !cd.burst_high;
+        cd.burst_state_until =
+            std::max(now, cd.burst_state_until) +
+            rng.exponential(1.0 / g->options_.burst_hold);
+      }
+      rate *= cd.burst_high ? (1.0 + g->options_.burst_factor)
+                            : (1.0 - g->options_.burst_factor);
+    }
+    const double next = now + rng.exponential(rate);
+    schedule(next, Ev::kArrival, dev);
+    const TaskIndex task = tasks.acquire();
+    tasks.id[task] = make_task_id(dev, cd.arrival_seq++);
+    tasks.device[task] = dev;
+    tasks.arrival[task] = now;
+    if (now >= g->options_.warmup) tasks.flags[task] |= TaskPool::kCounted;
+    tasks.difficulty[task] = device.difficulty.sample(rng);
+    tasks.phases[task] = cd.plan->phases_for(tasks.difficulty[task]);
+    tasks.server[task] = cd.server;
+    tasks.rtt[task] = cd.rtt;
+    tasks.bw_weight[task] = cd.bandwidth;
+    tasks.cpu_weight[task] = cd.share;
+
+    ++g->metrics_.per_device[i].arrived;
+    ctr_arrived->inc();
+    ++g->arrivals_since_tick_[i];
+    record_arrival(task);
+    trace_rec(now, tasks.id[task], dev, tasks.server[task],
+              TraceEventType::kArrive);
+
+    if (!g->admit_fraction_.empty() &&
+        g->admit_rngs_[i].uniform() > g->admit_fraction_[i]) {
+      ctr_gate_refused->inc();
+      shed_task(task, now, false);
+      return;
+    }
+
+    const double start = std::max(now, cd.busy_until);
+    double best_case = (start - now) + tasks.phases[task].device_time;
+    if (tasks.phases[task].offloaded) {
+      best_case += best_case_offload_remaining(task);
+    }
+    if (deadline_expired(task, best_case)) {
+      shed_task(task, now, true);
+      return;
+    }
+
+    const std::size_t limit = g->options_.overload.device_queue_limit;
+    if (limit > 0 && cd.device_backlog >= limit) {
+      shed_task(task, now, false);
+      return;
+    }
+    ++cd.device_backlog;
+    trace_rec(now, tasks.id[task], dev, -1, TraceEventType::kEnqueue,
+              static_cast<std::uint8_t>(TraceStage::kDevice));
+    trace_rec(start, tasks.id[task], dev, -1, TraceEventType::kExecStart,
+              static_cast<std::uint8_t>(TraceStage::kDevice));
+    const double finish = start + tasks.phases[task].device_time;
+    cd.busy_until = finish;
+    schedule(finish, Ev::kDeviceDone, -1, task);
+  }
+
+  void finish_device_phase(TaskIndex task) {
+    auto& cd = g->devices_[static_cast<std::size_t>(tasks.device[task])];
+    if (cd.device_backlog > 0) --cd.device_backlog;
+    tasks.device_done[task] = now;
+    trace_rec(now, tasks.id[task], tasks.device[task], -1,
+              TraceEventType::kExecEnd,
+              static_cast<std::uint8_t>(TraceStage::kDevice));
+    if (!tasks.phases[task].offloaded) {
+      complete_task(task, now);
+      return;
+    }
+    start_upload(task);
+  }
+
+  void start_upload(TaskIndex task) {
+    auto& cd = g->devices_[static_cast<std::size_t>(tasks.device[task])];
+    if (deadline_expired(task, best_case_offload_remaining(task))) {
+      shed_task(task, now, true);
+      return;
+    }
+    if (cd.uploading) {
+      if (enqueue_bounded(cd.upload_queue, task,
+                          g->options_.overload.upload_queue_limit, false)) {
+        trace_rec(now, tasks.id[task], tasks.device[task], tasks.server[task],
+                  TraceEventType::kEnqueue,
+                  static_cast<std::uint8_t>(TraceStage::kUpload));
+      }
+      return;
+    }
+    cd.uploading = true;
+    begin_upload_job(task);
+  }
+
+  void advance_upload_queue(DeviceId dev) {
+    auto& cd = g->devices_[static_cast<std::size_t>(dev)];
+    if (cd.upload_queue.empty()) {
+      cd.uploading = false;
+      return;
+    }
+    const TaskIndex next = cd.upload_queue.pop_front();
+    trace_rec(now, tasks.id[next], tasks.device[next], tasks.server[next],
+              TraceEventType::kDispatch,
+              static_cast<std::uint8_t>(TraceStage::kUpload));
+    begin_upload_job(next);
+  }
+
+  void begin_upload_job(TaskIndex task) {
+    const auto& device = topo().device(tasks.device[task]);
+    const auto cell = static_cast<std::size_t>(device.cell);
+    if (!g->link_up_[cell] ||
+        !g->server_up_[static_cast<std::size_t>(tasks.server[task])]) {
+      advance_upload_queue(tasks.device[task]);
+      handle_fault(task);
+      return;
+    }
+    if (deadline_expired(task, best_case_offload_remaining(task))) {
+      advance_upload_queue(tasks.device[task]);
+      shed_task(task, now, true);
+      return;
+    }
+    auto* link = g->cell_links_[cell].get();
+    auto& owner = g->devices_[static_cast<std::size_t>(tasks.device[task])];
+    owner.uploading_task = task;
+    trace_rec(now, tasks.id[task], tasks.device[task], tasks.server[task],
+              TraceEventType::kUploadStart);
+    link->add_job(now, static_cast<double>(tasks.phases[task].upload_bytes),
+                  tasks.bw_weight[task], upload_tag(task));
+    arm_fluid(cell);
+  }
+
+  void start_server_phase(TaskIndex task) {
+    SCALPEL_REQUIRE(tasks.server[task] >= 0, "offloaded task lost its server");
+    // The server may have crashed while the upload or RTT was in progress.
+    // Reachable only for same-shard offloads: cross-shard envelopes are sent
+    // only when the fault schedule says the server is up at the arrival
+    // instant, and liveness changes only at barriers the arrival epoch has
+    // already applied.
+    if (!g->server_up_[static_cast<std::size_t>(tasks.server[task])]) {
+      handle_fault(task);
+      return;
+    }
+    tasks.upload_done[task] = now;
+    if (tasks.phases[task].server_time <= 0.0) {
+      complete_task(task, now);
+      return;
+    }
+    if (deadline_expired(task, tasks.phases[task].server_time)) {
+      shed_task(task, now, true);
+      return;
+    }
+    auto& chain = chain_for(tasks.device[task], tasks.server[task]);
+    if (chain.serving) {
+      if (enqueue_bounded(chain.queue, task,
+                          g->options_.overload.server_queue_limit, true)) {
+        trace_rec(now, tasks.id[task], tasks.device[task], tasks.server[task],
+                  TraceEventType::kEnqueue,
+                  static_cast<std::uint8_t>(TraceStage::kServer));
+      }
+      return;
+    }
+    chain.serving = true;
+    begin_server_job(task);
+  }
+
+  void advance_server_chain(DeviceId dev, ServerId server) {
+    auto& chain = chain_for(dev, server);
+    if (chain.queue.empty()) {
+      chain.serving = false;
+      return;
+    }
+    const TaskIndex next = chain.queue.pop_front();
+    trace_rec(now, tasks.id[next], tasks.device[next], tasks.server[next],
+              TraceEventType::kDispatch,
+              static_cast<std::uint8_t>(TraceStage::kServer));
+    begin_server_job(next);
+  }
+
+  void begin_server_job(TaskIndex task) {
+    if (!g->server_up_[static_cast<std::size_t>(tasks.server[task])]) {
+      advance_server_chain(tasks.device[task], tasks.server[task]);
+      handle_fault(task);
+      return;
+    }
+    if (deadline_expired(task, tasks.phases[task].server_time)) {
+      advance_server_chain(tasks.device[task], tasks.server[task]);
+      shed_task(task, now, true);
+      return;
+    }
+    const auto srv = static_cast<std::size_t>(tasks.server[task]);
+    auto* server = g->servers_[srv].get();
+    auto& owner = chain_for(tasks.device[task], tasks.server[task]);
+    owner.serving_task = task;
+    trace_rec(now, tasks.id[task], tasks.device[task], tasks.server[task],
+              TraceEventType::kExecStart,
+              static_cast<std::uint8_t>(TraceStage::kServer));
+    server->add_job(now, tasks.phases[task].server_time,
+                    tasks.cpu_weight[task], server_tag(task));
+    arm_fluid(g->cell_links_.size() + srv);
+  }
+
+  void fluid_job_done(std::uint64_t tag, double at) override {
+    const TaskIndex task = static_cast<TaskIndex>(tag & 0xffffffffu);
+    if ((tag & kShardServerStageBit) == 0) {
+      // Uplink transfer drained.
+      trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
+                TraceEventType::kUploadEnd);
+      const DeviceId dev = tasks.device[task];
+      const ServerId srv = tasks.server[task];
+      const double t_arrive = at + tasks.rtt[task];
+      if (g->plan_.server_shard[static_cast<std::size_t>(srv)] == sid) {
+        // Same shard: the single loop's path verbatim.
+        schedule(t_arrive, Ev::kServerArrive, -1, task);
+      } else if (t_arrive > g->options_.horizon) {
+        // The single loop drops the kServerArrive event past the horizon and
+        // strands the task in flight; keep the slot live here too.
+      } else if (!g->options_.faults.schedule.server_up(srv, t_arrive)) {
+        // The target is scripted down at the arrival instant (liveness only
+        // changes at barriers, all applied before t_arrive's epoch), so the
+        // arrival would fault on the remote shard against a device this shard
+        // owns. Fault locally instead — one event, like the single loop's
+        // kServerArrive.
+        schedule(t_arrive, Ev::kOffloadFault, -1, task);
+      } else {
+        TaskEnvelope env;
+        env.arrive_time = t_arrive;
+        env.id = tasks.id[task];
+        env.arrival = tasks.arrival[task];
+        env.difficulty = tasks.difficulty[task];
+        env.rtt = tasks.rtt[task];
+        env.bw_weight = tasks.bw_weight[task];
+        env.cpu_weight = tasks.cpu_weight[task];
+        env.device_done = tasks.device_done[task];
+        env.phases = tasks.phases[task];
+        env.device = dev;
+        env.server = srv;
+        env.retries = tasks.retries[task];
+        env.flags = tasks.flags[task];
+        outbox.push_back(env);
+        tasks.release(task);
+      }
+      g->devices_[static_cast<std::size_t>(dev)].uploading_task = kNoTask;
+      advance_upload_queue(dev);
+      return;
+    }
+    // Server execution finished.
+    trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
+              TraceEventType::kExecEnd,
+              static_cast<std::uint8_t>(TraceStage::kServer));
+    const DeviceId dev = tasks.device[task];
+    const ServerId srv = tasks.server[task];
+    chain_for(dev, srv).serving_task = kNoTask;
+    complete_task(task, at);  // releases the pool slot; read fields before
+    advance_server_chain(dev, srv);
+  }
+
+  void handle_fault(TaskIndex task) {
+    tasks.flags[task] |= TaskPool::kFaulted;
+    switch (g->options_.faults.policy) {
+      case FaultPolicy::Drop:
+        fail_task(task, now);
+        return;
+      case FaultPolicy::RetryOnDevice:
+        resteer_local(task);
+        return;
+      case FaultPolicy::RetryOffload: {
+        const auto& f = g->options_.faults;
+        if (tasks.retries[task] >= f.max_retries ||
+            now + f.retry_backoff - tasks.arrival[task] > f.retry_timeout) {
+          fail_task(task, now);
+          return;
+        }
+        ++tasks.retries[task];
+        ctr_retry->inc();
+        if (tasks.counted(task)) {
+          ++g->metrics_
+                .per_device[static_cast<std::size_t>(tasks.device[task])]
+                .retries;
+        }
+        trace_rec(now, tasks.id[task], tasks.device[task], tasks.server[task],
+                  TraceEventType::kRetry,
+                  static_cast<std::uint8_t>(
+                      std::min<std::size_t>(tasks.retries[task], 255)));
+        schedule(now + f.retry_backoff, Ev::kRedispatch, -1, task);
+        return;
+      }
+    }
+  }
+
+  void resteer_local(TaskIndex task) {
+    // Mid-epoch faults are always device-local (see start_server_phase); the
+    // serial phase migrates cross-shard victims home before calling in here.
+    SCALPEL_REQUIRE(
+        g->plan_.device_shard[static_cast<std::size_t>(tasks.device[task])] ==
+            sid,
+        "resteer on a shard that does not own the device");
+    auto& cd = g->devices_[static_cast<std::size_t>(tasks.device[task])];
+    PlanModel const* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
+    tasks.phases[task] = fb->phases_for(tasks.difficulty[task]);
+    tasks.server[task] = -1;
+    tasks.rtt[task] = 0.0;
+    tasks.bw_weight[task] = 0.0;
+    tasks.cpu_weight[task] = 0.0;
+    const double start = std::max(now, cd.busy_until);
+    if (deadline_expired(task,
+                         (start - now) + tasks.phases[task].device_time)) {
+      shed_task(task, now, true);
+      return;
+    }
+    ctr_resteer->inc();
+    if (tasks.counted(task)) {
+      ++g->metrics_.per_device[static_cast<std::size_t>(tasks.device[task])]
+            .resteered;
+    }
+    trace_rec(now, tasks.id[task], tasks.device[task], -1,
+              TraceEventType::kResteer);
+    ++cd.device_backlog;
+    cd.busy_until = start + tasks.phases[task].device_time;
+    trace_rec(start, tasks.id[task], tasks.device[task], -1,
+              TraceEventType::kExecStart,
+              static_cast<std::uint8_t>(TraceStage::kDevice));
+    schedule(cd.busy_until, Ev::kDeviceDone, -1, task);
+  }
+
+  void redispatch(TaskIndex task) {
+    SCALPEL_REQUIRE(
+        g->plan_.device_shard[static_cast<std::size_t>(tasks.device[task])] ==
+            sid,
+        "redispatch on a shard that does not own the device");
+    auto& cd = g->devices_[static_cast<std::size_t>(tasks.device[task])];
+    tasks.phases[task] = cd.plan->phases_for(tasks.difficulty[task]);
+    tasks.server[task] = cd.server;
+    tasks.rtt[task] = cd.rtt;
+    tasks.bw_weight[task] = cd.bandwidth;
+    tasks.cpu_weight[task] = cd.share;
+    const double start = std::max(now, cd.busy_until);
+    double best_case = (start - now) + tasks.phases[task].device_time;
+    if (tasks.phases[task].offloaded) {
+      best_case += best_case_offload_remaining(task);
+    }
+    if (deadline_expired(task, best_case)) {
+      shed_task(task, now, true);
+      return;
+    }
+    ++cd.device_backlog;
+    cd.busy_until = start + tasks.phases[task].device_time;
+    trace_rec(start, tasks.id[task], tasks.device[task], -1,
+              TraceEventType::kExecStart,
+              static_cast<std::uint8_t>(TraceStage::kDevice));
+    schedule(cd.busy_until, Ev::kDeviceDone, -1, task);
+  }
+
+  void shed_task(TaskIndex task, double at, bool expired) {
+    (expired ? ctr_expired : ctr_shed)->inc();
+    trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
+              expired ? TraceEventType::kExpire : TraceEventType::kShed);
+    record_terminal(expired ? MetricRecordKind::kExpire
+                            : MetricRecordKind::kShed,
+                    task, at);
+    tasks.release(task);
+  }
+
+  void fail_task(TaskIndex task, double at) {
+    ctr_failed->inc();
+    trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
+              TraceEventType::kFail);
+    record_terminal(MetricRecordKind::kFail, task, at);
+    tasks.release(task);
+  }
+
+  void complete_task(TaskIndex task, double at) {
+    ctr_completed->inc();
+    trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
+              TraceEventType::kComplete);
+    const bool counted = tasks.counted(task);
+    if (counted || series_on()) {
+      MetricRecord r;
+      r.time = at;
+      r.id = tasks.id[task];
+      r.device = tasks.device[task];
+      r.kind = MetricRecordKind::kComplete;
+      const TaskPhases& phases = tasks.phases[task];
+      r.latency = at - tasks.arrival[task];
+      r.correct_prob = phases.correct_prob;
+      const auto& device = topo().device(tasks.device[task]);
+      const double upload_dur =
+          phases.offloaded
+              ? tasks.upload_done[task] - tasks.device_done[task]
+              : 0.0;
+      const double idle_dur =
+          phases.offloaded ? at - tasks.upload_done[task] : 0.0;
+      r.energy =
+          device.energy.task_energy(phases.device_time, upload_dur, idle_dur);
+      r.exit_slot = phases.exit_index < 0 ? 0 : phases.exit_index + 1;
+      if (counted) r.flags |= MetricRecord::kCounted;
+      if (tasks.faulted(task) ||
+          g->down_servers_ > 0 || g->down_links_ > 0) {
+        r.flags |= MetricRecord::kOutageOrFaulted;
+      }
+      if (phases.offloaded) r.flags |= MetricRecord::kOffloaded;
+      push_record(r);
+    }
+    tasks.release(task);
+  }
+
+  void arm_fluid(std::size_t slot) {
+    FluidResource* resource = g->fluid_at(slot);
+    const double t = resource->next_completion();
+    if (!std::isfinite(t)) return;
+    schedule(std::max(t, now), Ev::kFluidWake,
+             static_cast<std::int32_t>(slot), resource->epoch());
+  }
+
+  void dispatch(const SimEvent& ev) {
+    switch (static_cast<Ev>(ev.kind)) {
+      case Ev::kArrival:
+        on_arrival(static_cast<DeviceId>(ev.a));
+        return;
+      case Ev::kDeviceDone:
+        finish_device_phase(static_cast<TaskIndex>(ev.b));
+        return;
+      case Ev::kServerArrive:
+        start_server_phase(static_cast<TaskIndex>(ev.b));
+        return;
+      case Ev::kRedispatch:
+        redispatch(static_cast<TaskIndex>(ev.b));
+        return;
+      case Ev::kFluidWake: {
+        const std::size_t slot = static_cast<std::size_t>(ev.a);
+        FluidResource* resource = g->fluid_at(slot);
+        if (resource->epoch() != ev.b) return;  // stale wake-up
+        resource->complete_due(now, *this);
+        arm_fluid(slot);
+        return;
+      }
+      case Ev::kOffloadFault:
+        handle_fault(static_cast<TaskIndex>(ev.b));
+        return;
+    }
+    SCALPEL_REQUIRE(false, "unknown shard event kind");
+  }
+
+  /// Processes every event strictly before `barrier`; the first event at or
+  /// past it goes back with its original seq (push_raw), preserving the
+  /// (time, seq) total order. Deferred peeks are not dispatches, so
+  /// events_processed matches the single loop's count.
+  void run_until(double barrier) {
+    while (!events.empty()) {
+      const SimEvent ev = events.pop_min();
+      if (ev.time >= barrier) {
+        events.push_raw(ev);
+        return;
+      }
+      SCALPEL_REQUIRE(ev.time >= now - 1e-9, "event time went backwards");
+      now = std::max(now, ev.time);
+      last_event_time = now;
+      ++events_processed;
+      dispatch(ev);
+    }
+  }
+
+  /// After the final (horizon) barrier: everything left fires at exactly the
+  /// horizon (schedule() drops anything later; run_until deferred anything
+  /// at/after the barrier).
+  void drain_all() {
+    while (!events.empty()) {
+      const SimEvent ev = events.pop_min();
+      SCALPEL_REQUIRE(ev.time >= now - 1e-9, "event time went backwards");
+      now = std::max(now, ev.time);
+      last_event_time = now;
+      ++events_processed;
+      dispatch(ev);
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ShardedSimulator
+
+FluidResource* ShardedSimulator::fluid_at(std::size_t slot) {
+  return slot < cell_links_.size()
+             ? cell_links_[slot].get()
+             : servers_[slot - cell_links_.size()].get();
+}
+
+ShardedSimulator::ShardedSimulator(const ProblemInstance& instance,
+                                   Decision decision,
+                                   Simulator::Options options,
+                                   ShardOptions shard_options)
+    : instance_(&instance), decision_(std::move(decision)),
+      options_(std::move(options)), shard_options_(shard_options) {
+  SCALPEL_REQUIRE(options_.horizon > 0.0, "horizon must be positive");
+  SCALPEL_REQUIRE(options_.warmup >= 0.0 && options_.warmup < options_.horizon,
+                  "warmup must lie inside the horizon");
+  SCALPEL_REQUIRE(options_.faults.retry_backoff > 0.0 &&
+                      options_.faults.retry_timeout > 0.0,
+                  "fault retry backoff/timeout must be positive");
+  const auto& topo = instance_->topology();
+  SCALPEL_REQUIRE(decision_.per_device.size() == topo.devices().size(),
+                  "decision must cover every device");
+  for (const auto& ev : options_.faults.schedule.events()) {
+    const auto limit = ev.target == FaultTarget::Server
+                           ? topo.servers().size()
+                           : topo.cells().size();
+    SCALPEL_REQUIRE(ev.id >= 0 && static_cast<std::size_t>(ev.id) < limit,
+                    "fault event targets an unknown server/cell");
+  }
+  for (const auto& rb : options_.rate_bursts) {
+    SCALPEL_REQUIRE(rb.factor > 0.0 && rb.start >= 0.0 && rb.end >= rb.start,
+                    "rate burst needs a positive factor and an ordered window");
+  }
+
+  plan_ = ShardPlan::build(topo, shard_options_.shards);
+
+  // Exactly the single loop's stream layout: one master Rng, device streams
+  // drawn in global device order, then every admission stream — identical
+  // realizations for any shard count.
+  Rng master(options_.seed);
+  rngs_.reserve(topo.devices().size());
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    rngs_.emplace_back(master.next_u64());
+  }
+  admit_rngs_.reserve(topo.devices().size());
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    admit_rngs_.emplace_back(master.next_u64());
+  }
+  devices_.resize(topo.devices().size());
+  arrivals_since_tick_.assign(topo.devices().size(), 0);
+  for (const auto& cell : topo.cells()) {
+    cell_links_.push_back(std::make_unique<FluidResource>(cell.bandwidth));
+    traces_.push_back(std::nullopt);
+  }
+  for (std::size_t j = 0; j < topo.servers().size(); ++j) {
+    servers_.push_back(std::make_unique<FluidResource>(1.0));
+  }
+  server_up_.assign(topo.servers().size(), true);
+  link_up_.assign(topo.cells().size(), true);
+  apply_decision(decision_);
+  metrics_.per_device.resize(topo.devices().size());
+
+  cores_.reserve(plan_.num_shards);
+  for (std::size_t s = 0; s < plan_.num_shards; ++s) {
+    auto core = std::make_unique<ShardCore>(options_.event_queue);
+    core->g = this;
+    core->sid = static_cast<std::int32_t>(s);
+    for (std::size_t d = 0; d < topo.devices().size(); ++d) {
+      if (plan_.device_shard[d] == core->sid) {
+        core->my_devices.push_back(static_cast<DeviceId>(d));
+      }
+    }
+    core->tasks.reserve(core->my_devices.size() * 8);
+    core->tracer.reset(options_.trace_capacity);
+    core->ctr_arrived = &core->registry.counter("sim.task.arrived");
+    core->ctr_completed = &core->registry.counter("sim.task.completed");
+    core->ctr_failed = &core->registry.counter("sim.task.failed");
+    core->ctr_shed = &core->registry.counter("sim.task.shed");
+    core->ctr_expired = &core->registry.counter("sim.task.expired");
+    core->ctr_retry = &core->registry.counter("sim.task.retry");
+    core->ctr_resteer = &core->registry.counter("sim.task.resteer");
+    core->ctr_gate_refused = &core->registry.counter("sim.gate.refused");
+    cores_.push_back(std::move(core));
+  }
+
+  serial_tracer_.reset(options_.trace_capacity);
+  // Master registry carries the merged truth; resolving every name here keeps
+  // its key set identical to the single-loop registry even for untouched
+  // counters.
+  ctr_arrived_ = &registry_.counter("sim.task.arrived");
+  ctr_completed_ = &registry_.counter("sim.task.completed");
+  ctr_failed_ = &registry_.counter("sim.task.failed");
+  ctr_shed_ = &registry_.counter("sim.task.shed");
+  ctr_expired_ = &registry_.counter("sim.task.expired");
+  ctr_retry_ = &registry_.counter("sim.task.retry");
+  ctr_resteer_ = &registry_.counter("sim.task.resteer");
+  ctr_gate_refused_ = &registry_.counter("sim.gate.refused");
+  ctr_server_down_ = &registry_.counter("sim.fault.server_down");
+  ctr_link_down_ = &registry_.counter("sim.fault.link_down");
+  hist_latency_ = &registry_.histogram("sim.task.latency_seconds", 0.0,
+                                       10.0, 200);
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+void ShardedSimulator::set_cell_trace(CellId cell, BandwidthTrace trace) {
+  SCALPEL_REQUIRE(cell >= 0 &&
+                      static_cast<std::size_t>(cell) < traces_.size(),
+                  "cell id out of range");
+  traces_[static_cast<std::size_t>(cell)] = std::move(trace);
+}
+
+void ShardedSimulator::set_controller(Simulator::Controller controller) {
+  set_controller(Simulator::RichController(
+      [inner = std::move(controller)](
+          double now, const std::vector<double>& bw,
+          const std::vector<bool>& alive, const std::vector<double>&,
+          const std::vector<double>&) {
+        ControlAction action;
+        action.decision = inner(now, bw, alive);
+        return action;
+      }));
+}
+
+void ShardedSimulator::set_controller(Simulator::RichController controller) {
+  SCALPEL_REQUIRE(options_.control_interval > 0.0,
+                  "controller needs control_interval > 0");
+  controller_ = std::move(controller);
+}
+
+void ShardedSimulator::set_admission(std::vector<double> fraction) {
+  if (!fraction.empty()) {
+    SCALPEL_REQUIRE(fraction.size() == devices_.size(),
+                    "admission gate must cover every device");
+    for (double f : fraction) {
+      SCALPEL_REQUIRE(f >= 0.0 && f <= 1.0,
+                      "admission fraction must be in [0, 1]");
+    }
+  }
+  admit_fraction_ = std::move(fraction);
+}
+
+void ShardedSimulator::apply_decision(const Decision& decision) {
+  SCALPEL_REQUIRE(
+      decision.per_device.size() == instance_->topology().devices().size(),
+      "decision must cover every device");
+  if (&decision != &decision_) decision_ = decision;
+  for (std::size_t i = 0; i < decision_.per_device.size(); ++i) {
+    compile_device_decision(*instance_, static_cast<DeviceId>(i),
+                            decision_.per_device[i], devices_[i], &cache_);
+  }
+}
+
+std::vector<EpochBarrier> ShardedSimulator::build_agenda() const {
+  std::vector<double> fault_times;
+  fault_times.reserve(options_.faults.schedule.events().size());
+  for (const auto& ev : options_.faults.schedule.events()) {
+    fault_times.push_back(ev.time);
+  }
+  std::vector<std::vector<double>> bandwidth_times(traces_.size());
+  for (std::size_t c = 0; c < traces_.size(); ++c) {
+    if (!traces_[c]) continue;
+    for (const auto& seg : traces_[c]->segments()) {
+      bandwidth_times[c].push_back(seg.start);
+    }
+  }
+  return build_epoch_barriers(options_.horizon, plan_.lookahead,
+                              options_.control_interval,
+                              static_cast<bool>(controller_),
+                              options_.series_window, fault_times,
+                              bandwidth_times);
+}
+
+void ShardedSimulator::seed_initial_events() {
+  const auto& topo = instance_->topology();
+  // First arrivals in global device order — each from its own stream, but the
+  // order still matters for the one-draw-per-device discipline.
+  for (std::size_t i = 0; i < topo.devices().size(); ++i) {
+    const auto dev = static_cast<DeviceId>(i);
+    const double first =
+        rngs_[i].exponential(topo.device(dev).arrival_rate);
+    cores_[static_cast<std::size_t>(plan_.device_shard[i])]->schedule(
+        first, ShardCore::Ev::kArrival, dev);
+  }
+  // Bandwidth segments starting at/before zero take effect immediately; the
+  // rest are barrier work.
+  for (std::size_t c = 0; c < traces_.size(); ++c) {
+    if (!traces_[c]) continue;
+    for (const auto& seg : traces_[c]->segments()) {
+      if (seg.start <= 0.0) cell_links_[c]->set_capacity(0.0, seg.bandwidth);
+    }
+  }
+}
+
+void ShardedSimulator::run_epochs(ThreadPool* pool, double barrier) {
+  if (pool == nullptr || cores_.size() == 1) {
+    for (auto& core : cores_) core->run_until(barrier);
+    return;
+  }
+  pool->parallel_for(0, cores_.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) cores_[i]->run_until(barrier);
+  });
+}
+
+void ShardedSimulator::deliver_envelopes() {
+  std::vector<TaskEnvelope> all;
+  for (auto& core : cores_) {
+    if (core->outbox.empty()) continue;
+    all.insert(all.end(), core->outbox.begin(), core->outbox.end());
+    core->outbox.clear();
+  }
+  if (all.empty()) return;
+  // Shard-count-invariant delivery order; ties beyond (time, id) cannot occur
+  // (ids are unique).
+  std::sort(all.begin(), all.end(),
+            [](const TaskEnvelope& x, const TaskEnvelope& y) {
+              return x.arrive_time != y.arrive_time
+                         ? x.arrive_time < y.arrive_time
+                         : x.id < y.id;
+            });
+  for (const auto& env : all) {
+    ShardCore& v =
+        *cores_[static_cast<std::size_t>(
+            plan_.server_shard[static_cast<std::size_t>(env.server)])];
+    const TaskIndex t = v.tasks.acquire();
+    v.tasks.id[t] = env.id;
+    v.tasks.arrival[t] = env.arrival;
+    v.tasks.difficulty[t] = env.difficulty;
+    v.tasks.rtt[t] = env.rtt;
+    v.tasks.bw_weight[t] = env.bw_weight;
+    v.tasks.cpu_weight[t] = env.cpu_weight;
+    v.tasks.device_done[t] = env.device_done;
+    v.tasks.phases[t] = env.phases;
+    v.tasks.device[t] = env.device;
+    v.tasks.server[t] = env.server;
+    v.tasks.retries[t] = env.retries;
+    v.tasks.flags[t] = env.flags;
+    v.schedule(env.arrive_time, ShardCore::Ev::kServerArrive, -1, t);
+  }
+}
+
+TaskIndex ShardedSimulator::migrate_task(ShardCore& from, ShardCore& to,
+                                         TaskIndex task) {
+  if (&from == &to) return task;
+  const TaskIndex t = to.tasks.acquire();
+  to.tasks.id[t] = from.tasks.id[task];
+  to.tasks.arrival[t] = from.tasks.arrival[task];
+  to.tasks.difficulty[t] = from.tasks.difficulty[task];
+  to.tasks.rtt[t] = from.tasks.rtt[task];
+  to.tasks.bw_weight[t] = from.tasks.bw_weight[task];
+  to.tasks.cpu_weight[t] = from.tasks.cpu_weight[task];
+  to.tasks.device_done[t] = from.tasks.device_done[task];
+  to.tasks.upload_done[t] = from.tasks.upload_done[task];
+  to.tasks.phases[t] = from.tasks.phases[task];
+  to.tasks.device[t] = from.tasks.device[task];
+  to.tasks.server[t] = from.tasks.server[task];
+  to.tasks.retries[t] = from.tasks.retries[task];
+  to.tasks.flags[t] = from.tasks.flags[task];
+  from.tasks.release(task);
+  return t;
+}
+
+void ShardedSimulator::serial_handle_fault(ShardCore& owner, TaskIndex task) {
+  // Fault policies re-enter the device stage, so the task must live on its
+  // device's shard first; then the core's ordinary handler runs (its clock is
+  // already at the barrier).
+  ShardCore& home =
+      *cores_[static_cast<std::size_t>(
+          plan_.device_shard[static_cast<std::size_t>(
+              owner.tasks.device[task])])];
+  const TaskIndex local = migrate_task(owner, home, task);
+  home.handle_fault(local);
+}
+
+void ShardedSimulator::on_fault_event(const FaultEvent& ev, double bt) {
+  if (ev.target == FaultTarget::Server) {
+    const auto s = static_cast<std::size_t>(ev.id);
+    if (ev.up) {
+      if (!server_up_[s]) {
+        server_up_[s] = true;
+        --down_servers_;
+      }
+    } else if (server_up_[s]) {
+      on_server_down(ev.id, bt);
+    }
+  } else {
+    const auto c = static_cast<std::size_t>(ev.id);
+    if (ev.up) {
+      if (!link_up_[c]) {
+        link_up_[c] = true;
+        --down_links_;
+      }
+    } else if (link_up_[c]) {
+      on_link_down(ev.id, bt);
+    }
+  }
+}
+
+void ShardedSimulator::on_server_down(ServerId s, double bt) {
+  server_up_[static_cast<std::size_t>(s)] = false;
+  ++down_servers_;
+  ctr_server_down_->inc();
+  servers_[static_cast<std::size_t>(s)]->clear(bt);
+  ShardCore& v =
+      *cores_[static_cast<std::size_t>(
+          plan_.server_shard[static_cast<std::size_t>(s)])];
+  // Global device order, exactly like the single loop's sweep.
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto it = v.chains.find(chain_key(static_cast<DeviceId>(i), s));
+    if (it == v.chains.end()) continue;
+    ServerChain& chain = it->second;
+    std::vector<TaskIndex> victims;
+    if (chain.serving_task != kNoTask) {
+      victims.push_back(chain.serving_task);
+      chain.serving_task = kNoTask;
+    }
+    while (!chain.queue.empty()) victims.push_back(chain.queue.pop_front());
+    chain.serving = false;
+    for (TaskIndex vt : victims) serial_handle_fault(v, vt);
+  }
+}
+
+void ShardedSimulator::on_link_down(CellId c, double bt) {
+  link_up_[static_cast<std::size_t>(c)] = false;
+  ++down_links_;
+  ctr_link_down_->inc();
+  cell_links_[static_cast<std::size_t>(c)]->clear(bt);
+  ShardCore& d =
+      *cores_[static_cast<std::size_t>(
+          plan_.cell_shard[static_cast<std::size_t>(c)])];
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (instance_->topology().device(static_cast<DeviceId>(i)).cell != c) {
+      continue;
+    }
+    auto& cd = devices_[i];
+    std::vector<TaskIndex> victims;
+    if (cd.uploading_task != kNoTask) {
+      victims.push_back(cd.uploading_task);
+      cd.uploading_task = kNoTask;
+    }
+    for (std::size_t pos = 0; pos < cd.upload_queue.size(); ++pos) {
+      victims.push_back(cd.upload_queue.at(pos));
+    }
+    cd.upload_queue.clear();
+    cd.uploading = false;
+    for (TaskIndex vt : victims) serial_handle_fault(d, vt);
+  }
+}
+
+void ShardedSimulator::controller_tick(double bt) {
+  std::vector<double> bw(cell_links_.size());
+  for (std::size_t c = 0; c < cell_links_.size(); ++c) {
+    bw[c] = cell_links_[c]->capacity();
+  }
+  const double span = std::max(bt - last_controller_tick_, 1e-12);
+  // Server-stage depth is scattered across the server shards' chain maps;
+  // sum it per device first (integer adds, so map order is irrelevant).
+  std::vector<std::size_t> server_depth(devices_.size(), 0);
+  for (const auto& core : cores_) {
+    for (const auto& [key, chain] : core->chains) {
+      server_depth[static_cast<std::size_t>(key >> 32)] +=
+          chain.queue.size() + (chain.serving_task != kNoTask ? 1 : 0);
+    }
+  }
+  std::vector<double> offered(devices_.size(), 0.0);
+  std::vector<double> qdepth(devices_.size(), 0.0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    offered[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
+    const auto& cd = devices_[i];
+    qdepth[i] = static_cast<double>(cd.device_backlog +
+                                    cd.upload_queue.size() +
+                                    (cd.uploading_task != kNoTask ? 1 : 0) +
+                                    server_depth[i]);
+  }
+  ControlAction action = controller_(bt, bw, server_up_, offered, qdepth);
+  if (action.decision) apply_decision(*action.decision);
+  if (action.admit_fraction) set_admission(*action.admit_fraction);
+  arrivals_since_tick_.assign(devices_.size(), 0);
+  last_controller_tick_ = bt;
+}
+
+void ShardedSimulator::serial_phase(const EpochBarrier& b) {
+  for (auto& core : cores_) {
+    core->now = b.time;  // serial work runs on the barrier clock
+    core->serial_mode = true;
+  }
+  // The single loop's (time, seq) order at a shared timestamp: envelopes only
+  // schedule (no observable effect ordering), then construction-seeded fault
+  // events, then bandwidth change-points, then the controller tick, then the
+  // series boundary.
+  deliver_envelopes();
+  const auto& fault_events = options_.faults.schedule.events();
+  for (const std::size_t idx : b.fault_events) {
+    ++serial_events_;
+    serial_last_time_ = b.time;
+    on_fault_event(fault_events[idx], b.time);
+  }
+  for (const auto& [cell, seg_idx] : b.bandwidth_changes) {
+    ++serial_events_;
+    serial_last_time_ = b.time;
+    const auto c = static_cast<std::size_t>(cell);
+    const auto& seg = traces_[c]->segments()[seg_idx];
+    cell_links_[c]->set_capacity(b.time, seg.bandwidth);
+    cores_[static_cast<std::size_t>(plan_.cell_shard[c])]->arm_fluid(c);
+  }
+  if (b.controller && controller_) {
+    ++serial_events_;
+    serial_last_time_ = b.time;
+    controller_tick(b.time);
+  }
+  if (b.series && options_.series_window > 0.0) {
+    ++serial_events_;
+    serial_last_time_ = b.time;
+    MetricRecord r;
+    r.time = b.time;
+    r.serial_seq = serial_seq_++;
+    r.kind = MetricRecordKind::kSeries;
+    serial_log_.push_back(r);
+  }
+  for (auto& core : cores_) core->serial_mode = false;
+}
+
+void ShardedSimulator::replay_metric_records(
+    const std::vector<MetricRecord>& merged) {
+  const auto& topo = instance_->topology();
+  const bool series_on = options_.series_window > 0.0;
+  if (series_on) metrics_.series.window = options_.series_window;
+  // The single loop's accumulators, fed the identical value sequence in the
+  // identical order — bit-identical floating-point results.
+  std::int64_t in_flight = 0;
+  double in_flight_integral = 0.0;
+  double in_flight_last_t = 0.0;
+  std::size_t window_completions = 0;
+  double window_accuracy_sum = 0.0;
+  std::size_t window_shed = 0;
+  auto settle = [&](double t) {
+    in_flight_integral += static_cast<double>(in_flight) *
+                          (t - in_flight_last_t);
+    in_flight_last_t = t;
+  };
+  for (const MetricRecord& r : merged) {
+    const bool counted = (r.flags & MetricRecord::kCounted) != 0;
+    switch (r.kind) {
+      case MetricRecordKind::kArrival:
+        settle(r.time);
+        ++in_flight;
+        break;
+      case MetricRecordKind::kSeries:
+        settle(r.time);
+        metrics_.series.tasks_in_flight.push_back(in_flight_integral /
+                                                  options_.series_window);
+        in_flight_integral = 0.0;
+        metrics_.series.completion_rate.push_back(
+            static_cast<double>(window_completions) /
+            options_.series_window);
+        metrics_.series.mean_accuracy.push_back(
+            window_completions
+                ? window_accuracy_sum /
+                      static_cast<double>(window_completions)
+                : 0.0);
+        metrics_.series.shed_rate.push_back(
+            static_cast<double>(window_shed) / options_.series_window);
+        window_completions = 0;
+        window_accuracy_sum = 0.0;
+        window_shed = 0;
+        break;
+      case MetricRecordKind::kComplete: {
+        if (series_on) {
+          settle(r.time);
+          --in_flight;
+          ++window_completions;
+          window_accuracy_sum += r.correct_prob;
+        }
+        if (!counted) break;
+        auto& dm = metrics_.per_device[static_cast<std::size_t>(r.device)];
+        dm.latency.add(r.latency);
+        hist_latency_->add(r.latency);
+        ++dm.completed;
+        if ((r.flags & MetricRecord::kOutageOrFaulted) != 0) {
+          metrics_.outage_latency.add(r.latency);
+        }
+        const auto& device = topo.device(r.device);
+        if (device.deadline > 0.0) {
+          ++dm.deadline_total;
+          if (r.latency <= device.deadline) ++dm.deadline_met;
+        }
+        dm.accuracy_sum += r.correct_prob;
+        dm.energy_sum += r.energy;
+        if ((r.flags & MetricRecord::kOffloaded) != 0) ++dm.offloaded;
+        const auto slot = static_cast<std::size_t>(r.exit_slot);
+        if (dm.exit_histogram.size() <= slot) {
+          dm.exit_histogram.resize(slot + 1, 0);
+        }
+        ++dm.exit_histogram[slot];
+        break;
+      }
+      case MetricRecordKind::kFail: {
+        if (series_on) {
+          settle(r.time);
+          --in_flight;
+        }
+        if (!counted) break;
+        auto& dm = metrics_.per_device[static_cast<std::size_t>(r.device)];
+        ++dm.failed;
+        if (topo.device(r.device).deadline > 0.0) ++dm.deadline_total;
+        break;
+      }
+      case MetricRecordKind::kShed:
+      case MetricRecordKind::kExpire: {
+        if (series_on) {
+          settle(r.time);
+          --in_flight;
+          ++window_shed;
+        }
+        if (!counted) break;
+        auto& dm = metrics_.per_device[static_cast<std::size_t>(r.device)];
+        if (r.kind == MetricRecordKind::kExpire) {
+          ++dm.expired;
+        } else {
+          ++dm.shed;
+        }
+        if (topo.device(r.device).deadline > 0.0) ++dm.deadline_total;
+        break;
+      }
+    }
+  }
+}
+
+void ShardedSimulator::finalize_metrics() {
+  metrics_.horizon = options_.horizon;
+  std::size_t events = serial_events_;
+  for (const auto& core : cores_) events += core->events_processed;
+  metrics_.events_processed = events;
+  metrics_.completed_all = ctr_completed_->value();
+  metrics_.failed_all = ctr_failed_->value();
+  metrics_.shed_all = ctr_shed_->value() + ctr_expired_->value();
+  const std::uint64_t arrived_all = ctr_arrived_->value();
+  const std::uint64_t terminal =
+      metrics_.completed_all + metrics_.failed_all + metrics_.shed_all;
+  SCALPEL_REQUIRE(arrived_all >= terminal,
+                  "terminal events outnumber arrivals");
+  metrics_.in_flight_end = static_cast<std::size_t>(arrived_all - terminal);
+  std::size_t deadline_met = 0;
+  std::size_t deadline_total = 0;
+  double acc_sum = 0.0;
+  double energy_sum = 0.0;
+  std::size_t offloaded = 0;
+  for (const auto& dm : metrics_.per_device) {
+    metrics_.arrived += dm.arrived;
+    metrics_.completed += dm.completed;
+    metrics_.failed += dm.failed;
+    metrics_.shed += dm.shed;
+    metrics_.expired += dm.expired;
+    metrics_.retried += dm.retries;
+    metrics_.resteered += dm.resteered;
+    for (double v : dm.latency.values()) metrics_.latency.add(v);
+    deadline_met += dm.deadline_met;
+    deadline_total += dm.deadline_total;
+    acc_sum += dm.accuracy_sum;
+    energy_sum += dm.energy_sum;
+    offloaded += dm.offloaded;
+  }
+  metrics_.deadline_satisfaction =
+      deadline_total ? static_cast<double>(deadline_met) /
+                           static_cast<double>(deadline_total)
+                     : 1.0;
+  metrics_.measured_accuracy =
+      metrics_.completed ? acc_sum / static_cast<double>(metrics_.completed)
+                         : 0.0;
+  metrics_.mean_task_energy =
+      metrics_.completed ? energy_sum / static_cast<double>(metrics_.completed)
+                         : 0.0;
+  metrics_.offload_fraction =
+      metrics_.completed
+          ? static_cast<double>(offloaded) /
+                static_cast<double>(metrics_.completed)
+          : 0.0;
+  // The single loop settles utilization at its final now_ — the last *popped*
+  // event's time. Barrier bookkeeping bumps core->now past that, so the
+  // popped-event clocks (and the last dispatching barrier) are tracked
+  // separately.
+  double t_end = serial_last_time_;
+  for (const auto& core : cores_) {
+    t_end = std::max(t_end, core->last_event_time);
+  }
+  for (const auto& s : servers_) {
+    metrics_.server_utilization.push_back(
+        s->busy_time(std::min(t_end, options_.horizon)) / options_.horizon);
+  }
+  if (!options_.faults.schedule.empty() && !servers_.empty()) {
+    double avail = 0.0;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      avail += options_.faults.schedule.server_availability(
+          static_cast<std::int32_t>(s), options_.horizon);
+    }
+    metrics_.availability = avail / static_cast<double>(servers_.size());
+  }
+  registry_.gauge("sim.task.in_flight_end")
+      .set(static_cast<double>(metrics_.in_flight_end));
+  registry_.gauge("sim.availability").set(metrics_.availability);
+  registry_.gauge("sim.horizon_seconds").set(options_.horizon);
+  registry_.gauge("sim.events_processed")
+      .set(static_cast<double>(metrics_.events_processed));
+  std::size_t live = 0;
+  for (const auto& core : cores_) live += core->tasks.live();
+  SCALPEL_REQUIRE(live == metrics_.in_flight_end,
+                  "task pool live count diverged from in-flight accounting");
+  SCALPEL_REQUIRE(metrics_.arrived == metrics_.completed_all +
+                                          metrics_.failed_all +
+                                          metrics_.shed_all +
+                                          metrics_.in_flight_end,
+                  "task conservation violated");
+}
+
+SimMetrics ShardedSimulator::run() {
+  seed_initial_events();
+  const std::vector<EpochBarrier> barriers = build_agenda();
+
+  std::unique_ptr<ThreadPool> pool;
+  if (cores_.size() > 1 && shard_options_.threads != 1) {
+    pool = std::make_unique<ThreadPool>(shard_options_.threads);
+  }
+
+  for (const EpochBarrier& b : barriers) {
+    run_epochs(pool.get(), b.time);
+    serial_phase(b);
+    ++barriers_run_;
+  }
+  // Everything left fires at exactly the horizon (the final barrier). Any
+  // envelope it would create has arrive_time > horizon and is kept in flight
+  // instead, so the outboxes stay empty.
+  run_epochs(pool.get(), std::numeric_limits<double>::infinity());
+  for (const auto& core : cores_) {
+    SCALPEL_REQUIRE(core->outbox.empty(),
+                    "cross-shard envelope created after the final barrier");
+  }
+
+  // Merge the per-shard streams into the single loop's exact accounting.
+  std::vector<const std::vector<MetricRecord>*> logs;
+  logs.reserve(cores_.size() + 1);
+  for (const auto& core : cores_) logs.push_back(&core->log);
+  logs.push_back(&serial_log_);
+  replay_metric_records(merge_metric_records(logs));
+  for (const auto& core : cores_) {
+    for (const auto& [name, counter] : core->registry.counters()) {
+      registry_.counter(name).inc(counter.value());
+    }
+  }
+  finalize_metrics();
+  return metrics_;
+}
+
+std::vector<TraceEvent> ShardedSimulator::trace_events() const {
+  std::vector<TraceEvent> all;
+  for (const auto& core : cores_) {
+    const auto snap = core->tracer.snapshot();
+    all.insert(all.end(), snap.begin(), snap.end());
+  }
+  const auto serial = serial_tracer_.snapshot();
+  all.insert(all.end(), serial.begin(), serial.end());
+  return reconcile_trace(std::move(all));
+}
+
+}  // namespace scalpel

@@ -20,35 +20,6 @@ inline std::uint64_t server_tag(TaskIndex t) { return kServerStageBit | t; }
 
 }  // namespace
 
-/// Per-device compiled state: the PlanModel the tasks sample from plus the
-/// decision's resource grants. The upload/server sub-queues keep a device's
-/// stream FIFO within its granted share — one device's burst occupies one
-/// fluid slot, so it cannot multiply its weight by queueing several jobs.
-struct Simulator::CompiledDevice {
-  std::unique_ptr<PlanModel> plan;
-  /// Device-only variant of `plan` (same exit policy) used when a fault
-  /// resteers a task back onto the device. Null when plan is device-only.
-  std::unique_ptr<PlanModel> fallback;
-  bool device_only = true;
-  ServerId server = -1;
-  double share = 0.0;
-  double bandwidth = 0.0;
-  double rtt = 0.0;
-  double busy_until = 0.0;  // FCFS device queue (deterministic service)
-  /// Tasks waiting for or occupying the device compute stage (the stage is a
-  /// deterministic schedule, not a deque, so the bound counts commitments).
-  std::size_t device_backlog = 0;
-  // MMPP arrival modulation state (used when options.burst_factor > 0).
-  bool burst_high = false;
-  double burst_state_until = 0.0;
-  IndexDeque upload_queue;
-  bool uploading = false;
-  TaskIndex uploading_task = kNoTask;  // the job occupying the fluid slot
-  IndexDeque server_queue;
-  bool serving = false;
-  TaskIndex serving_task = kNoTask;
-};
-
 Simulator::Simulator(const ProblemInstance& instance, Decision decision,
                      Options options)
     : instance_(&instance), decision_(std::move(decision)),
@@ -168,49 +139,8 @@ void Simulator::schedule(double t, EvKind kind, std::int32_t a,
 
 void Simulator::compile_device(DeviceId dev) {
   const auto i = static_cast<std::size_t>(dev);
-  const auto& dd = decision_.per_device[i];
-  const auto& device = instance_->topology().device(dev);
-  const auto& bundle = instance_->bundle_for(dev);
-  auto& cd = *devices_[i];
-  cd.device_only = dd.plan.device_only;
-  LinkSpec link;
-  if (dd.plan.device_only) {
-    link.bandwidth = 1.0;
-    cd.server = -1;
-    cd.share = 0.0;
-    cd.bandwidth = 0.0;
-    cd.rtt = 0.0;
-  } else {
-    SCALPEL_REQUIRE(dd.server >= 0, "offloading decision needs a server");
-    SCALPEL_REQUIRE(dd.bandwidth > 0.0 && dd.compute_share > 0.0,
-                    "offloading decision needs positive grants");
-    cd.server = dd.server;
-    cd.share = dd.compute_share;
-    cd.bandwidth = dd.bandwidth;
-    cd.rtt = instance_->topology().path_rtt(dev, dd.server);
-    link.bandwidth = dd.bandwidth;
-    link.rtt = cd.rtt;
-  }
-  cd.plan = std::make_unique<PlanModel>(
-      bundle.graph, bundle.candidates, dd.plan, bundle.accuracy,
-      device.compute,
-      dd.plan.device_only
-          ? device.compute
-          : instance_->topology().server(dd.server).compute,
-      link, device.difficulty);
-  if (dd.plan.device_only) {
-    cd.fallback.reset();
-  } else {
-    // Same surgery with the cut disabled: what the device runs when a fault
-    // strands its offloaded stream.
-    SurgeryPlan local = dd.plan;
-    local.device_only = true;
-    LinkSpec no_link;
-    no_link.bandwidth = 1.0;
-    cd.fallback = std::make_unique<PlanModel>(
-        bundle.graph, bundle.candidates, local, bundle.accuracy,
-        device.compute, device.compute, no_link, device.difficulty);
-  }
+  compile_device_decision(*instance_, dev, decision_.per_device[i],
+                          *devices_[i], /*cache=*/nullptr);
 }
 
 void Simulator::apply_decision(const Decision& decision) {
@@ -337,7 +267,7 @@ void Simulator::on_arrival(DeviceId dev) {
   const double next = now_ + rng.exponential(rate);
   schedule(next, EvKind::kArrival, dev);
   const TaskIndex task = tasks_.acquire();
-  tasks_.id[task] = next_task_id_++;
+  tasks_.id[task] = make_task_id(dev, cd.arrival_seq++);
   tasks_.device[task] = dev;
   tasks_.arrival[task] = now_;
   if (now_ >= options_.warmup) tasks_.flags[task] |= TaskPool::kCounted;
@@ -491,8 +421,9 @@ void Simulator::start_server_phase(TaskIndex task) {
     shed(task, now_, true);
     return;
   }
-  if (cd.serving) {
-    if (enqueue_bounded(cd.server_queue, task,
+  auto& chain = cd.chain_for(tasks_.server[task]);
+  if (chain.serving) {
+    if (enqueue_bounded(chain.queue, task,
                         options_.overload.server_queue_limit, true)) {
       tracer_.record(now_, tasks_.id[task], tasks_.device[task],
                      tasks_.server[task], TraceEventType::kEnqueue,
@@ -500,17 +431,18 @@ void Simulator::start_server_phase(TaskIndex task) {
     }
     return;
   }
-  cd.serving = true;
+  chain.serving = true;
   begin_server_job(task);
 }
 
-void Simulator::advance_server_queue(DeviceId dev) {
+void Simulator::advance_server_chain(DeviceId dev, ServerId server) {
   auto& cd = *devices_[static_cast<std::size_t>(dev)];
-  if (cd.server_queue.empty()) {
-    cd.serving = false;
+  auto& chain = cd.chain_for(server);
+  if (chain.queue.empty()) {
+    chain.serving = false;
     return;
   }
-  const TaskIndex next = cd.server_queue.pop_front();
+  const TaskIndex next = chain.queue.pop_front();
   tracer_.record(now_, tasks_.id[next], tasks_.device[next],
                  tasks_.server[next], TraceEventType::kDispatch,
                  static_cast<std::uint8_t>(TraceStage::kServer));
@@ -519,19 +451,21 @@ void Simulator::advance_server_queue(DeviceId dev) {
 
 void Simulator::begin_server_job(TaskIndex task) {
   if (!server_up_[static_cast<std::size_t>(tasks_.server[task])]) {
-    advance_server_queue(tasks_.device[task]);
+    advance_server_chain(tasks_.device[task], tasks_.server[task]);
     handle_fault(task);
     return;
   }
   // Never start server work whose result is provably past the deadline.
   if (deadline_expired(task, tasks_.phases[task].server_time)) {
-    advance_server_queue(tasks_.device[task]);
+    advance_server_chain(tasks_.device[task], tasks_.server[task]);
     shed(task, now_, true);
     return;
   }
   const auto srv = static_cast<std::size_t>(tasks_.server[task]);
   auto* server = servers_[srv].get();
-  auto& owner = *devices_[static_cast<std::size_t>(tasks_.device[task])];
+  auto& owner =
+      devices_[static_cast<std::size_t>(tasks_.device[task])]->chain_for(
+          tasks_.server[task]);
   owner.serving_task = task;
   tracer_.record(now_, tasks_.id[task], tasks_.device[task],
                  tasks_.server[task], TraceEventType::kExecStart,
@@ -560,9 +494,11 @@ void Simulator::fluid_job_done(std::uint64_t tag, double now) {
                  tasks_.server[task], TraceEventType::kExecEnd,
                  static_cast<std::uint8_t>(TraceStage::kServer));
   const DeviceId dev = tasks_.device[task];
-  devices_[static_cast<std::size_t>(dev)]->serving_task = kNoTask;
+  const ServerId srv = tasks_.server[task];
+  devices_[static_cast<std::size_t>(dev)]->chain_for(srv).serving_task =
+      kNoTask;
   complete(task, now);  // releases the pool slot; read fields before this
-  advance_server_queue(dev);
+  advance_server_chain(dev, srv);
 }
 
 void Simulator::on_fault_event(const FaultEvent& ev) {
@@ -597,22 +533,18 @@ void Simulator::on_server_down(ServerId s) {
   // all at once, then fail/resteer the owners.
   servers_[static_cast<std::size_t>(s)]->clear(now_);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    auto& cd = *devices_[i];
+    ServerChain* chain = devices_[i]->find_chain(s);
+    if (chain == nullptr) continue;
+    // Every task in this (device, server) chain targets the dead server:
+    // the one in service first (it lost real progress), then the queue in
+    // FIFO order. The chain goes idle — nothing is left to advance to.
     std::vector<TaskIndex> victims;
-    for (std::size_t pos = 0; pos < cd.server_queue.size();) {
-      const TaskIndex t = cd.server_queue.at(pos);
-      if (tasks_.server[t] == s) {
-        victims.push_back(t);
-        cd.server_queue.erase_at(pos);
-      } else {
-        ++pos;
-      }
+    if (chain->serving_task != kNoTask) {
+      victims.push_back(chain->serving_task);
+      chain->serving_task = kNoTask;
     }
-    if (cd.serving_task != kNoTask && tasks_.server[cd.serving_task] == s) {
-      victims.insert(victims.begin(), cd.serving_task);
-      cd.serving_task = kNoTask;
-      advance_server_queue(static_cast<DeviceId>(i));
-    }
+    while (!chain->queue.empty()) victims.push_back(chain->queue.pop_front());
+    chain->serving = false;
     for (TaskIndex v : victims) handle_fault(v);
   }
 }
@@ -677,7 +609,7 @@ void Simulator::resteer_local(TaskIndex task) {
   auto& cd = *devices_[static_cast<std::size_t>(tasks_.device[task])];
   // Re-execute the whole task on the device under the device-only variant of
   // its plan (the partial server-side work is lost with the server).
-  PlanModel* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
+  const PlanModel* fb = cd.fallback ? cd.fallback.get() : cd.plan.get();
   tasks_.phases[task] = fb->phases_for(tasks_.difficulty[task]);
   tasks_.server[task] = -1;
   tasks_.rtt[task] = 0.0;
@@ -854,10 +786,10 @@ void Simulator::controller_tick() {
   for (std::size_t i = 0; i < devices_.size(); ++i) {
     offered[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
     const auto& cd = *devices_[i];
-    qdepth[i] = static_cast<double>(
-        cd.device_backlog + cd.upload_queue.size() +
-        (cd.uploading_task != kNoTask ? 1 : 0) + cd.server_queue.size() +
-        (cd.serving_task != kNoTask ? 1 : 0));
+    qdepth[i] = static_cast<double>(cd.device_backlog +
+                                    cd.upload_queue.size() +
+                                    (cd.uploading_task != kNoTask ? 1 : 0) +
+                                    cd.server_stage_depth());
   }
   ControlAction action = controller_(now_, bw, server_up_, offered, qdepth);
   if (action.decision) apply_decision(*action.decision);

@@ -10,6 +10,7 @@
 #include "edge/dynamics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/compiled_device.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fluid.hpp"
 #include "sim/task_pool.hpp"
@@ -246,8 +247,6 @@ class Simulator : private FluidSink {
   const MetricsRegistry& registry() const { return registry_; }
 
  private:
-  struct CompiledDevice;
-
   /// Dispatch tags of the POD event records (SimEvent::kind).
   enum class EvKind : std::uint32_t {
     kArrival,      // a = device
@@ -273,7 +272,7 @@ class Simulator : private FluidSink {
   void advance_upload_queue(DeviceId dev);
   void start_server_phase(TaskIndex task);
   void begin_server_job(TaskIndex task);
-  void advance_server_queue(DeviceId dev);
+  void advance_server_chain(DeviceId dev, ServerId server);
   void complete(TaskIndex task, double now);
   void fail(TaskIndex task, double now);
   // Overload control.
@@ -345,7 +344,6 @@ class Simulator : private FluidSink {
   // whole-run counters the SimMetrics conservation fields are copied from.
   TaskTracer tracer_;
   MetricsRegistry registry_;
-  std::uint64_t next_task_id_ = 0;
   Counter* ctr_arrived_ = nullptr;
   Counter* ctr_completed_ = nullptr;
   Counter* ctr_failed_ = nullptr;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -39,9 +40,10 @@ Json tiny_report() {
 }
 
 /// Minimal structurally-valid report for gate unit tests — hand-built so a
-/// 2x-slowdown candidate costs nothing to construct.
+/// 2x-slowdown candidate costs nothing to construct. `sharded_ns > 0` adds
+/// the v2 sharded section (and the matching workload shard count).
 Json fake_report(double ns_per_event, bool unoptimized,
-                 const std::string& cpu) {
+                 const std::string& cpu, double sharded_ns = 0.0) {
   Json build = Json::object();
   build.set("optimized", Json::boolean(!unoptimized));
   build.set("sanitized", Json::boolean(false));
@@ -58,6 +60,7 @@ Json fake_report(double ns_per_event, bool unoptimized,
   work.set("cluster_seed", Json::number(7));
   work.set("sim_seed", Json::number(12345));
   work.set("event_queue", Json::string("calendar"));
+  work.set("shards", Json::number(sharded_ns > 0.0 ? 4.0 : 0.0));
   work.set("injected_slowdown", Json::number(0.0));
 
   const double events = 10000.0;
@@ -80,6 +83,17 @@ Json fake_report(double ns_per_event, bool unoptimized,
   Json results = Json::object();
   results.set("des", std::move(des));
   results.set("solver", std::move(solver));
+  if (sharded_ns > 0.0) {
+    Json sharded = Json::object();
+    sharded.set("shards", Json::number(4));
+    sharded.set("reps", Json::number(1));
+    sharded.set("events", Json::number(events));
+    sharded.set("best_seconds", Json::number(sharded_ns * events / 1e9));
+    sharded.set("events_per_sec", Json::number(1e9 / sharded_ns));
+    sharded.set("ns_per_event", Json::number(sharded_ns));
+    sharded.set("bit_identical", Json::boolean(true));
+    results.set("sharded", std::move(sharded));
+  }
 
   Json report = Json::object();
   report.set("bench", Json::string("simcore"));
@@ -107,6 +121,11 @@ TEST(SimcoreReport, TinyRunProducesValidSchema) {
               1e-6);
   EXPECT_GT(report.at("results").at("solver").at("us_per_solve").as_number(),
             0.0);
+  // Default config includes the sharded section; its presence means the
+  // tiny run already cleared the bit-identity REQUIRE inside the bench.
+  ASSERT_TRUE(report.at("results").contains("sharded"));
+  EXPECT_TRUE(
+      report.at("results").at("sharded").at("bit_identical").as_bool());
   // A report must always say which build produced it.
   EXPECT_EQ(report.at("build").at("unoptimized").as_bool(),
             !perf::timing_trustworthy());
@@ -129,6 +148,19 @@ TEST(SimcoreReport, CommittedBaselineParsesAndValidates) {
   perf::validate_simcore_report(baseline);
   EXPECT_FALSE(baseline.at("build").at("unoptimized").as_bool())
       << "the committed baseline must come from an optimized build";
+  // The tracked scoreboard must cover the sharded engine and the
+  // metro-scale sweep (EXPERIMENTS.md, "P2 metro-scale sharding"): a
+  // re-baseline that forgets --shards or --sweep fails here, not later.
+  EXPECT_TRUE(baseline.at("results").contains("sharded"));
+  ASSERT_TRUE(baseline.at("results").contains("metro_sweep"));
+  const Json& sweep = baseline.at("results").at("metro_sweep");
+  double max_devices = 0.0;
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    max_devices =
+        std::max(max_devices, sweep.at(i).at("devices").as_number());
+  }
+  EXPECT_GE(max_devices, 1e6)
+      << "the baseline sweep must reach the million-device point";
 }
 
 TEST(SimcoreReport, ValidateRejectsBrokenDocuments) {
@@ -178,6 +210,47 @@ TEST(RegressionGate, FailsJustPastTolerance) {
   EXPECT_TRUE(
       perf::check_regression(base, fake_report(114.9, false, "cpu-a"), 0.15)
           .passed);
+}
+
+TEST(RegressionGate, GatesShardedSectionWhenBothSidesHaveIt) {
+  // Classic loop steady, sharded loop 2x slower: the gate must fail — a
+  // regression confined to the sharded engine is still a regression.
+  const Json base = fake_report(100.0, false, "cpu-a", 80.0);
+  const auto bad =
+      perf::check_regression(base, fake_report(100.0, false, "cpu-a", 160.0),
+                             0.15);
+  EXPECT_FALSE(bad.passed);
+  EXPECT_NEAR(bad.ratio_sharded, 2.0, 1e-12);
+  EXPECT_NE(bad.message.find("sharded"), std::string::npos);
+
+  const auto good =
+      perf::check_regression(base, fake_report(100.0, false, "cpu-a", 85.0),
+                             0.15);
+  EXPECT_TRUE(good.passed);
+
+  // A candidate without the section is compared on the classic loop only.
+  const auto classic_only =
+      perf::check_regression(base, fake_report(100.0, false, "cpu-a"), 0.15);
+  EXPECT_TRUE(classic_only.passed);
+  EXPECT_EQ(classic_only.ratio_sharded, 0.0);
+}
+
+TEST(SimcoreReport, ValidatorEnforcesShardedContract) {
+  // Section present iff the workload declares shards.
+  Json missing = fake_report(100.0, false, "cpu");
+  Json work = missing.at("workload");
+  work.set("shards", Json::number(4));
+  missing.set("workload", std::move(work));
+  EXPECT_THROW(perf::validate_simcore_report(missing), ContractViolation);
+
+  // A sharded timing whose run was NOT bit-identical is unpublishable.
+  Json lying = fake_report(100.0, false, "cpu", 80.0);
+  Json results = lying.at("results");
+  Json sharded = results.at("sharded");
+  sharded.set("bit_identical", Json::boolean(false));
+  results.set("sharded", std::move(sharded));
+  lying.set("results", std::move(results));
+  EXPECT_THROW(perf::validate_simcore_report(lying), ContractViolation);
 }
 
 TEST(RegressionGate, SkipsUnoptimizedCandidates) {

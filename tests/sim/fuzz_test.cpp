@@ -1,0 +1,163 @@
+// Shard fuzzer: random topologies, random decisions, random fault schedules
+// and overload bursts, then the shard-count-invariance contract — the
+// whole-run conservation counters (and conservation identity itself, with
+// tasks mid-flight across shards at the end) must not depend on how the
+// topology was partitioned or how many workers ran the epochs. The bitwise
+// equivalence matrix lives in shard_equivalence_test.cpp; this file hunts
+// the configurations nobody thought to enumerate there.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/objective.hpp"
+#include "edge/builders.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+ProblemInstance random_instance(Rng& rng) {
+  clusters::CampusOptions copts;
+  copts.seed = rng.next_u64();
+  copts.num_devices = 4 + static_cast<std::size_t>(rng.uniform(0.0, 6.0));
+  copts.num_servers = 1 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  copts.devices_per_cell = 1 + static_cast<std::size_t>(rng.uniform(0.0, 3.0));
+  copts.cell_rtt = rng.uniform(1e-3, 20e-3);
+  copts.mean_arrival_rate = rng.uniform(0.5, 4.0);
+  copts.deadline = rng.uniform() < 0.3 ? 0.0 : rng.uniform(0.1, 0.5);
+  return ProblemInstance(clusters::campus(copts));
+}
+
+Decision random_decision(const ProblemInstance& instance, Rng& rng) {
+  Decision d;
+  d.scheme = "fuzz";
+  const auto& topo = instance.topology();
+  d.per_device.resize(topo.devices().size());
+  for (auto& dd : d.per_device) {
+    if (rng.uniform() < 0.3 || topo.servers().empty()) {
+      dd.plan.device_only = true;
+      continue;
+    }
+    dd.plan.partition_after = 0;
+    dd.server = static_cast<ServerId>(
+        rng.uniform(0.0, static_cast<double>(topo.servers().size()) - 0.01));
+    // Shares summed per server must stay within capacity even if every
+    // device lands on the same one.
+    dd.compute_share =
+        rng.uniform(0.2, 0.9) / static_cast<double>(d.per_device.size());
+    dd.bandwidth = mbps(rng.uniform(10.0, 60.0));
+  }
+  evaluate_decision(instance, d);
+  return d;
+}
+
+Simulator::Options random_options(const ProblemInstance& instance, Rng& rng) {
+  Simulator::Options opts;
+  opts.horizon = rng.uniform(4.0, 8.0);
+  opts.warmup = rng.uniform(0.0, 1.0);
+  opts.seed = rng.next_u64();
+  if (rng.uniform() < 0.5) opts.series_window = rng.uniform(0.3, 1.0);
+  if (rng.uniform() < 0.5) opts.burst_factor = rng.uniform(0.1, 0.7);
+
+  // Random fault schedule over real targets.
+  const auto& topo = instance.topology();
+  if (rng.uniform() < 0.7) {
+    std::vector<FaultEvent> events;
+    const int n = 1 + static_cast<int>(rng.uniform(0.0, 4.0));
+    for (int i = 0; i < n; ++i) {
+      FaultEvent ev;
+      ev.time = rng.uniform(0.5, opts.horizon);
+      const bool server = !topo.servers().empty() && rng.uniform() < 0.6;
+      ev.target = server ? FaultTarget::Server : FaultTarget::Link;
+      const std::size_t limit =
+          server ? topo.servers().size() : topo.cells().size();
+      ev.id = static_cast<std::int32_t>(
+          rng.uniform(0.0, static_cast<double>(limit) - 0.01));
+      ev.up = rng.uniform() < 0.4;
+      events.push_back(ev);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const FaultEvent& a, const FaultEvent& b) {
+                return a.time < b.time;
+              });
+    opts.faults.schedule = FaultSchedule(events);
+    const FaultPolicy policies[] = {FaultPolicy::Drop,
+                                    FaultPolicy::RetryOnDevice,
+                                    FaultPolicy::RetryOffload};
+    opts.faults.policy = policies[rng.next_u64() % 3];
+  }
+
+  // Random overload posture and a burst window.
+  if (rng.uniform() < 0.7) {
+    const OverloadPolicy policies[] = {OverloadPolicy::Block,
+                                       OverloadPolicy::ShedNewest,
+                                       OverloadPolicy::ShedExpired};
+    opts.overload.policy = policies[rng.next_u64() % 3];
+    opts.overload.device_queue_limit =
+        static_cast<std::size_t>(rng.uniform(0.0, 5.0));
+    opts.overload.upload_queue_limit =
+        static_cast<std::size_t>(rng.uniform(0.0, 4.0));
+    opts.overload.server_queue_limit =
+        static_cast<std::size_t>(rng.uniform(0.0, 4.0));
+    const double start = rng.uniform(0.5, opts.horizon * 0.6);
+    opts.rate_bursts.push_back(
+        RateBurst{start, start + rng.uniform(0.5, opts.horizon * 0.4),
+                  rng.uniform(2.0, 6.0)});
+  }
+  return opts;
+}
+
+TEST(ShardFuzz, ConservationIsShardCountInvariant) {
+  Rng rng(20260808);
+  for (int iter = 0; iter < 12; ++iter) {
+    SCOPED_TRACE(::testing::Message() << "iteration " << iter);
+    const ProblemInstance instance = random_instance(rng);
+    const Decision d = random_decision(instance, rng);
+    const Simulator::Options opts = random_options(instance, rng);
+
+    std::vector<double> gate;
+    if (rng.uniform() < 0.4) {
+      for (std::size_t i = 0; i < instance.topology().devices().size(); ++i) {
+        gate.push_back(rng.uniform(0.4, 1.0));
+      }
+    }
+
+    Simulator ref(instance, d, opts);
+    if (!gate.empty()) ref.set_admission(gate);
+    const SimMetrics ref_m = ref.run();
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t threads : {1u, 2u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "shards=" << shards << " threads=" << threads);
+        ShardOptions sopts;
+        sopts.shards = shards;
+        sopts.threads = threads;
+        ShardedSimulator sim(instance, d, opts, sopts);
+        if (!gate.empty()) sim.set_admission(gate);
+        const SimMetrics m = sim.run();
+
+        // Conservation with cross-shard in-flight tasks at the end: every
+        // arrival is terminal or live, exactly once, however sharded.
+        EXPECT_EQ(m.arrived, m.completed_all + m.failed_all + m.shed_all +
+                                 m.in_flight_end);
+        EXPECT_EQ(ref_m.arrived, m.arrived);
+        EXPECT_EQ(ref_m.completed_all, m.completed_all);
+        EXPECT_EQ(ref_m.failed_all, m.failed_all);
+        EXPECT_EQ(ref_m.shed_all, m.shed_all);
+        EXPECT_EQ(ref_m.in_flight_end, m.in_flight_end);
+        EXPECT_EQ(ref_m.retried, m.retried);
+        EXPECT_EQ(ref_m.resteered, m.resteered);
+        EXPECT_EQ(ref_m.events_processed, m.events_processed);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalpel

@@ -1,0 +1,433 @@
+// Differential determinism matrix for the cell-sharded simulator: for any
+// shard count and any worker-thread count, ShardedSimulator must reproduce
+// the single-loop Simulator BIT-IDENTICALLY — every SimMetrics field, the
+// merged metrics registry, the reconciled trace stream, conservation
+// counters, and events_processed. Scenarios are shaped like the paper
+// benches (F4 arrival sweep, F16 fault schedules, F17 overload) plus the
+// cross-shard-specific paths: online replans, admission changes, and tasks
+// in flight across epoch barriers and the horizon.
+
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/joint.hpp"
+#include "core/objective.hpp"
+#include "edge/builders.hpp"
+#include "obs/trace.hpp"
+#include "sim/runner.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace scalpel {
+namespace {
+
+const std::size_t kShardCounts[] = {1, 2, 4, 8};
+const std::size_t kThreadCounts[] = {1, 2, 8};
+
+JointOptions fast_opts() {
+  JointOptions o;
+  o.max_iterations = 2;
+  o.dp_coverage_bins = 40;
+  o.theta_grid = {0.0, 0.3, 0.6};
+  return o;
+}
+
+/// Multi-cell campus with few devices per cell, so 4 distinct shards exist
+/// and most offloads cross a shard boundary.
+ProblemInstance sharded_campus(std::uint64_t seed, double rate,
+                               std::size_t num_devices = 8,
+                               std::size_t num_servers = 3) {
+  clusters::CampusOptions copts;
+  copts.seed = seed;
+  copts.num_devices = num_devices;
+  copts.num_servers = num_servers;
+  copts.devices_per_cell = 2;
+  copts.mean_arrival_rate = rate;
+  return ProblemInstance(clusters::campus(copts));
+}
+
+Decision offload_decision(const ProblemInstance& instance, double share,
+                          double bw) {
+  Decision d;
+  d.scheme = "test_offload";
+  d.per_device.resize(instance.topology().devices().size());
+  for (auto& dd : d.per_device) {
+    dd.plan.partition_after = 0;
+    dd.server = 0;
+    dd.compute_share = share;
+    dd.bandwidth = bw;
+  }
+  evaluate_decision(instance, d);
+  return d;
+}
+
+Decision local_decision(const ProblemInstance& instance) {
+  Decision d;
+  d.scheme = "test_local";
+  d.per_device.resize(instance.topology().devices().size());
+  for (auto& dd : d.per_device) dd.plan.device_only = true;
+  evaluate_decision(instance, d);
+  return d;
+}
+
+void expect_samples_identical(const Samples& a, const Samples& b) {
+  ASSERT_EQ(a.count(), b.count());
+  const auto& va = a.values();
+  const auto& vb = b.values();
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i], vb[i]) << "sample " << i;  // bitwise, not approximate
+  }
+}
+
+/// Every field of SimMetrics, bit-for-bit (EXPECT_EQ on doubles is exact on
+/// purpose — the bar is "identical", not "close").
+void expect_metrics_identical(const SimMetrics& a, const SimMetrics& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.arrived, b.arrived);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.expired, b.expired);
+  EXPECT_EQ(a.retried, b.retried);
+  EXPECT_EQ(a.resteered, b.resteered);
+  EXPECT_EQ(a.completed_all, b.completed_all);
+  EXPECT_EQ(a.failed_all, b.failed_all);
+  EXPECT_EQ(a.shed_all, b.shed_all);
+  EXPECT_EQ(a.in_flight_end, b.in_flight_end);
+  EXPECT_EQ(a.deadline_satisfaction, b.deadline_satisfaction);
+  EXPECT_EQ(a.measured_accuracy, b.measured_accuracy);
+  EXPECT_EQ(a.mean_task_energy, b.mean_task_energy);
+  EXPECT_EQ(a.offload_fraction, b.offload_fraction);
+  EXPECT_EQ(a.availability, b.availability);
+  expect_samples_identical(a.latency, b.latency);
+  expect_samples_identical(a.outage_latency, b.outage_latency);
+  ASSERT_EQ(a.server_utilization.size(), b.server_utilization.size());
+  for (std::size_t s = 0; s < a.server_utilization.size(); ++s) {
+    EXPECT_EQ(a.server_utilization[s], b.server_utilization[s]) << "srv " << s;
+  }
+  ASSERT_EQ(a.per_device.size(), b.per_device.size());
+  for (std::size_t i = 0; i < a.per_device.size(); ++i) {
+    const auto& da = a.per_device[i];
+    const auto& db = b.per_device[i];
+    EXPECT_EQ(da.arrived, db.arrived) << "device " << i;
+    EXPECT_EQ(da.completed, db.completed) << "device " << i;
+    EXPECT_EQ(da.failed, db.failed) << "device " << i;
+    EXPECT_EQ(da.shed, db.shed) << "device " << i;
+    EXPECT_EQ(da.expired, db.expired) << "device " << i;
+    EXPECT_EQ(da.retries, db.retries) << "device " << i;
+    EXPECT_EQ(da.resteered, db.resteered) << "device " << i;
+    EXPECT_EQ(da.deadline_met, db.deadline_met) << "device " << i;
+    EXPECT_EQ(da.deadline_total, db.deadline_total) << "device " << i;
+    EXPECT_EQ(da.accuracy_sum, db.accuracy_sum) << "device " << i;
+    EXPECT_EQ(da.energy_sum, db.energy_sum) << "device " << i;
+    EXPECT_EQ(da.offloaded, db.offloaded) << "device " << i;
+    EXPECT_EQ(da.exit_histogram, db.exit_histogram) << "device " << i;
+    expect_samples_identical(da.latency, db.latency);
+  }
+  ASSERT_EQ(a.series.tasks_in_flight.size(), b.series.tasks_in_flight.size());
+  for (std::size_t w = 0; w < a.series.tasks_in_flight.size(); ++w) {
+    EXPECT_EQ(a.series.tasks_in_flight[w], b.series.tasks_in_flight[w]);
+    EXPECT_EQ(a.series.completion_rate[w], b.series.completion_rate[w]);
+    EXPECT_EQ(a.series.mean_accuracy[w], b.series.mean_accuracy[w]);
+    EXPECT_EQ(a.series.shed_rate[w], b.series.shed_rate[w]);
+  }
+}
+
+/// Merged registry vs. single-loop registry: same counter/gauge key sets,
+/// same values; the latency histogram agrees in mass and quantiles.
+void expect_registries_identical(const MetricsRegistry& a,
+                                 const MetricsRegistry& b) {
+  ASSERT_EQ(a.counters().size(), b.counters().size());
+  auto ib = b.counters().begin();
+  for (const auto& [name, ctr] : a.counters()) {
+    EXPECT_EQ(name, ib->first);
+    EXPECT_EQ(ctr.value(), ib->second.value()) << "counter " << name;
+    ++ib;
+  }
+  ASSERT_EQ(a.gauges().size(), b.gauges().size());
+  auto gb = b.gauges().begin();
+  for (const auto& [name, g] : a.gauges()) {
+    EXPECT_EQ(name, gb->first);
+    EXPECT_EQ(g.value(), gb->second.value()) << "gauge " << name;
+    ++gb;
+  }
+  const auto& ha = a.histograms();
+  const auto& hb = b.histograms();
+  ASSERT_EQ(ha.size(), hb.size());
+  auto hbi = hb.begin();
+  for (const auto& [name, h] : ha) {
+    EXPECT_EQ(name, hbi->first);
+    EXPECT_EQ(h.total(), hbi->second.total()) << "histogram " << name;
+    EXPECT_EQ(h.p50(), hbi->second.p50()) << "histogram " << name;
+    EXPECT_EQ(h.p99(), hbi->second.p99()) << "histogram " << name;
+    ++hbi;
+  }
+}
+
+struct ShardHooks {
+  std::vector<double> admission;
+  Simulator::RichController rich;
+};
+
+/// Runs the scenario on the single loop, then across the full shard x thread
+/// matrix, and holds every run to the single loop's exact outputs.
+void expect_shard_equivalence(const ProblemInstance& instance,
+                              const Decision& d, Simulator::Options opts,
+                              const ShardHooks& hooks = {}) {
+  opts.trace_capacity = 1 << 18;  // ample: no ring drops, full stream compare
+
+  Simulator ref(instance, d, opts);
+  if (!hooks.admission.empty()) ref.set_admission(hooks.admission);
+  if (hooks.rich) ref.set_controller(hooks.rich);
+  const SimMetrics ref_m = ref.run();
+  const std::vector<TraceEvent> ref_trace =
+      reconcile_trace(ref.trace().snapshot());
+  EXPECT_EQ(ref.trace().dropped(), 0u) << "ring too small for scenario";
+
+  for (const std::size_t shards : kShardCounts) {
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ShardOptions sopts;
+      sopts.shards = shards;
+      sopts.threads = threads;
+      ShardedSimulator sim(instance, d, opts, sopts);
+      if (!hooks.admission.empty()) sim.set_admission(hooks.admission);
+      if (hooks.rich) sim.set_controller(hooks.rich);
+      const SimMetrics m = sim.run();
+      expect_metrics_identical(ref_m, m);
+      expect_registries_identical(ref.registry(), sim.registry());
+      const std::vector<TraceEvent> trace = sim.trace_events();
+      ASSERT_EQ(ref_trace.size(), trace.size());
+      for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+        ASSERT_TRUE(ref_trace[i] == trace[i]) << "trace event " << i;
+      }
+    }
+  }
+}
+
+class ShardEquivalenceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// F4-shaped: plain arrival sweep over an optimized decision, time series on.
+TEST_P(ShardEquivalenceTest, ArrivalSweepBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const ProblemInstance instance =
+      sharded_campus(seed, 1.0 + 1.5 * static_cast<double>(seed % 4));
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  Simulator::Options opts;
+  opts.horizon = 12.0;
+  opts.warmup = 1.0;
+  opts.seed = seed;
+  opts.series_window = 1.0;
+  expect_shard_equivalence(instance, d, opts);
+}
+
+// F16-shaped: server/link outages under each fault policy — fault sweeps
+// reorder queues, migrate victims home across shards, and clear fluid state.
+TEST_P(ShardEquivalenceTest, FaultScheduleBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const ProblemInstance instance = sharded_campus(seed, 2.0, 6, 2);
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  Simulator::Options opts;
+  opts.horizon = 12.0;
+  opts.warmup = 1.0;
+  opts.seed = seed;
+  std::vector<FaultEvent> events;
+  events.push_back({3.0, FaultTarget::Server, 0, false});
+  events.push_back({5.5, FaultTarget::Server, 0, true});
+  events.push_back({7.0, FaultTarget::Link, 0, false});
+  events.push_back({9.0, FaultTarget::Link, 0, true});
+  opts.faults.schedule = FaultSchedule(events);
+  const FaultPolicy policies[] = {FaultPolicy::Drop,
+                                  FaultPolicy::RetryOnDevice,
+                                  FaultPolicy::RetryOffload};
+  opts.faults.policy = policies[seed % 3];
+  expect_shard_equivalence(instance, d, opts);
+}
+
+// F17-shaped: bounded queues, shedding, a scripted rate burst, MMPP arrival
+// modulation and an admission gate — heavy victim selection and gate RNG.
+TEST_P(ShardEquivalenceTest, OverloadBitIdentical) {
+  const std::uint64_t seed = GetParam();
+  const ProblemInstance instance = sharded_campus(seed, 2.5, 6, 2);
+  const auto d = JointOptimizer(fast_opts()).optimize(instance);
+
+  Simulator::Options opts;
+  opts.horizon = 10.0;
+  opts.warmup = 1.0;
+  opts.seed = seed;
+  opts.series_window = 0.5;
+  opts.burst_factor = 0.4;
+  const OverloadPolicy policies[] = {OverloadPolicy::Block,
+                                     OverloadPolicy::ShedNewest,
+                                     OverloadPolicy::ShedExpired};
+  opts.overload.policy = policies[seed % 3];
+  opts.overload.device_queue_limit = 3;
+  opts.overload.upload_queue_limit = 2;
+  opts.overload.server_queue_limit = 2;
+  opts.rate_bursts.push_back(RateBurst{3.0, 6.0, 4.0});
+
+  ShardHooks hooks;
+  for (std::size_t i = 0; i < instance.topology().devices().size(); ++i) {
+    hooks.admission.push_back(0.5 + 0.05 * static_cast<double>(i));
+  }
+  expect_shard_equivalence(instance, d, opts, hooks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardEquivalenceTest,
+                         ::testing::Values(3, 17, 42, 99));
+
+// Online replanning: a rich controller that alternates every device between
+// offload and device-only and tightens admission — the controller runs in
+// the serial phase, and replans retarget in-flight chains across shards.
+TEST(ShardEquivalence, ControllerReplanBitIdentical) {
+  const ProblemInstance instance = sharded_campus(7, 2.0);
+  const Decision d_off = offload_decision(instance, 0.1, mbps(40.0));
+  const Decision d_loc = local_decision(instance);
+
+  Simulator::Options opts;
+  opts.horizon = 10.0;
+  opts.warmup = 1.0;
+  opts.seed = 7;
+  opts.control_interval = 0.75;
+  opts.series_window = 1.0;
+
+  ShardHooks hooks;
+  hooks.rich = [d_off, d_loc](double now, const std::vector<double>&,
+                              const std::vector<bool>&,
+                              const std::vector<double>&,
+                              const std::vector<double>& qdepth) {
+    ControlAction a;
+    const bool odd = static_cast<int>(now / 0.75 + 0.5) % 2 != 0;
+    a.decision = odd ? d_loc : d_off;
+    std::vector<double> gate(qdepth.size());
+    for (std::size_t i = 0; i < gate.size(); ++i) {
+      gate[i] = qdepth[i] > 4.0 ? 0.6 : 1.0;
+    }
+    a.admit_fraction = std::move(gate);
+    return a;
+  };
+  expect_shard_equivalence(instance, offload_decision(instance, 0.1, mbps(40.0)),
+                           opts, hooks);
+}
+
+// Tasks still crossing shards when the run ends: a long-RTT offload whose
+// kServerArrive lands past the horizon must stay in flight (never delivered,
+// never double-counted), exactly like the single loop dropping the event.
+TEST(ShardEquivalence, CrossShardInFlightAtHorizonBitIdentical) {
+  clusters::CampusOptions copts;
+  copts.seed = 13;
+  copts.num_devices = 8;
+  copts.num_servers = 2;
+  copts.devices_per_cell = 2;
+  copts.cell_rtt = ms(40.0);  // long flight: many arrivals stranded mid-RTT
+  copts.mean_arrival_rate = 6.0;
+  const ProblemInstance instance(clusters::campus(copts));
+  const Decision d = offload_decision(instance, 0.1, mbps(40.0));
+
+  Simulator::Options opts;
+  opts.horizon = 4.0;
+  opts.warmup = 0.5;
+  opts.seed = 13;
+
+  Simulator ref(instance, d, opts);
+  const SimMetrics ref_m = ref.run();
+  // The scenario must actually exercise the boundary path.
+  EXPECT_GT(ref_m.in_flight_end, 0u);
+  EXPECT_GT(ref_m.offload_fraction, 0.0);
+  expect_shard_equivalence(instance, d, opts);
+}
+
+// The shard plan itself: pure function of the topology, clamped to the cell
+// count, devices co-located with their cells, zero-RTT pairs merged.
+TEST(ShardPlan, DeterministicAndClamped) {
+  const ProblemInstance instance = sharded_campus(21, 1.0);
+  const auto& topo = instance.topology();
+  const ShardPlan a = ShardPlan::build(topo, 64);
+  const ShardPlan b = ShardPlan::build(topo, 64);
+  EXPECT_EQ(a.cell_shard, b.cell_shard);
+  EXPECT_EQ(a.server_shard, b.server_shard);
+  EXPECT_EQ(a.device_shard, b.device_shard);
+  EXPECT_EQ(a.num_shards, b.num_shards);
+  EXPECT_EQ(a.lookahead, b.lookahead);
+  EXPECT_LE(a.num_shards, topo.cells().size());
+  for (std::size_t d = 0; d < topo.devices().size(); ++d) {
+    EXPECT_EQ(a.device_shard[d],
+              a.cell_shard[static_cast<std::size_t>(topo.devices()[d].cell)]);
+  }
+  EXPECT_TRUE(std::isfinite(a.lookahead));
+  EXPECT_GT(a.lookahead, 0.0);
+
+  const ShardPlan one = ShardPlan::build(topo, 1);
+  EXPECT_EQ(one.num_shards, 1u);
+  // One shard has no cross pairs: infinite lookahead, no filler barriers.
+  EXPECT_FALSE(std::isfinite(one.lookahead));
+}
+
+// The runner's sharded path: per-replication aggregates must match the
+// classic single-loop fan-out exactly, for any shard count.
+TEST(ShardEquivalence, RunnerShardedPathBitIdentical) {
+  const ProblemInstance instance = sharded_campus(11, 2.0, 6, 2);
+  const Decision d = offload_decision(instance, 0.1, mbps(40.0));
+
+  ScenarioRunner::Options ropts;
+  ropts.replications = 3;
+  ropts.threads = 1;
+  ropts.sim.horizon = 8.0;
+  ropts.sim.warmup = 1.0;
+  ropts.sim.seed = 11;
+  ropts.sim.faults.schedule = FaultSchedule::server_crash(0, 3.0, 5.0);
+  const ReplicatedMetrics classic =
+      ScenarioRunner(instance, d, ropts).run();
+
+  for (const std::size_t shards : {2u, 4u}) {
+    ropts.shards = shards;
+    ropts.shard_threads = 2;
+    const ReplicatedMetrics sharded =
+        ScenarioRunner(instance, d, ropts).run();
+    EXPECT_EQ(classic.arrived, sharded.arrived) << "shards=" << shards;
+    EXPECT_EQ(classic.completed, sharded.completed) << "shards=" << shards;
+    ASSERT_EQ(classic.replications.size(), sharded.replications.size());
+    for (std::size_t r = 0; r < classic.replications.size(); ++r) {
+      expect_metrics_identical(classic.replications[r],
+                               sharded.replications[r]);
+    }
+  }
+}
+
+TEST(ShardPlan, ZeroRttPairsMergeShards) {
+  ClusterTopology t;
+  // Two cells, both at zero access RTT, and a zero-backhaul server: the
+  // server binds to cell 0 (lowest id), leaving (cell 1, server) a zero-RTT
+  // CROSS-shard pair — splitting would need zero lookahead, so they merge.
+  t.add_cell(Cell{-1, "a", mbps(100.0), 0.0});
+  t.add_cell(Cell{-1, "b", mbps(100.0), 0.0});
+  for (int i = 0; i < 2; ++i) {
+    Device d;
+    d.name = "dev" + std::to_string(i);
+    d.compute = profiles::smartphone();
+    d.energy = profiles::energy_phone();
+    d.cell = i;
+    d.model = "tiny_cnn";
+    d.arrival_rate = 1.0;
+    t.add_device(d);
+  }
+  EdgeServer s;
+  s.name = "srv";
+  s.compute = profiles::edge_gpu_t4();
+  s.backhaul_rtt = 0.0;
+  t.add_server(s);
+  const ShardPlan p = ShardPlan::build(t, 2);
+  EXPECT_EQ(p.num_shards, 1u);
+  EXPECT_EQ(p.cell_shard[0], p.cell_shard[1]);
+  EXPECT_EQ(p.server_shard[0], p.cell_shard[0]);
+}
+
+}  // namespace
+}  // namespace scalpel
