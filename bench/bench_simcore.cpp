@@ -26,11 +26,38 @@
 #include "perf/baseline.hpp"
 #include "perf/build_info.hpp"
 #include "perf/simcore_bench.hpp"
+#include "util/flags.hpp"
 
 namespace {
 
 using scalpel::Json;
 namespace perf = scalpel::perf;
+
+// Strict numeric parsing (util/flags.hpp): garbage, negatives, and trailing
+// junk exit 2 with the offending token instead of atoi()-ing to 0.
+std::uint64_t parse_size_or_die(const std::string& flag, const char* text,
+                                std::uint64_t min_value,
+                                std::uint64_t max_value) {
+  std::uint64_t value = 0;
+  std::string err;
+  if (!scalpel::flags::parse_size(text, min_value, max_value, &value, &err)) {
+    std::fprintf(stderr, "bench_simcore: %s: %s\n", flag.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double parse_double_or_die(const std::string& flag, const char* text,
+                           double min_value, double max_value) {
+  double value = 0.0;
+  std::string err;
+  if (!scalpel::flags::parse_double(text, min_value, max_value, &value,
+                                    &err)) {
+    std::fprintf(stderr, "bench_simcore: %s: %s\n", flag.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return value;
+}
 
 Json load_json(const std::string& path) {
   std::ifstream in(path);
@@ -66,11 +93,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--check") {
       baseline_path = next();
     } else if (arg == "--tolerance") {
-      tolerance = std::atof(next());
+      tolerance = parse_double_or_die(arg, next(), 1e-9, 100.0);
     } else if (arg == "--reps") {
-      config.des_reps = static_cast<std::size_t>(std::atoi(next()));
+      config.des_reps = static_cast<std::size_t>(
+          parse_size_or_die(arg, next(), 1, 1u << 20));
     } else if (arg == "--scale") {
-      scale = std::atof(next());
+      scale = parse_double_or_die(arg, next(), 1e-9, 1e6);
     } else if (arg == "--queue") {
       const std::string q = next();
       if (q == "calendar") {
@@ -82,11 +110,13 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else if (arg == "--shards") {
-      config.shards = static_cast<std::size_t>(std::atoi(next()));
+      config.shards = static_cast<std::size_t>(
+          parse_size_or_die(arg, next(), 0, 4096));
     } else if (arg == "--sweep") {
-      config.sweep_max_devices = static_cast<std::size_t>(std::atol(next()));
+      config.sweep_max_devices = static_cast<std::size_t>(
+          parse_size_or_die(arg, next(), 1, 1u << 30));
     } else if (arg == "--inject-slowdown") {
-      config.inject_slowdown = std::atof(next());
+      config.inject_slowdown = parse_double_or_die(arg, next(), 0.0, 1e3);
     } else {
       std::fprintf(stderr, "bench_simcore: unknown flag %s\n", arg.c_str());
       return 2;

@@ -4,6 +4,9 @@
 #                      plus a one-seed slice of the shard determinism matrix
 #   ./ci.sh full     — same build + the full suite including slow DES tests
 #   ./ci.sh asan     — ASan+UBSan build (halt on first report) + fast tier
+#   ./ci.sh ubsan    — UBSan-only build (halt on first report) + fast tier
+#                      + one-seed shard slice + trace smoke; cheap enough to
+#                      cover more ground than the asan tier per minute
 #   ./ci.sh tsan     — ThreadSanitizer build + fast tier + the FULL
 #                      shard×thread determinism matrix (the barrier and
 #                      envelope hand-off run under the race detector)
@@ -20,6 +23,9 @@ EXTRA=()
 if [[ "$TIER" == "asan" ]]; then
   DEFAULT_DIR=build-asan
   EXTRA=(-DSCALPEL_SANITIZE=ON)
+elif [[ "$TIER" == "ubsan" ]]; then
+  DEFAULT_DIR=build-ubsan
+  EXTRA=(-DSCALPEL_SANITIZE=undefined)
 elif [[ "$TIER" == "tsan" ]]; then
   DEFAULT_DIR=build-tsan
   EXTRA=(-DSCALPEL_SANITIZE=thread)
@@ -65,7 +71,7 @@ shard_slice() {
 }
 
 case "$TIER" in
-  fast|asan)
+  fast|asan|ubsan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
     shard_slice
     trace_smoke
@@ -94,7 +100,7 @@ case "$TIER" in
       --tolerance "${PERF_TOLERANCE:-0.15}"
     ;;
   *)
-    echo "usage: $0 [fast|full|asan|tsan|perf]" >&2
+    echo "usage: $0 [fast|full|asan|ubsan|tsan|perf]" >&2
     exit 2
     ;;
 esac

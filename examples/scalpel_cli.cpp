@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <sstream>
 #include <string>
@@ -38,6 +39,7 @@
 #include "sim/metrics_export.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+#include "util/flags.hpp"
 #include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -58,7 +60,8 @@ namespace {
                "--out FILE\n"
                "  scalpel_cli simulate --topology FILE --decision FILE "
                "[--horizon SECONDS] [--warmup SECONDS] [--seed S] "
-               "[--reps N] [--threads T] [--metrics-out FILE(.json|.csv)]\n"
+               "[--reps N] [--threads T] [--shards K] "
+               "[--metrics-out FILE(.json|.csv)]\n"
                "  scalpel_cli admission --topology FILE [--decision FILE] "
                "[--scheme joint|...] [--headroom H] [--rungs N]\n"
                "  scalpel_cli trace --topology FILE [--decision FILE] "
@@ -88,6 +91,45 @@ std::string flag_or(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+// Numeric flags go through the strict whole-token parser (util/flags.hpp):
+// "--reps -3", "--threads 8x", and "--tolerance banana" all die with a
+// one-line reason and exit 2 instead of wrapping through unsigned conversion
+// or silently becoming 0.
+constexpr std::uint64_t kNoSizeLimit =
+    std::numeric_limits<std::uint64_t>::max();
+constexpr double kNoDoubleLimit = std::numeric_limits<double>::infinity();
+
+std::uint64_t size_flag(const std::map<std::string, std::string>& flags,
+                        const std::string& key, std::uint64_t fallback,
+                        std::uint64_t min_value,
+                        std::uint64_t max_value = kNoSizeLimit) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  std::uint64_t value = 0;
+  std::string err;
+  if (!scalpel::flags::parse_size(it->second, min_value, max_value, &value,
+                                  &err)) {
+    std::fprintf(stderr, "error: --%s: %s\n", key.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
+double double_flag(const std::map<std::string, std::string>& flags,
+                   const std::string& key, double fallback, double min_value,
+                   double max_value = kNoDoubleLimit) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  double value = 0.0;
+  std::string err;
+  if (!scalpel::flags::parse_double(it->second, min_value, max_value, &value,
+                                    &err)) {
+    std::fprintf(stderr, "error: --%s: %s\n", key.c_str(), err.c_str());
+    std::exit(2);
+  }
+  return value;
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -115,11 +157,11 @@ int cmd_topology(const std::map<std::string, std::string>& flags) {
     topo = clusters::small_lab();
   } else if (preset == "campus") {
     clusters::CampusOptions opts;
-    opts.num_devices = static_cast<std::size_t>(
-        std::stoul(flag_or(flags, "devices", "24")));
-    opts.num_servers = static_cast<std::size_t>(
-        std::stoul(flag_or(flags, "servers", "4")));
-    opts.seed = std::stoull(flag_or(flags, "seed", "42"));
+    opts.num_devices =
+        static_cast<std::size_t>(size_flag(flags, "devices", 24, 1, 1u << 20));
+    opts.num_servers =
+        static_cast<std::size_t>(size_flag(flags, "servers", 4, 1, 1u << 16));
+    opts.seed = size_flag(flags, "seed", 42, 0);
     topo = clusters::campus(opts);
   } else {
     std::fprintf(stderr, "error: unknown preset %s\n", preset.c_str());
@@ -172,6 +214,22 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   const std::string topo_path = flag_or(flags, "topology", "");
   const std::string decision_path = flag_or(flags, "decision", "");
   if (topo_path.empty() || decision_path.empty()) usage();
+
+  // All numeric flags are validated before any file I/O so a typo'd command
+  // fails on the typo, not on whatever half-built state came first.
+  Simulator::Options opts;
+  opts.horizon = double_flag(flags, "horizon", 60.0, 1e-6);
+  opts.warmup = double_flag(flags, "warmup", opts.horizon * 0.1, 0.0);
+  opts.seed = size_flag(flags, "seed", 1, 0);
+  const auto reps =
+      static_cast<std::size_t>(size_flag(flags, "reps", 1, 1, 1u << 20));
+  // --threads 0 is an error (what would zero workers mean?); the flag being
+  // absent means "one worker per hardware core".
+  const auto threads =
+      static_cast<std::size_t>(size_flag(flags, "threads", 0, 1, 4096));
+  const auto shards =
+      static_cast<std::size_t>(size_flag(flags, "shards", 0, 1, 4096));
+
   const auto topo =
       serialize::topology_from_json(Json::parse(read_file(topo_path)));
   const ProblemInstance instance(topo);
@@ -179,19 +237,9 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
       serialize::decision_from_json(Json::parse(read_file(decision_path)));
   evaluate_decision(instance, decision);
 
-  Simulator::Options opts;
-  opts.horizon = std::stod(flag_or(flags, "horizon", "60"));
-  opts.warmup = std::stod(flag_or(
-      flags, "warmup", std::to_string(opts.horizon * 0.1)));
-  opts.seed = std::stoull(flag_or(flags, "seed", "1"));
-  const auto reps =
-      static_cast<std::size_t>(std::stoul(flag_or(flags, "reps", "1")));
-  const auto threads =
-      static_cast<std::size_t>(std::stoul(flag_or(flags, "threads", "0")));
-
   const std::string metrics_out = flag_or(flags, "metrics-out", "");
 
-  if (reps <= 1) {
+  if (reps <= 1 && shards == 0) {
     Simulator sim(instance, decision, opts);
     const auto m = sim.run();
     std::printf("completed=%zu mean=%.2fms p95=%.2fms p99=%.2fms "
@@ -213,6 +261,7 @@ int cmd_simulate(const std::map<std::string, std::string>& flags) {
   ScenarioRunner::Options ro;
   ro.replications = reps;
   ro.threads = threads;
+  ro.shards = shards;
   ro.sim = opts;
   const auto agg = ScenarioRunner(instance, decision, ro).run();
   const auto mean = summarize(agg.mean_latency);
@@ -286,7 +335,7 @@ int cmd_admission(const std::map<std::string, std::string>& flags) {
                    ? JointOptimizer(JointOptions{}).optimize(instance)
                    : baselines::by_name(instance, scheme);
   }
-  const double headroom = std::stod(flag_or(flags, "headroom", "0.9"));
+  const double headroom = double_flag(flags, "headroom", 0.9, 1e-6, 1.0);
 
   std::printf("admission report for scheme=%s (headroom %.2f)\n\n",
               decision.scheme.c_str(), headroom);
@@ -313,8 +362,7 @@ int cmd_admission(const std::map<std::string, std::string>& flags) {
               plan.iterations, plan.iterations == 1 ? "" : "s");
 
   LadderOptions lo;
-  lo.rungs =
-      static_cast<std::size_t>(std::stoul(flag_or(flags, "rungs", "4")));
+  lo.rungs = static_cast<std::size_t>(size_flag(flags, "rungs", 4, 1, 64));
   const auto ladder = build_degradation_ladder(instance, decision, lo);
   std::printf("degradation ladder (rung 0 = deployed plan):\n");
   Table lt({"rung", "accuracy floor", "predicted accuracy",
@@ -350,7 +398,7 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
   const auto deployed_topo =
       serialize::topology_from_json(Json::parse(read_file(topo_path)));
 
-  const double overload = std::stod(flag_or(flags, "overload", "1"));
+  const double overload = double_flag(flags, "overload", 1.0, 1e-6, 1e3);
   ClusterTopology offered_topo = deployed_topo;
   if (overload != 1.0) {
     for (const auto& d : deployed_topo.devices()) {
@@ -361,12 +409,11 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
   const ProblemInstance instance(offered_topo);
 
   Simulator::Options opts;
-  opts.horizon = std::stod(flag_or(flags, "horizon", "60"));
-  opts.warmup = std::stod(flag_or(
-      flags, "warmup", std::to_string(opts.horizon * 0.1)));
-  opts.seed = std::stoull(flag_or(flags, "seed", "1"));
+  opts.horizon = double_flag(flags, "horizon", 60.0, 1e-6);
+  opts.warmup = double_flag(flags, "warmup", opts.horizon * 0.1, 0.0);
+  opts.seed = size_flag(flags, "seed", 1, 0);
   opts.trace_capacity = static_cast<std::size_t>(
-      std::stoul(flag_or(flags, "capacity", "1048576")));
+      size_flag(flags, "capacity", 1048576, 1, 1u << 28));
   const bool with_controller = flag_or(flags, "controller", "on") == "on";
 
   Decision decision;

@@ -1,8 +1,10 @@
 #include "core/online.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "core/objective.hpp"
@@ -186,11 +188,21 @@ OnlineController::OnlineController(const ClusterTopology& topology,
                                    Options opts)
     : opts_(std::move(opts)), instance_(topology) {
   SCALPEL_REQUIRE(opts_.hysteresis >= 0.0, "hysteresis must be non-negative");
+  SCALPEL_REQUIRE(opts_.robustness.solve_budget_seconds > 0.0,
+                  "solve budget must be positive");
   for (const auto& c : instance_.topology().cells()) {
     solved_bandwidth_.push_back(c.bandwidth);
   }
   alive_.assign(instance_.topology().servers().size(), true);
   solved_alive_ = alive_;
+  sanitizer_ = TelemetrySanitizer(opts_.robustness.sanitizer,
+                                  instance_.topology().cells().size(),
+                                  alive_.size());
+}
+
+Decision OnlineController::run_solver(const ProblemInstance& sub) const {
+  if (opts_.solver) return opts_.solver(sub, opts_.joint);
+  return JointOptimizer(opts_.joint).optimize(sub);
 }
 
 Decision OnlineController::device_only_fallback() const {
@@ -216,9 +228,12 @@ Decision OnlineController::solve_excluding_dead() const {
     reduced.add_server(s);
   }
   const ProblemInstance sub(reduced);
-  Decision d = JointOptimizer(opts_.joint).optimize(sub);
+  Decision d = run_solver(sub);
   for (auto& dd : d.per_device) {
     if (dd.plan.device_only) continue;
+    SCALPEL_REQUIRE(dd.server >= 0 && static_cast<std::size_t>(dd.server) <
+                                          live_ids.size(),
+                    "solver returned an out-of-range server");
     dd.server = live_ids[static_cast<std::size_t>(dd.server)];
   }
   // Re-evaluate against the full instance so predictions and the grant
@@ -239,8 +254,7 @@ void OnlineController::solve() {
   } else if (!all_alive) {
     decision_ = solve_excluding_dead();
   } else {
-    const JointOptimizer optimizer(opts_.joint);
-    decision_ = optimizer.optimize(instance_);
+    decision_ = run_solver(instance_);
   }
   for (const auto& c : instance_.topology().cells()) {
     solved_bandwidth_[static_cast<std::size_t>(c.id)] = c.bandwidth;
@@ -249,10 +263,155 @@ void OnlineController::solve() {
   solved_ = true;
 }
 
+Decision OnlineController::remap_dead_servers(const Decision& base) const {
+  const auto& topo = instance_.topology();
+  Decision d = base;
+  d.scheme = "remap_fallback";
+  std::vector<ServerId> live;
+  for (const auto& s : topo.servers()) {
+    if (alive_[static_cast<std::size_t>(s.id)]) live.push_back(s.id);
+  }
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    auto& dd = d.per_device[i];
+    if (dd.plan.device_only) continue;
+    const bool valid =
+        dd.server >= 0 &&
+        static_cast<std::size_t>(dd.server) < topo.servers().size() &&
+        alive_[static_cast<std::size_t>(dd.server)];
+    if (valid) continue;
+    if (live.empty()) {
+      dd.plan.device_only = true;
+      dd.server = -1;
+      dd.compute_share = 0.0;
+      dd.bandwidth = 0.0;
+      continue;
+    }
+    ServerId best = live.front();
+    double best_rtt = std::numeric_limits<double>::infinity();
+    for (const ServerId s : live) {
+      const double rtt = topo.path_rtt(static_cast<DeviceId>(i), s);
+      if (rtt < best_rtt) {
+        best_rtt = rtt;
+        best = s;
+      }
+    }
+    dd.server = best;
+  }
+  // Refugees may oversubscribe their new server, and the plan's grants were
+  // sized for the bandwidth at its solve — renormalize both to current
+  // capacity so the repaired plan passes the same validation as a solve.
+  std::vector<double> share(topo.servers().size(), 0.0);
+  std::vector<double> grant(topo.cells().size(), 0.0);
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    const auto& dd = d.per_device[i];
+    if (dd.plan.device_only) continue;
+    share[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+    grant[static_cast<std::size_t>(
+        topo.device(static_cast<DeviceId>(i)).cell)] += dd.bandwidth;
+  }
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    auto& dd = d.per_device[i];
+    if (dd.plan.device_only) continue;
+    const double s = share[static_cast<std::size_t>(dd.server)];
+    if (s > 1.0) dd.compute_share /= s;
+    const auto cell = static_cast<std::size_t>(
+        topo.device(static_cast<DeviceId>(i)).cell);
+    const double cap = topo.cell(static_cast<CellId>(cell)).bandwidth;
+    if (grant[cell] > cap) dd.bandwidth *= cap / grant[cell];
+  }
+  evaluate_decision(instance_, d);
+  return d;
+}
+
+bool OnlineController::guarded_solve(bool liveness_changed) {
+  const RobustnessOptions& ro = opts_.robustness;
+  const Decision previous = decision_;
+  const bool had_previous = solved_;
+  const std::vector<double> prev_bandwidth = solved_bandwidth_;
+  const std::vector<bool> prev_alive = solved_alive_;
+
+  bool ok = true;
+  AuditCause fail_cause = AuditCause::kSolverTimeout;
+  std::string fail_detail;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    solve();
+  } catch (const std::exception& e) {
+    ok = false;
+    fail_detail = std::string("solver threw: ") + e.what();
+  }
+  if (ok && std::isfinite(ro.solve_budget_seconds)) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (elapsed > ro.solve_budget_seconds) {
+      ok = false;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "solve took %.3fs, budget %.3fs",
+                    elapsed, ro.solve_budget_seconds);
+      fail_detail = buf;
+    }
+  }
+  if (!ok) ++solver_timeouts_;
+  if (ok && ro.validate_plans) {
+    const PlanValidation v =
+        validate_plan(instance_, decision_, alive_, ro.validation);
+    if (!v.ok) {
+      ok = false;
+      fail_cause = AuditCause::kPlanRejected;
+      fail_detail = v.reason;
+      ++plans_rejected_;
+    }
+  }
+  if (ok) {
+    backoff_remaining_ = 0;  // solver healthy again
+    return true;
+  }
+
+  // The failed solve may have half-updated the solved-state anchors before
+  // the watchdog judged it; restore, then fall back.
+  decision_ = previous;
+  solved_bandwidth_ = prev_bandwidth;
+  solved_alive_ = prev_alive;
+  audit_commit(audit_open(fail_cause, std::move(fail_detail)));
+
+  ++fallbacks_;
+  backoff_remaining_ = ro.solver_backoff_windows;
+  AuditRecord fb = audit_open(AuditCause::kFallbackApplied, "");
+  bool changed = true;
+  if (had_previous &&
+      (!ro.validate_plans ||
+       validate_plan(instance_, previous, alive_, ro.validation).ok)) {
+    // Last-good plan is still safe under the believed conditions.
+    fb.detail = "kept last-good plan";
+    changed = false;
+  } else if (had_previous) {
+    Decision repaired = remap_dead_servers(previous);
+    if (!ro.validate_plans ||
+        validate_plan(instance_, repaired, alive_, ro.validation).ok) {
+      decision_ = std::move(repaired);
+      fb.detail = "remapped onto live servers";
+    } else {
+      ++plans_rejected_;
+      decision_ = device_only_fallback();
+      fb.detail = "degraded to device-only";
+    }
+  } else {
+    decision_ = device_only_fallback();
+    fb.detail = "degraded to device-only";
+  }
+  solved_ = true;
+  // A handled failover must not re-trigger every window; stale bandwidth
+  // anchors stay, so drift re-attempts a real solve once backoff clears.
+  if (liveness_changed) solved_alive_ = alive_;
+  audit_commit(std::move(fb));
+  return changed;
+}
+
 const Decision& OnlineController::decision() {
   if (!solved_) {
     AuditRecord r = audit_open(AuditCause::kInitialSolve, "first solve");
-    solve();
+    guarded_solve(false);
     audit_commit(std::move(r));
   }
   return decision_;
@@ -266,23 +425,58 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth) {
 
 bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
                                const std::vector<bool>& server_alive) {
-  SCALPEL_REQUIRE(
-      cell_bandwidth.size() == instance_.topology().cells().size(),
-      "observation must cover every cell");
-  SCALPEL_REQUIRE(
-      server_alive.size() == instance_.topology().servers().size(),
-      "observation must cover every server");
+  Observation o;
+  o.time = audit_.time();
+  o.cell_bandwidth = cell_bandwidth;
+  o.server_alive = server_alive;
+  return observe(o);
+}
+
+bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
+                               const std::vector<bool>& server_alive,
+                               const std::vector<double>& offered_rate,
+                               const std::vector<double>& queue_depth) {
+  Observation o;
+  o.time = audit_.time();
+  o.cell_bandwidth = cell_bandwidth;
+  o.server_alive = server_alive;
+  o.offered_rate = offered_rate;
+  o.queue_depth = queue_depth;
+  return observe(o);
+}
+
+bool OnlineController::observe(const Observation& raw) {
+  const auto& topo = instance_.topology();
+  const std::size_t num_devices = topo.devices().size();
+  const bool has_load = !raw.offered_rate.empty() || !raw.queue_depth.empty();
+  SCALPEL_REQUIRE(!has_load || (raw.offered_rate.size() == num_devices &&
+                                raw.queue_depth.size() == num_devices),
+                  "overload observation must cover every device");
+  SCALPEL_REQUIRE(raw.cell_bandwidth.size() == topo.cells().size(),
+                  "observation must cover every cell");
+  SCALPEL_REQUIRE(raw.server_alive.size() == topo.servers().size(),
+                  "observation must cover every server");
+  if (raw.time > audit_.time()) audit_.advance_time(raw.time);
+
+  Observation o = raw;
+  const SanitizeReport rep = sanitizer_.apply(o);
+  if (rep.any()) {
+    ++telemetry_rejections_;
+    audit_commit(audit_open(AuditCause::kTelemetryRejected, rep.summary()));
+  }
+
   if (!solved_) {
     AuditRecord r = audit_open(AuditCause::kInitialSolve, "first solve");
-    solve();
+    guarded_solve(false);
     audit_commit(std::move(r));
   }
+  bool changed = false;
   bool drifted = false;
   std::string detail;
-  for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
-    SCALPEL_REQUIRE(cell_bandwidth[c] > 0.0,
+  for (std::size_t c = 0; c < o.cell_bandwidth.size(); ++c) {
+    SCALPEL_REQUIRE(o.cell_bandwidth[c] > 0.0,
                     "observed bandwidth must be positive");
-    const double ratio = cell_bandwidth[c] / solved_bandwidth_[c];
+    const double ratio = o.cell_bandwidth[c] / solved_bandwidth_[c];
     if (std::abs(ratio - 1.0) > opts_.hysteresis) {
       drifted = true;
       char buf[64];
@@ -292,34 +486,41 @@ bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
       break;
     }
   }
-  const bool liveness_changed = server_alive != solved_alive_;
+  const bool liveness_changed = o.server_alive != solved_alive_;
   if (!drifted && !liveness_changed) {
-    alive_ = server_alive;
-    return false;
-  }
-  if (liveness_changed) {
-    for (std::size_t s = 0; s < server_alive.size(); ++s) {
-      if (server_alive[s] == solved_alive_[s]) continue;
-      if (!detail.empty()) detail += ", ";
-      detail +=
-          "server " + std::to_string(s) + (server_alive[s] ? " up" : " down");
+    alive_ = o.server_alive;
+  } else if (!liveness_changed && backoff_remaining_ > 0) {
+    // Watchdog backoff: a recent solve failed; don't hammer a broken solver
+    // over a soft signal. (Liveness flips bypass backoff — a crash is hard.)
+    --backoff_remaining_;
+    alive_ = o.server_alive;
+  } else {
+    if (liveness_changed) {
+      for (std::size_t s = 0; s < o.server_alive.size(); ++s) {
+        if (o.server_alive[s] == solved_alive_[s]) continue;
+        if (!detail.empty()) detail += ", ";
+        detail += "server " + std::to_string(s) +
+                  (o.server_alive[s] ? " up" : " down");
+      }
     }
+    // Adopt the believed conditions and re-solve under the watchdog.
+    auto& mutable_topo = instance_.mutable_topology();
+    for (std::size_t c = 0; c < o.cell_bandwidth.size(); ++c) {
+      mutable_topo.set_cell_bandwidth(static_cast<CellId>(c),
+                                      o.cell_bandwidth[c]);
+    }
+    alive_ = o.server_alive;
+    AuditRecord r = audit_open(
+        liveness_changed ? AuditCause::kFailover : AuditCause::kResolve,
+        std::move(detail));
+    changed = guarded_solve(liveness_changed);
+    ++reoptimizations_;
+    if (liveness_changed) ++failovers_;
+    if (!ladder_.empty()) rebuild_ladder();
+    audit_commit(std::move(r));
   }
-  // Adopt the observed conditions and re-solve.
-  auto& topo = instance_.mutable_topology();
-  for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
-    topo.set_cell_bandwidth(static_cast<CellId>(c), cell_bandwidth[c]);
-  }
-  alive_ = server_alive;
-  AuditRecord r = audit_open(
-      liveness_changed ? AuditCause::kFailover : AuditCause::kResolve,
-      std::move(detail));
-  solve();
-  ++reoptimizations_;
-  if (liveness_changed) ++failovers_;
-  if (!ladder_.empty()) rebuild_ladder();
-  audit_commit(std::move(r));
-  return true;
+  if (!has_load) return changed;
+  return observe_load(o, changed);
 }
 
 void OnlineController::rebuild_ladder() {
@@ -336,16 +537,12 @@ void OnlineController::apply_rung() {
   evaluate_decision(instance_, decision_);
 }
 
-bool OnlineController::observe(const std::vector<double>& cell_bandwidth,
-                               const std::vector<bool>& server_alive,
-                               const std::vector<double>& offered_rate,
-                               const std::vector<double>& queue_depth) {
+bool OnlineController::observe_load(const Observation& obs, bool changed) {
   const std::size_t n = instance_.topology().devices().size();
-  SCALPEL_REQUIRE(offered_rate.size() == n && queue_depth.size() == n,
-                  "overload observation must cover every device");
+  const std::vector<double>& offered_rate = obs.offered_rate;
+  const std::vector<double>& queue_depth = obs.queue_depth;
   // The base observation rebuilds the ladder itself when it re-solves (the
   // ladder is anchored to the solved plans); first call builds it here.
-  bool changed = observe(cell_bandwidth, server_alive);
   if (ladder_.empty()) rebuild_ladder();
 
   const auto& o = opts_.overload;

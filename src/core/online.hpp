@@ -1,10 +1,15 @@
 #pragma once
 
+#include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/admission.hpp"
 #include "core/joint.hpp"
+#include "core/observation.hpp"
+#include "core/telemetry.hpp"
+#include "core/validate.hpp"
 #include "obs/audit.hpp"
 
 namespace scalpel {
@@ -76,12 +81,37 @@ class OnlineController {
     double throttle_headroom = 0.9;
   };
 
+  /// Defenses against imperfect telemetry and a misbehaving solver. Every
+  /// default is transparent: a controller fed perfect observations with a
+  /// healthy solver behaves bit-identically to one without this layer.
+  struct RobustnessOptions {
+    /// Trust policy applied to every observation before it is believed
+    /// (staleness holds, outlier rejection, liveness debounce/flap freeze).
+    SanitizerOptions sanitizer;
+    /// Wall-clock budget per re-solve. The joint optimizer has no
+    /// cooperative cancellation, so the check is post-hoc: a solve that
+    /// overran is discarded and the fallback chain engages. inf disables.
+    double solve_budget_seconds = std::numeric_limits<double>::infinity();
+    /// After a watchdog trip, skip this many bandwidth-drift re-solves
+    /// (liveness flips always re-solve — a crash is a hard signal).
+    std::size_t solver_backoff_windows = 0;
+    /// Run validate_plan() on every solver output before adopting it.
+    bool validate_plans = true;
+    PlanValidationOptions validation;
+  };
+
   struct Options {
     /// Re-optimize when any cell's bandwidth deviates from the value used at
     /// the last solve by more than this relative factor.
     double hysteresis = 0.25;
     JointOptions joint;
     OverloadControlOptions overload;
+    RobustnessOptions robustness;
+    /// Test seam: when set, replaces JointOptimizer for every solve
+    /// (including reduced-topology failover solves). Lets tests inject
+    /// throwing, slow, or garbage solvers to drive the watchdog.
+    std::function<Decision(const ProblemInstance&, const JointOptions&)>
+        solver;
   };
 
   explicit OnlineController(const ClusterTopology& topology);
@@ -90,24 +120,34 @@ class OnlineController {
   /// Current decision (solves on first access if needed).
   const Decision& decision();
 
-  /// Feed an observation of per-cell bandwidths (bytes/s, indexed by cell
-  /// id). Returns true if a re-optimization was triggered.
+  /// Single observation entry point. The raw observation passes through the
+  /// telemetry sanitizer (rejections audited as telemetry_rejected), then:
+  /// bandwidth drift beyond the hysteresis band or a believed liveness flip
+  /// triggers a re-solve, guarded by the solver watchdog — on budget
+  /// overrun, a throw, or a plan validate_plan() refuses, the fallback
+  /// chain (last-good plan -> reduced-topology remap -> device-only)
+  /// guarantees tasks stay routable. With offered_rate/queue_depth present,
+  /// sustained overload additionally walks the degradation ladder and the
+  /// bottom-rung admission gate (see the shim docs below). Returns true
+  /// when the active decision or gate changed.
+  bool observe(const Observation& o);
+
+  /// Shim: bandwidth-only observation (every server assumed alive).
   bool observe(const std::vector<double>& cell_bandwidth);
 
-  /// Full observation: bandwidths plus per-server liveness (indexed by
-  /// server id). Liveness changes always re-solve; dead servers receive no
-  /// assignment; all-dead falls back to device-only execution.
+  /// Shim: bandwidths plus per-server liveness (indexed by server id).
+  /// Liveness changes always re-solve; dead servers receive no assignment;
+  /// all-dead falls back to device-only execution.
   bool observe(const std::vector<double>& cell_bandwidth,
                const std::vector<bool>& server_alive);
 
-  /// Overload-aware observation: additionally ingests per-device offered
-  /// load (tasks/s since the last observation) and per-device queue depth.
-  /// On sustained overload the controller walks down a precomputed
-  /// degradation ladder of surgery plans (lower thresholds, earlier exits,
-  /// quantized uploads) before resorting to admission-gate load shedding at
-  /// the bottom rung; it walks back up — gate first, then rungs — with
-  /// hysteresis once load subsides. Returns true when the active decision
-  /// changed (re-solve, rung change, or gate change).
+  /// Shim: overload-aware observation — additionally ingests per-device
+  /// offered load (tasks/s since the last observation) and queue depth. On
+  /// sustained overload the controller walks down a precomputed degradation
+  /// ladder of surgery plans (lower thresholds, earlier exits, quantized
+  /// uploads) before resorting to admission-gate load shedding at the
+  /// bottom rung; it walks back up — gate first, then rungs — with
+  /// hysteresis once load subsides.
   bool observe(const std::vector<double>& cell_bandwidth,
                const std::vector<bool>& server_alive,
                const std::vector<double>& offered_rate,
@@ -121,6 +161,14 @@ class OnlineController {
   std::size_t recoveries() const { return recoveries_; }
   /// Times the bottom-rung admission gate was engaged from a clear state.
   std::size_t throttle_activations() const { return throttle_activations_; }
+  /// Observations the sanitizer altered (held, rejected, or suppressed).
+  std::size_t telemetry_rejections() const { return telemetry_rejections_; }
+  /// Watchdog trips: solves that threw or overran the budget.
+  std::size_t solver_timeouts() const { return solver_timeouts_; }
+  /// Solver outputs (or last-good candidates) validate_plan() refused.
+  std::size_t plans_rejected() const { return plans_rejected_; }
+  /// Times the fallback chain replaced a failed solve's output.
+  std::size_t fallbacks() const { return fallbacks_; }
   /// Active ladder rung (0 = undegraded base plan).
   std::size_t current_rung() const { return rung_; }
   /// The precomputed ladder (empty until the first overload-aware observe).
@@ -138,8 +186,25 @@ class OnlineController {
 
  private:
   void solve();
+  Decision run_solver(const ProblemInstance& sub) const;
   Decision solve_excluding_dead() const;
   Decision device_only_fallback() const;
+  /// Cheap plan repair for the fallback chain: devices pointing at dead
+  /// servers move to the live server with the smallest path RTT (device-only
+  /// when none is left), then per-server shares and per-cell grants are
+  /// renormalized to fit current capacity.
+  Decision remap_dead_servers(const Decision& base) const;
+  /// Runs solve() under the watchdog: try/catch, wall-clock budget, and
+  /// validate_plan on the output. On failure restores the pre-solve state,
+  /// records the failure (solver_timeout / plan_rejected), and adopts the
+  /// first valid fallback (fallback_applied). `liveness_changed` decides
+  /// whether solved_alive_ advances on fallback (a handled failover must
+  /// not re-trigger every window). Returns true when the adopted plan
+  /// differs from the pre-solve one.
+  bool guarded_solve(bool liveness_changed);
+  /// Overload-ladder / admission-gate walk over the load signals (the old
+  /// rich-observe tail). `changed` carries the re-solve section's result.
+  bool observe_load(const Observation& o, bool changed);
   void rebuild_ladder();
   void apply_rung();
   /// One-line summary of the active decision for audit records.
@@ -159,6 +224,14 @@ class OnlineController {
   bool solved_ = false;
   std::size_t reoptimizations_ = 0;
   std::size_t failovers_ = 0;
+
+  // Robustness state.
+  TelemetrySanitizer sanitizer_;
+  std::size_t telemetry_rejections_ = 0;
+  std::size_t solver_timeouts_ = 0;
+  std::size_t plans_rejected_ = 0;
+  std::size_t fallbacks_ = 0;
+  std::size_t backoff_remaining_ = 0;  // drift re-solves to skip
 
   // Overload-control state.
   std::vector<LadderRung> ladder_;

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/decision.hpp"
+#include "core/instance.hpp"
+
+namespace scalpel {
+
+struct PlanValidationOptions {
+  /// Relative slack on the per-server compute-share sum and the per-cell
+  /// bandwidth-grant sum (solvers and remaps accumulate FP error; a few
+  /// percent of oversubscription is noise, 2x is a garbage plan).
+  double capacity_slack = 0.02;
+  /// Also reject plans whose evaluated accuracy falls below a device's
+  /// configured floor (minus accuracy_slack). Off by default: the joint
+  /// optimizer may legitimately trade an unreachable floor for feasibility,
+  /// and the degradation ladder lowers floors on purpose — enable this only
+  /// for deployments where the floor is a hard contract.
+  bool check_accuracy = false;
+  double accuracy_slack = 1e-9;
+};
+
+/// Outcome of validate_plan: ok, or the first defect found (one line, used
+/// verbatim as the plan_rejected audit detail).
+struct PlanValidation {
+  bool ok = true;
+  std::string reason;
+};
+
+/// Safety gate between the solver and the live deployment: a plan is
+/// rejected when it would strand work or oversubscribe hardware —
+///   - wrong arity (not one DeviceDecision per device);
+///   - an offloading device pointing at an invalid or dead server
+///     (dispatching to a corpse strands every task routed there);
+///   - a non-positive or > 1 compute share, or a non-positive bandwidth
+///     grant, on an offloading device;
+///   - per-server share sums or per-cell grant sums beyond capacity (plus
+///     slack) — admitted work could then never drain;
+///   - optionally, evaluated accuracy below a device's configured floor.
+/// `server_alive` is indexed by server id (empty = every server up).
+PlanValidation validate_plan(const ProblemInstance& instance,
+                             const Decision& decision,
+                             const std::vector<bool>& server_alive,
+                             const PlanValidationOptions& opts = {});
+
+}  // namespace scalpel

@@ -190,4 +190,108 @@ BandwidthTrace BandwidthTrace::gilbert(double good_bw, double bad_bw,
   return BandwidthTrace(std::move(segs));
 }
 
+TelemetryChannel::TelemetryChannel(TelemetryChannelOptions opts,
+                                   std::vector<double> initial_bandwidth,
+                                   std::size_t num_servers,
+                                   std::uint64_t seed)
+    : opts_(opts) {
+  SCALPEL_REQUIRE(opts_.delay >= 0.0, "telemetry delay must be non-negative");
+  SCALPEL_REQUIRE(opts_.drop_prob >= 0.0 && opts_.drop_prob < 1.0,
+                  "telemetry drop probability must be in [0, 1)");
+  SCALPEL_REQUIRE(opts_.noise_sigma >= 0.0,
+                  "telemetry noise sigma must be non-negative");
+  SCALPEL_REQUIRE(opts_.quantum >= 0.0,
+                  "telemetry quantum must be non-negative");
+  SCALPEL_REQUIRE(opts_.flip_prob >= 0.0 && opts_.flip_prob < 1.0,
+                  "telemetry flip probability must be in [0, 1)");
+  const Rng base(seed);
+  const std::size_t num_cells = initial_bandwidth.size();
+  for (std::size_t c = 0; c < num_cells; ++c) {
+    cell_rng_.push_back(base.substream(c));
+    bw_history_.push_back({Sample{0.0, initial_bandwidth[c]}});
+    bw_delivered_.push_back(Sample{0.0, initial_bandwidth[c]});
+  }
+  for (std::size_t s = 0; s < num_servers; ++s) {
+    server_rng_.push_back(base.substream(num_cells + s));
+    alive_history_.push_back({Sample{0.0, 1.0}});
+    alive_delivered_.push_back(Sample{0.0, 1.0});
+  }
+}
+
+const TelemetryChannel::Sample& TelemetryChannel::delayed(
+    const std::deque<Sample>& history, double now, double delay) {
+  const double cutoff = now - delay + 1e-12;
+  const Sample* best = &history.front();
+  for (const Sample& s : history) {
+    if (s.time > cutoff) break;
+    best = &s;
+  }
+  return *best;
+}
+
+void TelemetryChannel::prune(std::deque<Sample>& history, double now,
+                             double delay) {
+  // Keep the newest deliverable entry plus everything still in flight.
+  const double cutoff = now - delay + 1e-12;
+  while (history.size() > 1 && history[1].time <= cutoff) {
+    history.pop_front();
+  }
+}
+
+void TelemetryChannel::sample(double now, std::vector<double>& cell_bandwidth,
+                              std::vector<bool>& server_alive,
+                              std::vector<bool>& bw_fresh,
+                              std::vector<double>& bw_age,
+                              std::vector<bool>& alive_fresh) {
+  SCALPEL_REQUIRE(cell_bandwidth.size() == cell_rng_.size(),
+                  "telemetry sample must cover every cell");
+  SCALPEL_REQUIRE(server_alive.size() == server_rng_.size(),
+                  "telemetry sample must cover every server");
+  bw_fresh.assign(cell_bandwidth.size(), true);
+  bw_age.assign(cell_bandwidth.size(), 0.0);
+  alive_fresh.assign(server_alive.size(), true);
+
+  for (std::size_t c = 0; c < cell_bandwidth.size(); ++c) {
+    auto& history = bw_history_[c];
+    history.push_back(Sample{now, cell_bandwidth[c]});
+    // Per tick, per signal: exactly one uniform (drop) and one normal
+    // (noise) draw, regardless of outcome, so each stream's position is a
+    // pure function of how many ticks have happened.
+    Rng& rng = cell_rng_[c];
+    const bool dropped = rng.uniform() < opts_.drop_prob;
+    const double jitter = rng.normal(0.0, 1.0);
+    if (!dropped) {
+      Sample s = delayed(history, now, opts_.delay);
+      if (opts_.noise_sigma > 0.0) {
+        s.value *= std::exp(opts_.noise_sigma * jitter);
+      }
+      if (opts_.quantum > 0.0) {
+        s.value = std::max(opts_.quantum,
+                           std::round(s.value / opts_.quantum) * opts_.quantum);
+      }
+      bw_delivered_[c] = s;
+    }
+    bw_fresh[c] = !dropped;
+    bw_age[c] = now - bw_delivered_[c].time;
+    cell_bandwidth[c] = bw_delivered_[c].value;
+    prune(history, now, opts_.delay);
+  }
+
+  for (std::size_t s = 0; s < server_alive.size(); ++s) {
+    auto& history = alive_history_[s];
+    history.push_back(Sample{now, server_alive[s] ? 1.0 : 0.0});
+    Rng& rng = server_rng_[s];
+    const bool dropped = rng.uniform() < opts_.drop_prob;
+    const bool flipped = rng.uniform() < opts_.flip_prob;
+    if (!dropped) {
+      Sample v = delayed(history, now, opts_.delay);
+      if (flipped) v.value = v.value > 0.5 ? 0.0 : 1.0;
+      alive_delivered_[s] = v;
+    }
+    alive_fresh[s] = !dropped;
+    server_alive[s] = alive_delivered_[s].value > 0.5;
+    prune(history, now, opts_.delay);
+  }
+}
+
 }  // namespace scalpel

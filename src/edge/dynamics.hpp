@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
+#include "util/rng.hpp"
+
 namespace scalpel {
-class Rng;
 
 /// Piecewise-constant time series of a cell's uplink bandwidth, used by the
 /// online-adaptation experiment (trace-driven bandwidth dynamics standing in
@@ -101,6 +103,82 @@ class FaultSchedule {
   bool up_at(FaultTarget target, std::int32_t id, double t) const;
 
   std::vector<FaultEvent> events_;
+};
+
+/// Impairments the telemetry channel applies between the ground truth and
+/// what the controller observes. All-zero (the default) means a perfect
+/// channel; `Simulator` skips channel construction entirely in that case so
+/// existing runs stay bit-identical.
+struct TelemetryChannelOptions {
+  /// Observation latency: a sample taken at t is deliverable at t + delay.
+  double delay = 0.0;  // seconds
+  /// Per signal per tick probability that the report is lost; a lost report
+  /// repeats the last delivered value (marked not fresh, with growing age).
+  double drop_prob = 0.0;
+  /// Multiplicative lognormal measurement noise on bandwidth readings:
+  /// observed = delivered * exp(N(0, sigma)).
+  double noise_sigma = 0.0;
+  /// Bandwidth readings snap to this grid (bytes/s); 0 disables. Readings
+  /// below quantum/2 clamp to one quantum, never to zero.
+  double quantum = 0.0;  // bytes/s
+  /// Per server per tick probability a liveness reading is inverted (the
+  /// "blinking server" input the sanitizer's flap filter exists for).
+  double flip_prob = 0.0;
+
+  /// True when every impairment is disabled (identity channel).
+  bool pass_through() const {
+    return delay == 0.0 && drop_prob == 0.0 && noise_sigma == 0.0 &&
+           quantum == 0.0 && flip_prob == 0.0;
+  }
+};
+
+/// Models the measurement path between the cluster and the controller:
+/// delays, drops, quantizes, and perturbs per-cell bandwidth and per-server
+/// liveness readings. Every signal draws from its own Rng substream derived
+/// from the construction seed (cells first, then servers), and every
+/// sample() consumes a fixed number of draws per signal, so the observed
+/// stream is a pure function of (options, seed, tick times) — independent of
+/// thread count or of what any other signal did. Feed it the ground truth in
+/// simulation-time order; it mutates the vectors toward what a real
+/// collector would have seen.
+class TelemetryChannel {
+ public:
+  TelemetryChannel(TelemetryChannelOptions opts,
+                   std::vector<double> initial_bandwidth,
+                   std::size_t num_servers, std::uint64_t seed);
+
+  /// Observes the ground truth at `now` (must not decrease across calls).
+  /// `cell_bandwidth` / `server_alive` are replaced in place by the channel's
+  /// readings. `bw_fresh[c]` is false when cell c's report was dropped this
+  /// tick; `bw_age[c]` is now minus the timestamp of the sample actually
+  /// delivered (delay + drops both age a reading). `alive_fresh[s]` is false
+  /// when server s's report was dropped (a flipped reading is "fresh" —
+  /// detecting the lie is the sanitizer's job, not the channel's).
+  void sample(double now, std::vector<double>& cell_bandwidth,
+              std::vector<bool>& server_alive, std::vector<bool>& bw_fresh,
+              std::vector<double>& bw_age, std::vector<bool>& alive_fresh);
+
+  bool pass_through() const { return opts_.pass_through(); }
+  const TelemetryChannelOptions& options() const { return opts_; }
+
+ private:
+  struct Sample {
+    double time = 0.0;
+    double value = 0.0;
+  };
+  /// Newest history entry with time <= now - delay (history is seeded at
+  /// construction, so one always exists).
+  static const Sample& delayed(const std::deque<Sample>& history, double now,
+                               double delay);
+  static void prune(std::deque<Sample>& history, double now, double delay);
+
+  TelemetryChannelOptions opts_;
+  std::vector<Rng> cell_rng_;    // one substream per cell
+  std::vector<Rng> server_rng_;  // one substream per server
+  std::vector<std::deque<Sample>> bw_history_;     // per cell, ground truth
+  std::vector<std::deque<Sample>> alive_history_;  // per server, 0/1 truth
+  std::vector<Sample> bw_delivered_;     // last report that got through
+  std::vector<Sample> alive_delivered_;  // value is 0.0/1.0
 };
 
 }  // namespace scalpel

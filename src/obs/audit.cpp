@@ -15,6 +15,10 @@ const char* audit_cause_name(AuditCause cause) {
     case AuditCause::kThrottleOn: return "throttle_on";
     case AuditCause::kThrottleAdjust: return "throttle_adjust";
     case AuditCause::kThrottleOff: return "throttle_off";
+    case AuditCause::kTelemetryRejected: return "telemetry_rejected";
+    case AuditCause::kSolverTimeout: return "solver_timeout";
+    case AuditCause::kPlanRejected: return "plan_rejected";
+    case AuditCause::kFallbackApplied: return "fallback_applied";
   }
   return "unknown";
 }

@@ -19,6 +19,10 @@ enum class AuditCause {
   kThrottleOn,        // bottom-rung admission gate engaged from open
   kThrottleAdjust,    // gate retuned while already engaged
   kThrottleOff,       // gate released
+  kTelemetryRejected, // sanitizer held/rejected part of an observation
+  kSolverTimeout,     // re-solve exceeded its budget or threw
+  kPlanRejected,      // validate_plan refused a solver/fallback output
+  kFallbackApplied,   // fallback chain adopted a survival plan
 };
 
 const char* audit_cause_name(AuditCause cause);

@@ -853,6 +853,7 @@ ShardedSimulator::ShardedSimulator(const ProblemInstance& instance,
   }
   server_up_.assign(topo.servers().size(), true);
   link_up_.assign(topo.cells().size(), true);
+  channel_ = make_telemetry_channel(options_.telemetry, topo, options_.seed);
   apply_decision(decision_);
   metrics_.per_device.resize(topo.devices().size());
 
@@ -919,6 +920,15 @@ void ShardedSimulator::set_controller(Simulator::Controller controller) {
 }
 
 void ShardedSimulator::set_controller(Simulator::RichController controller) {
+  set_controller(Simulator::ObservingController(
+      [inner = std::move(controller)](const Observation& o) {
+        return inner(o.time, o.cell_bandwidth, o.server_alive, o.offered_rate,
+                     o.queue_depth);
+      }));
+}
+
+void ShardedSimulator::set_controller(
+    Simulator::ObservingController controller) {
   SCALPEL_REQUIRE(options_.control_interval > 0.0,
                   "controller needs control_interval > 0");
   controller_ = std::move(controller);
@@ -1144,10 +1154,13 @@ void ShardedSimulator::on_link_down(CellId c, double bt) {
 }
 
 void ShardedSimulator::controller_tick(double bt) {
-  std::vector<double> bw(cell_links_.size());
+  Observation o;
+  o.time = bt;
+  o.cell_bandwidth.resize(cell_links_.size());
   for (std::size_t c = 0; c < cell_links_.size(); ++c) {
-    bw[c] = cell_links_[c]->capacity();
+    o.cell_bandwidth[c] = cell_links_[c]->capacity();
   }
+  o.server_alive = server_up_;
   const double span = std::max(bt - last_controller_tick_, 1e-12);
   // Server-stage depth is scattered across the server shards' chain maps;
   // sum it per device first (integer adds, so map order is irrelevant).
@@ -1158,17 +1171,25 @@ void ShardedSimulator::controller_tick(double bt) {
           chain.queue.size() + (chain.serving_task != kNoTask ? 1 : 0);
     }
   }
-  std::vector<double> offered(devices_.size(), 0.0);
-  std::vector<double> qdepth(devices_.size(), 0.0);
+  o.offered_rate.assign(devices_.size(), 0.0);
+  o.queue_depth.assign(devices_.size(), 0.0);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    offered[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
+    o.offered_rate[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
     const auto& cd = devices_[i];
-    qdepth[i] = static_cast<double>(cd.device_backlog +
-                                    cd.upload_queue.size() +
-                                    (cd.uploading_task != kNoTask ? 1 : 0) +
-                                    server_depth[i]);
+    o.queue_depth[i] = static_cast<double>(cd.device_backlog +
+                                           cd.upload_queue.size() +
+                                           (cd.uploading_task != kNoTask ? 1
+                                                                         : 0) +
+                                           server_depth[i]);
   }
-  ControlAction action = controller_(bt, bw, server_up_, offered, qdepth);
+  // Serial phase only: one channel sample per tick, in tick order — the
+  // identical draw sequence the single loop consumes, for any shard/thread
+  // count.
+  if (channel_) {
+    channel_->sample(bt, o.cell_bandwidth, o.server_alive, o.bw_fresh,
+                     o.bw_age, o.alive_fresh);
+  }
+  ControlAction action = controller_(o);
   if (action.decision) apply_decision(*action.decision);
   if (action.admit_fraction) set_admission(*action.admit_fraction);
   arrivals_since_tick_.assign(devices_.size(), 0);

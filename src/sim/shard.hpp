@@ -80,6 +80,7 @@ class ShardedSimulator {
   void set_cell_trace(CellId cell, BandwidthTrace trace);
   void set_controller(Simulator::Controller controller);
   void set_controller(Simulator::RichController controller);
+  void set_controller(Simulator::ObservingController controller);
   void set_admission(std::vector<double> fraction);
 
   /// Runs to the horizon. Single-use, like Simulator.
@@ -138,7 +139,11 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<FluidResource>> cell_links_;  // by CellId
   std::vector<std::unique_ptr<FluidResource>> servers_;     // by ServerId
   std::vector<std::optional<BandwidthTrace>> traces_;
-  Simulator::RichController controller_;
+  Simulator::ObservingController controller_;
+  /// Telemetry impairment model; same construction as the single loop
+  /// (pure function of options + seed), sampled only in the serial phase's
+  /// controller tick, so readings are thread- and shard-count-invariant.
+  std::unique_ptr<TelemetryChannel> channel_;
   std::vector<double> admit_fraction_;
   std::vector<std::size_t> arrivals_since_tick_;
   double last_controller_tick_ = 0.0;

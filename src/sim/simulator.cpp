@@ -18,7 +18,24 @@ constexpr std::uint64_t kServerStageBit = 1ull << 32;
 inline std::uint64_t upload_tag(TaskIndex t) { return t; }
 inline std::uint64_t server_tag(TaskIndex t) { return kServerStageBit | t; }
 
+// Substream tag for the telemetry channel's RNG, derived from the run seed
+// with Rng::substream_seed — NOT drawn from the master stream, so attaching
+// a channel never perturbs the device/admission streams (shared verbatim
+// with ShardedSimulator; the channel streams must match bit-for-bit).
+constexpr std::uint64_t kTelemetryStreamTag = 0x54454c454d455452ull;  // "TELEMETR"
+
 }  // namespace
+
+std::unique_ptr<TelemetryChannel> make_telemetry_channel(
+    const TelemetryChannelOptions& opts, const ClusterTopology& topo,
+    std::uint64_t seed) {
+  if (opts.pass_through()) return nullptr;
+  std::vector<double> initial_bw;
+  for (const auto& c : topo.cells()) initial_bw.push_back(c.bandwidth);
+  return std::make_unique<TelemetryChannel>(
+      opts, std::move(initial_bw), topo.servers().size(),
+      Rng::substream_seed(seed, kTelemetryStreamTag));
+}
 
 Simulator::Simulator(const ProblemInstance& instance, Decision decision,
                      Options options)
@@ -68,6 +85,7 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
   for (auto& s : servers_) fluids_.push_back(s.get());
   server_up_.assign(topo.servers().size(), true);
   link_up_.assign(topo.cells().size(), true);
+  channel_ = make_telemetry_channel(options_.telemetry, topo, options_.seed);
   apply_decision(decision_);
   metrics_.per_device.resize(topo.devices().size());
   // Pool warm start: enough slots for every device to have a handful of
@@ -114,6 +132,14 @@ void Simulator::set_controller(Controller controller) {
 }
 
 void Simulator::set_controller(RichController controller) {
+  set_controller(ObservingController(
+      [inner = std::move(controller)](const Observation& o) {
+        return inner(o.time, o.cell_bandwidth, o.server_alive, o.offered_rate,
+                     o.queue_depth);
+      }));
+}
+
+void Simulator::set_controller(ObservingController controller) {
   SCALPEL_REQUIRE(options_.control_interval > 0.0,
                   "controller needs control_interval > 0");
   controller_ = std::move(controller);
@@ -774,24 +800,33 @@ void Simulator::series_tick() {
 }
 
 void Simulator::controller_tick() {
-  std::vector<double> bw(cell_links_.size());
+  Observation o;
+  o.time = now_;
+  o.cell_bandwidth.resize(cell_links_.size());
   for (std::size_t c = 0; c < cell_links_.size(); ++c) {
-    bw[c] = cell_links_[c]->capacity();
+    o.cell_bandwidth[c] = cell_links_[c]->capacity();
   }
+  o.server_alive = server_up_;
   // Load signals: offered rate since the last tick plus instantaneous queue
-  // depth across the device's whole pipeline.
+  // depth across the device's whole pipeline. These are controller-side
+  // estimates, not cluster telemetry — the channel model does not touch them.
   const double span = std::max(now_ - last_controller_tick_, 1e-12);
-  std::vector<double> offered(devices_.size(), 0.0);
-  std::vector<double> qdepth(devices_.size(), 0.0);
+  o.offered_rate.assign(devices_.size(), 0.0);
+  o.queue_depth.assign(devices_.size(), 0.0);
   for (std::size_t i = 0; i < devices_.size(); ++i) {
-    offered[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
+    o.offered_rate[i] = static_cast<double>(arrivals_since_tick_[i]) / span;
     const auto& cd = *devices_[i];
-    qdepth[i] = static_cast<double>(cd.device_backlog +
-                                    cd.upload_queue.size() +
-                                    (cd.uploading_task != kNoTask ? 1 : 0) +
-                                    cd.server_stage_depth());
+    o.queue_depth[i] = static_cast<double>(cd.device_backlog +
+                                           cd.upload_queue.size() +
+                                           (cd.uploading_task != kNoTask ? 1
+                                                                         : 0) +
+                                           cd.server_stage_depth());
   }
-  ControlAction action = controller_(now_, bw, server_up_, offered, qdepth);
+  if (channel_) {
+    channel_->sample(now_, o.cell_bandwidth, o.server_alive, o.bw_fresh,
+                     o.bw_age, o.alive_fresh);
+  }
+  ControlAction action = controller_(o);
   if (action.decision) apply_decision(*action.decision);
   if (action.admit_fraction) set_admission(*action.admit_fraction);
   arrivals_since_tick_.assign(devices_.size(), 0);

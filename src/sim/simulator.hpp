@@ -7,6 +7,7 @@
 
 #include "core/decision.hpp"
 #include "core/instance.hpp"
+#include "core/observation.hpp"
 #include "edge/dynamics.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -200,6 +201,14 @@ class Simulator : private FluidSink {
     /// sequence, so runs are bit-identical either way (enforced by
     /// tests/sim/perf_equivalence_test.cpp).
     EventQueueImpl event_queue = EventQueueImpl::kCalendar;
+    /// Impairments on what the controller observes (delay/drop/noise/
+    /// quantization on bandwidth, drop/flip on liveness). The default
+    /// pass-through skips channel construction entirely, so runs without it
+    /// stay bit-identical; with a channel, every signal draws from its own
+    /// substream of seed (independent of the arrival/admission streams) and
+    /// the channel is sampled only on the controller-tick path, so sharded
+    /// runs remain bit-identical to the single loop.
+    TelemetryChannelOptions telemetry;
   };
 
   using Controller = std::function<std::optional<Decision>(
@@ -216,6 +225,12 @@ class Simulator : private FluidSink {
       const std::vector<double>& offered_rate,
       const std::vector<double>& queue_depth)>;
 
+  /// Observation-struct controller: sees everything RichController does plus
+  /// the telemetry-freshness fields the channel model fills in — the shape
+  /// OnlineController::observe(const Observation&) consumes directly. The
+  /// other controller signatures are adapters over this one.
+  using ObservingController = std::function<ControlAction(const Observation&)>;
+
   Simulator(const ProblemInstance& instance, Decision decision,
             Options options);
   ~Simulator();
@@ -227,6 +242,7 @@ class Simulator : private FluidSink {
   /// Attach an online controller (requires options.control_interval > 0).
   void set_controller(Controller controller);
   void set_controller(RichController controller);
+  void set_controller(ObservingController controller);
 
   /// Static per-device admission gate: each arrival at device i is admitted
   /// with probability fraction[i] (Bernoulli on a dedicated RNG substream so
@@ -313,7 +329,10 @@ class Simulator : private FluidSink {
   /// Flat wake-up view: slots [0, #cells) are the cell links, then servers.
   std::vector<FluidResource*> fluids_;
   std::vector<std::optional<BandwidthTrace>> traces_;
-  RichController controller_;
+  ObservingController controller_;
+  /// Telemetry impairment model between ground truth and the controller;
+  /// null when Options::telemetry is pass-through.
+  std::unique_ptr<TelemetryChannel> channel_;
   /// Per-device admission probability (empty = admit everything).
   std::vector<double> admit_fraction_;
   /// Arrivals per device since the last controller tick (offered-load signal).
@@ -356,5 +375,13 @@ class Simulator : private FluidSink {
   Counter* ctr_link_down_ = nullptr;
   HistogramMetric* hist_latency_ = nullptr;
 };
+
+/// Builds the telemetry channel for a run: nullptr when `opts` is
+/// pass-through, else a channel seeded from a dedicated substream of the run
+/// seed. Shared by Simulator and ShardedSimulator so both engines derive
+/// bit-identical channel streams for the same seed.
+std::unique_ptr<TelemetryChannel> make_telemetry_channel(
+    const TelemetryChannelOptions& opts, const ClusterTopology& topo,
+    std::uint64_t seed);
 
 }  // namespace scalpel

@@ -1,0 +1,66 @@
+#include "util/flags.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace scalpel::flags {
+
+namespace {
+
+void set_error(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+std::string fmt_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_size(const std::string& text, std::uint64_t min_value,
+                std::uint64_t max_value, std::uint64_t* out,
+                std::string* error) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  std::uint64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value, 10);
+  if (ec != std::errc{} || ptr != end || text.empty()) {
+    set_error(error, "'" + text + "' is not a non-negative integer");
+    return false;
+  }
+  if (value < min_value || value > max_value) {
+    set_error(error, "'" + text + "' is out of range [" +
+                         std::to_string(min_value) + ", " +
+                         std::to_string(max_value) + "]");
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_double(const std::string& text, double min_value, double max_value,
+                  double* out, std::string* error) {
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || text.empty() ||
+      !std::isfinite(value)) {
+    set_error(error, "'" + text + "' is not a finite number");
+    return false;
+  }
+  if (value < min_value || value > max_value) {
+    set_error(error, "'" + text + "' is out of range [" +
+                         fmt_double(min_value) + ", " + fmt_double(max_value) +
+                         "]");
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace scalpel::flags

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace scalpel::flags {
+
+/// Strict whole-token numeric parsing for command-line flags. Unlike
+/// std::stoul/atof — which accept "8abc", silently wrap negatives through
+/// unsigned conversion, and turn garbage into 0 — these reject anything that
+/// is not entirely a number within the caller's bounds, and report a one-line
+/// human-readable reason instead of throwing.
+///
+/// On success: *out is set, true returned. On failure: *out untouched,
+/// *error set (when non-null), false returned. Never throws.
+
+/// Parses an unsigned integer in [min_value, max_value]. Leading '+'/'-',
+/// whitespace, hex prefixes, and trailing junk are all rejected.
+bool parse_size(const std::string& text, std::uint64_t min_value,
+                std::uint64_t max_value, std::uint64_t* out,
+                std::string* error);
+
+/// Parses a finite decimal in [min_value, max_value]. The bounds may be
+/// infinite (they only clamp the accepted range, not the syntax); the parsed
+/// value itself must be finite — "inf"/"nan" are rejected.
+bool parse_double(const std::string& text, double min_value, double max_value,
+                  double* out, std::string* error);
+
+}  // namespace scalpel::flags

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "edge/builders.hpp"
 #include "util/assert.hpp"
@@ -296,6 +297,229 @@ TEST(Online, AllDeadFallbackKeepsAdmissionFinite) {
     EXPECT_TRUE(std::isfinite(r));
     EXPECT_GT(r, 0.0);
   }
+}
+
+// --- robustness: sanitizer wiring, solver watchdog, fallback chain -------
+
+bool audit_has_cause(const DecisionAuditLog& log, AuditCause cause) {
+  for (const auto& r : log.records()) {
+    if (r.cause == cause) return true;
+  }
+  return false;
+}
+
+TEST(OnlineRobust, ThrowingSolverKeepsLastGoodPlan) {
+  int calls = 0;
+  auto o = fast_opts();
+  o.solver = [&](const ProblemInstance& inst, const JointOptions& jo) {
+    if (++calls > 1) throw std::runtime_error("solver exploded");
+    return JointOptimizer(jo).optimize(inst);
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  const Decision before = ctl.decision();
+  ASSERT_EQ(calls, 1);
+
+  // Bandwidth *rises* 50%: drift triggers a re-solve, the solver throws,
+  // and the last-good plan (still valid under more capacity) survives.
+  EXPECT_FALSE(ctl.observe({lab_bw()[0] * 1.5}));
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(ctl.solver_timeouts(), 1u);
+  EXPECT_EQ(ctl.fallbacks(), 1u);
+  EXPECT_EQ(ctl.plans_rejected(), 0u);
+  EXPECT_EQ(ctl.decision().scheme, before.scheme);
+  EXPECT_TRUE(audit_has_cause(ctl.audit_log(), AuditCause::kSolverTimeout));
+  EXPECT_TRUE(audit_has_cause(ctl.audit_log(), AuditCause::kFallbackApplied));
+}
+
+TEST(OnlineRobust, BudgetOverrunOnFirstSolveDegradesToDeviceOnly) {
+  auto o = fast_opts();
+  // Sub-nanosecond budget: every real solve overruns. With no last-good
+  // plan to keep, the chain must land on device-only, never unroutable.
+  o.robustness.solve_budget_seconds = 1e-12;
+  OnlineController ctl(clusters::small_lab(), o);
+  const auto& d = ctl.decision();
+  EXPECT_EQ(d.scheme, "device_fallback");
+  for (const auto& dd : d.per_device) EXPECT_TRUE(dd.plan.device_only);
+  EXPECT_GE(ctl.solver_timeouts(), 1u);
+  EXPECT_EQ(ctl.fallbacks(), 1u);
+  EXPECT_TRUE(audit_has_cause(ctl.audit_log(), AuditCause::kSolverTimeout));
+}
+
+TEST(OnlineRobust, GarbagePlanIsRejectedBeforeAdoption) {
+  int calls = 0;
+  auto o = fast_opts();
+  o.solver = [&](const ProblemInstance& inst, const JointOptions& jo) {
+    Decision d = JointOptimizer(jo).optimize(inst);
+    if (++calls > 1) {
+      // Point an offloading device at a server that does not exist.
+      for (auto& dd : d.per_device) {
+        if (dd.plan.device_only) continue;
+        dd.server = 99;
+        break;
+      }
+    }
+    return d;
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  const Decision before = ctl.decision();
+  EXPECT_FALSE(ctl.observe({lab_bw()[0] * 1.5}));
+  EXPECT_EQ(ctl.plans_rejected(), 1u);
+  EXPECT_EQ(ctl.solver_timeouts(), 0u);
+  EXPECT_EQ(ctl.fallbacks(), 1u);
+  EXPECT_EQ(ctl.decision().scheme, before.scheme);
+  EXPECT_TRUE(audit_has_cause(ctl.audit_log(), AuditCause::kPlanRejected));
+}
+
+TEST(OnlineRobust, BackoffSkipsDriftResolvesButNotFailovers) {
+  int calls = 0;
+  auto o = fast_opts();
+  o.robustness.solver_backoff_windows = 2;
+  o.solver = [&](const ProblemInstance& inst, const JointOptions& jo) {
+    if (++calls > 1) throw std::runtime_error("still broken");
+    return JointOptimizer(jo).optimize(inst);
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  ctl.decision();
+  const double base = lab_bw()[0];
+
+  EXPECT_FALSE(ctl.observe({base * 1.5}));  // trips the watchdog
+  ASSERT_EQ(calls, 2);
+
+  // Two backoff windows: persistent drift must not hammer the broken
+  // solver (the bandwidth anchor stays stale, so drift keeps signaling).
+  EXPECT_FALSE(ctl.observe({base * 2.0}));
+  EXPECT_FALSE(ctl.observe({base * 2.0}));
+  EXPECT_EQ(calls, 2) << "backoff windows must skip the solver entirely";
+
+  EXPECT_FALSE(ctl.observe({base * 2.0}));  // backoff exhausted: retry
+  EXPECT_EQ(calls, 3);
+
+  // A liveness flip is a hard signal: it re-solves through any backoff.
+  // Kill a server the current plan actually uses, so the (still throwing)
+  // solver forces the fallback chain to repair the plan.
+  int used = -1;
+  for (const auto& dd : ctl.decision().per_device) {
+    if (!dd.plan.device_only) {
+      used = dd.server;
+      break;
+    }
+  }
+  ASSERT_GE(used, 0);
+  std::vector<bool> alive = {true, true};
+  alive[static_cast<std::size_t>(used)] = false;
+  EXPECT_TRUE(ctl.observe({base * 2.0}, alive));
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(ctl.failovers(), 1u);
+  // Nothing may still point at the dead server.
+  for (const auto& dd : ctl.decision().per_device) {
+    if (!dd.plan.device_only) {
+      EXPECT_NE(dd.server, used);
+    }
+  }
+}
+
+TEST(OnlineRobust, FallbackNeverLeavesTasksUnroutable) {
+  auto o = fast_opts();
+  o.solver = [](const ProblemInstance&,
+                const JointOptions&) -> Decision {
+    throw std::runtime_error("permanently down");
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  // Even with the solver dead from the start and every server lost, the
+  // controller must produce a complete, evaluated, device-only deployment.
+  ctl.observe(lab_bw(), {false, false});
+  const auto& d = ctl.decision();
+  EXPECT_EQ(d.scheme, "device_fallback");
+  ASSERT_EQ(d.per_device.size(), 4u);
+  ASSERT_EQ(d.predicted.size(), 4u);
+  for (const auto& dd : d.per_device) EXPECT_TRUE(dd.plan.device_only);
+  const auto v = validate_plan(ctl.instance(), d, {false, false});
+  EXPECT_TRUE(v.ok) << v.reason;
+}
+
+TEST(OnlineRobust, SanitizerDefersUnconfirmedFailover) {
+  auto o = fast_opts();
+  o.robustness.sanitizer.confirm_windows = 2;
+  OnlineController ctl(clusters::small_lab(), o);
+  ctl.decision();
+
+  // Debounce applies to *measured* liveness (alive_fresh metadata present);
+  // a metadata-free observation is ground truth and bypasses it.
+  auto measured = [](std::vector<double> bw, std::vector<bool> alive) {
+    Observation obs;
+    obs.alive_fresh.assign(alive.size(), true);
+    obs.cell_bandwidth = std::move(bw);
+    obs.server_alive = std::move(alive);
+    return obs;
+  };
+
+  // One measured "down" reading: deferred, audited, no failover burned.
+  EXPECT_FALSE(ctl.observe(measured(lab_bw(), {false, true})));
+  EXPECT_EQ(ctl.telemetry_rejections(), 1u);
+  EXPECT_EQ(ctl.failovers(), 0u);
+  EXPECT_TRUE(
+      audit_has_cause(ctl.audit_log(), AuditCause::kTelemetryRejected));
+
+  // The second consecutive reading confirms: now the failover happens.
+  EXPECT_TRUE(ctl.observe(measured(lab_bw(), {false, true})));
+  EXPECT_EQ(ctl.failovers(), 1u);
+}
+
+TEST(OnlineRobust, GroundTruthLivenessBypassesDebounce) {
+  auto o = fast_opts();
+  o.robustness.sanitizer.confirm_windows = 3;
+  o.robustness.sanitizer.flap_threshold = 2;
+  OnlineController ctl(clusters::small_lab(), o);
+  ctl.decision();
+
+  // No channel metadata: the observation IS the cluster state, so even
+  // hardened trust options believe the flip on the first reading.
+  EXPECT_TRUE(ctl.observe(lab_bw(), {false, true}));
+  EXPECT_EQ(ctl.failovers(), 1u);
+  EXPECT_EQ(ctl.telemetry_rejections(), 0u);
+}
+
+TEST(OnlineRobust, ObservationStructMatchesShimBehavior) {
+  OnlineController via_shim(clusters::small_lab(), fast_opts());
+  OnlineController via_struct(clusters::small_lab(), fast_opts());
+  via_shim.decision();
+  via_struct.decision();
+
+  const double collapsed = lab_bw()[0] * 0.4;
+  EXPECT_TRUE(via_shim.observe({collapsed}, {true, true}));
+
+  Observation obs;
+  obs.cell_bandwidth = {collapsed};
+  obs.server_alive = {true, true};
+  EXPECT_TRUE(via_struct.observe(obs));
+
+  EXPECT_EQ(via_shim.reoptimizations(), via_struct.reoptimizations());
+  EXPECT_EQ(via_shim.decision().scheme, via_struct.decision().scheme);
+  EXPECT_EQ(via_shim.decision().per_device.size(),
+            via_struct.decision().per_device.size());
+  for (std::size_t i = 0; i < via_shim.decision().per_device.size(); ++i) {
+    EXPECT_EQ(via_shim.decision().per_device[i].server,
+              via_struct.decision().per_device[i].server);
+  }
+}
+
+TEST(OnlineRobust, ObservationTimeAdvancesAuditClock) {
+  OnlineController ctl(clusters::small_lab(), fast_opts());
+  ctl.decision();
+  Observation obs;
+  obs.time = 42.0;
+  obs.cell_bandwidth = {lab_bw()[0] * 0.4};
+  obs.server_alive = {true, true};
+  EXPECT_TRUE(ctl.observe(obs));
+  EXPECT_DOUBLE_EQ(ctl.audit_log().time(), 42.0);
+  EXPECT_DOUBLE_EQ(ctl.audit_log().records().back().time, 42.0);
+}
+
+TEST(OnlineRobust, RejectsNonsenseRobustnessOptions) {
+  auto o = fast_opts();
+  o.robustness.solve_budget_seconds = 0.0;
+  EXPECT_THROW(OnlineController(clusters::small_lab(), o),
+               ContractViolation);
 }
 
 TEST(Online, UnchangedLivenessDoesNotResolve) {

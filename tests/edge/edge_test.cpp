@@ -293,5 +293,127 @@ TEST(FaultSchedule, Validates) {
   EXPECT_TRUE(FaultSchedule().empty());
 }
 
+TEST(TelemetryChannelTest, PassThroughDeliversTruthFresh) {
+  EXPECT_TRUE(TelemetryChannelOptions{}.pass_through());
+  TelemetryChannel ch(TelemetryChannelOptions{}, {mbps(40.0)}, 2, 7);
+  std::vector<double> bw = {mbps(25.0)};
+  std::vector<bool> alive = {true, false};
+  std::vector<bool> bw_fresh, alive_fresh;
+  std::vector<double> bw_age;
+  ch.sample(1.0, bw, alive, bw_fresh, bw_age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], mbps(25.0));
+  EXPECT_TRUE(alive[0]);
+  EXPECT_FALSE(alive[1]);
+  EXPECT_TRUE(bw_fresh[0]);
+  EXPECT_DOUBLE_EQ(bw_age[0], 0.0);
+  EXPECT_TRUE(alive_fresh[0]);
+}
+
+TEST(TelemetryChannelTest, DeterministicForSeed) {
+  TelemetryChannelOptions opts;
+  opts.drop_prob = 0.3;
+  opts.noise_sigma = 0.2;
+  opts.flip_prob = 0.1;
+  EXPECT_FALSE(opts.pass_through());
+  TelemetryChannel a(opts, {mbps(40.0), mbps(20.0)}, 2, 99);
+  TelemetryChannel b(opts, {mbps(40.0), mbps(20.0)}, 2, 99);
+  for (int t = 1; t <= 32; ++t) {
+    std::vector<double> bw_a = {mbps(40.0), mbps(20.0)};
+    std::vector<double> bw_b = bw_a;
+    std::vector<bool> alive_a = {true, t % 3 != 0};
+    std::vector<bool> alive_b = alive_a;
+    std::vector<bool> fa, fb, la, lb;
+    std::vector<double> aa, ab;
+    a.sample(t, bw_a, alive_a, fa, aa, la);
+    b.sample(t, bw_b, alive_b, fb, ab, lb);
+    EXPECT_EQ(bw_a, bw_b);
+    EXPECT_EQ(alive_a, alive_b);
+    EXPECT_EQ(fa, fb);
+    EXPECT_EQ(aa, ab);
+    EXPECT_EQ(la, lb);
+  }
+}
+
+TEST(TelemetryChannelTest, DelayServesTheOldWorld) {
+  TelemetryChannelOptions opts;
+  opts.delay = 5.0;
+  TelemetryChannel ch(opts, {100.0}, 0, 1);
+  std::vector<bool> alive, fresh, alive_fresh;
+  std::vector<double> age;
+
+  // The world changes to 999 at t=3, but nothing that new can be delivered
+  // until the 5s propagation delay elapses.
+  std::vector<double> bw = {999.0};
+  ch.sample(3.0, bw, alive, fresh, age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], 100.0) << "initial value still in flight";
+  EXPECT_DOUBLE_EQ(age[0], 3.0);
+  EXPECT_TRUE(fresh[0]) << "delay ages readings; it does not drop them";
+
+  bw = {999.0};
+  ch.sample(6.0, bw, alive, fresh, age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], 100.0) << "t=3 sample not yet deliverable at t=6";
+
+  bw = {999.0};
+  ch.sample(9.0, bw, alive, fresh, age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], 999.0) << "t=3 sample delivered after the delay";
+  EXPECT_DOUBLE_EQ(age[0], 6.0);
+}
+
+TEST(TelemetryChannelTest, DropsRepeatLastDeliveryAndAge) {
+  TelemetryChannelOptions opts;
+  opts.drop_prob = 0.5;
+  TelemetryChannel ch(opts, {100.0}, 1, 3);
+  std::vector<bool> alive = {true};
+  std::vector<bool> fresh, alive_fresh;
+  std::vector<double> age;
+  bool saw_drop = false;
+  double last_delivered = 100.0;
+  for (int t = 1; t <= 64 && !saw_drop; ++t) {
+    std::vector<double> bw = {100.0 + t};
+    ch.sample(t, bw, alive, fresh, age, alive_fresh);
+    if (fresh[0]) {
+      last_delivered = bw[0];
+      EXPECT_DOUBLE_EQ(age[0], 0.0);
+    } else {
+      saw_drop = true;
+      EXPECT_DOUBLE_EQ(bw[0], last_delivered)
+          << "a dropped report repeats the previous delivery";
+      EXPECT_GT(age[0], 0.0) << "and the repeat is visibly aged";
+    }
+  }
+  EXPECT_TRUE(saw_drop) << "p=0.5 over 64 ticks must drop at least once";
+}
+
+TEST(TelemetryChannelTest, QuantizationSnapsToGrid) {
+  TelemetryChannelOptions opts;
+  opts.quantum = 64.0;
+  TelemetryChannel ch(opts, {100.0}, 0, 5);
+  std::vector<bool> alive, fresh, alive_fresh;
+  std::vector<double> age;
+  std::vector<double> bw = {100.0};
+  ch.sample(1.0, bw, alive, fresh, age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], 128.0) << "100 rounds to the nearest 64 multiple";
+  bw = {10.0};
+  ch.sample(2.0, bw, alive, fresh, age, alive_fresh);
+  EXPECT_DOUBLE_EQ(bw[0], 64.0) << "quantization floors at one quantum";
+}
+
+TEST(TelemetryChannelTest, ValidatesOptionsAndArity) {
+  TelemetryChannelOptions bad;
+  bad.drop_prob = 1.0;
+  EXPECT_THROW(TelemetryChannel(bad, {1.0}, 1, 1), ContractViolation);
+  bad = TelemetryChannelOptions{};
+  bad.delay = -1.0;
+  EXPECT_THROW(TelemetryChannel(bad, {1.0}, 1, 1), ContractViolation);
+
+  TelemetryChannel ch(TelemetryChannelOptions{}, {1.0}, 1, 1);
+  std::vector<double> bw = {1.0, 2.0};  // two cells, channel built with one
+  std::vector<bool> alive = {true};
+  std::vector<bool> fresh, alive_fresh;
+  std::vector<double> age;
+  EXPECT_THROW(ch.sample(1.0, bw, alive, fresh, age, alive_fresh),
+               ContractViolation);
+}
+
 }  // namespace
 }  // namespace scalpel

@@ -183,6 +183,69 @@ TEST(AuditLog, EvictsOldestBeyondCapacity) {
   EXPECT_DOUBLE_EQ(log.records().front().time, 1.0);
 }
 
+TEST(AuditLog, WraparoundKeepsExactlyCapacityNewestInOrder) {
+  DecisionAuditLog log(4);
+  // Push far past capacity, several wraps' worth, with distinguishable
+  // payloads so eviction order is observable, not just counts.
+  for (int i = 0; i < 19; ++i) {
+    log.advance_time(static_cast<double>(i));
+    AuditRecord r;
+    r.cause = AuditCause::kResolve;
+    r.detail = "obs " + std::to_string(i);
+    log.append(r);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.dropped(), 15u);
+  // Survivors are the newest four, oldest-first.
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(log.records()[k].time, static_cast<double>(15 + k));
+    EXPECT_EQ(log.records()[k].detail, "obs " + std::to_string(15 + k));
+  }
+}
+
+TEST(AuditLog, ExportsStayWellFormedAfterOverflow) {
+  DecisionAuditLog log(3);
+  for (int i = 0; i < 10; ++i) {
+    log.advance_time(static_cast<double>(i));
+    AuditRecord r;
+    r.cause = i % 2 == 0 ? AuditCause::kRungDown : AuditCause::kRungUp;
+    r.rung_before = static_cast<std::size_t>(i);
+    r.rung_after = static_cast<std::size_t>(i + 1);
+    log.append(r);
+  }
+  // JSON round-trips through the parser and holds only the survivors.
+  const Json doc = Json::parse(log.to_json().dump_pretty());
+  ASSERT_EQ(doc.size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at(0).at("time").as_number(), 7.0);
+  EXPECT_EQ(doc.at(2).at("cause").as_string(), "rung_up");
+  EXPECT_DOUBLE_EQ(doc.at(2).at("rung_after").as_number(), 10.0);
+  // Table view: one row per surviving record (plus header in CSV form).
+  EXPECT_EQ(log.to_table().rows(), 3u);
+}
+
+TEST(AuditLog, ClearResetsRecordsAndDropCounter) {
+  DecisionAuditLog log(2);
+  for (int i = 0; i < 5; ++i) log.append(AuditRecord{});
+  EXPECT_EQ(log.dropped(), 3u);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.dropped(), 0u);
+  log.append(AuditRecord{});
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(AuditLog, NamesNewRobustnessCauses) {
+  EXPECT_EQ(std::string(audit_cause_name(AuditCause::kTelemetryRejected)),
+            "telemetry_rejected");
+  EXPECT_EQ(std::string(audit_cause_name(AuditCause::kSolverTimeout)),
+            "solver_timeout");
+  EXPECT_EQ(std::string(audit_cause_name(AuditCause::kPlanRejected)),
+            "plan_rejected");
+  EXPECT_EQ(std::string(audit_cause_name(AuditCause::kFallbackApplied)),
+            "fallback_applied");
+}
+
 TEST(AuditLog, JsonExportRoundTrips) {
   DecisionAuditLog log;
   log.advance_time(3.0);

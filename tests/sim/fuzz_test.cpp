@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "core/objective.hpp"
@@ -37,8 +38,15 @@ Decision random_decision(const ProblemInstance& instance, Rng& rng) {
   Decision d;
   d.scheme = "fuzz";
   const auto& topo = instance.topology();
+  // Bandwidth grants summed per cell must stay within the cell uplink even
+  // if every device in the cell offloads.
+  std::vector<std::size_t> cell_population(topo.cells().size(), 0);
+  for (const auto& dev : topo.devices()) {
+    ++cell_population[static_cast<std::size_t>(dev.cell)];
+  }
   d.per_device.resize(topo.devices().size());
-  for (auto& dd : d.per_device) {
+  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
+    auto& dd = d.per_device[i];
     if (rng.uniform() < 0.3 || topo.servers().empty()) {
       dd.plan.device_only = true;
       continue;
@@ -50,7 +58,11 @@ Decision random_decision(const ProblemInstance& instance, Rng& rng) {
     // device lands on the same one.
     dd.compute_share =
         rng.uniform(0.2, 0.9) / static_cast<double>(d.per_device.size());
-    dd.bandwidth = mbps(rng.uniform(10.0, 60.0));
+    const Cell& cell = topo.cell(topo.devices()[i].cell);
+    const double cap =
+        cell.bandwidth /
+        static_cast<double>(cell_population[static_cast<std::size_t>(cell.id)]);
+    dd.bandwidth = std::min(mbps(rng.uniform(10.0, 60.0)), cap);
   }
   evaluate_decision(instance, d);
   return d;
@@ -92,6 +104,18 @@ Simulator::Options random_options(const ProblemInstance& instance, Rng& rng) {
     opts.faults.policy = policies[rng.next_u64() % 3];
   }
 
+  // Random telemetry impairment. The channel is only sampled on controller
+  // ticks, so a control interval rides along; the controller itself is
+  // attached by the test body.
+  if (rng.uniform() < 0.5) {
+    opts.control_interval = rng.uniform(0.3, 1.5);
+    if (rng.uniform() < 0.6) opts.telemetry.delay = rng.uniform(0.0, 1.0);
+    if (rng.uniform() < 0.6) opts.telemetry.drop_prob = rng.uniform(0.0, 0.6);
+    if (rng.uniform() < 0.6) opts.telemetry.noise_sigma = rng.uniform(0.0, 0.5);
+    if (rng.uniform() < 0.4) opts.telemetry.quantum = mbps(rng.uniform(0.5, 4.0));
+    if (rng.uniform() < 0.6) opts.telemetry.flip_prob = rng.uniform(0.0, 0.3);
+  }
+
   // Random overload posture and a burst window.
   if (rng.uniform() < 0.7) {
     const OverloadPolicy policies[] = {OverloadPolicy::Block,
@@ -127,8 +151,33 @@ TEST(ShardFuzz, ConservationIsShardCountInvariant) {
       }
     }
 
+    // When telemetry rode along, close the loop: a stateless policy keyed
+    // off the (possibly impaired) readings, shared across all runs so any
+    // divergence in what the channel delivered diverges the counters.
+    Simulator::RichController rich;
+    if (opts.control_interval > 0.0) {
+      Decision d_local;
+      d_local.scheme = "fuzz-local";
+      d_local.per_device.resize(instance.topology().devices().size());
+      for (auto& dd : d_local.per_device) dd.plan.device_only = true;
+      evaluate_decision(instance, d_local);
+      rich = [d, d_local](double, const std::vector<double>& bw,
+                          const std::vector<bool>& alive,
+                          const std::vector<double>&,
+                          const std::vector<double>&) {
+        ControlAction a;
+        double sum = 0.0;
+        for (const double v : bw) sum += v / mbps(1.0);
+        bool any_down = false;
+        for (const bool up : alive) any_down = any_down || !up;
+        a.decision = (any_down || std::fmod(sum, 2.0) < 1.0) ? d_local : d;
+        return a;
+      };
+    }
+
     Simulator ref(instance, d, opts);
     if (!gate.empty()) ref.set_admission(gate);
+    if (rich) ref.set_controller(rich);
     const SimMetrics ref_m = ref.run();
 
     for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
@@ -140,6 +189,7 @@ TEST(ShardFuzz, ConservationIsShardCountInvariant) {
         sopts.threads = threads;
         ShardedSimulator sim(instance, d, opts, sopts);
         if (!gate.empty()) sim.set_admission(gate);
+        if (rich) sim.set_controller(rich);
         const SimMetrics m = sim.run();
 
         // Conservation with cross-shard in-flight tasks at the end: every

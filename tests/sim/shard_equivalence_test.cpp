@@ -16,10 +16,12 @@
 
 #include "core/joint.hpp"
 #include "core/objective.hpp"
+#include "core/online.hpp"
 #include "edge/builders.hpp"
 #include "obs/trace.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 namespace scalpel {
@@ -315,6 +317,122 @@ TEST(ShardEquivalence, ControllerReplanBitIdentical) {
   };
   expect_shard_equivalence(instance, offload_decision(instance, 0.1, mbps(40.0)),
                            opts, hooks);
+}
+
+// Telemetry impairment in the loop: the channel delays, drops, perturbs,
+// quantizes, and flips what the controller sees. The channel is sampled only
+// in the serial phase on seed-derived substreams, so a stateless controller
+// fed impaired readings must still be bit-identical across the matrix.
+TEST(ShardEquivalence, AdverseTelemetryChannelBitIdentical) {
+  const ProblemInstance instance = sharded_campus(19, 2.0);
+  const Decision d_off = offload_decision(instance, 0.1, mbps(40.0));
+  const Decision d_loc = local_decision(instance);
+
+  Simulator::Options opts;
+  opts.horizon = 10.0;
+  opts.warmup = 1.0;
+  opts.seed = 19;
+  opts.control_interval = 0.75;
+  opts.series_window = 1.0;
+  opts.telemetry.delay = 0.5;
+  opts.telemetry.drop_prob = 0.2;
+  opts.telemetry.noise_sigma = 0.3;
+  opts.telemetry.quantum = mbps(1.0);
+  opts.telemetry.flip_prob = 0.1;
+
+  ShardHooks hooks;
+  // Stateless policy, but keyed off the *impaired* readings: noise and
+  // liveness flips steer the replans, so any divergence in what the channel
+  // delivered shows up as divergent decisions and fails the bit-compare.
+  hooks.rich = [d_off, d_loc](double, const std::vector<double>& bw,
+                              const std::vector<bool>& alive,
+                              const std::vector<double>&,
+                              const std::vector<double>&) {
+    ControlAction a;
+    double sum = 0.0;
+    for (const double v : bw) sum += v / mbps(1.0);
+    bool any_down = false;
+    for (const bool up : alive) any_down = any_down || !up;
+    a.decision = (any_down || std::fmod(sum, 2.0) < 1.0) ? d_loc : d_off;
+    return a;
+  };
+  expect_shard_equivalence(instance, d_off, opts, hooks);
+}
+
+// The full hardened stack end-to-end: channel impairments -> Observation
+// freshness metadata -> sanitizer -> watchdog-guarded re-solves, with a
+// FRESH stateful OnlineController per run. Decisions, metrics, and the
+// controller's own audit trail must be bit-identical across the matrix.
+TEST(ShardEquivalence, HardenedOnlineControllerBitIdentical) {
+  const ProblemInstance instance = sharded_campus(5, 2.0, 6, 2);
+  const Decision d = JointOptimizer(fast_opts()).optimize(instance);
+
+  OnlineController::Options copts;
+  copts.hysteresis = 0.25;
+  copts.joint = fast_opts();
+  copts.robustness.sanitizer.confirm_windows = 2;
+  copts.robustness.sanitizer.outlier_band = 0.8;
+  copts.robustness.sanitizer.median_window = 3;
+  copts.robustness.sanitizer.max_age = 3.0;
+  copts.robustness.sanitizer.flap_threshold = 3;
+
+  Simulator::Options opts;
+  opts.horizon = 10.0;
+  opts.warmup = 1.0;
+  opts.seed = 5;
+  opts.control_interval = 1.0;
+  opts.trace_capacity = 1 << 18;
+  opts.telemetry.delay = 0.5;
+  opts.telemetry.drop_prob = 0.25;
+  opts.telemetry.noise_sigma = 0.25;
+  opts.telemetry.flip_prob = 0.15;
+
+  auto observing = [](OnlineController* ctl) {
+    return [ctl](const Observation& o) {
+      ControlAction a;
+      if (ctl->observe(o)) {
+        a.decision = ctl->decision();
+        a.admit_fraction = ctl->admit_fraction();
+      }
+      return a;
+    };
+  };
+
+  OnlineController ref_ctl(instance.topology(), copts);
+  Simulator ref(instance, d, opts);
+  ref.set_controller(observing(&ref_ctl));
+  const SimMetrics ref_m = ref.run();
+  const std::vector<TraceEvent> ref_trace =
+      reconcile_trace(ref.trace().snapshot());
+  const std::string ref_audit = ref_ctl.audit_log().to_json().dump_pretty();
+  // The impairments must actually bite, or this test is a no-op.
+  EXPECT_GT(ref_ctl.telemetry_rejections() + ref_ctl.reoptimizations(), 0u);
+
+  for (const std::size_t shards : kShardCounts) {
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ShardOptions sopts;
+      sopts.shards = shards;
+      sopts.threads = threads;
+      OnlineController ctl(instance.topology(), copts);
+      ShardedSimulator sim(instance, d, opts, sopts);
+      sim.set_controller(observing(&ctl));
+      const SimMetrics m = sim.run();
+      expect_metrics_identical(ref_m, m);
+      expect_registries_identical(ref.registry(), sim.registry());
+      const std::vector<TraceEvent> trace = sim.trace_events();
+      ASSERT_EQ(ref_trace.size(), trace.size());
+      for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+        ASSERT_TRUE(ref_trace[i] == trace[i]) << "trace event " << i;
+      }
+      // The controller saw the same world: same audited decision history.
+      EXPECT_EQ(ctl.audit_log().to_json().dump_pretty(), ref_audit);
+      EXPECT_EQ(ctl.telemetry_rejections(), ref_ctl.telemetry_rejections());
+      EXPECT_EQ(ctl.reoptimizations(), ref_ctl.reoptimizations());
+      EXPECT_EQ(ctl.failovers(), ref_ctl.failovers());
+    }
+  }
 }
 
 // Tasks still crossing shards when the run ends: a long-RTT offload whose

@@ -1,0 +1,106 @@
+#include "util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace scalpel::flags {
+namespace {
+
+constexpr std::uint64_t kU64Max = std::numeric_limits<std::uint64_t>::max();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ParseSize, AcceptsPlainIntegers) {
+  std::uint64_t v = 0;
+  EXPECT_TRUE(parse_size("0", 0, kU64Max, &v, nullptr));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_size("42", 0, kU64Max, &v, nullptr));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_size("18446744073709551615", 0, kU64Max, &v, nullptr));
+  EXPECT_EQ(v, kU64Max);
+}
+
+TEST(ParseSize, RejectsGarbageWholeToken) {
+  std::uint64_t v = 99;
+  std::string err;
+  for (const char* bad : {"", "abc", "12abc", "1.5", "0x10", " 8", "8 ",
+                          "+8", "--3", "1e3"}) {
+    EXPECT_FALSE(parse_size(bad, 0, kU64Max, &v, &err)) << bad;
+    EXPECT_NE(err.find('\''), std::string::npos) << bad;
+  }
+  EXPECT_EQ(v, 99u) << "failed parse must not touch *out";
+}
+
+TEST(ParseSize, RejectsNegatives) {
+  std::uint64_t v = 0;
+  std::string err;
+  EXPECT_FALSE(parse_size("-3", 0, kU64Max, &v, &err));
+  EXPECT_NE(err.find("-3"), std::string::npos);
+}
+
+TEST(ParseSize, EnforcesInclusiveBounds) {
+  std::uint64_t v = 0;
+  std::string err;
+  EXPECT_FALSE(parse_size("0", 1, 8, &v, &err));
+  EXPECT_NE(err.find("[1, 8]"), std::string::npos);
+  EXPECT_TRUE(parse_size("1", 1, 8, &v, nullptr));
+  EXPECT_TRUE(parse_size("8", 1, 8, &v, nullptr));
+  EXPECT_FALSE(parse_size("9", 1, 8, &v, &err));
+}
+
+TEST(ParseSize, RejectsOverflow) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_size("18446744073709551616", 0, kU64Max, &v, nullptr));
+}
+
+TEST(ParseSize, NullErrorPointerIsSafe) {
+  std::uint64_t v = 0;
+  EXPECT_FALSE(parse_size("junk", 0, kU64Max, &v, nullptr));
+}
+
+TEST(ParseDouble, AcceptsDecimalsAndExponents) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_double("0.15", 0.0, 1.0, &v, nullptr));
+  EXPECT_DOUBLE_EQ(v, 0.15);
+  EXPECT_TRUE(parse_double("-2.5", -10.0, 0.0, &v, nullptr));
+  EXPECT_DOUBLE_EQ(v, -2.5);
+  EXPECT_TRUE(parse_double("1e3", 0.0, kInf, &v, nullptr));
+  EXPECT_DOUBLE_EQ(v, 1000.0);
+}
+
+TEST(ParseDouble, RejectsGarbageWholeToken) {
+  double v = 7.0;
+  std::string err;
+  for (const char* bad : {"", "banana", "1.5x", "0.1.2", " 1", "1 "}) {
+    EXPECT_FALSE(parse_double(bad, -kInf, kInf, &v, &err)) << bad;
+  }
+  EXPECT_DOUBLE_EQ(v, 7.0) << "failed parse must not touch *out";
+}
+
+TEST(ParseDouble, RejectsNonFinite) {
+  double v = 0.0;
+  EXPECT_FALSE(parse_double("inf", -kInf, kInf, &v, nullptr));
+  EXPECT_FALSE(parse_double("nan", -kInf, kInf, &v, nullptr));
+}
+
+TEST(ParseDouble, EnforcesInclusiveBounds) {
+  double v = 0.0;
+  std::string err;
+  EXPECT_FALSE(parse_double("-0.1", 0.0, 1.0, &v, &err));
+  EXPECT_NE(err.find("out of range"), std::string::npos);
+  EXPECT_TRUE(parse_double("0", 0.0, 1.0, &v, nullptr));
+  EXPECT_TRUE(parse_double("1", 0.0, 1.0, &v, nullptr));
+  EXPECT_FALSE(parse_double("1.0001", 0.0, 1.0, &v, nullptr));
+}
+
+TEST(ParseDouble, InfiniteBoundFormatsAsInf) {
+  double v = 0.0;
+  std::string err;
+  EXPECT_FALSE(parse_double("-1", 0.0, kInf, &v, &err));
+  EXPECT_NE(err.find("inf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalpel::flags
