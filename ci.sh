@@ -12,7 +12,12 @@
 #                      envelope hand-off run under the race detector)
 #   ./ci.sh perf     — Release build, run bench_simcore (classic + sharded
 #                      sections and the 10k→1M metro sweep), gate ns/event
-#                      against the committed BENCH_simcore.json (>15% fails)
+#                      and solver us/solve against the committed
+#                      BENCH_simcore.json (>15% fails)
+#   ./ci.sh chaos    — distributed-control slice: the full ctrl suite, the
+#                      distributed-plane shard bit-identity and fuzz
+#                      scenarios, and a CLI convergence + failover smoke
+#                      (coordinator crashes mid-run, audit log must export)
 set -euo pipefail
 
 TIER="${1:-fast}"
@@ -70,6 +75,27 @@ shard_slice() {
   "$BUILD_DIR/tests/test_shard" --gtest_filter='Seeds/ShardEquivalenceTest.*/0:ShardEquivalence.*:ShardPlan.*'
 }
 
+# Distributed-control slice: every src/ctrl unit/replay test, the
+# distributed-plane bit-identity and shard-invariance checks, then a CLI
+# run where the coordinator crashes on an MTBF process over a lossy fabric
+# and the audit log must come out parseable.
+chaos_slice() {
+  "$BUILD_DIR/tests/test_ctrl"
+  "$BUILD_DIR/tests/test_shard" \
+    --gtest_filter='ShardEquivalence.DistributedControlPlaneBitIdentical:ShardFuzz.DistributedPlaneIsShardCountInvariant'
+  local cli="$BUILD_DIR/examples/scalpel_cli"
+  local dir
+  dir="$(mktemp -d)"
+  "$cli" topology --preset campus --devices 8 --servers 3 --seed 7 \
+    --out "$dir/topo.json"
+  "$cli" distributed --topology "$dir/topo.json" --drop 0.2 \
+    --coord-mtbf 10 --horizon 40 --audit-out "$dir/audit.json"
+  python3 -c "import json,sys; json.load(open(sys.argv[1]))" \
+    "$dir/audit.json" 2>/dev/null \
+    || grep -q '"cause"' "$dir/audit.json"
+  rm -rf "$dir"
+}
+
 case "$TIER" in
   fast|asan|ubsan)
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
@@ -86,6 +112,9 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     trace_smoke
     ;;
+  chaos)
+    chaos_slice
+    ;;
   perf)
     # Produce a candidate report and gate it against the tracked baseline.
     # bench_simcore exits 1 when ns/event regresses past --tolerance; the
@@ -100,7 +129,7 @@ case "$TIER" in
       --tolerance "${PERF_TOLERANCE:-0.15}"
     ;;
   *)
-    echo "usage: $0 [fast|full|asan|ubsan|tsan|perf]" >&2
+    echo "usage: $0 [fast|full|asan|ubsan|tsan|perf|chaos]" >&2
     exit 2
     ;;
 esac

@@ -15,6 +15,7 @@
 //       --overload 2.0 --out trace.json --audit-out audit.json
 //       --metrics-out metrics.json
 //   scalpel_cli validate-trace --trace trace.json --metrics metrics.json
+//   scalpel_cli distributed --topology topo.json --drop 0.2 --coord-mtbf 10
 //   scalpel_cli models
 
 #include <cmath>
@@ -29,6 +30,7 @@
 #include "baselines/baselines.hpp"
 #include "core/admission.hpp"
 #include "core/joint.hpp"
+#include "ctrl/plane.hpp"
 #include "core/objective.hpp"
 #include "core/online.hpp"
 #include "core/serialize.hpp"
@@ -41,6 +43,7 @@
 #include "sim/simulator.hpp"
 #include "util/flags.hpp"
 #include "util/json.hpp"
+#include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
@@ -70,6 +73,10 @@ namespace {
                "[--audit-out FILE(.json|.csv)] [--metrics-out FILE]\n"
                "  scalpel_cli validate-trace --trace FILE.json "
                "--metrics FILE.json\n"
+               "  scalpel_cli distributed --topology FILE [--ticks N] "
+               "[--delay S] [--jitter S] [--drop P] [--coord-mtbf S] "
+               "[--coord-mttr S] [--horizon S] [--seed S] "
+               "[--audit-out FILE(.json|.csv)]\n"
                "  scalpel_cli models\n");
   std::exit(2);
 }
@@ -560,6 +567,137 @@ int cmd_validate_trace(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// Distributed control-plane report: convergence of the per-cell controllers
+// over a lossy fabric (part 1), then a failover DES where the coordinator
+// endpoint itself crashes on an MTBF/MTTR process and the cells fall back to
+// validated local autonomy (part 2). Exercises src/ctrl end to end from the
+// command line; the chaos CI slice smoke-tests it.
+int cmd_distributed(const std::map<std::string, std::string>& flags) {
+  const std::string topo_path = flag_or(flags, "topology", "");
+  if (topo_path.empty()) usage();
+  // All numeric flags are validated before any file I/O (same contract as
+  // cmd_simulate: a typo'd command fails on the typo).
+  const auto ticks =
+      static_cast<int>(size_flag(flags, "ticks", 40, 1, 1u << 20));
+  const double delay = double_flag(flags, "delay", 0.2, 0.0, 1e3);
+  const double jitter = double_flag(flags, "jitter", 0.5, 0.0, 1e3);
+  const double drop = double_flag(flags, "drop", 0.05, 0.0, 0.999);
+  const double coord_mtbf = double_flag(flags, "coord-mtbf", 10.0, 0.0, 1e9);
+  const double coord_mttr = double_flag(flags, "coord-mttr", 4.0, 1e-6, 1e9);
+  const double horizon = double_flag(flags, "horizon", 60.0, 1e-6);
+  const std::uint64_t seed = size_flag(flags, "seed", 19, 0);
+  const std::string audit_out = flag_or(flags, "audit-out", "");
+
+  const auto topo =
+      serialize::topology_from_json(Json::parse(read_file(topo_path)));
+  const ProblemInstance instance(topo);
+
+  // Same optimizer budget for the centralized reference and the cells'
+  // local solves, so the reported gap is a fair protocol cost.
+  JointOptions joint;
+  joint.max_iterations = 2;
+  joint.dp_coverage_bins = 40;
+  joint.theta_grid = {0.0, 0.3, 0.6};
+  Decision central = JointOptimizer(joint).optimize(instance);
+  evaluate_decision(instance, central);
+
+  ControlFabricOptions fabric;
+  fabric.delay = delay;
+  fabric.jitter = jitter;
+  fabric.drop_prob = drop;
+  auto make_opts = [&](FaultSchedule faults) {
+    DistributedPlaneOptions po;
+    po.fabric = fabric;
+    po.cell.joint = joint;
+    po.controller_faults = std::move(faults);
+    po.seed = seed;
+    return po;
+  };
+  auto observe = [&](double t) {
+    Observation o;
+    o.time = t;
+    for (const auto& cell : topo.cells()) {
+      o.cell_bandwidth.push_back(cell.bandwidth);
+    }
+    o.server_alive.assign(topo.servers().size(), true);
+    return o;
+  };
+
+  // Part 1: static workload; how fast does tatonnement settle and how close
+  // is the merged plan to the centralized solve?
+  DistributedControlPlane plane(topo, make_opts({}));
+  int converged_at = -1;
+  for (int t = 0; t < ticks; ++t) {
+    (void)plane.tick(observe(static_cast<double>(t)));
+    if (converged_at < 0 && plane.converged()) converged_at = t;
+  }
+  Decision merged = plane.merged();
+  evaluate_decision(instance, merged);
+  const double gap = merged.mean_latency / central.mean_latency - 1.0;
+  std::printf(
+      "convergence: fabric delay=%.2fs jitter=%.2fs drop=%.2f over %d "
+      "ticks\n  converged=%s epoch=%llu rounds=%llu msgs "
+      "sent=%llu dropped=%llu\n  merged-plan gap vs centralized: %.2f%%\n",
+      delay, jitter, drop, ticks, converged_at < 0 ? "NO" : "yes",
+      static_cast<unsigned long long>(plane.coordinator().epoch()),
+      static_cast<unsigned long long>(plane.coordinator().realloc_rounds()),
+      static_cast<unsigned long long>(plane.fabric().sent()),
+      static_cast<unsigned long long>(plane.fabric().dropped()),
+      100.0 * gap);
+  if (converged_at >= 0) {
+    std::printf("  first fully-adopted epoch at tick %d\n", converged_at);
+  }
+
+  // Part 2: DES failover — the coordinator endpoint crashes; the cells keep
+  // steering on local autonomy and must beat the frozen plan's deadline sat.
+  Simulator::Options so;
+  so.horizon = horizon;
+  so.warmup = horizon * 0.1;
+  so.seed = seed + 1;
+  so.control_interval = 1.0;
+  Simulator frozen_sim(instance, central, so);
+  const SimMetrics frozen = frozen_sim.run();
+
+  FaultSchedule coord_faults;
+  if (coord_mtbf > 0.0) {
+    coord_faults = FaultSchedule::exponential_servers(
+        1, coord_mtbf, coord_mttr, horizon, Rng(seed + 2));
+  }
+  DistributedControlPlane chaos(topo, make_opts(std::move(coord_faults)));
+  Simulator sim(instance, central, so);
+  sim.set_controller(chaos.callback());
+  const SimMetrics m = sim.run();
+  std::printf(
+      "failover: coordinator MTBF=%s MTTR=%.1fs over %.0fs horizon\n"
+      "  deadline sat %.3f (frozen centralized plan: %.3f)\n"
+      "  coordinator crashes=%llu losses=%llu rejoins=%llu local "
+      "solves=%llu\n  stale-price events=%llu epochs rejected=%llu dead "
+      "letters=%llu\n",
+      coord_mtbf > 0.0 ? (Table::num(coord_mtbf, 1) + "s").c_str()
+                       : "off",
+      coord_mttr, horizon, m.deadline_satisfaction,
+      frozen.deadline_satisfaction,
+      static_cast<unsigned long long>(chaos.coordinator_crashes()),
+      static_cast<unsigned long long>(chaos.coordinator_losses()),
+      static_cast<unsigned long long>(chaos.rejoins()),
+      static_cast<unsigned long long>(chaos.local_solves()),
+      static_cast<unsigned long long>(chaos.stale_events()),
+      static_cast<unsigned long long>(chaos.epochs_rejected()),
+      static_cast<unsigned long long>(chaos.dead_letters()));
+
+  if (!audit_out.empty()) {
+    const bool csv =
+        audit_out.size() >= 4 &&
+        audit_out.compare(audit_out.size() - 4, 4, ".csv") == 0;
+    write_file(audit_out, csv ? chaos.audit_log().to_table().to_csv()
+                              : chaos.audit_log().to_json().dump_pretty() +
+                                    "\n");
+    std::printf("wrote %zu audit records to %s\n", chaos.audit_log().size(),
+                audit_out.c_str());
+  }
+  return 0;
+}
+
 int cmd_models() {
   for (const auto& name : models::zoo_names()) {
     const auto g = models::by_name(name);
@@ -585,6 +723,9 @@ int main(int argc, char** argv) {
     if (cmd == "trace") return cmd_trace(parse_flags(argc, argv, 2));
     if (cmd == "validate-trace") {
       return cmd_validate_trace(parse_flags(argc, argv, 2));
+    }
+    if (cmd == "distributed") {
+      return cmd_distributed(parse_flags(argc, argv, 2));
     }
     if (cmd == "models") return cmd_models();
   } catch (const std::exception& e) {

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
 #include "core/objective.hpp"
 #include "profile/latency_model.hpp"
@@ -45,6 +47,37 @@ std::vector<Graph::CutPoint> candidate_cuts(const Graph& graph,
   return out;
 }
 
+/// Per-profile latency cache reused across every cut considered for one
+/// device: per-layer backbone latencies plus each exit head's whole-graph
+/// latency. range() sums the cached values in the same node order as
+/// LatencyModel::range_latency, so cost tables built from the cache are
+/// bit-identical to ones built from scratch — only the repeated roofline
+/// arithmetic per node (the surgery search's dominant cost) is hoisted.
+struct ProfileCosts {
+  std::vector<double> layer;  // index = node id
+  std::vector<double> head;   // index = exit candidate
+
+  double range(NodeId after, NodeId upto) const {
+    double total = 0.0;
+    for (NodeId v = after + 1; v <= upto; ++v) {
+      total += layer[static_cast<std::size_t>(v)];
+    }
+    return total;
+  }
+};
+
+ProfileCosts profile_costs(const Graph& graph,
+                           const std::vector<ExitCandidate>& candidates,
+                           const ComputeProfile& profile) {
+  ProfileCosts c;
+  c.layer = LatencyModel::per_layer(graph, profile);
+  c.head.reserve(candidates.size());
+  for (const auto& cand : candidates) {
+    c.head.push_back(LatencyModel::graph_latency(cand.head, profile));
+  }
+  return c;
+}
+
 /// Builds the generalized exit-setting cost table for a given partition cut:
 /// segments and heads priced on their side of the cut, upload charged to the
 /// segment that crosses it. cut < 0 means device-only. The upload price
@@ -54,8 +87,8 @@ std::vector<Graph::CutPoint> candidate_cuts(const Graph& graph,
 ExitCostTable build_cost_table(const Graph& graph,
                                const std::vector<ExitCandidate>& candidates,
                                NodeId cut, std::int64_t cut_bytes,
-                               const ComputeProfile& device,
-                               const ComputeProfile& server_slice,
+                               const ProfileCosts& device,
+                               const ProfileCosts& server_slice,
                                double bandwidth, double rtt,
                                double arrival_rate) {
   const bool device_only = cut < 0;
@@ -74,20 +107,19 @@ ExitCostTable build_cost_table(const Graph& graph,
   bool crossed = false;
   auto stretch_cost = [&](NodeId from, NodeId to) {
     if (device_only || to <= cut) {
-      return LatencyModel::range_latency(graph, from, to, device);
+      return device.range(from, to);
     }
     // This stretch ends past the cut: charge the upload exactly once, on
     // the first crossing (including a cut at the stretch's start node).
     double cost = 0.0;
     if (from < cut) {
-      cost += LatencyModel::range_latency(graph, from, cut, device);
+      cost += device.range(from, cut);
     }
     if (!crossed) {
       cost += upload;
       crossed = true;
     }
-    cost += LatencyModel::range_latency(graph, std::max(from, cut), to,
-                                        server_slice);
+    cost += server_slice.range(std::max(from, cut), to);
     return cost;
   };
 
@@ -96,8 +128,7 @@ ExitCostTable build_cost_table(const Graph& graph,
     const NodeId attach = candidates[i].attach;
     t.segment[i] = stretch_cost(prev, attach);
     const bool head_on_server = !device_only && attach > cut;
-    t.head[i] = LatencyModel::graph_latency(
-        candidates[i].head, head_on_server ? server_slice : device);
+    t.head[i] = head_on_server ? server_slice.head[i] : device.head[i];
     prev = attach;
   }
   t.tail = stretch_cost(prev, graph.output());
@@ -119,6 +150,8 @@ struct SurgeryOutcome {
 /// if its raw service latency looks attractive.
 SurgeryOutcome best_surgery(const ProblemInstance& instance, DeviceId id,
                             ServerId server, double share, double bandwidth,
+                            const std::vector<Graph::CutPoint>& cuts,
+                            const ProfileCosts& dev_costs,
                             const JointOptions& opts) {
   const auto& dev = instance.topology().device(id);
   const auto& bundle = instance.bundle_for(id);
@@ -134,14 +167,14 @@ SurgeryOutcome best_surgery(const ProblemInstance& instance, DeviceId id,
   SurgeryOutcome best_unstable;  // least-bad fallback if nothing is stable
 
   auto consider = [&](NodeId cut, std::int64_t cut_bytes,
-                      const ComputeProfile& slice, double bw, double rtt,
+                      const ProfileCosts& slice_costs, double bw, double rtt,
                       bool quantize) {
     // Quantized uploads ship 1/4 of the activation plus the scale word.
     const std::int64_t wire_bytes =
         quantize && cut >= 0 ? cut_bytes / 4 + 4 : cut_bytes;
     const ExitCostTable table =
         build_cost_table(bundle.graph, bundle.candidates, cut, wire_bytes,
-                         dev.compute, slice, bw, rtt, dev.arrival_rate);
+                         dev_costs, slice_costs, bw, rtt, dev.arrival_rate);
     const ExitSettingResult r = dp_exit_setting_costs(
         bundle.graph, bundle.candidates, bundle.accuracy, table, es);
     best.evaluations += r.evaluations;
@@ -171,17 +204,20 @@ SurgeryOutcome best_surgery(const ProblemInstance& instance, DeviceId id,
     }
   };
 
-  // Device-only option.
-  consider(-1, 0, dev.compute, 1.0, 0.0, false);
+  // Device-only option (the slice-cost argument is unused for cut < 0).
+  consider(-1, 0, dev_costs, 1.0, 0.0, false);
 
   if (server >= 0 && share > 0.0 && bandwidth > 0.0) {
     const auto slice =
         instance.topology().server(server).compute.scaled(std::min(1.0, share));
+    // One latency sweep for the scaled server, shared by every cut below —
+    // previously recomputed inside each of the ~2x16 cost tables.
+    const ProfileCosts slice_costs =
+        profile_costs(bundle.graph, bundle.candidates, slice);
     const double rtt = instance.topology().path_rtt(id, server);
     const double cell_capacity =
         instance.topology().cell(dev.cell).bandwidth;
-    for (const auto& cut :
-         candidate_cuts(bundle.graph, /*max_cuts=*/16)) {
+    for (const auto& cut : cuts) {
       // Bandwidth is negotiable across rounds: evaluate the cut at no less
       // than its upload-stability minimum (25% headroom), capped by the
       // cell. If the plan is adopted, the Kleinrock bandwidth step grants
@@ -190,14 +226,16 @@ SurgeryOutcome best_surgery(const ProblemInstance& instance, DeviceId id,
           1.25 * dev.arrival_rate * static_cast<double>(cut.activation_bytes);
       const double bw_eval =
           std::min(std::max(bandwidth, stability_bw), cell_capacity);
-      consider(cut.after, cut.activation_bytes, slice, bw_eval, rtt, false);
+      consider(cut.after, cut.activation_bytes, slice_costs, bw_eval, rtt,
+               false);
       if (opts.enable_quantized_upload) {
         const double q_stability_bw =
             1.25 * dev.arrival_rate *
             static_cast<double>(cut.activation_bytes / 4 + 4);
         const double q_bw =
             std::min(std::max(bandwidth, q_stability_bw), cell_capacity);
-        consider(cut.after, cut.activation_bytes, slice, q_bw, rtt, true);
+        consider(cut.after, cut.activation_bytes, slice_costs, q_bw, rtt,
+                 true);
       }
     }
   }
@@ -320,6 +358,43 @@ Decision JointOptimizer::optimize(const ProblemInstance& instance,
     }
   }
 
+  // Round-invariant per-device caches for the surgery search: the candidate
+  // cut list and the device-profile latency sweep never change across the
+  // alternation's rounds.
+  std::vector<std::vector<Graph::CutPoint>> device_cuts(n);
+  std::vector<ProfileCosts> device_costs(n);
+  if (opts_.enable_surgery) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto id = static_cast<DeviceId>(i);
+      const auto& bundle = instance.bundle_for(id);
+      device_cuts[i] = candidate_cuts(bundle.graph, /*max_cuts=*/16);
+      device_costs[i] =
+          profile_costs(bundle.graph, bundle.candidates, topo.device(id).compute);
+    }
+  }
+
+  // The allocation step's per-(device, server) plan statistics depend only
+  // on the surgery plan (the fields read are link-independent), so they are
+  // memoized on the plan and reused when the alternation revisits it.
+  struct AllocStats {
+    double p_off = 0.0;
+    std::int64_t up_bytes = 0;
+    std::vector<double> s_cond;  // per server
+  };
+  auto plan_signature = [](const SurgeryPlan& p) {
+    std::string s = p.device_only ? "L" : "O";
+    s += std::to_string(p.partition_after);
+    s += p.quantize_upload ? "q" : "f";
+    for (const auto& e : p.policy.exits) {
+      s += ':';
+      s += std::to_string(e.candidate);
+      s += '@';
+      s += std::to_string(e.theta);
+    }
+    return s;
+  };
+  std::vector<std::unordered_map<std::string, AllocStats>> alloc_cache(n);
+
   Decision best;
   best.scheme = "joint";
   double best_obj = kInf;
@@ -350,8 +425,9 @@ Decision JointOptimizer::optimize(const ProblemInstance& instance,
     if (opts_.enable_surgery) {
       for (std::size_t i = 0; i < n; ++i) {
         const auto id = static_cast<DeviceId>(i);
-        const auto outcome = best_surgery(instance, id, server_of[i],
-                                          share[i], bandwidth[i], opts_);
+        const auto outcome =
+            best_surgery(instance, id, server_of[i], share[i], bandwidth[i],
+                         device_cuts[i], device_costs[i], opts_);
         surgery_evals += outcome.evaluations;
         if (!outcome.feasible) continue;
         if (iter == 0) {
@@ -396,24 +472,36 @@ Decision JointOptimizer::optimize(const ProblemInstance& instance,
         const auto id = static_cast<DeviceId>(i);
         const auto& dev = topo.device(id);
         const auto& bundle = instance.bundle_for(id);
-        s_cond[i].resize(m, 0.0);
-        for (std::size_t j = 0; j < m; ++j) {
-          LinkSpec link;
-          link.bandwidth = std::max(bandwidth[i], 1.0);
-          link.rtt = topo.path_rtt(id, static_cast<ServerId>(j));
-          const PlanModel pm(bundle.graph, bundle.candidates, plans[i],
-                             bundle.accuracy, dev.compute,
-                             topo.server(static_cast<ServerId>(j)).compute,
-                             link);
-          if (j == 0) {
-            p_off[i] = pm.breakdown().offload_prob;
-            up_bytes[i] = pm.breakdown().upload_bytes;
+        auto& cache = alloc_cache[i];
+        auto it = cache.find(plan_signature(plans[i]));
+        if (it == cache.end()) {
+          AllocStats st;
+          st.s_cond.resize(m, 0.0);
+          for (std::size_t j = 0; j < m; ++j) {
+            LinkSpec link;
+            // offload_prob / upload_bytes / expected_server_time do not
+            // depend on the link, so a placeholder bandwidth keeps the
+            // cache valid across the per-round bandwidth renegotiation.
+            link.bandwidth = 1.0;
+            link.rtt = topo.path_rtt(id, static_cast<ServerId>(j));
+            const PlanModel pm(bundle.graph, bundle.candidates, plans[i],
+                               bundle.accuracy, dev.compute,
+                               topo.server(static_cast<ServerId>(j)).compute,
+                               link);
+            if (j == 0) {
+              st.p_off = pm.breakdown().offload_prob;
+              st.up_bytes = pm.breakdown().upload_bytes;
+            }
+            st.s_cond[j] = pm.breakdown().offload_prob > 0.0
+                               ? pm.breakdown().expected_server_time /
+                                     pm.breakdown().offload_prob
+                               : 0.0;
           }
-          s_cond[i][j] = pm.breakdown().offload_prob > 0.0
-                             ? pm.breakdown().expected_server_time /
-                                   pm.breakdown().offload_prob
-                             : 0.0;
+          it = cache.emplace(plan_signature(plans[i]), std::move(st)).first;
         }
+        p_off[i] = it->second.p_off;
+        up_bytes[i] = it->second.up_bytes;
+        s_cond[i] = it->second.s_cond;
         if (p_off[i] <= 0.0) {
           // The plan never uploads despite a partition; treat as local.
           plans[i].device_only = true;

@@ -7,6 +7,7 @@
 #include <exception>
 #include <string>
 
+#include "core/failover.hpp"
 #include "core/objective.hpp"
 #include "surgery/exit_setting.hpp"
 #include "util/assert.hpp"
@@ -205,201 +206,61 @@ Decision OnlineController::run_solver(const ProblemInstance& sub) const {
   return JointOptimizer(opts_.joint).optimize(sub);
 }
 
-Decision OnlineController::device_only_fallback() const {
-  Decision d;
-  d.scheme = "device_fallback";
-  d.per_device.resize(instance_.topology().devices().size());
-  for (auto& dd : d.per_device) dd.plan.device_only = true;
-  evaluate_decision(instance_, d);
-  return d;
-}
-
-Decision OnlineController::solve_excluding_dead() const {
-  // Rebuild the topology with only the live servers (ids compact to
-  // 0..k-1), solve, then map the chosen server ids back.
-  const auto& topo = instance_.topology();
-  ClusterTopology reduced;
-  for (const auto& c : topo.cells()) reduced.add_cell(c);
-  for (const auto& d : topo.devices()) reduced.add_device(d);
-  std::vector<ServerId> live_ids;
-  for (const auto& s : topo.servers()) {
-    if (!alive_[static_cast<std::size_t>(s.id)]) continue;
-    live_ids.push_back(s.id);
-    reduced.add_server(s);
-  }
-  const ProblemInstance sub(reduced);
-  Decision d = run_solver(sub);
-  for (auto& dd : d.per_device) {
-    if (dd.plan.device_only) continue;
-    SCALPEL_REQUIRE(dd.server >= 0 && static_cast<std::size_t>(dd.server) <
-                                          live_ids.size(),
-                    "solver returned an out-of-range server");
-    dd.server = live_ids[static_cast<std::size_t>(dd.server)];
-  }
-  // Re-evaluate against the full instance so predictions and the grant
-  // validation refer to the real server ids.
-  evaluate_decision(instance_, d);
-  return d;
-}
-
-void OnlineController::solve() {
-  bool any_alive = false;
-  bool all_alive = true;
-  for (bool a : alive_) {
-    any_alive = any_alive || a;
-    all_alive = all_alive && a;
-  }
-  if (!any_alive) {
-    decision_ = device_only_fallback();
-  } else if (!all_alive) {
-    decision_ = solve_excluding_dead();
-  } else {
-    decision_ = run_solver(instance_);
-  }
-  for (const auto& c : instance_.topology().cells()) {
-    solved_bandwidth_[static_cast<std::size_t>(c.id)] = c.bandwidth;
-  }
-  solved_alive_ = alive_;
-  solved_ = true;
-}
-
-Decision OnlineController::remap_dead_servers(const Decision& base) const {
-  const auto& topo = instance_.topology();
-  Decision d = base;
-  d.scheme = "remap_fallback";
-  std::vector<ServerId> live;
-  for (const auto& s : topo.servers()) {
-    if (alive_[static_cast<std::size_t>(s.id)]) live.push_back(s.id);
-  }
-  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
-    auto& dd = d.per_device[i];
-    if (dd.plan.device_only) continue;
-    const bool valid =
-        dd.server >= 0 &&
-        static_cast<std::size_t>(dd.server) < topo.servers().size() &&
-        alive_[static_cast<std::size_t>(dd.server)];
-    if (valid) continue;
-    if (live.empty()) {
-      dd.plan.device_only = true;
-      dd.server = -1;
-      dd.compute_share = 0.0;
-      dd.bandwidth = 0.0;
-      continue;
-    }
-    ServerId best = live.front();
-    double best_rtt = std::numeric_limits<double>::infinity();
-    for (const ServerId s : live) {
-      const double rtt = topo.path_rtt(static_cast<DeviceId>(i), s);
-      if (rtt < best_rtt) {
-        best_rtt = rtt;
-        best = s;
-      }
-    }
-    dd.server = best;
-  }
-  // Refugees may oversubscribe their new server, and the plan's grants were
-  // sized for the bandwidth at its solve — renormalize both to current
-  // capacity so the repaired plan passes the same validation as a solve.
-  std::vector<double> share(topo.servers().size(), 0.0);
-  std::vector<double> grant(topo.cells().size(), 0.0);
-  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
-    const auto& dd = d.per_device[i];
-    if (dd.plan.device_only) continue;
-    share[static_cast<std::size_t>(dd.server)] += dd.compute_share;
-    grant[static_cast<std::size_t>(
-        topo.device(static_cast<DeviceId>(i)).cell)] += dd.bandwidth;
-  }
-  for (std::size_t i = 0; i < d.per_device.size(); ++i) {
-    auto& dd = d.per_device[i];
-    if (dd.plan.device_only) continue;
-    const double s = share[static_cast<std::size_t>(dd.server)];
-    if (s > 1.0) dd.compute_share /= s;
-    const auto cell = static_cast<std::size_t>(
-        topo.device(static_cast<DeviceId>(i)).cell);
-    const double cap = topo.cell(static_cast<CellId>(cell)).bandwidth;
-    if (grant[cell] > cap) dd.bandwidth *= cap / grant[cell];
-  }
-  evaluate_decision(instance_, d);
-  return d;
-}
-
 bool OnlineController::guarded_solve(bool liveness_changed) {
   const RobustnessOptions& ro = opts_.robustness;
-  const Decision previous = decision_;
-  const bool had_previous = solved_;
-  const std::vector<double> prev_bandwidth = solved_bandwidth_;
-  const std::vector<bool> prev_alive = solved_alive_;
+  failover::GuardOptions guard;
+  guard.budget_seconds = ro.solve_budget_seconds;
+  guard.validate = ro.validate_plans;
+  guard.validation = ro.validation;
 
-  bool ok = true;
-  AuditCause fail_cause = AuditCause::kSolverTimeout;
-  std::string fail_detail;
-  const auto t0 = std::chrono::steady_clock::now();
-  try {
-    solve();
-  } catch (const std::exception& e) {
-    ok = false;
-    fail_detail = std::string("solver threw: ") + e.what();
-  }
-  if (ok && std::isfinite(ro.solve_budget_seconds)) {
-    const double elapsed =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-    if (elapsed > ro.solve_budget_seconds) {
-      ok = false;
-      char buf[96];
-      std::snprintf(buf, sizeof(buf), "solve took %.3fs, budget %.3fs",
-                    elapsed, ro.solve_budget_seconds);
-      fail_detail = buf;
+  // The solve closure never touches controller state, so a failed attempt
+  // needs no restore — decision_ and the solved-state anchors only advance
+  // when the watchdog accepts the output.
+  failover::GuardedOutcome outcome = failover::guarded_attempt(
+      instance_, alive_, guard, [&]() -> Decision {
+        bool any_alive = false;
+        bool all_alive = true;
+        for (bool a : alive_) {
+          any_alive = any_alive || a;
+          all_alive = all_alive && a;
+        }
+        if (!any_alive) return failover::device_only_fallback(instance_);
+        if (!all_alive) {
+          return failover::solve_excluding_dead(
+              instance_, alive_,
+              [&](const ProblemInstance& sub) { return run_solver(sub); });
+        }
+        return run_solver(instance_);
+      });
+  if (outcome.ok) {
+    decision_ = std::move(outcome.decision);
+    for (const auto& c : instance_.topology().cells()) {
+      solved_bandwidth_[static_cast<std::size_t>(c.id)] = c.bandwidth;
     }
-  }
-  if (!ok) ++solver_timeouts_;
-  if (ok && ro.validate_plans) {
-    const PlanValidation v =
-        validate_plan(instance_, decision_, alive_, ro.validation);
-    if (!v.ok) {
-      ok = false;
-      fail_cause = AuditCause::kPlanRejected;
-      fail_detail = v.reason;
-      ++plans_rejected_;
-    }
-  }
-  if (ok) {
-    backoff_remaining_ = 0;  // solver healthy again
+    solved_alive_ = alive_;
+    solved_ = true;
+    // Explicit reset: any accepted solve — drift, failover, or initial —
+    // clears the watchdog backoff so one bad window cannot linger.
+    backoff_remaining_ = 0;
     return true;
   }
 
-  // The failed solve may have half-updated the solved-state anchors before
-  // the watchdog judged it; restore, then fall back.
-  decision_ = previous;
-  solved_bandwidth_ = prev_bandwidth;
-  solved_alive_ = prev_alive;
-  audit_commit(audit_open(fail_cause, std::move(fail_detail)));
+  if (outcome.fail_cause == AuditCause::kPlanRejected) {
+    ++plans_rejected_;
+  } else {
+    ++solver_timeouts_;
+  }
+  audit_commit(audit_open(outcome.fail_cause, outcome.fail_detail));
 
   ++fallbacks_;
   backoff_remaining_ = ro.solver_backoff_windows;
   AuditRecord fb = audit_open(AuditCause::kFallbackApplied, "");
-  bool changed = true;
-  if (had_previous &&
-      (!ro.validate_plans ||
-       validate_plan(instance_, previous, alive_, ro.validation).ok)) {
-    // Last-good plan is still safe under the believed conditions.
-    fb.detail = "kept last-good plan";
-    changed = false;
-  } else if (had_previous) {
-    Decision repaired = remap_dead_servers(previous);
-    if (!ro.validate_plans ||
-        validate_plan(instance_, repaired, alive_, ro.validation).ok) {
-      decision_ = std::move(repaired);
-      fb.detail = "remapped onto live servers";
-    } else {
-      ++plans_rejected_;
-      decision_ = device_only_fallback();
-      fb.detail = "degraded to device-only";
-    }
-  } else {
-    decision_ = device_only_fallback();
-    fb.detail = "degraded to device-only";
-  }
+  failover::FallbackOutcome fallen = failover::fallback_chain(
+      instance_, alive_, solved_ ? &decision_ : nullptr, guard);
+  if (fallen.remap_rejected) ++plans_rejected_;
+  fb.detail = fallen.detail;
+  const bool changed = !fallen.kept_previous;
+  if (!fallen.kept_previous) decision_ = std::move(fallen.decision);
   solved_ = true;
   // A handled failover must not re-trigger every window; stale bandwidth
   // anchors stay, so drift re-attempts a real solve once backoff clears.

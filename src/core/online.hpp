@@ -185,21 +185,14 @@ class OnlineController {
   const DecisionAuditLog& audit_log() const { return audit_; }
 
  private:
-  void solve();
   Decision run_solver(const ProblemInstance& sub) const;
-  Decision solve_excluding_dead() const;
-  Decision device_only_fallback() const;
-  /// Cheap plan repair for the fallback chain: devices pointing at dead
-  /// servers move to the live server with the smallest path RTT (device-only
-  /// when none is left), then per-server shares and per-cell grants are
-  /// renormalized to fit current capacity.
-  Decision remap_dead_servers(const Decision& base) const;
-  /// Runs solve() under the watchdog: try/catch, wall-clock budget, and
-  /// validate_plan on the output. On failure restores the pre-solve state,
-  /// records the failure (solver_timeout / plan_rejected), and adopts the
-  /// first valid fallback (fallback_applied). `liveness_changed` decides
-  /// whether solved_alive_ advances on fallback (a handled failover must
-  /// not re-trigger every window). Returns true when the adopted plan
+  /// One watchdog-guarded solve via failover::guarded_attempt (try/catch,
+  /// wall-clock budget, validate_plan); picks device-only / reduced-topology
+  /// / full solve by liveness. On failure records the failure
+  /// (solver_timeout / plan_rejected) and adopts the first valid fallback
+  /// from failover::fallback_chain (fallback_applied). `liveness_changed`
+  /// decides whether solved_alive_ advances on fallback (a handled failover
+  /// must not re-trigger every window). Returns true when the adopted plan
   /// differs from the pre-solve one.
   bool guarded_solve(bool liveness_changed);
   /// Overload-ladder / admission-gate walk over the load signals (the old

@@ -1,0 +1,428 @@
+#include "ctrl/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/objective.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+namespace {
+
+bool same_device_decision(const DeviceDecision& a, const DeviceDecision& b) {
+  if (a.plan.device_only != b.plan.device_only ||
+      a.plan.quantize_upload != b.plan.quantize_upload ||
+      a.plan.partition_after != b.plan.partition_after ||
+      a.plan.policy.exits.size() != b.plan.policy.exits.size() ||
+      a.server != b.server || a.compute_share != b.compute_share ||
+      a.bandwidth != b.bandwidth) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.plan.policy.exits.size(); ++i) {
+    if (a.plan.policy.exits[i].candidate != b.plan.policy.exits[i].candidate ||
+        a.plan.policy.exits[i].theta != b.plan.policy.exits[i].theta) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CellController::CellController(const ProblemInstance& global, CellId cell,
+                               CellControllerOptions opts,
+                               DecisionAuditLog* audit)
+    : global_(&global), cell_(cell), opts_(std::move(opts)), audit_(audit) {
+  const auto& topo = global_->topology();
+  SCALPEL_REQUIRE(cell >= 0 &&
+                      static_cast<std::size_t>(cell) < topo.cells().size(),
+                  "cell controller references missing cell");
+  members_ = topo.devices_in_cell(cell_);
+  num_servers_ = topo.servers().size();
+  const double equal = 1.0 / static_cast<double>(topo.cells().size());
+  slice_.assign(num_servers_, equal);
+  observed_bw_ = topo.cell(cell_).bandwidth;
+}
+
+std::string CellController::tag() const {
+  return "cell " + std::to_string(cell_) + ": ";
+}
+
+Decision CellController::run_solver(const ProblemInstance& sub) const {
+  if (opts_.solver) return opts_.solver(sub, opts_.joint);
+  return JointOptimizer(opts_.joint).optimize(sub);
+}
+
+void CellController::receive(const CtrlMessage& msg, double now) {
+  if (msg.from != 0) return;
+  last_coord_seen_ = now;
+  if (autonomous_) {
+    autonomous_ = false;
+    ++rejoins_;
+    if (audit_ != nullptr) {
+      AuditRecord r;
+      r.cause = AuditCause::kRejoin;
+      r.detail = tag() + "coordinator back (" + ctrl_msg_name(msg.type) +
+                 ", epoch " + std::to_string(msg.epoch) + ")";
+      audit_->append(std::move(r));
+    }
+  }
+  if (msg.type != CtrlMsgType::kSliceGrant) {
+    // A heartbeat carrying the adopted epoch confirms the slice matrix has
+    // not moved since our grant: re-anchor price freshness to it. A
+    // converged coordinator stops granting, so without this every cell
+    // would drift into permanent staleness on a perfectly healthy fabric.
+    // A heartbeat with a *newer* epoch means we missed a grant — the view
+    // really is stale, and the coordinator's anti-entropy re-grant (keyed
+    // off our load-report epoch echo) is what repairs it.
+    if (msg.epoch == adopted_epoch_) {
+      granted_at_ = std::max(granted_at_, msg.sent_at);
+      if (stale_ && now - granted_at_ <= opts_.fresh_for) {
+        stale_ = false;
+        pending_solve_ = true;  // restore the undiscounted slice
+      }
+    }
+    return;
+  }
+  if (msg.epoch <= adopted_epoch_) {
+    // Split-brain / reorder guard: a grant that doesn't outrank the adopted
+    // one is discarded — a delayed pre-crash grant can never roll the cell
+    // back behind a post-restart coordinator.
+    ++epochs_rejected_;
+    if (audit_ != nullptr) {
+      AuditRecord r;
+      r.cause = AuditCause::kEpochRejected;
+      r.detail = tag() + "grant epoch " + std::to_string(msg.epoch) +
+                 " <= adopted " + std::to_string(adopted_epoch_);
+      audit_->append(std::move(r));
+    }
+    return;
+  }
+  SCALPEL_REQUIRE(msg.payload.size() == num_servers_,
+                  "slice grant arity mismatch");
+  double max_delta = 0.0;
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    max_delta = std::max(max_delta, std::abs(msg.payload[s] - slice_[s]));
+  }
+  slice_ = msg.payload;
+  adopted_epoch_ = msg.epoch;
+  // Price age counts from when the coordinator computed the grant, so
+  // fabric delay eats into freshness — a slow fabric degrades gracefully
+  // into the stale-discount regime instead of pretending to be current.
+  granted_at_ = msg.sent_at;
+  const bool was_stale = stale_;
+  stale_ = false;
+  if (was_stale || max_delta > opts_.slice_hysteresis) pending_solve_ = true;
+  append_log();
+}
+
+bool CellController::repair_local(const std::vector<bool>& server_alive) {
+  bool changed = false;
+  for (auto& dd : local_) {
+    if (dd.plan.device_only) continue;
+    const bool usable =
+        dd.server >= 0 && static_cast<std::size_t>(dd.server) < num_servers_ &&
+        server_alive[static_cast<std::size_t>(dd.server)] &&
+        slice_[static_cast<std::size_t>(dd.server)] > 1e-9;
+    if (usable) continue;
+    dd.plan.device_only = true;
+    dd.server = -1;
+    dd.compute_share = 0.0;
+    dd.bandwidth = 0.0;
+    changed = true;
+  }
+  return changed;
+}
+
+bool CellController::local_solve(double now, AuditCause cause,
+                                 std::string detail) {
+  (void)now;
+  ++local_solves_;
+  const auto& topo = global_->topology();
+  const double discount = stale_ ? opts_.stale_discount : 1.0;
+  std::vector<double> usable(num_servers_, 0.0);
+  for (std::size_t s = 0; s < num_servers_; ++s) {
+    usable[s] = slice_[s] * discount;
+  }
+  const std::vector<DeviceDecision> previous = local_;
+  const bool had_plan = has_plan_;
+
+  // Live servers with a usable slice, compacted into the sub-topology.
+  std::vector<ServerId> live_ids;
+  ClusterTopology reduced;
+  Cell c = topo.cell(cell_);
+  c.bandwidth = observed_bw_;
+  reduced.add_cell(c);
+  for (DeviceId d : members_) {
+    Device dev = topo.device(d);
+    dev.cell = 0;
+    reduced.add_device(dev);
+  }
+  for (const auto& s : topo.servers()) {
+    const auto si = static_cast<std::size_t>(s.id);
+    if (!solved_alive_.empty() && !solved_alive_[si]) continue;
+    if (usable[si] <= 1e-9) continue;
+    EdgeServer scaled = s;
+    scaled.compute = s.compute.scaled(std::min(1.0, usable[si]));
+    reduced.add_server(scaled);
+    live_ids.push_back(s.id);
+  }
+
+  auto adopt = [&](std::vector<DeviceDecision> fresh, AuditCause why,
+                   std::string why_detail) {
+    local_ = std::move(fresh);
+    has_plan_ = true;
+    solved_bw_ = observed_bw_;
+    solved_slice_ = slice_;
+    append_log();
+    bool changed = !had_plan || local_.size() != previous.size();
+    if (!changed) {
+      for (std::size_t i = 0; i < local_.size(); ++i) {
+        if (!same_device_decision(local_[i], previous[i])) {
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (audit_ != nullptr && changed) {
+      std::size_t offload = 0;
+      for (const auto& dd : local_) {
+        if (!dd.plan.device_only) ++offload;
+      }
+      AuditRecord r;
+      r.cause = why;
+      r.detail = tag() + std::move(why_detail);
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "offload=%zu/%zu epoch=%llu", offload,
+                    local_.size(),
+                    static_cast<unsigned long long>(adopted_epoch_));
+      r.plan_after = buf;
+      audit_->append(std::move(r));
+    }
+    return changed;
+  };
+
+  if (live_ids.empty()) {
+    // No live server with a usable slice: the whole cell runs device-only.
+    std::vector<DeviceDecision> down(members_.size());
+    for (auto& dd : down) dd.plan.device_only = true;
+    return adopt(std::move(down), cause, detail + "; no usable server");
+  }
+
+  const ProblemInstance sub(reduced);
+  failover::GuardedOutcome outcome = failover::guarded_attempt(
+      sub, /*alive=*/{}, opts_.guard, [&] { return run_solver(sub); });
+
+  if (outcome.ok) {
+    // Map the sub-space decision back to global ids and global share space.
+    // Local share sums are clamped to exactly 1 (validation allows a few
+    // percent of slack that the global evaluator does not), and bandwidth
+    // sums to the observed uplink, so the merged plan can never trip the
+    // global capacity checks.
+    std::vector<double> share_sum(live_ids.size(), 0.0);
+    double bw_sum = 0.0;
+    for (const auto& dd : outcome.decision.per_device) {
+      if (dd.plan.device_only) continue;
+      share_sum[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+      bw_sum += dd.bandwidth;
+    }
+    const double bw_scale =
+        bw_sum > observed_bw_ ? observed_bw_ / bw_sum : 1.0;
+    std::vector<DeviceDecision> fresh(members_.size());
+    for (std::size_t j = 0; j < members_.size(); ++j) {
+      DeviceDecision dd = outcome.decision.per_device[j];
+      if (dd.plan.device_only) {
+        fresh[j].plan = dd.plan;
+        continue;
+      }
+      const auto local_server = static_cast<std::size_t>(dd.server);
+      const double sigma_scale =
+          share_sum[local_server] > 1.0 ? 1.0 / share_sum[local_server] : 1.0;
+      dd.server = live_ids[local_server];
+      dd.compute_share = dd.compute_share * sigma_scale *
+                         std::min(1.0, usable[static_cast<std::size_t>(
+                                           dd.server)]);
+      dd.bandwidth *= bw_scale;
+      fresh[j] = std::move(dd);
+    }
+    return adopt(std::move(fresh), cause, std::move(detail));
+  }
+
+  // Per-cell fallback chain: audit the failure, then keep the last-good
+  // local plan (repaired so no member points at a dead or sliceless
+  // server), else degrade the cell to device-only. Either way the cell's
+  // devices stay routable.
+  ++fallbacks_;
+  if (audit_ != nullptr) {
+    AuditRecord r;
+    r.cause = outcome.fail_cause;
+    r.detail = tag() + outcome.fail_detail;
+    audit_->append(std::move(r));
+  }
+  if (had_plan) {
+    const bool repaired = repair_local(
+        solved_alive_.empty() ? std::vector<bool>(num_servers_, true)
+                              : solved_alive_);
+    return adopt(std::move(local_), AuditCause::kFallbackApplied,
+                 repaired ? "kept last-good plan, dead targets device-only"
+                          : "kept last-good plan");
+  }
+  std::vector<DeviceDecision> down(members_.size());
+  for (auto& dd : down) dd.plan.device_only = true;
+  adopt(std::move(down), AuditCause::kFallbackApplied,
+        "degraded cell to device-only");
+  return true;
+}
+
+bool CellController::tick(double now, double cell_bandwidth,
+                          const std::vector<bool>& server_alive,
+                          ControlFabric& fabric) {
+  observed_bw_ = cell_bandwidth;
+
+  if (!autonomous_ && now - last_coord_seen_ > opts_.heartbeat_timeout) {
+    autonomous_ = true;
+    ++coordinator_losses_;
+    if (audit_ != nullptr) {
+      AuditRecord r;
+      r.cause = AuditCause::kCoordinatorLost;
+      char buf[96];
+      std::snprintf(buf, sizeof(buf),
+                    "no coordinator message for %.1fs (timeout %.1fs)",
+                    now - last_coord_seen_, opts_.heartbeat_timeout);
+      r.detail = tag() + buf;
+      audit_->append(std::move(r));
+    }
+  }
+  if (!stale_ && now - granted_at_ > opts_.fresh_for) {
+    stale_ = true;
+    ++stale_transitions_;
+    pending_solve_ = true;
+    if (audit_ != nullptr) {
+      AuditRecord r;
+      r.cause = AuditCause::kStalePrice;
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "grant epoch %llu age %.1fs > %.1fs; usable slice x%.2f",
+                    static_cast<unsigned long long>(adopted_epoch_),
+                    now - granted_at_, opts_.fresh_for, opts_.stale_discount);
+      r.detail = tag() + buf;
+      audit_->append(std::move(r));
+    }
+  }
+
+  const bool liveness_flip =
+      !solved_alive_.empty() && server_alive != solved_alive_;
+  std::string detail;
+  if (liveness_flip) {
+    pending_solve_ = true;
+    for (std::size_t s = 0; s < server_alive.size(); ++s) {
+      if (server_alive[s] == solved_alive_[s]) continue;
+      if (!detail.empty()) detail += ", ";
+      detail +=
+          "server " + std::to_string(s) + (server_alive[s] ? " up" : " down");
+    }
+  } else if (has_plan_ && solved_bw_ > 0.0 &&
+             std::abs(observed_bw_ / solved_bw_ - 1.0) >
+                 opts_.bandwidth_hysteresis) {
+    pending_solve_ = true;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "uplink %+.0f%%",
+                  (observed_bw_ / solved_bw_ - 1.0) * 100.0);
+    detail = buf;
+  }
+  if (!has_plan_) pending_solve_ = true;
+
+  bool changed = false;
+  if (pending_solve_) {
+    pending_solve_ = false;
+    const AuditCause cause =
+        !has_plan_    ? AuditCause::kInitialSolve
+        : liveness_flip ? AuditCause::kFailover
+        : autonomous_   ? AuditCause::kLocalAutonomy
+                        : AuditCause::kResolve;
+    if (detail.empty()) {
+      detail = !has_plan_    ? "first local solve"
+               : autonomous_ ? "validated local plan while partitioned"
+               : stale_      ? "discounted stale slice"
+                             : "slice/conditions moved";
+    }
+    solved_alive_ = server_alive;
+    changed = local_solve(now, cause, std::move(detail));
+  } else {
+    solved_alive_ = server_alive;
+  }
+
+  if (now >= next_report_) {
+    next_report_ = now + opts_.report_interval;
+    CtrlMessage m;
+    m.type = CtrlMsgType::kLoadReport;
+    m.from = 1 + static_cast<int>(cell_);
+    m.to = 0;
+    m.epoch = adopted_epoch_;
+    m.payload.assign(num_servers_, 0.0);
+    for (const auto& dd : local_) {
+      if (dd.plan.device_only) continue;
+      m.payload[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+    }
+    fabric.send(std::move(m), now);
+  }
+  return changed;
+}
+
+void CellController::append_log() {
+  LogEntry e;
+  e.epoch = adopted_epoch_;
+  e.slice = slice_;
+  e.granted_at = granted_at_;
+  e.local = local_;
+  e.has_plan = has_plan_;
+  log_.push_back(std::move(e));
+}
+
+void CellController::crash() {
+  const double equal =
+      1.0 / static_cast<double>(global_->topology().cells().size());
+  slice_.assign(num_servers_, equal);
+  adopted_epoch_ = 0;
+  granted_at_ = 0.0;
+  last_coord_seen_ = 0.0;
+  autonomous_ = false;
+  stale_ = false;
+  has_plan_ = false;
+  local_.clear();
+  solved_bw_ = 0.0;
+  solved_slice_.clear();
+  solved_alive_.clear();
+  next_report_ = 0.0;
+  pending_solve_ = false;
+}
+
+void CellController::restart(double now) {
+  ++restarts_;
+  if (!log_.empty()) {
+    const LogEntry& e = log_.back();
+    adopted_epoch_ = e.epoch;
+    slice_ = e.slice;
+    granted_at_ = e.granted_at;
+    local_ = e.local;
+    has_plan_ = e.has_plan;
+  }
+  // Fresh grace windows: a restarted controller must re-observe silence for
+  // a full timeout before declaring the coordinator lost, and re-anchors
+  // its report cadence at the restart time.
+  last_coord_seen_ = now;
+  next_report_ = now;
+  pending_solve_ = !has_plan_;
+  if (audit_ != nullptr) {
+    AuditRecord r;
+    r.cause = AuditCause::kFailover;
+    r.detail = tag() + "controller restart, replayed epoch " +
+               std::to_string(adopted_epoch_) + " from " +
+               std::to_string(log_.size()) + " log entries";
+    audit_->append(std::move(r));
+  }
+}
+
+}  // namespace scalpel

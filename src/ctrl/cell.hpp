@@ -1,0 +1,154 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/failover.hpp"
+#include "core/instance.hpp"
+#include "core/joint.hpp"
+#include "ctrl/fabric.hpp"
+#include "obs/audit.hpp"
+
+namespace scalpel {
+
+struct CellControllerOptions {
+  /// Seconds without any coordinator message before the cell declares the
+  /// coordinator lost and enters validated local autonomy.
+  double heartbeat_timeout = 3.0;
+  /// Seconds between load reports to the coordinator.
+  double report_interval = 1.0;
+  /// A slice grant older than this is stale: the cell keeps operating (it
+  /// never blocks on the coordinator) but only trusts `stale_discount` of
+  /// the granted capacity — bounded staleness, priced conservatively.
+  /// Heartbeats carrying the adopted epoch re-anchor freshness, so a live
+  /// converged coordinator keeps its cells permanently fresh.
+  double fresh_for = 5.0;
+  double stale_discount = 0.75;
+  /// A newly adopted grant re-solves only when some server's slice moved by
+  /// more than this (absolute) — the distributed analogue of the online
+  /// controller's bandwidth hysteresis.
+  double slice_hysteresis = 0.02;
+  /// Re-solve when the observed cell uplink drifts from the value used at
+  /// the last local solve by more than this relative factor.
+  double bandwidth_hysteresis = 0.25;
+  /// Watchdog applied to every local solve (budget, validate_plan on the
+  /// cell's sub-instance).
+  failover::GuardOptions guard;
+  JointOptions joint;
+  /// Test seam: replaces JointOptimizer for the cell's local solves.
+  std::function<Decision(const ProblemInstance&, const JointOptions&)> solver;
+};
+
+/// One cell's controller in the distributed plane: solves the joint
+/// surgery+allocation problem on its own sub-topology — its cell, its
+/// devices, and every live server scaled down to the capacity slice the
+/// coordinator granted — and never needs a global view. Local shares map
+/// back exactly: a share sigma of a server scaled by phi equals a global
+/// share sigma*phi of the full server under GPS, so the merged global plan
+/// is feasible whenever every cell's local plan is.
+///
+/// Robustness contract: every local solve runs under the PR 8 watchdog
+/// (failover::guarded_attempt) and a last-good -> device-only fallback
+/// chain, so the cell's devices always have a routable plan; coordinator
+/// silence beyond heartbeat_timeout flips the cell into audited local
+/// autonomy; grant staleness discounts usable capacity instead of blocking;
+/// grants carrying an epoch <= the last adopted one are rejected
+/// (split-brain guard). Crash wipes volatile state; restart replays the
+/// cell's own append-only state log.
+class CellController {
+ public:
+  CellController(const ProblemInstance& global, CellId cell,
+                 CellControllerOptions opts, DecisionAuditLog* audit);
+
+  /// Ingests a delivered message. Any coordinator message is a sign of
+  /// life; kSliceGrant additionally adopts the slice (epoch permitting).
+  void receive(const CtrlMessage& msg, double now);
+
+  /// One control window: staleness/liveness checks, local re-solve when
+  /// triggered, load report on cadence. Returns true when the cell's local
+  /// decisions changed.
+  bool tick(double now, double cell_bandwidth,
+            const std::vector<bool>& server_alive, ControlFabric& fabric);
+
+  /// Crash: volatile state (plan, slice, epoch, anchors) is lost; the state
+  /// log survives. While down the cell's devices keep executing the last
+  /// plan the plane merged — the data plane outlives its controller.
+  void crash();
+  /// Restart at `now`: replays the state log, with a fresh heartbeat grace
+  /// window so a restart doesn't instantly declare the coordinator lost.
+  void restart(double now);
+
+  bool has_plan() const { return has_plan_; }
+  CellId cell() const { return cell_; }
+  const std::vector<DeviceId>& members() const { return members_; }
+  /// Adopted decisions for members(), same order, in *global* share space.
+  const std::vector<DeviceDecision>& local() const { return local_; }
+
+  bool autonomous() const { return autonomous_; }
+  bool stale() const { return stale_; }
+  std::uint64_t adopted_epoch() const { return adopted_epoch_; }
+  std::uint64_t local_solves() const { return local_solves_; }
+  std::uint64_t fallbacks() const { return fallbacks_; }
+  std::uint64_t epochs_rejected() const { return epochs_rejected_; }
+  std::uint64_t coordinator_losses() const { return coordinator_losses_; }
+  std::uint64_t rejoins() const { return rejoins_; }
+  std::uint64_t stale_transitions() const { return stale_transitions_; }
+  std::uint64_t restarts() const { return restarts_; }
+
+ private:
+  struct LogEntry {
+    std::uint64_t epoch = 0;
+    std::vector<double> slice;
+    double granted_at = 0.0;
+    std::vector<DeviceDecision> local;
+    bool has_plan = false;
+  };
+
+  Decision run_solver(const ProblemInstance& sub) const;
+  /// Guarded local solve on the scaled sub-topology; adopts on success,
+  /// walks the per-cell fallback chain on failure. Returns true when
+  /// local_ changed.
+  bool local_solve(double now, AuditCause cause, std::string detail);
+  /// Members pointing at dead or zero-slice servers drop to device-only
+  /// (the kept-last-good repair step of the fallback chain).
+  bool repair_local(const std::vector<bool>& server_alive);
+  void append_log();
+  std::string tag() const;  // "cell k: " audit prefix
+
+  const ProblemInstance* global_;
+  CellId cell_;
+  CellControllerOptions opts_;
+  DecisionAuditLog* audit_;
+  std::vector<DeviceId> members_;
+  std::size_t num_servers_ = 0;
+
+  // Volatile state (cleared by crash()).
+  std::vector<double> slice_;      // per server, as granted
+  std::uint64_t adopted_epoch_ = 0;
+  double granted_at_ = 0.0;        // the assumed t=0 split counts as granted
+  double last_coord_seen_ = 0.0;
+  bool autonomous_ = false;
+  bool stale_ = false;
+  bool has_plan_ = false;
+  std::vector<DeviceDecision> local_;
+  double observed_bw_ = 0.0;
+  double solved_bw_ = 0.0;
+  std::vector<double> solved_slice_;
+  std::vector<bool> solved_alive_;
+  double next_report_ = 0.0;
+  bool pending_solve_ = false;
+
+  // Stable state + counters.
+  std::vector<LogEntry> log_;
+  std::uint64_t local_solves_ = 0;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t epochs_rejected_ = 0;
+  std::uint64_t coordinator_losses_ = 0;
+  std::uint64_t rejoins_ = 0;
+  std::uint64_t stale_transitions_ = 0;
+  std::uint64_t restarts_ = 0;
+};
+
+}  // namespace scalpel

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ctrl/fabric.hpp"
+
+namespace scalpel {
+
+struct CoordinatorOptions {
+  /// Seconds between reallocation rounds (grants go out only when the slice
+  /// matrix actually moved).
+  double realloc_interval = 1.0;
+  /// Seconds between heartbeats to every cell (cells read any coordinator
+  /// message as a sign of life; explicit heartbeats cover converged phases
+  /// when no grants flow).
+  double heartbeat_interval = 1.0;
+  /// Damping of the tatonnement: phi' = (1 - alpha) * phi + alpha * target.
+  /// With static demand the per-round contraction factor is exactly
+  /// (1 - alpha), so max|delta phi| decays geometrically — the convergence
+  /// guarantee ConvergesGeometricallyOnStaticWorkload pins down.
+  double alpha = 0.5;
+  /// Converged when max|delta phi| stays below this across a round.
+  double converge_eps = 1e-3;
+  /// Slice floor: a cell with no demand keeps this much of each server so
+  /// it can re-enter later (a zero slice would lock it out of offloading
+  /// forever — its local solver would never see server capacity again).
+  /// Folded into the tatonnement target (reserve floor per cell, split the
+  /// residual proportionally) so the fixed point respects the floor and the
+  /// iteration actually converges instead of limit-cycling on the clamp.
+  double min_slice = 0.005;
+};
+
+/// The slow global tier of the distributed control plane: aggregates the
+/// cells' per-server demand reports and reallocates each server's capacity
+/// across cells by damped proportional tatonnement. Epoch-numbered grants
+/// make adoption split-brain-safe, and the epoch counter plus the slice
+/// matrix live in an append-only state log that survives crashes — a
+/// restarted coordinator resumes from its last logged epoch instead of
+/// re-issuing epoch numbers it already used.
+class GlobalCoordinator {
+ public:
+  GlobalCoordinator(std::size_t num_cells, std::size_t num_servers,
+                    CoordinatorOptions opts);
+
+  /// Ingests a delivered message (kLoadReport; everything else ignored).
+  void receive(const CtrlMessage& msg);
+
+  /// Runs reallocation/heartbeat cadences due at `now`, sending grants and
+  /// heartbeats through `fabric`.
+  void tick(double now, ControlFabric& fabric);
+
+  /// Crash: volatile state (demand reports, cadence anchors) is lost.
+  /// The state log is stable storage and survives.
+  void crash();
+  /// Restart at `now`: replays the state log (epoch + slice matrix).
+  void restart(double now);
+
+  std::uint64_t epoch() const { return epoch_; }
+  /// Grant-issuing reallocation rounds so far (the convergence metric).
+  std::uint64_t realloc_rounds() const { return realloc_rounds_; }
+  bool converged() const { return converged_; }
+  double last_max_delta() const { return last_max_delta_; }
+  const std::vector<std::vector<double>>& slices() const { return phi_; }
+
+ private:
+  struct LogEntry {
+    std::uint64_t epoch = 0;
+    std::vector<std::vector<double>> phi;
+  };
+
+  void send_grants(double now, ControlFabric& fabric);
+
+  CoordinatorOptions opts_;
+  std::size_t num_cells_;
+  std::size_t num_servers_;
+
+  // Volatile state (cleared by crash()).
+  std::vector<std::vector<double>> phi_;  // [cell][server] capacity slice
+  std::vector<std::vector<double>> demand_;  // last report per cell
+  std::vector<bool> has_demand_;
+  std::vector<bool> lagging_;  // report echoed an epoch behind: re-grant
+  double next_realloc_ = 0.0;
+  double next_heartbeat_ = 0.0;
+  bool converged_ = false;
+  double last_max_delta_ = 0.0;
+
+  // Stable state.
+  std::uint64_t epoch_ = 0;
+  std::uint64_t realloc_rounds_ = 0;
+  std::vector<LogEntry> log_;
+};
+
+}  // namespace scalpel

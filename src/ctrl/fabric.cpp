@@ -1,0 +1,101 @@
+#include "ctrl/fabric.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+const char* ctrl_msg_name(CtrlMsgType type) {
+  switch (type) {
+    case CtrlMsgType::kLoadReport: return "load_report";
+    case CtrlMsgType::kSliceGrant: return "slice_grant";
+    case CtrlMsgType::kHeartbeat: return "heartbeat";
+  }
+  return "unknown";
+}
+
+namespace {
+// "CTRLFABR" — dedicated stream tag so fabric draws can never collide with
+// the telemetry channel's or the workload's substreams.
+constexpr std::uint64_t kFabricStreamTag = 0x4354524c46414252ull;
+}  // namespace
+
+ControlFabric::ControlFabric(ControlFabricOptions opts,
+                             std::size_t num_endpoints, std::uint64_t seed)
+    : opts_(opts), num_endpoints_(num_endpoints) {
+  SCALPEL_REQUIRE(num_endpoints >= 2,
+                  "control fabric needs a coordinator and at least one cell");
+  SCALPEL_REQUIRE(opts_.delay >= 0.0 && opts_.jitter >= 0.0,
+                  "fabric delay and jitter must be non-negative");
+  SCALPEL_REQUIRE(opts_.drop_prob >= 0.0 && opts_.drop_prob < 1.0,
+                  "fabric drop probability must be in [0, 1)");
+  const Rng base(Rng::substream_seed(seed, kFabricStreamTag));
+  link_rng_.reserve(num_endpoints * num_endpoints);
+  for (std::size_t l = 0; l < num_endpoints * num_endpoints; ++l) {
+    link_rng_.push_back(base.substream(l));
+  }
+}
+
+void ControlFabric::send(CtrlMessage msg, double now) {
+  SCALPEL_REQUIRE(msg.from >= 0 &&
+                      static_cast<std::size_t>(msg.from) < num_endpoints_ &&
+                      msg.to >= 0 &&
+                      static_cast<std::size_t>(msg.to) < num_endpoints_ &&
+                      msg.from != msg.to,
+                  "control message endpoints out of range");
+  Rng& rng = link_rng_[static_cast<std::size_t>(msg.from) * num_endpoints_ +
+                       static_cast<std::size_t>(msg.to)];
+  // Exactly two draws per send, impaired or not: loss on one link must never
+  // shift the jitter stream of a later message, and a pass-through fabric
+  // must leave the rng in the same state as an impaired one.
+  const double u_drop = rng.uniform();
+  const double u_jitter = rng.uniform();
+  msg.sent_at = now;
+  msg.seq = next_seq_++;
+  ++sent_;
+  if (u_drop < opts_.drop_prob) {
+    ++dropped_;
+    return;
+  }
+  msg.deliver_at = now + opts_.delay + opts_.jitter * u_jitter;
+  in_flight_.push_back(std::move(msg));
+}
+
+std::vector<CtrlMessage> ControlFabric::deliver(double now) {
+  std::vector<CtrlMessage> due;
+  auto keep = in_flight_.begin();
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+    if (it->deliver_at <= now) {
+      due.push_back(std::move(*it));
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  in_flight_.erase(keep, in_flight_.end());
+  std::sort(due.begin(), due.end(),
+            [](const CtrlMessage& a, const CtrlMessage& b) {
+              if (a.deliver_at != b.deliver_at) {
+                return a.deliver_at < b.deliver_at;
+              }
+              return a.seq < b.seq;
+            });
+  delivered_ += due.size();
+  return due;
+}
+
+void ControlFabric::drop_for_dead(int endpoint) {
+  auto keep = in_flight_.begin();
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+    if (it->to == endpoint) {
+      ++dropped_dead_;
+    } else {
+      if (keep != it) *keep = std::move(*it);
+      ++keep;
+    }
+  }
+  in_flight_.erase(keep, in_flight_.end());
+}
+
+}  // namespace scalpel

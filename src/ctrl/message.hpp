@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scalpel {
+
+/// Typed control-plane traffic between the per-cell controllers and the
+/// global coordinator. Endpoint ids: 0 is the coordinator, 1 + k is cell
+/// k's controller.
+enum class CtrlMsgType {
+  kLoadReport = 0,  // cell -> coordinator: per-server desired compute shares
+  kSliceGrant,      // coordinator -> cell: epoch-numbered capacity slice row
+  kHeartbeat,       // coordinator -> cell: liveness only (no state change)
+};
+
+const char* ctrl_msg_name(CtrlMsgType type);
+
+struct CtrlMessage {
+  CtrlMsgType type = CtrlMsgType::kHeartbeat;
+  int from = 0;  // endpoint id of the sender
+  int to = 0;    // endpoint id of the recipient
+  double sent_at = 0.0;
+  double deliver_at = 0.0;  // assigned by the fabric (delay + jitter)
+  /// Fabric-assigned send sequence number; ties on deliver_at break on it,
+  /// so delivery order is deterministic even under heavy reorder.
+  std::uint64_t seq = 0;
+  /// Coordinator epoch for kSliceGrant (cells reject epochs <= the last one
+  /// they adopted — the split-brain guard); echo of the sender's last
+  /// adopted epoch for kLoadReport.
+  std::uint64_t epoch = 0;
+  /// kLoadReport: per-server desired global compute share (length = number
+  /// of servers). kSliceGrant: the cell's phi row — fraction of each
+  /// server's capacity granted to the cell. kHeartbeat: empty.
+  std::vector<double> payload;
+};
+
+}  // namespace scalpel

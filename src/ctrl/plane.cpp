@@ -1,0 +1,202 @@
+#include "ctrl/plane.hpp"
+
+#include <algorithm>
+
+#include "core/objective.hpp"
+#include "util/assert.hpp"
+
+namespace scalpel {
+
+DistributedControlPlane::DistributedControlPlane(
+    const ClusterTopology& topology, DistributedPlaneOptions opts)
+    : opts_(std::move(opts)),
+      instance_(topology),
+      fabric_(opts_.fabric, 1 + topology.cells().size(), opts_.seed),
+      coord_(topology.cells().size(), topology.servers().size(),
+             opts_.coordinator) {
+  const std::size_t num_cells = topology.cells().size();
+  cells_.reserve(num_cells);
+  for (std::size_t k = 0; k < num_cells; ++k) {
+    cells_.emplace_back(instance_, static_cast<CellId>(k), opts_.cell,
+                        &audit_);
+  }
+  endpoint_up_.assign(1 + num_cells, true);
+}
+
+void DistributedControlPlane::apply_liveness(double now) {
+  for (std::size_t e = 0; e < endpoint_up_.size(); ++e) {
+    const bool up =
+        opts_.controller_faults.server_up(static_cast<std::int32_t>(e), now);
+    if (up == endpoint_up_[e]) continue;
+    endpoint_up_[e] = up;
+    if (!up) {
+      // The endpoint's queue dies with it: in-flight messages addressed to
+      // it are gone, and its volatile state is wiped. Its state log is
+      // stable storage and survives for the restart.
+      fabric_.drop_for_dead(static_cast<int>(e));
+      if (e == 0) {
+        ++coordinator_crashes_;
+        coord_.crash();
+      } else {
+        ++controller_crashes_;
+        cells_[e - 1].crash();
+      }
+    } else {
+      if (e == 0) {
+        coord_.restart(now);
+      } else {
+        cells_[e - 1].restart(now);
+      }
+    }
+  }
+}
+
+void DistributedControlPlane::route(const CtrlMessage& msg, double now) {
+  if (msg.to < 0 || static_cast<std::size_t>(msg.to) >= endpoint_up_.size()) {
+    return;
+  }
+  if (!endpoint_up_[static_cast<std::size_t>(msg.to)]) {
+    ++dead_letters_;
+    return;
+  }
+  if (msg.to == 0) {
+    coord_.receive(msg);
+  } else {
+    cells_[static_cast<std::size_t>(msg.to) - 1].receive(msg, now);
+  }
+}
+
+void DistributedControlPlane::merge(const Observation& o) {
+  const auto& topo = instance_.topology();
+  const std::size_t n = topo.devices().size();
+  if (merged_.per_device.size() != n) {
+    merged_.per_device.assign(n, DeviceDecision{});
+    for (auto& dd : merged_.per_device) dd.plan.device_only = true;
+  }
+  merged_.scheme = "distributed";
+  for (const auto& cell : cells_) {
+    if (!cell.has_plan()) continue;
+    const auto& members = cell.members();
+    const auto& local = cell.local();
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      merged_.per_device[static_cast<std::size_t>(members[j])] = local[j];
+    }
+  }
+  // Physical-capacity clamp. Cells validate locally against their slice,
+  // but a split-brain mix of epochs (cell A on epoch 5's row, partitioned
+  // cell B still on epoch 3's) can make per-server sums exceed 1. The
+  // actuator squeezes shares proportionally — the same thing GPS weights
+  // would do physically — so the merged plan always evaluates cleanly.
+  std::vector<double> share(topo.servers().size(), 0.0);
+  std::vector<double> grant(topo.cells().size(), 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& dd = merged_.per_device[i];
+    if (dd.plan.device_only) continue;
+    share[static_cast<std::size_t>(dd.server)] += dd.compute_share;
+    grant[static_cast<std::size_t>(
+        topo.device(static_cast<DeviceId>(i)).cell)] += dd.bandwidth;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& dd = merged_.per_device[i];
+    if (dd.plan.device_only) continue;
+    const double s = share[static_cast<std::size_t>(dd.server)];
+    if (s > 1.0) dd.compute_share /= s;
+    const auto cell = static_cast<std::size_t>(
+        topo.device(static_cast<DeviceId>(i)).cell);
+    const double cap = cell < o.cell_bandwidth.size()
+                           ? o.cell_bandwidth[cell]
+                           : topo.cell(static_cast<CellId>(cell)).bandwidth;
+    if (grant[cell] > cap) dd.bandwidth *= cap / grant[cell];
+  }
+  evaluate_decision(instance_, merged_);
+  merged_valid_ = true;
+}
+
+ControlAction DistributedControlPlane::tick(const Observation& o) {
+  const double now = o.time;
+  ++ticks_;
+  audit_.advance_time(now);
+  SCALPEL_REQUIRE(o.cell_bandwidth.size() == cells_.size(),
+                  "observation must cover every cell");
+
+  apply_liveness(now);
+  for (const CtrlMessage& msg : fabric_.deliver(now)) route(msg, now);
+  if (endpoint_up_[0]) coord_.tick(now, fabric_);
+
+  // The believed uplinks feed the cells' sub-problems and the merged
+  // evaluation alike (the same conditions-adoption the centralized
+  // controller performs).
+  auto& mutable_topo = instance_.mutable_topology();
+  for (std::size_t c = 0; c < o.cell_bandwidth.size(); ++c) {
+    SCALPEL_REQUIRE(o.cell_bandwidth[c] > 0.0,
+                    "observed bandwidth must be positive");
+    mutable_topo.set_cell_bandwidth(static_cast<CellId>(c),
+                                    o.cell_bandwidth[c]);
+  }
+
+  bool changed = false;
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    if (!endpoint_up_[1 + k]) continue;
+    changed |= cells_[k].tick(now, o.cell_bandwidth[k], o.server_alive,
+                              fabric_);
+  }
+
+  ControlAction action;
+  if (changed || !merged_valid_) {
+    merge(o);
+    ++plan_changes_;
+    action.decision = merged_;
+  }
+  return action;
+}
+
+Simulator::ObservingController DistributedControlPlane::callback() {
+  return [this](const Observation& o) { return tick(o); };
+}
+
+bool DistributedControlPlane::converged() const {
+  if (!coord_.converged()) return false;
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    if (!endpoint_up_[1 + k]) continue;
+    if (cells_[k].adopted_epoch() != coord_.epoch()) return false;
+  }
+  return true;
+}
+
+std::uint64_t DistributedControlPlane::coordinator_losses() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.coordinator_losses();
+  return total;
+}
+
+std::uint64_t DistributedControlPlane::rejoins() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.rejoins();
+  return total;
+}
+
+std::uint64_t DistributedControlPlane::stale_events() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.stale_transitions();
+  return total;
+}
+
+std::uint64_t DistributedControlPlane::epochs_rejected() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.epochs_rejected();
+  return total;
+}
+
+std::uint64_t DistributedControlPlane::local_solves() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.local_solves();
+  return total;
+}
+
+std::uint64_t DistributedControlPlane::cell_fallbacks() const {
+  std::uint64_t total = 0;
+  for (const auto& c : cells_) total += c.fallbacks();
+  return total;
+}
+
+}  // namespace scalpel

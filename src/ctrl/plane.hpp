@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instance.hpp"
+#include "ctrl/cell.hpp"
+#include "ctrl/coordinator.hpp"
+#include "ctrl/fabric.hpp"
+#include "edge/dynamics.hpp"
+#include "obs/audit.hpp"
+#include "sim/simulator.hpp"
+
+namespace scalpel {
+
+struct DistributedPlaneOptions {
+  ControlFabricOptions fabric;
+  CoordinatorOptions coordinator;
+  CellControllerOptions cell;
+  /// Controller liveness script, reusing FaultSchedule with
+  /// FaultTarget::Server ids as *endpoint* ids: 0 = the coordinator,
+  /// 1 + k = cell k's controller. Independent of the data-plane fault
+  /// script — servers and their controllers fail separately.
+  FaultSchedule controller_faults;
+  /// Seed for the fabric's per-link RNG substreams (dedicated stream tag;
+  /// never collides with workload or telemetry substreams).
+  std::uint64_t seed = 1;
+};
+
+/// The distributed control plane: per-cell controllers and a global
+/// coordinator exchanging typed messages over a deterministic faulty
+/// fabric, packaged behind the engines' ObservingController seam. Both
+/// engines invoke the callback identically at control ticks, so the whole
+/// plane — message delays, drops, crashes, epochs — is bit-identical
+/// between the single loop and any shard x thread configuration by
+/// construction.
+///
+/// Per tick: endpoint liveness transitions (crash wipes volatile state and
+/// the victim's in-flight messages; restart replays the endpoint's own
+/// state log), due-message delivery in deterministic (deliver_at, seq)
+/// order, a coordinator round, then cell rounds in index order. Changed
+/// cell plans merge into one global Decision; the merge clamps per-server
+/// global share sums to 1 and per-cell bandwidth sums to observed capacity,
+/// so a split-brain mix of slice epochs can squeeze a cell but never
+/// produce an unroutable or oversubscribed plan.
+class DistributedControlPlane {
+ public:
+  DistributedControlPlane(const ClusterTopology& topology,
+                          DistributedPlaneOptions opts);
+
+  /// One control window. Returns the merged plan when any cell's local
+  /// decisions changed (and on the first tick), nothing otherwise.
+  ControlAction tick(const Observation& o);
+
+  /// Adapter for Simulator/ShardedSimulator::set_controller.
+  Simulator::ObservingController callback();
+
+  const Decision& merged() const { return merged_; }
+  const ProblemInstance& instance() const { return instance_; }
+  const ControlFabric& fabric() const { return fabric_; }
+  const GlobalCoordinator& coordinator() const { return coord_; }
+  const std::vector<CellController>& cells() const { return cells_; }
+
+  std::uint64_t ticks() const { return ticks_; }
+  std::uint64_t plan_changes() const { return plan_changes_; }
+  std::uint64_t coordinator_crashes() const { return coordinator_crashes_; }
+  std::uint64_t controller_crashes() const { return controller_crashes_; }
+  /// Due messages discarded because their recipient was down.
+  std::uint64_t dead_letters() const { return dead_letters_; }
+  /// True once the coordinator's tatonnement settled and every live cell
+  /// adopted the final epoch.
+  bool converged() const;
+  std::uint64_t coordinator_losses() const;
+  std::uint64_t rejoins() const;
+  std::uint64_t stale_events() const;
+  std::uint64_t epochs_rejected() const;
+  std::uint64_t local_solves() const;
+  std::uint64_t cell_fallbacks() const;
+
+  DecisionAuditLog& audit_log() { return audit_; }
+  const DecisionAuditLog& audit_log() const { return audit_; }
+
+ private:
+  void apply_liveness(double now);
+  void route(const CtrlMessage& msg, double now);
+  void merge(const Observation& o);
+
+  DistributedPlaneOptions opts_;
+  ProblemInstance instance_;
+  ControlFabric fabric_;
+  GlobalCoordinator coord_;
+  std::vector<CellController> cells_;
+  std::vector<bool> endpoint_up_;  // [0] coordinator, [1 + k] cell k
+  Decision merged_;
+  bool merged_valid_ = false;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t plan_changes_ = 0;
+  std::uint64_t coordinator_crashes_ = 0;
+  std::uint64_t controller_crashes_ = 0;
+  std::uint64_t dead_letters_ = 0;
+  DecisionAuditLog audit_;
+};
+
+}  // namespace scalpel

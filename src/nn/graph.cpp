@@ -93,6 +93,19 @@ std::vector<Graph::CutPoint> Graph::clean_cuts() const {
   return cuts;
 }
 
+bool Graph::is_clean_cut(NodeId after) const {
+  const auto n = static_cast<NodeId>(nodes_.size());
+  if (after < 0 || after + 1 >= n) return false;
+  // Clean iff no edge (u -> v) with u < after crosses past the cut; edges
+  // sourced at `after` itself are the single transferred activation.
+  for (NodeId v = after + 1; v < n; ++v) {
+    for (NodeId u : nodes_[static_cast<std::size_t>(v)].inputs) {
+      if (u < after) return false;
+    }
+  }
+  return true;
+}
+
 std::optional<NodeId> Graph::find(const std::string& node_name) const {
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     if (nodes_[i].spec.name == node_name) return static_cast<NodeId>(i);

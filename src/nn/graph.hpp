@@ -60,6 +60,11 @@ class Graph {
   /// input node (id 0, "offload everything") when the input layer exists.
   std::vector<CutPoint> clean_cuts() const;
 
+  /// True iff a cut after node `after` is clean (see CutPoint). Equivalent
+  /// to membership in clean_cuts() but allocation-free and early-exiting —
+  /// the PlanModel constructor validates every plan with it on a hot path.
+  bool is_clean_cut(NodeId after) const;
+
   /// Find node by name; nullopt if absent. Names must be unique per graph.
   std::optional<NodeId> find(const std::string& node_name) const;
 

@@ -19,6 +19,11 @@ const char* audit_cause_name(AuditCause cause) {
     case AuditCause::kSolverTimeout: return "solver_timeout";
     case AuditCause::kPlanRejected: return "plan_rejected";
     case AuditCause::kFallbackApplied: return "fallback_applied";
+    case AuditCause::kCoordinatorLost: return "coordinator_lost";
+    case AuditCause::kLocalAutonomy: return "local_autonomy";
+    case AuditCause::kRejoin: return "rejoin";
+    case AuditCause::kStalePrice: return "stale_price";
+    case AuditCause::kEpochRejected: return "epoch_rejected";
   }
   return "unknown";
 }

@@ -23,6 +23,11 @@ enum class AuditCause {
   kSolverTimeout,     // re-solve exceeded its budget or threw
   kPlanRejected,      // validate_plan refused a solver/fallback output
   kFallbackApplied,   // fallback chain adopted a survival plan
+  kCoordinatorLost,   // heartbeat timeout: cell lost the global coordinator
+  kLocalAutonomy,     // cell adopted a validated local plan while partitioned
+  kRejoin,            // first coordinator message after a loss
+  kStalePrice,        // grant/price aged past freshness; discount applied
+  kEpochRejected,     // plan/grant carried an epoch <= last adopted
 };
 
 const char* audit_cause_name(AuditCause cause);

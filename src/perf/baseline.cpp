@@ -131,6 +131,21 @@ GateResult check_regression(const Json& baseline, const Json& candidate,
   r.ratio = r.candidate_ns_per_event / r.baseline_ns_per_event;
   r.passed = r.ratio <= 1.0 + tolerance;
 
+  // The solver is mandatory in the schema, so it always gates: the joint
+  // optimizer is the other latency-critical loop and regressions there are
+  // just as real as DES ones.
+  const double base_solver =
+      baseline.at("results").at("solver").at("us_per_solve").as_number();
+  const double cand_solver =
+      candidate.at("results").at("solver").at("us_per_solve").as_number();
+  r.ratio_solver = cand_solver / base_solver;
+  r.passed = r.passed && r.ratio_solver <= 1.0 + tolerance;
+  char solver_buf[96];
+  std::snprintf(solver_buf, sizeof(solver_buf),
+                "; solver us/solve %.0f vs %.0f (%.2fx)", cand_solver,
+                base_solver, r.ratio_solver);
+  const std::string solver_note = solver_buf;
+
   // The sharded loop gates with the same tolerance whenever both sides
   // measured it; a report without the section simply isn't compared.
   std::string sharded_note;
@@ -164,7 +179,7 @@ GateResult check_regression(const Json& baseline, const Json& candidate,
                 "%s: ns/event %.1f vs baseline %.1f (%.2fx, tolerance %.2fx)",
                 r.passed ? "PASS" : "FAIL", r.candidate_ns_per_event,
                 r.baseline_ns_per_event, r.ratio, 1.0 + tolerance);
-  r.message = std::string(buf) + sharded_note + warn;
+  r.message = std::string(buf) + solver_note + sharded_note + warn;
   return r;
 }
 

@@ -17,6 +17,10 @@ struct GateResult {
   /// Sharded-engine comparison (0.0 when either report lacks the section).
   /// When present it gates with the same tolerance as the classic loop.
   double ratio_sharded = 0.0;
+  /// Solver comparison on us_per_solve — always present (the report schema
+  /// requires the solver section) and gated with the same tolerance, so a
+  /// joint-optimizer slowdown trips CI just like a DES one.
+  double ratio_solver = 0.0;
   std::string message;   // one-line human verdict (includes warnings)
 };
 
@@ -27,8 +31,9 @@ struct GateResult {
 /// can never drift from what the tooling parses.
 void validate_simcore_report(const Json& report);
 
-/// The `ci.sh perf` regression gate: fails when the candidate's ns/event
-/// exceeds the baseline's by more than `tolerance` (0.15 = +15%). A
+/// The `ci.sh perf` regression gate: fails when the candidate's DES
+/// ns/event, sharded ns/event, or solver us/solve exceeds the baseline's
+/// by more than `tolerance` (0.15 = +15%). A
 /// candidate marked "unoptimized": true is skipped (passed, with a loud
 /// message) — Debug/sanitizer numbers must never update or fail the
 /// scoreboard. A CPU-fingerprint mismatch is surfaced in the message but

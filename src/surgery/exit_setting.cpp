@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "profile/latency_model.hpp"
@@ -197,30 +198,41 @@ ExitSettingResult dp_exit_setting_costs(
   const std::vector<double>& head = costs.head;
   const double tail = costs.tail;
 
+  // Labels are PODs: the decision trace lives in a shared parent-pointer
+  // arena (`steps`) and only the winning label's chain is materialized at
+  // the end. The old per-label std::vector<ExitChoice> trace made every
+  // skip/enable transition a heap allocation — the DP's dominant cost.
   struct Label {
     double accuracy;  // accumulated accuracy mass
     double latency;   // accumulated expected latency
     std::size_t exit_count;
-    // Decision trace for reconstruction: (candidate, theta) pairs.
-    std::vector<ExitChoice> trace;
+    std::int32_t step = -1;  // index into `steps`; -1 = no exits enabled
   };
+  struct Step {
+    std::int32_t parent;
+    ExitChoice choice;
+  };
+  std::vector<Step> steps;
   // frontier[b] = Pareto set of labels with coverage bin b.
   std::vector<std::vector<Label>> frontier(bins);
-  frontier[0].push_back(Label{0.0, 0.0, 0, {}});
+  std::vector<std::vector<Label>> next(bins);  // reused across candidates
+  frontier[0].push_back(Label{0.0, 0.0, 0, -1});
   std::size_t evaluations = 0;
 
-  auto dominate_insert = [](std::vector<Label>& set, Label&& cand_label) {
+  auto dominate_insert = [](std::vector<Label>& set,
+                            const Label& cand_label) {
     for (const auto& l : set) {
       if (l.accuracy >= cand_label.accuracy - 1e-12 &&
           l.latency <= cand_label.latency + 1e-12) {
-        return;  // dominated
+        return false;  // dominated
       }
     }
     std::erase_if(set, [&](const Label& l) {
       return cand_label.accuracy >= l.accuracy - 1e-12 &&
              cand_label.latency <= l.latency + 1e-12;
     });
-    set.push_back(std::move(cand_label));
+    set.push_back(cand_label);
+    return true;
   };
 
   auto coverage_of_bin = [&](std::size_t b) {
@@ -234,14 +246,35 @@ ExitSettingResult dp_exit_setting_costs(
     return std::min(b, bins - 1);
   };
 
+  // Bin-indexed difficulty mass and per-(candidate, theta) firing windows
+  // are loop invariants; hoisting them keeps the inner loop free of
+  // transcendental calls without changing a single computed value.
+  std::vector<double> bin_cdf(bins);
+  std::vector<double> bin_reach(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    bin_cdf[b] = opts.difficulty.cdf(coverage_of_bin(b));
+    bin_reach[b] = 1.0 - bin_cdf[b];
+  }
+  std::vector<double> theta_limit(opts.theta_grid.size());
+  std::vector<double> theta_correct(opts.theta_grid.size());
+
   for (std::size_t i = 0; i < n; ++i) {
-    std::vector<std::vector<Label>> next(bins);
+    for (auto& set : next) set.clear();
     const double cap = acc.capability(candidates[i].depth_fraction);
+    for (std::size_t t = 0; t < opts.theta_grid.size(); ++t) {
+      const double theta = opts.theta_grid[t];
+      theta_limit[t] = cap * (1.0 - theta);
+      theta_correct[t] =
+          std::min(acc.selective_ceiling,
+                   acc.conditional_accuracy(candidates[i].depth_fraction,
+                                            theta) +
+                       candidates[i].accuracy_bonus);
+    }
     for (std::size_t b = 0; b < bins; ++b) {
       for (const auto& label : frontier[b]) {
         const double covered = coverage_of_bin(b);
         // Reach is the probability mass above the covered difficulty.
-        const double reach = 1.0 - opts.difficulty.cdf(covered);
+        const double reach = bin_reach[b];
         // Everyone still running pays the backbone segment to candidate i.
         const double base_latency = label.latency + reach * segment[i];
 
@@ -249,33 +282,32 @@ ExitSettingResult dp_exit_setting_costs(
         {
           Label skip = label;
           skip.latency = base_latency;
-          dominate_insert(next[b], std::move(skip));
+          dominate_insert(next[b], skip);
           ++evaluations;
         }
         // Option 2: enable with each theta.
         if (label.exit_count < opts.max_exits) {
-          for (double theta : opts.theta_grid) {
-            const double limit = cap * (1.0 - theta);
+          for (std::size_t t = 0; t < opts.theta_grid.size(); ++t) {
+            const double limit = theta_limit[t];
             const double fire =
                 std::max(0.0, opts.difficulty.cdf(std::max(covered, limit)) -
-                                  opts.difficulty.cdf(covered));
+                                  bin_cdf[b]);
             Label en = label;
             en.latency = base_latency + reach * head[i];
-            en.accuracy +=
-                fire * std::min(acc.selective_ceiling,
-                                acc.conditional_accuracy(
-                                    candidates[i].depth_fraction, theta) +
-                                    candidates[i].accuracy_bonus);
+            en.accuracy += fire * theta_correct[t];
             en.exit_count += 1;
-            en.trace.push_back(ExitChoice{i, theta});
+            en.step = static_cast<std::int32_t>(steps.size());
             const std::size_t nb = bin_of_coverage(std::max(covered, limit));
-            dominate_insert(next[nb], std::move(en));
+            if (dominate_insert(next[nb], en)) {
+              steps.push_back(
+                  Step{label.step, ExitChoice{i, opts.theta_grid[t]}});
+            }
             ++evaluations;
           }
         }
       }
     }
-    frontier = std::move(next);
+    frontier.swap(next);
   }
 
   // Terminal: tasks still running pay the tail segment and score a_max.
@@ -284,11 +316,11 @@ ExitSettingResult dp_exit_setting_costs(
   std::vector<Label> finals;
   for (std::size_t b = 0; b < bins; ++b) {
     for (const auto& label : frontier[b]) {
-      const double reach = 1.0 - opts.difficulty.cdf(coverage_of_bin(b));
+      const double reach = bin_reach[b];
       Label f = label;
       f.latency += reach * tail;
       f.accuracy += reach * acc.a_max;
-      finals.push_back(std::move(f));
+      finals.push_back(f);
     }
   }
   // Coverage discretization can overstate a label's accuracy by up to one
@@ -316,7 +348,14 @@ ExitSettingResult dp_exit_setting_costs(
     return r;
   }
   ExitSettingResult r;
-  r.policy.exits = best->trace;
+  // Materialize the winning label's decision chain from the arena. Steps were
+  // appended in increasing candidate order, so reversing the parent walk
+  // reproduces the depth-ordered trace the old per-label vectors carried.
+  for (std::int32_t id = best->step; id >= 0;
+       id = steps[static_cast<std::size_t>(id)].parent) {
+    r.policy.exits.push_back(steps[static_cast<std::size_t>(id)].choice);
+  }
+  std::reverse(r.policy.exits.begin(), r.policy.exits.end());
   r.stats = evaluate_policy(backbone, candidates, r.policy, acc,
                             opts.difficulty);
   // Repair: if exact accuracy still misses the floor, drop the shallowest

@@ -17,11 +17,8 @@ PlanModel::PlanModel(const Graph& backbone,
   validate_policy(plan_.policy, candidates);
   const NodeId cut = plan_.partition_after;
   if (!plan_.device_only) {
-    const auto cuts = backbone.clean_cuts();
-    const bool valid = std::any_of(
-        cuts.begin(), cuts.end(),
-        [cut](const Graph::CutPoint& c) { return c.after == cut; });
-    SCALPEL_REQUIRE(valid, "partition_after must be a clean cut");
+    SCALPEL_REQUIRE(backbone.is_clean_cut(cut),
+                    "partition_after must be a clean cut");
     upload_bytes_ = backbone.node(cut).out_shape.bytes();
     if (plan_.quantize_upload) {
       // INT8 payload plus the 4-byte scale (see kernels::QuantizedTensor).

@@ -418,6 +418,67 @@ TEST(OnlineRobust, BackoffSkipsDriftResolvesButNotFailovers) {
   }
 }
 
+TEST(OnlineRobust, BackoffResetsAfterAcceptedSolve) {
+  // Regression: an accepted solve — here the liveness-flip failover — must
+  // clear any pending backoff windows, not leave them smoldering to swallow
+  // the next legitimate drift re-solve.
+  int calls = 0;
+  auto o = fast_opts();
+  o.robustness.solver_backoff_windows = 3;
+  o.solver = [&](const ProblemInstance& inst, const JointOptions& jo) {
+    if (++calls == 2) throw std::runtime_error("one bad solve");
+    return JointOptimizer(jo).optimize(inst);
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  ctl.decision();
+  const double base = lab_bw()[0];
+
+  EXPECT_FALSE(ctl.observe({base * 1.5}));  // trips the watchdog, backoff = 3
+  ASSERT_EQ(calls, 2);
+  EXPECT_FALSE(ctl.observe({base * 2.0}));  // skipped, backoff decays to 2
+  ASSERT_EQ(calls, 2);
+
+  // A liveness flip punches through the backoff and succeeds...
+  EXPECT_TRUE(ctl.observe({base * 2.0}, {true, false}));
+  ASSERT_EQ(calls, 3);
+
+  // ...so the next drift window must reach the solver immediately. If the
+  // backoff survived the accepted solve, this observe would be skipped.
+  EXPECT_TRUE(ctl.observe({base * 4.0}, {true, false}));
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(ctl.fallbacks(), 1u);
+}
+
+TEST(OnlineRobust, QuietWindowsDoNotConsumeBackoff) {
+  // Backoff counts *drift* windows (windows that would have re-solved), not
+  // wall-clock observations: a calm window leaves the budget untouched.
+  int calls = 0;
+  auto o = fast_opts();
+  o.robustness.solver_backoff_windows = 1;
+  o.solver = [&](const ProblemInstance& inst, const JointOptions& jo) {
+    if (++calls == 2) throw std::runtime_error("one bad solve");
+    return JointOptimizer(jo).optimize(inst);
+  };
+  OnlineController ctl(clusters::small_lab(), o);
+  ctl.decision();
+  const double base = lab_bw()[0];
+
+  EXPECT_FALSE(ctl.observe({base * 1.5}));  // trips the watchdog, backoff = 1
+  ASSERT_EQ(calls, 2);
+
+  // Calm windows (within hysteresis of the stale anchor): no decay.
+  EXPECT_FALSE(ctl.observe({base}));
+  EXPECT_FALSE(ctl.observe({base}));
+  ASSERT_EQ(calls, 2);
+
+  // First drift window is skipped (consumes the one backoff window)...
+  EXPECT_FALSE(ctl.observe({base * 2.0}));
+  ASSERT_EQ(calls, 2);
+  // ...the second one retries the solver.
+  EXPECT_TRUE(ctl.observe({base * 2.0}));
+  EXPECT_EQ(calls, 3);
+}
+
 TEST(OnlineRobust, FallbackNeverLeavesTasksUnroutable) {
   auto o = fast_opts();
   o.solver = [](const ProblemInstance&,

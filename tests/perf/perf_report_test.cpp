@@ -43,7 +43,8 @@ Json tiny_report() {
 /// 2x-slowdown candidate costs nothing to construct. `sharded_ns > 0` adds
 /// the v2 sharded section (and the matching workload shard count).
 Json fake_report(double ns_per_event, bool unoptimized,
-                 const std::string& cpu, double sharded_ns = 0.0) {
+                 const std::string& cpu, double sharded_ns = 0.0,
+                 double solver_us = 10000.0) {
   Json build = Json::object();
   build.set("optimized", Json::boolean(!unoptimized));
   build.set("sanitized", Json::boolean(false));
@@ -77,8 +78,8 @@ Json fake_report(double ns_per_event, bool unoptimized,
 
   Json solver = Json::object();
   solver.set("reps", Json::number(1));
-  solver.set("best_seconds", Json::number(0.01));
-  solver.set("us_per_solve", Json::number(10000.0));
+  solver.set("best_seconds", Json::number(solver_us / 1e6));
+  solver.set("us_per_solve", Json::number(solver_us));
 
   Json results = Json::object();
   results.set("des", std::move(des));
@@ -233,6 +234,22 @@ TEST(RegressionGate, GatesShardedSectionWhenBothSidesHaveIt) {
       perf::check_regression(base, fake_report(100.0, false, "cpu-a"), 0.15);
   EXPECT_TRUE(classic_only.passed);
   EXPECT_EQ(classic_only.ratio_sharded, 0.0);
+}
+
+TEST(RegressionGate, GatesSolverTiming) {
+  // The solver section is mandatory, so it always gates: a joint-optimizer
+  // slowdown with a steady DES loop must still fail.
+  const Json base = fake_report(100.0, false, "cpu-a");
+  const auto bad = perf::check_regression(
+      base, fake_report(100.0, false, "cpu-a", 0.0, 20000.0), 0.15);
+  EXPECT_FALSE(bad.passed);
+  EXPECT_NEAR(bad.ratio_solver, 2.0, 1e-12);
+  EXPECT_NE(bad.message.find("solver"), std::string::npos);
+
+  const auto good = perf::check_regression(
+      base, fake_report(100.0, false, "cpu-a", 0.0, 10500.0), 0.15);
+  EXPECT_TRUE(good.passed);
+  EXPECT_NEAR(good.ratio_solver, 1.05, 1e-12);
 }
 
 TEST(SimcoreReport, ValidatorEnforcesShardedContract) {

@@ -13,9 +13,11 @@
 #include <vector>
 
 #include "core/objective.hpp"
+#include "ctrl/plane.hpp"
 #include "edge/builders.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"
 
@@ -204,6 +206,102 @@ TEST(ShardFuzz, ConservationIsShardCountInvariant) {
         EXPECT_EQ(ref_m.retried, m.retried);
         EXPECT_EQ(ref_m.resteered, m.resteered);
         EXPECT_EQ(ref_m.events_processed, m.events_processed);
+      }
+    }
+  }
+}
+
+// Distributed-control fuzz: random fabrics (loss, reorder), random
+// coordinator/controller churn, random data-plane faults — a fresh
+// DistributedControlPlane per run must leave conservation shard-count
+// invariant AND replay the identical protocol history (audit trail,
+// epoch rejections, dead letters) for every shard x thread configuration.
+TEST(ShardFuzz, DistributedPlaneIsShardCountInvariant) {
+  Rng rng(20260809);
+  for (int iter = 0; iter < 8; ++iter) {
+    SCOPED_TRACE(::testing::Message() << "iteration " << iter);
+    const ProblemInstance instance = random_instance(rng);
+    const Decision d = random_decision(instance, rng);
+    Simulator::Options opts = random_options(instance, rng);
+    // The plane is the controller here; make sure it actually ticks.
+    if (opts.control_interval <= 0.0) {
+      opts.control_interval = rng.uniform(0.3, 1.5);
+    }
+
+    DistributedPlaneOptions popts;
+    popts.seed = rng.next_u64();
+    if (rng.uniform() < 0.7) {
+      popts.fabric.delay = rng.uniform(0.0, 0.5);
+      popts.fabric.jitter = rng.uniform(0.0, 2.0);
+      popts.fabric.drop_prob = rng.uniform(0.0, 0.4);
+    }
+    popts.cell.solver = [](const ProblemInstance& sub, const JointOptions&) {
+      Decision plan;
+      plan.scheme = "stub";
+      const auto& topo = sub.topology();
+      const auto n = static_cast<double>(topo.devices().size());
+      plan.per_device.resize(topo.devices().size());
+      for (auto& dd : plan.per_device) {
+        dd.plan.partition_after = 0;
+        dd.server = 0;
+        dd.compute_share = 0.9 / n;
+        dd.bandwidth = 0.9 * topo.cell(0).bandwidth / n;
+      }
+      return plan;
+    };
+    // Controller churn over endpoint ids 0..num_cells (0 = coordinator).
+    if (rng.uniform() < 0.8) {
+      const std::size_t endpoints = 1 + instance.topology().cells().size();
+      std::vector<FaultEvent> churn;
+      const int n = 1 + static_cast<int>(rng.uniform(0.0, 3.0));
+      for (int i = 0; i < n; ++i) {
+        const double down = rng.uniform(0.5, opts.horizon * 0.7);
+        const auto victim = static_cast<std::int32_t>(
+            rng.uniform(0.0, static_cast<double>(endpoints) - 0.01));
+        churn.push_back({down, FaultTarget::Server, victim, false});
+        churn.push_back({down + rng.uniform(0.5, opts.horizon * 0.4),
+                         FaultTarget::Server, victim, true});
+      }
+      std::sort(churn.begin(), churn.end(),
+                [](const FaultEvent& a, const FaultEvent& b) {
+                  return a.time < b.time;
+                });
+      popts.controller_faults = FaultSchedule(churn);
+    }
+
+    DistributedControlPlane ref_plane(instance.topology(), popts);
+    Simulator ref(instance, d, opts);
+    ref.set_controller(ref_plane.callback());
+    const SimMetrics ref_m = ref.run();
+    const std::string ref_audit =
+        ref_plane.audit_log().to_json().dump_pretty();
+
+    for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+      for (const std::size_t threads : {1u, 2u}) {
+        SCOPED_TRACE(::testing::Message()
+                     << "shards=" << shards << " threads=" << threads);
+        ShardOptions sopts;
+        sopts.shards = shards;
+        sopts.threads = threads;
+        DistributedControlPlane plane(instance.topology(), popts);
+        ShardedSimulator sim(instance, d, opts, sopts);
+        sim.set_controller(plane.callback());
+        const SimMetrics m = sim.run();
+
+        EXPECT_EQ(m.arrived, m.completed_all + m.failed_all + m.shed_all +
+                                 m.in_flight_end);
+        EXPECT_EQ(ref_m.arrived, m.arrived);
+        EXPECT_EQ(ref_m.completed_all, m.completed_all);
+        EXPECT_EQ(ref_m.failed_all, m.failed_all);
+        EXPECT_EQ(ref_m.shed_all, m.shed_all);
+        EXPECT_EQ(ref_m.in_flight_end, m.in_flight_end);
+        EXPECT_EQ(ref_m.events_processed, m.events_processed);
+        EXPECT_EQ(plane.audit_log().to_json().dump_pretty(), ref_audit);
+        EXPECT_EQ(plane.plan_changes(), ref_plane.plan_changes());
+        EXPECT_EQ(plane.local_solves(), ref_plane.local_solves());
+        EXPECT_EQ(plane.epochs_rejected(), ref_plane.epochs_rejected());
+        EXPECT_EQ(plane.dead_letters(), ref_plane.dead_letters());
+        EXPECT_EQ(plane.fabric().dropped(), ref_plane.fabric().dropped());
       }
     }
   }

@@ -17,6 +17,7 @@
 #include "core/joint.hpp"
 #include "core/objective.hpp"
 #include "core/online.hpp"
+#include "ctrl/plane.hpp"
 #include "edge/builders.hpp"
 #include "obs/trace.hpp"
 #include "sim/runner.hpp"
@@ -431,6 +432,107 @@ TEST(ShardEquivalence, HardenedOnlineControllerBitIdentical) {
       EXPECT_EQ(ctl.telemetry_rejections(), ref_ctl.telemetry_rejections());
       EXPECT_EQ(ctl.reoptimizations(), ref_ctl.reoptimizations());
       EXPECT_EQ(ctl.failovers(), ref_ctl.failovers());
+    }
+  }
+}
+
+// The distributed control plane in the loop: per-cell controllers and the
+// global coordinator exchanging messages over a lossy, reordering fabric,
+// with the coordinator crashing mid-epoch, one cell controller partitioned
+// away, and a data-plane server outage forcing per-cell failover solves.
+// The plane runs entirely in the serial control phase on dedicated fabric
+// substreams, so a FRESH stateful plane per run must reproduce the single
+// loop bit-identically — metrics, registries, traces, AND the plane's own
+// audit trail and protocol counters.
+TEST(ShardEquivalence, DistributedControlPlaneBitIdentical) {
+  const ProblemInstance instance = sharded_campus(9, 2.0, 8, 3);
+  Decision d;
+  d.scheme = "seed_local";
+  d.per_device.resize(instance.topology().devices().size());
+  for (auto& dd : d.per_device) dd.plan.device_only = true;
+  evaluate_decision(instance, d);
+
+  DistributedPlaneOptions popts;
+  popts.seed = 9;
+  popts.fabric.delay = 0.3;
+  popts.fabric.jitter = 1.5;  // > the 1 s control cadence: grants reorder
+  popts.fabric.drop_prob = 0.15;
+  // Stub cell solver: protocol determinism is under test, not the
+  // optimizer. Offloads every member to the first usable server.
+  popts.cell.solver = [](const ProblemInstance& sub, const JointOptions&) {
+    Decision plan;
+    plan.scheme = "stub";
+    const auto& topo = sub.topology();
+    const auto n = static_cast<double>(topo.devices().size());
+    plan.per_device.resize(topo.devices().size());
+    for (auto& dd : plan.per_device) {
+      dd.plan.partition_after = 0;
+      dd.server = 0;
+      dd.compute_share = 0.9 / n;
+      dd.bandwidth = 0.9 * topo.cell(0).bandwidth / n;
+    }
+    return plan;
+  };
+  std::vector<FaultEvent> churn;
+  churn.push_back({4.0, FaultTarget::Server, 0, false});  // coordinator dies
+  churn.push_back({9.0, FaultTarget::Server, 0, true});   //   ...mid-epoch
+  churn.push_back({6.0, FaultTarget::Server, 3, false});  // cell 2 cut off
+  churn.push_back({11.0, FaultTarget::Server, 3, true});
+  popts.controller_faults = FaultSchedule(churn);
+
+  Simulator::Options opts;
+  opts.horizon = 16.0;
+  opts.warmup = 1.0;
+  opts.seed = 9;
+  opts.control_interval = 1.0;
+  opts.trace_capacity = 1 << 18;
+  opts.faults.schedule = FaultSchedule::server_crash(1, 7.0, 12.0);
+  opts.faults.policy = FaultPolicy::RetryOnDevice;
+
+  DistributedControlPlane ref_plane(instance.topology(), popts);
+  Simulator ref(instance, d, opts);
+  ref.set_controller(ref_plane.callback());
+  const SimMetrics ref_m = ref.run();
+  const std::vector<TraceEvent> ref_trace =
+      reconcile_trace(ref.trace().snapshot());
+  const std::string ref_audit =
+      ref_plane.audit_log().to_json().dump_pretty();
+  // The chaos must actually bite, or this scenario tests nothing.
+  EXPECT_EQ(ref_plane.coordinator_crashes(), 1u);
+  EXPECT_EQ(ref_plane.controller_crashes(), 1u);
+  EXPECT_GT(ref_plane.fabric().dropped(), 0u);
+  EXPECT_GT(ref_plane.coordinator_losses(), 0u);
+  EXPECT_GT(ref_plane.stale_events(), 0u);
+
+  for (const std::size_t shards : kShardCounts) {
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ShardOptions sopts;
+      sopts.shards = shards;
+      sopts.threads = threads;
+      DistributedControlPlane plane(instance.topology(), popts);
+      ShardedSimulator sim(instance, d, opts, sopts);
+      sim.set_controller(plane.callback());
+      const SimMetrics m = sim.run();
+      expect_metrics_identical(ref_m, m);
+      expect_registries_identical(ref.registry(), sim.registry());
+      const std::vector<TraceEvent> trace = sim.trace_events();
+      ASSERT_EQ(ref_trace.size(), trace.size());
+      for (std::size_t i = 0; i < ref_trace.size(); ++i) {
+        ASSERT_TRUE(ref_trace[i] == trace[i]) << "trace event " << i;
+      }
+      // The plane saw the same world: same protocol history, bit for bit.
+      EXPECT_EQ(plane.audit_log().to_json().dump_pretty(), ref_audit);
+      EXPECT_EQ(plane.plan_changes(), ref_plane.plan_changes());
+      EXPECT_EQ(plane.local_solves(), ref_plane.local_solves());
+      EXPECT_EQ(plane.epochs_rejected(), ref_plane.epochs_rejected());
+      EXPECT_EQ(plane.stale_events(), ref_plane.stale_events());
+      EXPECT_EQ(plane.dead_letters(), ref_plane.dead_letters());
+      EXPECT_EQ(plane.coordinator_losses(), ref_plane.coordinator_losses());
+      EXPECT_EQ(plane.rejoins(), ref_plane.rejoins());
+      EXPECT_EQ(plane.fabric().sent(), ref_plane.fabric().sent());
+      EXPECT_EQ(plane.fabric().dropped(), ref_plane.fabric().dropped());
     }
   }
 }
