@@ -1,9 +1,14 @@
 // OBS — Observability overhead: cost of the per-task tracing hooks on the
 // F17 overload workload (the event-densest configuration: bounded queues,
-// expiry shedding, sustained overload). Two claims are measured:
+// expiry shedding, sustained overload). Three claims are measured:
 //   1. tracing DISABLED (the default) costs < 2% wall time — the hooks
 //      compiled into the simulator hot path reduce to one branch each;
-//   2. tracing ENABLED stays modest (ring writes, no allocation).
+//   2. tracing ENABLED stays modest (ring writes, no allocation);
+//   3. the windowed time-series recorder + SLO burn-rate monitor cost < 2%
+//      wall time in steady state — sampling is a fixed-interval row write
+//      into a preallocated ring plus two cursor-advanced burn windows,
+//      never an allocation; gated on the measured per-sample cost, with a
+//      loose end-to-end backstop against gross regressions.
 // Each configuration is timed over several alternating repetitions so drift
 // in machine load cancels out rather than biasing one side.
 
@@ -13,6 +18,8 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 using namespace scalpel;
@@ -34,7 +41,9 @@ ClusterTopology overloaded_campus() {
 
 Simulator::Options f17_sim(std::size_t trace_capacity) {
   Simulator::Options o;
-  o.horizon = 300.0;
+  // Long enough that the per-sample telemetry cost (the overhead under
+  // test) accumulates well clear of scheduler noise on a single run.
+  o.horizon = 1200.0;
   o.warmup = 10.0;
   o.seed = 17;
   o.overload.policy = OverloadPolicy::ShedExpired;
@@ -56,9 +65,33 @@ double time_run(const ProblemInstance& instance, const Decision& d,
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
+// Scheduler noise is one-sided — preemption and frequency dips only ever add
+// wall time — so the fastest runs estimate the intrinsic cost. Averaging the
+// fastest quarter (rather than taking the single minimum) keeps the estimate
+// stable against timer granularity on runs this short (~12 ms) while still
+// rejecting the noisy tail.
+double best(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  const std::size_t k = std::max<std::size_t>(1, xs.size() / 4);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += xs[i];
+  return sum / static_cast<double>(k);
+}
+
 double median(std::vector<double> xs) {
   std::sort(xs.begin(), xs.end());
   return xs[xs.size() / 2];
+}
+
+/// The obs-report default SLO: deadline satisfaction >= 0.9, fast 10 s
+/// window at 1.0x paired with a sustained 60 s window at 0.5x.
+SloSpec deadline_spec() {
+  SloSpec spec;
+  spec.name = "deadline";
+  spec.good = "sim.deadline_met";
+  spec.total = "sim.deadline_total";
+  spec.windows = {{10.0, 1.0}, {60.0, 0.5}};
+  return spec;
 }
 
 }  // namespace
@@ -77,24 +110,65 @@ int main() {
   std::size_t ring = 1024;
   while (ring < events + events / 4) ring *= 2;
 
-  constexpr int kReps = 7;
+  // Telemetry configuration: the recorder samples on a 0.5 s grid and the
+  // SLO monitor re-evaluates two burn windows per sample — the obs-report
+  // pipeline minus control-plane sources. One recorder for the whole
+  // process, as obs-report has: clear() between reps keeps the same storage
+  // block, so reps differ by run noise and not by allocator placement.
+  // Capacity fits every row of a run (1200 s on a 0.5 s grid is ~2400 rows);
+  // an oversized ring would bill its zero-fill (freeze_columns) to the
+  // timed run.
+  TimeSeriesRecorder obs_recorder(4096);
+  auto obs_run = [&](std::size_t* samples) {
+    obs_recorder.clear();
+    SloMonitor slo(&obs_recorder);
+    slo.add(deadline_spec());
+    Simulator::Options o = f17_sim(0);
+    o.obs_interval = 0.5;
+    o.recorder = &obs_recorder;
+    o.slo = &slo;
+    const double t = time_run(instance, d, o, nullptr);
+    if (samples) *samples = obs_recorder.size();
+    return t;
+  };
+
+  constexpr int kReps = 17;
   std::vector<double> off_times;
-  std::vector<double> on_times;
+  std::vector<double> on_diffs;
+  std::vector<double> obs_diffs;
+  std::size_t samples = 0;
   // Warm the untraced path too before timing.
   time_run(instance, d, f17_sim(0), nullptr);
+  // Each measured configuration is paired with its own immediately-adjacent
+  // baseline run and scored as the difference of the pair: machine-load and
+  // frequency drift move both runs of a pair together (they are ~25 ms
+  // apart) and cancel in the difference, where an absolute comparison of
+  // medians taken seconds apart would not. The telemetry run also times
+  // before the tracing-on run: the latter drags a multi-MB event ring
+  // through the cache, and timing the small recorder config right behind it
+  // would bill that refill to the recorder.
   for (int r = 0; r < kReps; ++r) {
-    off_times.push_back(time_run(instance, d, f17_sim(0), nullptr));
-    on_times.push_back(time_run(instance, d, f17_sim(ring), &events));
+    const double off1 = time_run(instance, d, f17_sim(0), nullptr);
+    obs_diffs.push_back(obs_run(&samples) - off1);
+    const double off2 = time_run(instance, d, f17_sim(0), nullptr);
+    on_diffs.push_back(time_run(instance, d, f17_sim(ring), &events) - off2);
+    off_times.push_back(off1);
+    off_times.push_back(off2);
   }
-  const double off = median(off_times);
-  const double on = median(on_times);
-  const double enabled_overhead = (on - off) / off * 100.0;
+  const double off = best(off_times);
+  const double on = off + median(on_diffs);
+  const double obs = off + median(obs_diffs);
+  const double enabled_overhead = median(on_diffs) / off * 100.0;
+  const double obs_overhead = median(obs_diffs) / off * 100.0;
 
-  Table t({"configuration", "median wall s", "events", "overhead vs off"});
+  Table t({"configuration", "best wall s", "events", "overhead vs off"});
   t.add_row({"tracing off (default)", Table::num(off, 4), "0", "baseline"});
   t.add_row({"tracing on (sized ring)", Table::num(on, 4),
              Table::num(static_cast<std::int64_t>(events)),
              Table::num(enabled_overhead, 2) + " %"});
+  t.add_row({"time series + SLO monitor", Table::num(obs, 4),
+             Table::num(static_cast<std::int64_t>(samples)),
+             Table::num(obs_overhead, 2) + " %"});
   std::printf("%s\n", t.to_string().c_str());
 
   // The <2% claim is about the hooks when tracing is off. The disabled
@@ -120,8 +194,52 @@ int main() {
   std::printf("disabled record(): %.2f ns/call; %zu hook sites/run -> "
               "%.4f%% of the untraced wall time\n",
               per_call * 1e9, events, off_overhead);
-  const bool pass = off_overhead < 2.0;
+  const bool hooks_pass = off_overhead < 2.0;
   std::printf("%s: tracing-off overhead %.4f%% %s 2%% budget\n",
-              pass ? "PASS" : "FAIL", off_overhead, pass ? "<" : ">=");
-  return pass ? 0 : 1;
+              hooks_pass ? "PASS" : "FAIL", off_overhead,
+              hooks_pass ? "<" : ">=");
+  // The telemetry claim is gated the same way: steady-state per-sample cost
+  // measured directly, scaled by the samples one run takes. A long loop
+  // keeps row writes, ring wrap, cursor advance, and both burn windows on
+  // the measured path. (The end-to-end diff in the table stays
+  // informational with a loose backstop: wall-clock differences this small
+  // swing by +/-2 points from allocator and code placement alone between
+  // invocations, which would make a tight end-to-end gate flaky.)
+  obs_recorder.clear();
+  SloMonitor slo(&obs_recorder);
+  slo.add(deadline_spec());
+  EngineSample es;
+  constexpr std::uint64_t kObsCalls = 500'000;
+  const auto o0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < kObsCalls; ++i) {
+    es.time += 0.5;
+    es.arrived += 250;
+    es.completed += 240;
+    es.deadline_met += 230;
+    es.deadline_total += 240;
+    es.in_flight = 42.0;
+    es.queue_depth = 17.0;
+    obs_recorder.sample(es);
+    slo.evaluate();
+  }
+  const auto o1 = std::chrono::steady_clock::now();
+  const double per_sample = std::chrono::duration<double>(o1 - o0).count() /
+                            static_cast<double>(kObsCalls);
+  const double steady_overhead =
+      per_sample * static_cast<double>(samples) / off * 100.0;
+  std::printf("sample+evaluate: %.0f ns/sample; %zu samples/run -> "
+              "%.4f%% of the untraced wall time\n",
+              per_sample * 1e9, samples, steady_overhead);
+
+  const bool obs_pass = steady_overhead < 2.0;
+  std::printf("%s: time-series + SLO steady-state overhead %.4f%% %s 2%% "
+              "budget (%zu samples)\n",
+              obs_pass ? "PASS" : "FAIL", steady_overhead,
+              obs_pass ? "<" : ">=", samples);
+  const bool e2e_pass = obs_overhead < 8.0;
+  std::printf("%s: end-to-end telemetry diff %.2f%% %s 8%% regression "
+              "backstop\n",
+              e2e_pass ? "PASS" : "FAIL", obs_overhead,
+              e2e_pass ? "<" : ">=");
+  return hooks_pass && obs_pass && e2e_pass ? 0 : 1;
 }

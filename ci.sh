@@ -13,7 +13,8 @@
 #   ./ci.sh perf     — Release build, run bench_simcore (classic + sharded
 #                      sections and the 10k→1M metro sweep), gate ns/event
 #                      and solver us/solve against the committed
-#                      BENCH_simcore.json (>15% fails)
+#                      BENCH_simcore.json (>15% fails), then gate the
+#                      observability overhead (<2% hooks/steady-state)
 #   ./ci.sh chaos    — distributed-control slice: the full ctrl suite, the
 #                      distributed-plane shard bit-identity and fuzz
 #                      scenarios, and a CLI convergence + failover smoke
@@ -68,6 +69,26 @@ trace_smoke() {
   rm -rf "$dir"
 }
 
+# Observability pipeline smoke: a lossy-fabric failover run with causal
+# span tracing, the windowed time-series recorder, and the SLO burn-rate
+# monitor all enabled, exported through the CLI, then validate-trace checks
+# that the merged Chrome trace parses, the ctrl.* metrics reconcile with the
+# span stream (sent == dropped + delivered + dead-lettered + in-flight),
+# and the time series is monotone on its cumulative columns.
+obs_smoke() {
+  local cli="$BUILD_DIR/examples/scalpel_cli"
+  local dir
+  dir="$(mktemp -d)"
+  "$cli" obs-report --horizon 24 --drop 0.15 --coord-mtbf 6 \
+    --trace-out "$dir/obs_trace.json" \
+    --timeseries-out "$dir/obs_series.json" \
+    --metrics-out "$dir/obs_metrics.json" \
+    --audit-out "$dir/obs_audit.json"
+  "$cli" validate-trace --trace "$dir/obs_trace.json" \
+    --metrics "$dir/obs_metrics.json"
+  rm -rf "$dir"
+}
+
 # One-seed slice of the shard×thread determinism matrix: every scenario
 # shape and both plan unit tests, seed index 0 only. Fast enough for every
 # push; the full four-seed matrix (label "shard") runs in full/tsan.
@@ -101,6 +122,7 @@ case "$TIER" in
     ctest --test-dir "$BUILD_DIR" -L fast --output-on-failure -j "$JOBS"
     shard_slice
     trace_smoke
+    obs_smoke
     ;;
   tsan)
     # The sharded engine's only concurrency is inside the epoch barriers;
@@ -111,6 +133,7 @@ case "$TIER" in
   full)
     ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
     trace_smoke
+    obs_smoke
     ;;
   chaos)
     chaos_slice
@@ -127,6 +150,11 @@ case "$TIER" in
       --json "$CANDIDATE" \
       --check BENCH_simcore.json \
       --tolerance "${PERF_TOLERANCE:-0.15}"
+    # Observability overhead gate: exits 1 if the disabled tracing hooks or
+    # the steady-state time-series + SLO sampling cost exceed 2% of the
+    # untraced wall time (or the end-to-end diff trips its regression
+    # backstop).
+    "$BUILD_DIR/bench/bench_obs_overhead"
     ;;
   *)
     echo "usage: $0 [fast|full|asan|ubsan|tsan|perf|chaos]" >&2

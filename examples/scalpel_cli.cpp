@@ -37,6 +37,10 @@
 #include "edge/builders.hpp"
 #include "nn/models.hpp"
 #include "obs/audit.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/metrics_export.hpp"
 #include "sim/runner.hpp"
@@ -76,6 +80,16 @@ namespace {
                "  scalpel_cli distributed --topology FILE [--ticks N] "
                "[--delay S] [--jitter S] [--drop P] [--coord-mtbf S] "
                "[--coord-mttr S] [--horizon S] [--seed S] "
+               "[--span-capacity N] [--obs-interval S] "
+               "[--audit-out FILE(.json|.csv)] [--trace-out FILE.json] "
+               "[--metrics-out FILE(.json|.csv)] "
+               "[--timeseries-out FILE(.json|.csv)]\n"
+               "  scalpel_cli obs-report [--topology FILE] [--horizon S] "
+               "[--seed S] [--overload F] [--drop P] [--delay S] "
+               "[--jitter S] [--coord-mtbf S] [--coord-mttr S] "
+               "[--obs-interval S] [--span-capacity N] [--capacity N] "
+               "[--trace-out FILE.json] [--timeseries-out FILE(.json|.csv)] "
+               "[--metrics-out FILE(.json|.csv)] "
                "[--audit-out FILE(.json|.csv)]\n"
                "  scalpel_cli models\n");
   std::exit(2);
@@ -494,7 +508,10 @@ int cmd_trace(const std::map<std::string, std::string>& flags) {
 
 // Round-trips an exported trace + metrics pair through the JSON parser and
 // checks that the per-task events reconcile exactly with the simulator's
-// conservation counters. Exit 0 = PASS; used by ci.sh's fast tier.
+// conservation counters. A merged trace (control-plane spans spliced next to
+// the task events) additionally reconciles the span stream against the
+// ctrl.* counters in the metrics file. Exit 0 = PASS; used by ci.sh's fast
+// tier.
 int cmd_validate_trace(const std::map<std::string, std::string>& flags) {
   const std::string trace_path = flag_or(flags, "trace", "");
   const std::string metrics_path = flag_or(flags, "metrics", "");
@@ -510,12 +527,29 @@ int cmd_validate_trace(const std::map<std::string, std::string>& flags) {
                  static_cast<long long>(trace.at("droppedEvents").as_int()));
     return 1;
   }
+  if (trace.contains("droppedSpans") &&
+      trace.at("droppedSpans").as_int() != 0) {
+    std::fprintf(stderr,
+                 "FAIL: control-plane spans truncated (%lld overwritten); "
+                 "re-record with a larger --span-capacity\n",
+                 static_cast<long long>(trace.at("droppedSpans").as_int()));
+    return 1;
+  }
 
   std::map<std::string, std::int64_t> counts;
+  std::map<std::string, std::int64_t> span_counts;
+  std::int64_t span_events = 0;
   const Json& events = trace.at("traceEvents");
   for (std::size_t i = 0; i < events.size(); ++i) {
-    // args.event carries the lifecycle name even for B/E span phases.
-    ++counts[events.at(i).at("args").at("event").as_string()];
+    const Json& args = events.at(i).at("args");
+    // Control-plane spans carry args.span (and a correlation id); task
+    // lifecycle events carry args.event even for B/E span phases.
+    if (args.contains("span")) {
+      ++span_counts[args.at("span").as_string()];
+      ++span_events;
+      continue;
+    }
+    ++counts[args.at("event").as_string()];
   }
   auto count = [&](const char* name) {
     const auto it = counts.find(name);
@@ -556,14 +590,61 @@ int cmd_validate_trace(const std::map<std::string, std::string>& flags) {
                  static_cast<long long>(in_flight));
     ok = false;
   }
+  // Control-plane reconciliation, when both sides carry it: span stream vs
+  // the ctrl.* counters published by the plane, plus the fabric conservation
+  // law (#sent == #dropped + #delivered + #dead_letter + in_flight).
+  if (span_events > 0 && metrics.contains("ctrl")) {
+    const Json& ctrl = metrics.at("ctrl").at("counters");
+    auto span_count = [&](const char* name) {
+      const auto it = span_counts.find(name);
+      return it == span_counts.end() ? std::int64_t{0} : it->second;
+    };
+    auto ctr = [&](const char* name) {
+      return ctrl.contains(name) ? ctrl.at(name).as_int() : std::int64_t{0};
+    };
+    const std::int64_t fabric_in_flight =
+        metrics.at("ctrl").at("gauges").contains("ctrl.in_flight")
+            ? static_cast<std::int64_t>(metrics.at("ctrl")
+                                            .at("gauges")
+                                            .at("ctrl.in_flight")
+                                            .as_number())
+            : 0;
+    check("ctrl sent spans", span_count("sent"), ctr("ctrl.msg.sent"));
+    check("ctrl delivered spans", span_count("delivered"),
+          ctr("ctrl.msg.delivered"));
+    check("ctrl dropped spans", span_count("dropped"),
+          ctr("ctrl.msg.dropped"));
+    check("ctrl dead-letter spans", span_count("dead_letter"),
+          ctr("ctrl.msg.dropped_dead") + ctr("ctrl.dead_letters"));
+    check("ctrl adopted spans", span_count("adopted"),
+          ctr("ctrl.adoptions"));
+    check("ctrl stale-rejection spans", span_count("rejected_stale"),
+          ctr("ctrl.epochs_rejected"));
+    check("ctrl re-grant spans", span_count("regrant"),
+          ctr("ctrl.regrants"));
+    // Fabric-level conservation: routing dead letters (a down recipient
+    // after a successful delivery) already appear as delivered spans, so
+    // only the fabric-side share (queue wiped with a dead endpoint) joins
+    // the outcome sum.
+    check("ctrl fabric conservation", span_count("sent"),
+          span_count("dropped") + span_count("delivered") +
+              ctr("ctrl.msg.dropped_dead") + fabric_in_flight);
+    if (!ok) return 1;
+  }
   if (!ok) return 1;
   std::printf("PASS: %zu trace events reconcile with the conservation "
               "counters (arrived=%lld completed=%lld failed=%lld shed=%lld "
-              "in_flight_end=%lld)\n",
+              "in_flight_end=%lld",
               events.size(), static_cast<long long>(arrived),
               static_cast<long long>(completed),
               static_cast<long long>(failed), static_cast<long long>(shed),
               static_cast<long long>(in_flight));
+  if (span_events > 0) {
+    std::printf("; %lld control-plane spans reconcile with the ctrl.* "
+                "counters",
+                static_cast<long long>(span_events));
+  }
+  std::printf(")\n");
   return 0;
 }
 
@@ -586,7 +667,14 @@ int cmd_distributed(const std::map<std::string, std::string>& flags) {
   const double coord_mttr = double_flag(flags, "coord-mttr", 4.0, 1e-6, 1e9);
   const double horizon = double_flag(flags, "horizon", 60.0, 1e-6);
   const std::uint64_t seed = size_flag(flags, "seed", 19, 0);
+  const auto span_capacity = static_cast<std::size_t>(
+      size_flag(flags, "span-capacity", 1u << 16, 1, 1u << 26));
+  const double obs_interval =
+      double_flag(flags, "obs-interval", 0.5, 1e-6, 1.0);
   const std::string audit_out = flag_or(flags, "audit-out", "");
+  const std::string trace_out = flag_or(flags, "trace-out", "");
+  const std::string metrics_out = flag_or(flags, "metrics-out", "");
+  const std::string timeseries_out = flag_or(flags, "timeseries-out", "");
 
   const auto topo =
       serialize::topology_from_json(Json::parse(read_file(topo_path)));
@@ -611,6 +699,7 @@ int cmd_distributed(const std::map<std::string, std::string>& flags) {
     po.cell.joint = joint;
     po.controller_faults = std::move(faults);
     po.seed = seed;
+    po.span_capacity = span_capacity;
     return po;
   };
   auto observe = [&](double t) {
@@ -663,7 +752,17 @@ int cmd_distributed(const std::map<std::string, std::string>& flags) {
     coord_faults = FaultSchedule::exponential_servers(
         1, coord_mtbf, coord_mttr, horizon, Rng(seed + 2));
   }
+  if (!trace_out.empty()) {
+    so.trace_capacity = static_cast<std::size_t>(
+        size_flag(flags, "capacity", 1048576, 1, 1u << 28));
+  }
   DistributedControlPlane chaos(topo, make_opts(std::move(coord_faults)));
+  TimeSeriesRecorder recorder(1u << 16);
+  if (!timeseries_out.empty()) {
+    chaos.register_sources(recorder);
+    so.obs_interval = obs_interval;
+    so.recorder = &recorder;
+  }
   Simulator sim(instance, central, so);
   sim.set_controller(chaos.callback());
   const SimMetrics m = sim.run();
@@ -693,6 +792,184 @@ int cmd_distributed(const std::map<std::string, std::string>& flags) {
                               : chaos.audit_log().to_json().dump_pretty() +
                                     "\n");
     std::printf("wrote %zu audit records to %s\n", chaos.audit_log().size(),
+                audit_out.c_str());
+  }
+  if (!trace_out.empty()) {
+    const Json merged_doc =
+        merged_trace_to_chrome_json(sim.trace(), chaos.ctrl_trace());
+    write_file(trace_out, merged_doc.dump_pretty() + "\n");
+    std::printf("wrote %zu task events + %zu control-plane spans to %s\n",
+                sim.trace().size(), chaos.ctrl_trace().size(),
+                trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const bool csv =
+        metrics_out.size() >= 4 &&
+        metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      if (!write_sim_metrics(m, metrics_out)) return 1;
+    } else {
+      Json doc = sim_metrics_to_json(m);
+      MetricsRegistry ctrl_registry;
+      chaos.publish_metrics(ctrl_registry);
+      doc.set("ctrl", ctrl_registry.to_json());
+      write_file(metrics_out, doc.dump_pretty() + "\n");
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!timeseries_out.empty()) {
+    if (!recorder.write(timeseries_out)) return 1;
+    std::printf("wrote %zu time-series samples to %s\n", recorder.size(),
+                timeseries_out.c_str());
+  }
+  return 0;
+}
+
+// One-stop observability report: a lossy-fabric distributed failover run
+// with causal span tracing, windowed time-series telemetry, and SLO
+// burn-rate monitoring all enabled. Emits a single Chrome trace with task
+// events and control-plane spans on the shared clock (grant minted -> lost
+// -> re-granted via anti-entropy -> adopted, reconstructable per correlation
+// id), the sampled time series, and a metrics file whose ctrl.* section
+// reconciles with the span stream — the triple validate-trace checks.
+int cmd_obs_report(const std::map<std::string, std::string>& flags) {
+  const double horizon = double_flag(flags, "horizon", 24.0, 1e-6);
+  const std::uint64_t seed = size_flag(flags, "seed", 19, 0);
+  const double overload = double_flag(flags, "overload", 1.0, 1e-6, 1e3);
+  const double drop = double_flag(flags, "drop", 0.15, 0.0, 0.999);
+  const double delay = double_flag(flags, "delay", 0.05, 0.0, 1e3);
+  const double jitter = double_flag(flags, "jitter", 0.1, 0.0, 1e3);
+  const double coord_mtbf = double_flag(flags, "coord-mtbf", 6.0, 0.0, 1e9);
+  const double coord_mttr = double_flag(flags, "coord-mttr", 2.0, 1e-6, 1e9);
+  const double obs_interval =
+      double_flag(flags, "obs-interval", 0.5, 1e-6, 1.0);
+  const auto span_capacity = static_cast<std::size_t>(
+      size_flag(flags, "span-capacity", 1u << 16, 1, 1u << 26));
+  const auto capacity = static_cast<std::size_t>(
+      size_flag(flags, "capacity", 1048576, 1, 1u << 28));
+  const std::string trace_out = flag_or(flags, "trace-out", "");
+  const std::string timeseries_out = flag_or(flags, "timeseries-out", "");
+  const std::string metrics_out = flag_or(flags, "metrics-out", "");
+  const std::string audit_out = flag_or(flags, "audit-out", "");
+
+  const std::string topo_path = flag_or(flags, "topology", "");
+  ClusterTopology topo = topo_path.empty()
+                             ? clusters::small_lab()
+                             : serialize::topology_from_json(
+                                   Json::parse(read_file(topo_path)));
+  if (overload != 1.0) {
+    const auto devices = topo.devices();  // copy: the loop mutates topo
+    for (const auto& d : devices) {
+      topo.set_device_arrival_rate(d.id, d.arrival_rate * overload);
+    }
+  }
+  const ProblemInstance instance(topo);
+
+  JointOptions joint;
+  joint.max_iterations = 2;
+  joint.dp_coverage_bins = 40;
+  joint.theta_grid = {0.0, 0.3, 0.6};
+  Decision central = JointOptimizer(joint).optimize(instance);
+  evaluate_decision(instance, central);
+
+  DistributedPlaneOptions po;
+  po.fabric.delay = delay;
+  po.fabric.jitter = jitter;
+  po.fabric.drop_prob = drop;
+  po.cell.joint = joint;
+  po.seed = seed;
+  po.span_capacity = span_capacity;
+  if (coord_mtbf > 0.0) {
+    po.controller_faults = FaultSchedule::exponential_servers(
+        1, coord_mtbf, coord_mttr, horizon, Rng(seed + 2));
+  }
+  DistributedControlPlane plane(topo, std::move(po));
+
+  TimeSeriesRecorder recorder(1u << 16);
+  plane.register_sources(recorder);
+  SloMonitor slo(&recorder, &plane.audit_log());
+  SloSpec spec;
+  spec.name = "deadline";
+  spec.good = "sim.deadline_met";
+  spec.total = "sim.deadline_total";
+  spec.objective = 0.9;
+  spec.windows = {{10.0, 1.0}, {60.0, 0.5}};
+  slo.add(spec);
+
+  Simulator::Options so;
+  so.horizon = horizon;
+  so.warmup = horizon * 0.1;
+  so.seed = seed + 1;
+  so.control_interval = 1.0;
+  so.trace_capacity = capacity;
+  so.obs_interval = obs_interval;
+  so.recorder = &recorder;
+  so.slo = &slo;
+  Simulator sim(instance, central, so);
+  sim.set_controller(plane.callback());
+  const SimMetrics m = sim.run();
+
+  const auto spans = plane.ctrl_trace().snapshot();
+  const auto span_tally = ctrl_span_counts(spans);
+  auto tally = [&](CtrlSpanEvent e) {
+    return static_cast<unsigned long long>(
+        span_tally[static_cast<std::size_t>(e)]);
+  };
+  std::printf(
+      "obs-report: horizon=%.0fs drop=%.2f coordinator MTBF=%.1fs\n"
+      "  deadline sat %.3f, %zu time-series samples (%zu columns), "
+      "%zu spans\n"
+      "  spans: sent=%llu delivered=%llu dropped=%llu dead_letter=%llu "
+      "regrant=%llu adopted=%llu rejected_stale=%llu\n"
+      "  slo[deadline]: alerts started=%llu stopped=%llu burn=%.2fx/%.2fx "
+      "(10s/60s windows, objective 0.9)\n",
+      horizon, drop, coord_mtbf, m.deadline_satisfaction, recorder.size(),
+      recorder.columns().size(), spans.size(),
+      tally(CtrlSpanEvent::kSent), tally(CtrlSpanEvent::kDelivered),
+      tally(CtrlSpanEvent::kDropped), tally(CtrlSpanEvent::kDeadLetter),
+      tally(CtrlSpanEvent::kRegrant), tally(CtrlSpanEvent::kAdopted),
+      tally(CtrlSpanEvent::kRejectedStale),
+      static_cast<unsigned long long>(slo.alerts_started()),
+      static_cast<unsigned long long>(slo.alerts_stopped()),
+      slo.specs() > 0 ? slo.burn_rate(0, 0) : 0.0,
+      slo.specs() > 0 ? slo.burn_rate(0, 1) : 0.0);
+
+  if (!trace_out.empty()) {
+    const Json merged_doc =
+        merged_trace_to_chrome_json(sim.trace(), plane.ctrl_trace());
+    write_file(trace_out, merged_doc.dump_pretty() + "\n");
+    std::printf("wrote %zu task events + %zu spans to %s\n",
+                sim.trace().size(), spans.size(), trace_out.c_str());
+  }
+  if (!timeseries_out.empty()) {
+    if (!recorder.write(timeseries_out)) return 1;
+    std::printf("wrote %zu samples to %s\n", recorder.size(),
+                timeseries_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const bool csv =
+        metrics_out.size() >= 4 &&
+        metrics_out.compare(metrics_out.size() - 4, 4, ".csv") == 0;
+    if (csv) {
+      if (!write_sim_metrics(m, metrics_out)) return 1;
+    } else {
+      Json doc = sim_metrics_to_json(m);
+      MetricsRegistry ctrl_registry;
+      plane.publish_metrics(ctrl_registry);
+      doc.set("ctrl", ctrl_registry.to_json());
+      doc.set("slo", slo.to_json());
+      write_file(metrics_out, doc.dump_pretty() + "\n");
+    }
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  if (!audit_out.empty()) {
+    const bool csv =
+        audit_out.size() >= 4 &&
+        audit_out.compare(audit_out.size() - 4, 4, ".csv") == 0;
+    write_file(audit_out, csv ? plane.audit_log().to_table().to_csv()
+                              : plane.audit_log().to_json().dump_pretty() +
+                                    "\n");
+    std::printf("wrote %zu audit records to %s\n", plane.audit_log().size(),
                 audit_out.c_str());
   }
   return 0;
@@ -726,6 +1003,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "distributed") {
       return cmd_distributed(parse_flags(argc, argv, 2));
+    }
+    if (cmd == "obs-report") {
+      return cmd_obs_report(parse_flags(argc, argv, 2));
     }
     if (cmd == "models") return cmd_models();
   } catch (const std::exception& e) {

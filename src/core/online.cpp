@@ -9,6 +9,7 @@
 
 #include "core/failover.hpp"
 #include "core/objective.hpp"
+#include "obs/timeseries.hpp"
 #include "surgery/exit_setting.hpp"
 #include "util/assert.hpp"
 
@@ -160,6 +161,23 @@ double OnlineController::mean_admit() const {
   double sum = 0.0;
   for (double f : admit_fraction_) sum += f;
   return sum / static_cast<double>(admit_fraction_.size());
+}
+
+void OnlineController::register_sources(TimeSeriesRecorder& recorder) {
+  recorder.register_gauge("online.rung", [this] {
+    return static_cast<double>(rung_);
+  });
+  recorder.register_gauge("online.admit_fraction",
+                          [this] { return mean_admit(); });
+  recorder.register_counter("online.degradations", [this] {
+    return static_cast<double>(degradations_);
+  });
+  recorder.register_counter("online.recoveries", [this] {
+    return static_cast<double>(recoveries_);
+  });
+  recorder.register_counter("online.reoptimizations", [this] {
+    return static_cast<double>(reoptimizations_);
+  });
 }
 
 AuditRecord OnlineController::audit_open(AuditCause cause,

@@ -14,6 +14,8 @@
 
 namespace scalpel {
 
+class TimeSeriesRecorder;
+
 /// One rung of the surgery-based graceful-degradation ladder: per-device
 /// SurgeryPlans that are (weakly) cheaper and less accurate than the rung
 /// above, with precomputed per-device sustainable rates so overload can be
@@ -183,6 +185,12 @@ class OnlineController {
   /// carry sim time; export with to_json()/to_table().
   DecisionAuditLog& audit_log() { return audit_; }
   const DecisionAuditLog& audit_log() const { return audit_; }
+
+  /// Registers the controller's state as time-series sources (gauges
+  /// online.rung / online.admit_fraction, counters online.degradations /
+  /// online.recoveries / online.reoptimizations). The recorder must outlive
+  /// no samples past this controller's lifetime.
+  void register_sources(TimeSeriesRecorder& recorder);
 
  private:
   Decision run_solver(const ProblemInstance& sub) const;

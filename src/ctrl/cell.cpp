@@ -50,6 +50,13 @@ std::string CellController::tag() const {
   return "cell " + std::to_string(cell_) + ": ";
 }
 
+double CellController::slice_mean() const {
+  if (slice_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : slice_) sum += v;
+  return sum / static_cast<double>(slice_.size());
+}
+
 Decision CellController::run_solver(const ProblemInstance& sub) const {
   if (opts_.solver) return opts_.solver(sub, opts_.joint);
   return JointOptimizer(opts_.joint).optimize(sub);
@@ -91,6 +98,9 @@ void CellController::receive(const CtrlMessage& msg, double now) {
     // one is discarded — a delayed pre-crash grant can never roll the cell
     // back behind a post-restart coordinator.
     ++epochs_rejected_;
+    if (tracer_ != nullptr) {
+      tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kRejectedStale));
+    }
     if (audit_ != nullptr) {
       AuditRecord r;
       r.cause = AuditCause::kEpochRejected;
@@ -108,6 +118,10 @@ void CellController::receive(const CtrlMessage& msg, double now) {
   }
   slice_ = msg.payload;
   adopted_epoch_ = msg.epoch;
+  ++adoptions_;
+  if (tracer_ != nullptr) {
+    tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kAdopted));
+  }
   // Price age counts from when the coordinator computed the grant, so
   // fabric delay eats into freshness — a slow fabric degrades gracefully
   // into the stale-discount regime instead of pretending to be current.
@@ -360,6 +374,7 @@ bool CellController::tick(double now, double cell_bandwidth,
     m.type = CtrlMsgType::kLoadReport;
     m.from = 1 + static_cast<int>(cell_);
     m.to = 0;
+    m.corr = (static_cast<std::uint64_t>(1 + cell_) << 48) | ++corr_counter_;
     m.epoch = adopted_epoch_;
     m.payload.assign(num_servers_, 0.0);
     for (const auto& dd : local_) {

@@ -96,6 +96,20 @@ class CellController {
   std::uint64_t rejoins() const { return rejoins_; }
   std::uint64_t stale_transitions() const { return stale_transitions_; }
   std::uint64_t restarts() const { return restarts_; }
+  /// Grants adopted past the epoch guard (each records a kAdopted span).
+  std::uint64_t adoptions() const { return adoptions_; }
+
+  /// Mean per-server capacity slice the cell currently holds — the "price"
+  /// signal the coordinator's tatonnement converges.
+  double slice_mean() const;
+  /// Fraction of the granted slice the cell trusts right now (1 fresh,
+  /// stale_discount stale).
+  double effective_price() const {
+    return stale_ ? opts_.stale_discount : 1.0;
+  }
+
+  /// Attaches a span recorder (nullptr detaches); purely observational.
+  void set_tracer(CtrlTracer* tracer) { tracer_ = tracer; }
 
  private:
   struct LogEntry {
@@ -121,6 +135,7 @@ class CellController {
   CellId cell_;
   CellControllerOptions opts_;
   DecisionAuditLog* audit_;
+  CtrlTracer* tracer_ = nullptr;
   std::vector<DeviceId> members_;
   std::size_t num_servers_ = 0;
 
@@ -140,8 +155,12 @@ class CellController {
   double next_report_ = 0.0;
   bool pending_solve_ = false;
 
-  // Stable state + counters.
+  // Stable state + counters. The corr mint counter is stable on purpose:
+  // ids survive crashes, so a post-restart report can never reuse a
+  // pre-crash correlation id.
   std::vector<LogEntry> log_;
+  std::uint64_t corr_counter_ = 0;
+  std::uint64_t adoptions_ = 0;
   std::uint64_t local_solves_ = 0;
   std::uint64_t fallbacks_ = 0;
   std::uint64_t epochs_rejected_ = 0;

@@ -33,6 +33,7 @@ GlobalCoordinator::GlobalCoordinator(std::size_t num_cells,
   demand_.assign(num_cells_, std::vector<double>(num_servers_, 0.0));
   has_demand_.assign(num_cells_, false);
   lagging_.assign(num_cells_, false);
+  grant_corr_.assign(num_cells_, 0);
 }
 
 void GlobalCoordinator::receive(const CtrlMessage& msg) {
@@ -54,8 +55,10 @@ void GlobalCoordinator::send_grants(double now, ControlFabric& fabric) {
     m.type = CtrlMsgType::kSliceGrant;
     m.from = 0;
     m.to = 1 + static_cast<int>(k);
+    m.corr = ++corr_counter_;  // endpoint 0 => top 16 bits stay zero
     m.epoch = epoch_;
     m.payload = phi_[k];
+    grant_corr_[k] = m.corr;  // re-grants continue this causal chain
     fabric.send(std::move(m), now);
   }
 }
@@ -132,8 +135,15 @@ void GlobalCoordinator::tick(double now, ControlFabric& fabric) {
     m.type = CtrlMsgType::kSliceGrant;
     m.from = 0;
     m.to = 1 + static_cast<int>(k);
+    // Reuse the original grant's correlation id: mint -> drop -> re-grant ->
+    // adoption reads as one chain on a single id in the span timeline.
+    m.corr = grant_corr_[k];
     m.epoch = epoch_;
     m.payload = phi_[k];
+    ++regrants_;
+    if (tracer_ != nullptr) {
+      tracer_->record(ctrl_span_of(m, now, CtrlSpanEvent::kRegrant));
+    }
     fabric.send(std::move(m), now);
   }
   if (now >= next_heartbeat_) {
@@ -143,6 +153,7 @@ void GlobalCoordinator::tick(double now, ControlFabric& fabric) {
       m.type = CtrlMsgType::kHeartbeat;
       m.from = 0;
       m.to = 1 + static_cast<int>(k);
+      m.corr = ++corr_counter_;
       m.epoch = epoch_;
       fabric.send(std::move(m), now);
     }

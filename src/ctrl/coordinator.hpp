@@ -62,6 +62,11 @@ class GlobalCoordinator {
   bool converged() const { return converged_; }
   double last_max_delta() const { return last_max_delta_; }
   const std::vector<std::vector<double>>& slices() const { return phi_; }
+  /// Targeted anti-entropy re-grants issued (lagging report echoes).
+  std::uint64_t regrants() const { return regrants_; }
+
+  /// Attaches a span recorder (nullptr detaches); purely observational.
+  void set_tracer(CtrlTracer* tracer) { tracer_ = tracer; }
 
  private:
   struct LogEntry {
@@ -74,6 +79,7 @@ class GlobalCoordinator {
   CoordinatorOptions opts_;
   std::size_t num_cells_;
   std::size_t num_servers_;
+  CtrlTracer* tracer_ = nullptr;
 
   // Volatile state (cleared by crash()).
   std::vector<std::vector<double>> phi_;  // [cell][server] capacity slice
@@ -85,9 +91,14 @@ class GlobalCoordinator {
   bool converged_ = false;
   double last_max_delta_ = 0.0;
 
-  // Stable state.
+  // Stable state. The corr mint counter and per-cell grant corrs survive
+  // crashes: ids are never reused, and a post-restart anti-entropy re-grant
+  // continues the causal chain the pre-crash grant started.
   std::uint64_t epoch_ = 0;
   std::uint64_t realloc_rounds_ = 0;
+  std::uint64_t corr_counter_ = 0;
+  std::uint64_t regrants_ = 0;
+  std::vector<std::uint64_t> grant_corr_;  // last full-grant corr per cell
   std::vector<LogEntry> log_;
 };
 

@@ -21,6 +21,24 @@ namespace {
 constexpr std::uint64_t kFabricStreamTag = 0x4354524c46414252ull;
 }  // namespace
 
+CtrlSpan ctrl_span_of(const CtrlMessage& msg, double time,
+                      CtrlSpanEvent event) {
+  CtrlSpan sp;
+  sp.time = time;
+  sp.corr = msg.corr;
+  sp.epoch = msg.epoch;
+  if (!msg.payload.empty()) {
+    double sum = 0.0;
+    for (const double v : msg.payload) sum += v;
+    sp.price = sum / static_cast<double>(msg.payload.size());
+  }
+  sp.from = msg.from;
+  sp.to = msg.to;
+  sp.event = event;
+  sp.msg = static_cast<std::uint8_t>(msg.type);
+  return sp;
+}
+
 ControlFabric::ControlFabric(ControlFabricOptions opts,
                              std::size_t num_endpoints, std::uint64_t seed)
     : opts_(opts), num_endpoints_(num_endpoints) {
@@ -54,11 +72,20 @@ void ControlFabric::send(CtrlMessage msg, double now) {
   msg.sent_at = now;
   msg.seq = next_seq_++;
   ++sent_;
+  if (tracer_ != nullptr) {
+    tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kSent));
+  }
   if (u_drop < opts_.drop_prob) {
     ++dropped_;
+    if (tracer_ != nullptr) {
+      tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kDropped));
+    }
     return;
   }
   msg.deliver_at = now + opts_.delay + opts_.jitter * u_jitter;
+  if (tracer_ != nullptr && opts_.jitter > 0.0 && u_jitter > 0.0) {
+    tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kDelayed));
+  }
   in_flight_.push_back(std::move(msg));
 }
 
@@ -82,14 +109,22 @@ std::vector<CtrlMessage> ControlFabric::deliver(double now) {
               return a.seq < b.seq;
             });
   delivered_ += due.size();
+  if (tracer_ != nullptr) {
+    for (const auto& msg : due) {
+      tracer_->record(ctrl_span_of(msg, now, CtrlSpanEvent::kDelivered));
+    }
+  }
   return due;
 }
 
-void ControlFabric::drop_for_dead(int endpoint) {
+void ControlFabric::drop_for_dead(int endpoint, double now) {
   auto keep = in_flight_.begin();
   for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
     if (it->to == endpoint) {
       ++dropped_dead_;
+      if (tracer_ != nullptr) {
+        tracer_->record(ctrl_span_of(*it, now, CtrlSpanEvent::kDeadLetter));
+      }
     } else {
       if (keep != it) *keep = std::move(*it);
       ++keep;

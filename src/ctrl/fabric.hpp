@@ -4,9 +4,16 @@
 #include <vector>
 
 #include "ctrl/message.hpp"
+#include "obs/span.hpp"
 #include "util/rng.hpp"
 
 namespace scalpel {
+
+/// Fills a CtrlSpan from a message: corr/epoch/endpoints/type plus the mean
+/// payload value as the span's price (a grant's mean phi share, a report's
+/// mean demand — the one scalar worth putting on a timeline).
+CtrlSpan ctrl_span_of(const CtrlMessage& msg, double time,
+                      CtrlSpanEvent event);
 
 /// Impairments on the control-message fabric, mirroring the telemetry
 /// channel's contract: all-zero means a perfect fabric (deliver on the next
@@ -47,8 +54,9 @@ class ControlFabric {
   std::vector<CtrlMessage> deliver(double now);
 
   /// Discards in-flight messages addressed to `endpoint` (called when the
-  /// endpoint crashes: its queue dies with it).
-  void drop_for_dead(int endpoint);
+  /// endpoint crashes: its queue dies with it). `now` only stamps the
+  /// dead-letter spans.
+  void drop_for_dead(int endpoint, double now = 0.0);
 
   std::uint64_t sent() const { return sent_; }
   std::uint64_t delivered() const { return delivered_; }
@@ -58,7 +66,13 @@ class ControlFabric {
   std::size_t in_flight() const { return in_flight_.size(); }
   const ControlFabricOptions& options() const { return opts_; }
 
+  /// Attaches a span recorder (nullptr detaches). Recording is purely
+  /// observational — no RNG draws, no behavior change — so a traced fabric
+  /// replays bit-identically to an untraced one.
+  void set_tracer(CtrlTracer* tracer) { tracer_ = tracer; }
+
  private:
+  CtrlTracer* tracer_ = nullptr;
   ControlFabricOptions opts_;
   std::size_t num_endpoints_;
   std::vector<Rng> link_rng_;  // one substream per directed (from, to) link

@@ -29,6 +29,12 @@ struct CtrlMessage {
   /// they adopted — the split-brain guard); echo of the sender's last
   /// adopted epoch for kLoadReport.
   std::uint64_t epoch = 0;
+  /// Correlation id minted by the originating endpoint (top 16 bits =
+  /// endpoint id, low 48 = a per-endpoint counter that survives crashes so
+  /// ids are never reused). Anti-entropy re-grants reuse the original
+  /// grant's corr, so a grant's mint -> drop -> re-grant -> adoption chain
+  /// reads as one causal trace on a single id. 0 = untraced.
+  std::uint64_t corr = 0;
   /// kLoadReport: per-server desired global compute share (length = number
   /// of servers). kSliceGrant: the cell's phi row — fraction of each
   /// server's capacity granted to the cell. kHeartbeat: empty.

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/objective.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/assert.hpp"
 
 namespace scalpel {
@@ -21,6 +23,12 @@ DistributedControlPlane::DistributedControlPlane(
                         &audit_);
   }
   endpoint_up_.assign(1 + num_cells, true);
+  if (opts_.span_capacity > 0) {
+    ctrl_trace_.reset(opts_.span_capacity);
+    fabric_.set_tracer(&ctrl_trace_);
+    coord_.set_tracer(&ctrl_trace_);
+    for (auto& cell : cells_) cell.set_tracer(&ctrl_trace_);
+  }
 }
 
 void DistributedControlPlane::apply_liveness(double now) {
@@ -33,7 +41,7 @@ void DistributedControlPlane::apply_liveness(double now) {
       // The endpoint's queue dies with it: in-flight messages addressed to
       // it are gone, and its volatile state is wiped. Its state log is
       // stable storage and survives for the restart.
-      fabric_.drop_for_dead(static_cast<int>(e));
+      fabric_.drop_for_dead(static_cast<int>(e), now);
       if (e == 0) {
         ++coordinator_crashes_;
         coord_.crash();
@@ -57,6 +65,9 @@ void DistributedControlPlane::route(const CtrlMessage& msg, double now) {
   }
   if (!endpoint_up_[static_cast<std::size_t>(msg.to)]) {
     ++dead_letters_;
+    if (ctrl_trace_.enabled()) {
+      ctrl_trace_.record(ctrl_span_of(msg, now, CtrlSpanEvent::kDeadLetter));
+    }
     return;
   }
   if (msg.to == 0) {
@@ -197,6 +208,59 @@ std::uint64_t DistributedControlPlane::cell_fallbacks() const {
   std::uint64_t total = 0;
   for (const auto& c : cells_) total += c.fallbacks();
   return total;
+}
+
+void DistributedControlPlane::publish_metrics(MetricsRegistry& registry)
+    const {
+  registry.counter("ctrl.msg.sent").inc(fabric_.sent());
+  registry.counter("ctrl.msg.delivered").inc(fabric_.delivered());
+  registry.counter("ctrl.msg.dropped").inc(fabric_.dropped());
+  registry.counter("ctrl.msg.dropped_dead").inc(fabric_.dropped_dead());
+  registry.counter("ctrl.dead_letters").inc(dead_letters_);
+  registry.counter("ctrl.epochs_minted").inc(coord_.epoch());
+  registry.counter("ctrl.realloc_rounds").inc(coord_.realloc_rounds());
+  registry.counter("ctrl.regrants").inc(coord_.regrants());
+  std::uint64_t adoptions = 0;
+  for (const auto& c : cells_) adoptions += c.adoptions();
+  registry.counter("ctrl.adoptions").inc(adoptions);
+  registry.counter("ctrl.epochs_rejected").inc(epochs_rejected());
+  registry.counter("ctrl.stale_events").inc(stale_events());
+  registry.counter("ctrl.coordinator_losses").inc(coordinator_losses());
+  registry.counter("ctrl.rejoins").inc(rejoins());
+  registry.counter("ctrl.local_solves").inc(local_solves());
+  registry.counter("ctrl.cell_fallbacks").inc(cell_fallbacks());
+  registry.counter("ctrl.coordinator_crashes").inc(coordinator_crashes_);
+  registry.counter("ctrl.controller_crashes").inc(controller_crashes_);
+  registry.counter("ctrl.plan_changes").inc(plan_changes_);
+  registry.counter("ctrl.ticks").inc(ticks_);
+  registry.counter("ctrl.spans.recorded").inc(ctrl_trace_.recorded());
+  registry.counter("ctrl.spans.dropped").inc(ctrl_trace_.dropped());
+  registry.gauge("ctrl.in_flight")
+      .set(static_cast<double>(fabric_.in_flight()));
+  registry.gauge("ctrl.converged").set(converged() ? 1.0 : 0.0);
+}
+
+void DistributedControlPlane::register_sources(TimeSeriesRecorder& recorder) {
+  recorder.register_gauge("ctrl.epoch", [this] {
+    return static_cast<double>(coord_.epoch());
+  });
+  recorder.register_counter("ctrl.dead_letters", [this] {
+    return static_cast<double>(dead_letters_);
+  });
+  recorder.register_counter("ctrl.msg.dropped", [this] {
+    return static_cast<double>(fabric_.dropped());
+  });
+  recorder.register_counter("ctrl.regrants", [this] {
+    return static_cast<double>(coord_.regrants());
+  });
+  for (std::size_t k = 0; k < cells_.size(); ++k) {
+    const std::string base = "ctrl.cell" + std::to_string(k);
+    const CellController* cell = &cells_[k];
+    recorder.register_gauge(base + ".slice",
+                            [cell] { return cell->slice_mean(); });
+    recorder.register_gauge(base + ".price",
+                            [cell] { return cell->effective_price(); });
+  }
 }
 
 }  // namespace scalpel

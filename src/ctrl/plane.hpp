@@ -12,6 +12,8 @@
 #include "sim/simulator.hpp"
 
 namespace scalpel {
+class MetricsRegistry;
+class TimeSeriesRecorder;
 
 struct DistributedPlaneOptions {
   ControlFabricOptions fabric;
@@ -25,6 +27,10 @@ struct DistributedPlaneOptions {
   /// Seed for the fabric's per-link RNG substreams (dedicated stream tag;
   /// never collides with workload or telemetry substreams).
   std::uint64_t seed = 1;
+  /// Control-plane span ring capacity; 0 disables span tracing. Recording
+  /// is purely observational (no RNG draws), so a traced plane replays
+  /// bit-identically to an untraced one.
+  std::size_t span_capacity = 0;
 };
 
 /// The distributed control plane: per-cell controllers and a global
@@ -80,6 +86,20 @@ class DistributedControlPlane {
   DecisionAuditLog& audit_log() { return audit_; }
   const DecisionAuditLog& audit_log() const { return audit_; }
 
+  /// Span ring for the whole plane (fabric, coordinator, cells all record
+  /// into it); empty when span_capacity was 0.
+  const CtrlTracer& ctrl_trace() const { return ctrl_trace_; }
+
+  /// Publishes the plane's counters into `registry` as ctrl.* metrics
+  /// (absolute values via set_value). Call once, after the run — the
+  /// registry then reconciles against the plane's own accessors exactly.
+  void publish_metrics(MetricsRegistry& registry) const;
+
+  /// Registers live gauges/counters (ctrl.epoch, per-cell slice + price,
+  /// dead letters, fabric drops, re-grants) on a time-series recorder. Call
+  /// before the run's first sample.
+  void register_sources(TimeSeriesRecorder& recorder);
+
  private:
   void apply_liveness(double now);
   void route(const CtrlMessage& msg, double now);
@@ -99,6 +119,7 @@ class DistributedControlPlane {
   std::uint64_t controller_crashes_ = 0;
   std::uint64_t dead_letters_ = 0;
   DecisionAuditLog audit_;
+  CtrlTracer ctrl_trace_;
 };
 
 }  // namespace scalpel

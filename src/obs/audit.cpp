@@ -24,6 +24,8 @@ const char* audit_cause_name(AuditCause cause) {
     case AuditCause::kRejoin: return "rejoin";
     case AuditCause::kStalePrice: return "stale_price";
     case AuditCause::kEpochRejected: return "epoch_rejected";
+    case AuditCause::kSloBurnStart: return "slo_burn_start";
+    case AuditCause::kSloBurnStop: return "slo_burn_stop";
   }
   return "unknown";
 }

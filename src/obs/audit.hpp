@@ -28,6 +28,8 @@ enum class AuditCause {
   kRejoin,            // first coordinator message after a loss
   kStalePrice,        // grant/price aged past freshness; discount applied
   kEpochRejected,     // plan/grant carried an epoch <= last adopted
+  kSloBurnStart,      // SloMonitor: every burn window crossed its threshold
+  kSloBurnStop,       // SloMonitor: burn receded below the alerting point
 };
 
 const char* audit_cause_name(AuditCause cause);

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/assert.hpp"
 #include "util/json.hpp"
@@ -8,22 +9,43 @@
 
 namespace scalpel {
 
+namespace {
+
+/// Value of the j-th sample (0-indexed) of a histogram under the midpoint
+/// convention: the c samples in a bin sit at evenly spaced positions strictly
+/// inside it, so the first and last samples of the population land inside
+/// their bins rather than on the outer boundaries.
+double sample_value(const Histogram& hist, double j) {
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < hist.bins(); ++i) {
+    const auto c = static_cast<double>(hist.bin_count(i));
+    if (c > 0.0 && j < cumulative + c) {
+      const double within = ((j - cumulative) + 0.5) / c;
+      return hist.bin_low(i) +
+             (hist.bin_high(i) - hist.bin_low(i)) * within;
+    }
+    cumulative += c;
+  }
+  return hist.bin_high(hist.bins() - 1);
+}
+
+}  // namespace
+
 double HistogramMetric::quantile(double q) const {
   SCALPEL_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
   const std::size_t n = hist_.total();
   if (n == 0) return 0.0;
-  const double target = q * static_cast<double>(n);
-  double cumulative = 0.0;
-  for (std::size_t i = 0; i < hist_.bins(); ++i) {
-    const auto c = static_cast<double>(hist_.bin_count(i));
-    if (cumulative + c >= target && c > 0.0) {
-      const double within = std::clamp((target - cumulative) / c, 0.0, 1.0);
-      return hist_.bin_low(i) +
-             (hist_.bin_high(i) - hist_.bin_low(i)) * within;
-    }
-    cumulative += c;
-  }
-  return hist_.bin_high(hist_.bins() - 1);
+  // Continuous rank over the n samples (0-indexed), interpolating between
+  // the two straddling samples. q=0 and q=1 resolve to the first/last
+  // sample's in-bin midpoint position — previously they snapped to the raw
+  // bin boundary, biasing extreme percentiles outward by half a bin step.
+  const double rank = q * static_cast<double>(n - 1);
+  const double lo_j = std::floor(rank);
+  const double hi_j = std::ceil(rank);
+  const double lo_v = sample_value(hist_, lo_j);
+  if (hi_j == lo_j) return lo_v;
+  const double hi_v = sample_value(hist_, hi_j);
+  return lo_v + (hi_v - lo_v) * (rank - lo_j);
 }
 
 HistogramMetric& MetricsRegistry::histogram(const std::string& name, double lo,

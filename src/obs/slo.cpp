@@ -1,0 +1,124 @@
+#include "obs/slo.hpp"
+
+#include <cstdio>
+
+#include "obs/audit.hpp"
+#include "obs/timeseries.hpp"
+#include "util/assert.hpp"
+#include "util/json.hpp"
+
+namespace scalpel {
+
+namespace {
+
+std::string format_burns(const SloSpec& spec,
+                         const std::vector<double>& burns) {
+  std::string rates;
+  std::string windows;
+  char buf[64];
+  for (std::size_t w = 0; w < spec.windows.size(); ++w) {
+    if (w != 0) {
+      rates += "/";
+      windows += "/";
+    }
+    std::snprintf(buf, sizeof(buf), "%.2fx", burns[w]);
+    rates += buf;
+    std::snprintf(buf, sizeof(buf), "%gs", spec.windows[w].seconds);
+    windows += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " (objective %g)", spec.objective);
+  return "slo " + spec.name + ": burn " + rates + " over " + windows +
+         " windows" + buf;
+}
+
+}  // namespace
+
+void SloMonitor::add(SloSpec spec) {
+  SCALPEL_REQUIRE(spec.objective < 1.0,
+                  "SloSpec: objective must leave an error budget (< 1)");
+  SCALPEL_REQUIRE(!spec.windows.empty(), "SloSpec: at least one burn window");
+  for (const auto& w : spec.windows) {
+    SCALPEL_REQUIRE(w.seconds > 0.0, "SloWindow: window must be positive");
+  }
+  State st;
+  st.burns.assign(spec.windows.size(), 0.0);
+  st.cursors.assign(spec.windows.size(), 0);
+  st.spec = std::move(spec);
+  states_.push_back(std::move(st));
+}
+
+void SloMonitor::evaluate() {
+  SCALPEL_REQUIRE(recorder_ != nullptr, "SloMonitor: no recorder attached");
+  if (recorder_->empty()) return;
+  for (auto& st : states_) {
+    if (!st.resolved) {
+      st.good_col = recorder_->column_index(st.spec.good);
+      st.total_col = recorder_->column_index(st.spec.total);
+      st.resolved = true;
+    }
+    bool all_burning = true;
+    for (std::size_t w = 0; w < st.spec.windows.size(); ++w) {
+      const auto& win = st.spec.windows[w];
+      // One baseline lookup per window, shared by both columns; the cursor
+      // makes it a forward step rather than a search on every sample.
+      const std::size_t base =
+          recorder_->window_base_row_from(&st.cursors[w], win.seconds);
+      const double total = recorder_->delta_from(base, st.total_col);
+      double burn = 0.0;
+      if (total > 0.0) {
+        const double good = recorder_->delta_from(base, st.good_col);
+        const double bad_fraction = 1.0 - good / total;
+        burn = bad_fraction / (1.0 - st.spec.objective);
+      }
+      st.burns[w] = burn;
+      if (burn < win.burn_threshold) all_burning = false;
+    }
+    if (all_burning != st.alerting) {
+      st.alerting = all_burning;
+      if (all_burning) {
+        ++alerts_started_;
+      } else {
+        ++alerts_stopped_;
+      }
+      if (audit_ != nullptr) {
+        audit_->advance_time(recorder_->last_time());
+        AuditRecord rec;
+        rec.cause = all_burning ? AuditCause::kSloBurnStart
+                                : AuditCause::kSloBurnStop;
+        rec.detail = format_burns(st.spec, st.burns);
+        audit_->append(std::move(rec));
+      }
+    }
+  }
+}
+
+Json SloMonitor::to_json() const {
+  Json arr = Json::array();
+  for (const auto& st : states_) {
+    Json s = Json::object();
+    s.set("name", Json::string(st.spec.name));
+    s.set("good", Json::string(st.spec.good));
+    s.set("total", Json::string(st.spec.total));
+    s.set("objective", Json::number(st.spec.objective));
+    s.set("alerting", Json::boolean(st.alerting));
+    Json wins = Json::array();
+    for (std::size_t w = 0; w < st.spec.windows.size(); ++w) {
+      Json jw = Json::object();
+      jw.set("seconds", Json::number(st.spec.windows[w].seconds));
+      jw.set("threshold", Json::number(st.spec.windows[w].burn_threshold));
+      jw.set("burn", Json::number(st.burns[w]));
+      wins.push_back(std::move(jw));
+    }
+    s.set("windows", std::move(wins));
+    arr.push_back(std::move(s));
+  }
+  Json doc = Json::object();
+  doc.set("slos", std::move(arr));
+  doc.set("alerts_started",
+          Json::number(static_cast<double>(alerts_started_)));
+  doc.set("alerts_stopped",
+          Json::number(static_cast<double>(alerts_stopped_)));
+  return doc;
+}
+
+}  // namespace scalpel

@@ -39,7 +39,8 @@ std::vector<EpochBarrier> build_epoch_barriers(
     double horizon, double lookahead, double control_interval,
     bool has_controller, double series_window,
     const std::vector<double>& fault_times,
-    const std::vector<std::vector<double>>& bandwidth_times) {
+    const std::vector<std::vector<double>>& bandwidth_times,
+    double obs_interval) {
   SCALPEL_REQUIRE(horizon > 0.0, "horizon must be positive");
   // Exact-keyed map: scripted times are reproduced with the very same
   // floating-point recurrences the single loop's rescheduling produces, so
@@ -76,6 +77,11 @@ std::vector<EpochBarrier> build_epoch_barriers(
   if (series_window > 0.0) {
     for (double t = series_window; t <= horizon; t += series_window) {
       at(t).series = true;
+    }
+  }
+  if (obs_interval > 0.0) {
+    for (double t = obs_interval; t <= horizon; t += obs_interval) {
+      at(t).obs = true;
     }
   }
   at(horizon);  // the final barrier, scripted or not

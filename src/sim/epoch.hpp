@@ -112,13 +112,16 @@ struct EpochBarrier {
   double time = 0.0;
   bool controller = false;
   bool series = false;
+  /// Observability sample due at `time` (runs last in the serial phase,
+  /// after the controller and series ticks — the single loop's seq order).
+  bool obs = false;
   /// Indices into the fault schedule's event list due exactly at `time`.
   std::vector<std::size_t> fault_events;
   /// (cell, segment) bandwidth change-points due exactly at `time`.
   std::vector<std::pair<std::int32_t, std::size_t>> bandwidth_changes;
 
   bool scripted() const {
-    return controller || series || !fault_events.empty() ||
+    return controller || series || obs || !fault_events.empty() ||
            !bandwidth_changes.empty();
   }
 };
@@ -132,6 +135,7 @@ std::vector<EpochBarrier> build_epoch_barriers(
     double horizon, double lookahead, double control_interval,
     bool has_controller, double series_window,
     const std::vector<double>& fault_times,
-    const std::vector<std::vector<double>>& bandwidth_times);
+    const std::vector<std::vector<double>>& bandwidth_times,
+    double obs_interval = 0.0);
 
 }  // namespace scalpel

@@ -16,6 +16,7 @@ SimEvent BinaryHeapEventQueue::pop_min() {
 
 void CalendarEventQueue::init(std::size_t nbuckets, double width) {
   buckets_.assign(nbuckets, {});
+  min_day_.assign(nbuckets, kNoDay);
   mask_ = nbuckets - 1;
   width_ = width;
   inv_width_ = 1.0 / width;
@@ -29,7 +30,9 @@ void CalendarEventQueue::push(const SimEvent& ev) {
   SCALPEL_REQUIRE(ev.time >= 0.0 && std::isfinite(ev.time),
                   "event time must be finite and non-negative");
   const std::uint64_t day = day_of(ev.time);
-  buckets_[day & mask_].push_back(ev);
+  const std::size_t idx = day & mask_;
+  buckets_[idx].push_back(ev);
+  if (day < min_day_[idx]) min_day_[idx] = day;
   ++size_;
   // An event behind the scan pointer (possible only before the first pop or
   // at a rounding boundary) rewinds the pointer so it cannot be skipped.
@@ -72,25 +75,41 @@ void CalendarEventQueue::find_global_min(std::size_t* bucket,
 SimEvent CalendarEventQueue::pop_min() {
   SCALPEL_REQUIRE(size_ > 0, "pop from empty event queue");
   for (std::size_t step = 0; step <= mask_; ++step) {
-    const auto& b = buckets_[cur_day_ & mask_];
+    const std::size_t idx = cur_day_ & mask_;
+    // One integer compare decides whether this day's bucket can hold a due
+    // event; empty buckets and buckets holding only future-revolution
+    // events are skipped without touching their contents. min_day_ is a
+    // stale-low bound (take() does not refresh it), so a skip is always
+    // sound and a false probe repairs the bound below.
+    if (min_day_[idx] > cur_day_) {
+      ++cur_day_;
+      continue;
+    }
     // Candidates are this bucket's events belonging to the current day (the
     // same bucket also holds events whole ring-revolutions in the future);
     // the earliest (time, seq) among them is the global minimum because
     // every earlier day has already been drained.
+    const auto& b = buckets_[idx];
     std::size_t best = b.size();
+    std::uint64_t bucket_min = kNoDay;
     for (std::size_t j = 0; j < b.size(); ++j) {
-      if (day_of(b[j].time) <= cur_day_ &&
+      const std::uint64_t day = day_of(b[j].time);
+      bucket_min = std::min(bucket_min, day);
+      if (day <= cur_day_ &&
           (best == b.size() || sim_event_before(b[j], b[best]))) {
         best = j;
       }
     }
     if (best != b.size()) {
-      SimEvent out = take(cur_day_ & mask_, best);
+      SimEvent out = take(idx, best);
       if (buckets_.size() > kMinBuckets && size_ < buckets_.size() / 4) {
         rebucket(buckets_.size() / 2);
       }
       return out;
     }
+    // Nothing due: the scan already computed the true bucket minimum, so
+    // tighten the stale bound for free before moving on.
+    min_day_[idx] = bucket_min;
     ++cur_day_;
   }
   // A full revolution found nothing due: the contents are sparse and far
@@ -140,7 +159,12 @@ void CalendarEventQueue::rebucket(std::size_t nbuckets) {
   width = std::max(width, 1e-9);
   init(nbuckets, width);
   size_ = all.size();
-  for (const auto& ev : all) buckets_[day_of(ev.time) & mask_].push_back(ev);
+  for (const auto& ev : all) {
+    const std::uint64_t day = day_of(ev.time);
+    const std::size_t idx = day & mask_;
+    buckets_[idx].push_back(ev);
+    if (day < min_day_[idx]) min_day_[idx] = day;
+  }
   // Re-anchor the scan pointer on the earliest surviving event so the new
   // day grid starts exactly where the old one left off.
   if (any) {

@@ -87,7 +87,22 @@ class CalendarEventQueue {
   void find_global_min(std::size_t* bucket, std::size_t* slot) const;
   SimEvent take(std::size_t bucket, std::size_t slot);
 
+  /// Sentinel for min_day_ entries of empty buckets: later than any day.
+  static constexpr std::uint64_t kNoDay = ~std::uint64_t{0};
+
   std::vector<std::vector<SimEvent>> buckets_;
+  /// Stale-low bound on the earliest day among each bucket's events (kNoDay
+  /// when known empty): push() tightens it downward exactly, take() leaves
+  /// it stale, and a pop probe that finds nothing due repairs it from the
+  /// scan it just did. The pop scan probes this flat array — one integer
+  /// compare per day — instead of walking every bucket's contents;
+  /// far-future events alias all over the ring, so without the cache each
+  /// probed day costs a content scan. That dominated pop cost whenever
+  /// sparse periodic events (telemetry samples, controller ticks) sat whole
+  /// quiet zones ahead of the frontier. Purely an accelerator: a bucket
+  /// whose bound is past the scan day cannot hold a due event, so pop order
+  /// is unchanged.
+  std::vector<std::uint64_t> min_day_;
   std::size_t mask_ = 0;        // buckets_.size() - 1 (power of two)
   double width_ = 1.0;          // seconds per bucket
   double inv_width_ = 1.0;

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "util/assert.hpp"
 
 namespace scalpel {
@@ -165,6 +167,8 @@ struct ShardCore final : FluidSink {
   Counter* ctr_retry = nullptr;
   Counter* ctr_resteer = nullptr;
   Counter* ctr_gate_refused = nullptr;
+  Counter* ctr_deadline_met = nullptr;
+  Counter* ctr_deadline_total = nullptr;
   std::vector<MetricRecord> log;
   std::vector<TaskEnvelope> outbox;
 
@@ -668,6 +672,18 @@ struct ShardCore final : FluidSink {
     schedule(cd.busy_until, Ev::kDeviceDone, -1, task);
   }
 
+  /// Mirrors the single loop's registry-side deadline accounting (shed/fail/
+  /// miss all count as deadline_total; only an on-time completion counts as
+  /// met). Integer counters merge by addition, so per-core increments here
+  /// are safe for any shard/thread count.
+  void count_deadline(TaskIndex task, double latency, bool completed) {
+    if (!tasks.counted(task)) return;
+    const double deadline = topo().device(tasks.device[task]).deadline;
+    if (deadline <= 0.0) return;
+    ctr_deadline_total->inc();
+    if (completed && latency <= deadline) ctr_deadline_met->inc();
+  }
+
   void shed_task(TaskIndex task, double at, bool expired) {
     (expired ? ctr_expired : ctr_shed)->inc();
     trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
@@ -675,6 +691,7 @@ struct ShardCore final : FluidSink {
     record_terminal(expired ? MetricRecordKind::kExpire
                             : MetricRecordKind::kShed,
                     task, at);
+    count_deadline(task, 0.0, false);
     tasks.release(task);
   }
 
@@ -683,11 +700,13 @@ struct ShardCore final : FluidSink {
     trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
               TraceEventType::kFail);
     record_terminal(MetricRecordKind::kFail, task, at);
+    count_deadline(task, 0.0, false);
     tasks.release(task);
   }
 
   void complete_task(TaskIndex task, double at) {
     ctr_completed->inc();
+    count_deadline(task, at - tasks.arrival[task], true);
     trace_rec(at, tasks.id[task], tasks.device[task], tasks.server[task],
               TraceEventType::kComplete);
     const bool counted = tasks.counted(task);
@@ -877,6 +896,9 @@ ShardedSimulator::ShardedSimulator(const ProblemInstance& instance,
     core->ctr_retry = &core->registry.counter("sim.task.retry");
     core->ctr_resteer = &core->registry.counter("sim.task.resteer");
     core->ctr_gate_refused = &core->registry.counter("sim.gate.refused");
+    core->ctr_deadline_met = &core->registry.counter("sim.task.deadline_met");
+    core->ctr_deadline_total =
+        &core->registry.counter("sim.task.deadline_total");
     cores_.push_back(std::move(core));
   }
 
@@ -892,6 +914,8 @@ ShardedSimulator::ShardedSimulator(const ProblemInstance& instance,
   ctr_retry_ = &registry_.counter("sim.task.retry");
   ctr_resteer_ = &registry_.counter("sim.task.resteer");
   ctr_gate_refused_ = &registry_.counter("sim.gate.refused");
+  registry_.counter("sim.task.deadline_met");
+  registry_.counter("sim.task.deadline_total");
   ctr_server_down_ = &registry_.counter("sim.fault.server_down");
   ctr_link_down_ = &registry_.counter("sim.fault.link_down");
   hist_latency_ = &registry_.histogram("sim.task.latency_seconds", 0.0,
@@ -974,7 +998,10 @@ std::vector<EpochBarrier> ShardedSimulator::build_agenda() const {
                               options_.control_interval,
                               static_cast<bool>(controller_),
                               options_.series_window, fault_times,
-                              bandwidth_times);
+                              bandwidth_times,
+                              options_.recorder != nullptr
+                                  ? options_.obs_interval
+                                  : 0.0);
 }
 
 void ShardedSimulator::seed_initial_events() {
@@ -1234,7 +1261,50 @@ void ShardedSimulator::serial_phase(const EpochBarrier& b) {
     r.kind = MetricRecordKind::kSeries;
     serial_log_.push_back(r);
   }
+  if (b.obs && options_.obs_interval > 0.0 && options_.recorder != nullptr) {
+    ++serial_events_;
+    serial_last_time_ = b.time;
+    obs_sample(b.time);
+  }
   for (auto& core : cores_) core->serial_mode = false;
+}
+
+void ShardedSimulator::obs_sample(double bt) {
+  // Counter sums and the live-task count are integers, so per-core addition
+  // order cannot perturb them; queue depth is the controller tick's integer
+  // computation. The resulting EngineSample is bit-identical to the single
+  // loop's obs_tick at the same grid time.
+  EngineSample s;
+  s.time = bt;
+  std::size_t live = 0;
+  for (const auto& core : cores_) {
+    s.arrived += core->ctr_arrived->value();
+    s.completed += core->ctr_completed->value();
+    s.failed += core->ctr_failed->value();
+    s.shed += core->ctr_shed->value();
+    s.expired += core->ctr_expired->value();
+    s.deadline_met += core->ctr_deadline_met->value();
+    s.deadline_total += core->ctr_deadline_total->value();
+    live += core->tasks.live();
+  }
+  s.in_flight = static_cast<double>(live);
+  std::vector<std::size_t> server_depth(devices_.size(), 0);
+  for (const auto& core : cores_) {
+    for (const auto& [key, chain] : core->chains) {
+      server_depth[static_cast<std::size_t>(key >> 32)] +=
+          chain.queue.size() + (chain.serving_task != kNoTask ? 1 : 0);
+    }
+  }
+  double depth = 0.0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    const auto& cd = devices_[i];
+    depth += static_cast<double>(cd.device_backlog + cd.upload_queue.size() +
+                                 (cd.uploading_task != kNoTask ? 1 : 0) +
+                                 server_depth[i]);
+  }
+  s.queue_depth = depth;
+  options_.recorder->sample(s);
+  if (options_.slo != nullptr) options_.slo->evaluate();
 }
 
 void ShardedSimulator::replay_metric_records(
@@ -1430,6 +1500,14 @@ void ShardedSimulator::finalize_metrics() {
 }
 
 SimMetrics ShardedSimulator::run() {
+  if (options_.obs_interval > 0.0 && options_.recorder != nullptr) {
+    SCALPEL_REQUIRE(!controller_ ||
+                        options_.obs_interval <= options_.control_interval,
+                    "obs_interval must not exceed control_interval");
+    SCALPEL_REQUIRE(options_.series_window == 0.0 ||
+                        options_.obs_interval <= options_.series_window,
+                    "obs_interval must not exceed series_window");
+  }
   seed_initial_events();
   const std::vector<EpochBarrier> barriers = build_agenda();
 

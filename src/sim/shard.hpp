@@ -122,6 +122,8 @@ class ShardedSimulator {
   /// servers — the same layout kFluidWake events carry in `a`.
   FluidResource* fluid_at(std::size_t slot);
   void controller_tick(double bt);
+  /// Serial-phase twin of Simulator::obs_tick — runs last at an obs barrier.
+  void obs_sample(double bt);
   void replay_metric_records(const std::vector<MetricRecord>& merged);
   void finalize_metrics();
 

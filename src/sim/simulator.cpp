@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "core/objective.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
 #include "surgery/plan.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -106,6 +108,8 @@ Simulator::Simulator(const ProblemInstance& instance, Decision decision,
   ctr_gate_refused_ = &registry_.counter("sim.gate.refused");
   ctr_server_down_ = &registry_.counter("sim.fault.server_down");
   ctr_link_down_ = &registry_.counter("sim.fault.link_down");
+  ctr_deadline_met_ = &registry_.counter("sim.task.deadline_met");
+  ctr_deadline_total_ = &registry_.counter("sim.task.deadline_total");
   hist_latency_ = &registry_.histogram("sim.task.latency_seconds", 0.0,
                                        10.0, 200);
 }
@@ -710,7 +714,10 @@ void Simulator::shed(TaskIndex task, double now, bool expired) {
   // A shed deadline-bearing task is a miss — overload protection must never
   // look better than the overload it protects against.
   const auto& device = instance_->topology().device(tasks_.device[task]);
-  if (device.deadline > 0.0) ++dm.deadline_total;
+  if (device.deadline > 0.0) {
+    ++dm.deadline_total;
+    ctr_deadline_total_->inc();
+  }
   tasks_.release(task);
 }
 
@@ -729,7 +736,10 @@ void Simulator::fail(TaskIndex task, double now) {
   // A dropped deadline-bearing task is a miss, not a statistical no-show —
   // otherwise shedding load would inflate deadline satisfaction.
   const auto& device = instance_->topology().device(tasks_.device[task]);
-  if (device.deadline > 0.0) ++dm.deadline_total;
+  if (device.deadline > 0.0) {
+    ++dm.deadline_total;
+    ctr_deadline_total_->inc();
+  }
   tasks_.release(task);
 }
 
@@ -757,7 +767,11 @@ void Simulator::complete(TaskIndex task, double now) {
   const auto& device = instance_->topology().device(tasks_.device[task]);
   if (device.deadline > 0.0) {
     ++dm.deadline_total;
-    if (latency <= device.deadline) ++dm.deadline_met;
+    ctr_deadline_total_->inc();
+    if (latency <= device.deadline) {
+      ++dm.deadline_met;
+      ctr_deadline_met_->inc();
+    }
   }
   const TaskPhases& phases = tasks_.phases[task];
   dm.accuracy_sum += phases.correct_prob;
@@ -834,6 +848,30 @@ void Simulator::controller_tick() {
   schedule(now_ + options_.control_interval, EvKind::kController);
 }
 
+void Simulator::obs_tick() {
+  EngineSample s;
+  s.time = now_;
+  s.arrived = ctr_arrived_->value();
+  s.completed = ctr_completed_->value();
+  s.failed = ctr_failed_->value();
+  s.shed = ctr_shed_->value();
+  s.expired = ctr_expired_->value();
+  s.deadline_met = ctr_deadline_met_->value();
+  s.deadline_total = ctr_deadline_total_->value();
+  s.in_flight = static_cast<double>(std::max<std::int64_t>(0, in_flight_));
+  double depth = 0.0;
+  for (const auto& dev : devices_) {
+    const auto& cd = *dev;
+    depth += static_cast<double>(cd.device_backlog + cd.upload_queue.size() +
+                                 (cd.uploading_task != kNoTask ? 1 : 0) +
+                                 cd.server_stage_depth());
+  }
+  s.queue_depth = depth;
+  options_.recorder->sample(s);
+  if (options_.slo != nullptr) options_.slo->evaluate();
+  schedule(now_ + options_.obs_interval, EvKind::kObsSample);
+}
+
 void Simulator::arm_fluid(std::size_t slot) {
   FluidResource* resource = fluids_[slot];
   const double t = resource->next_completion();
@@ -875,6 +913,9 @@ void Simulator::dispatch(const SimEvent& ev) {
       return;
     case EvKind::kSeries:
       series_tick();
+      return;
+    case EvKind::kObsSample:
+      obs_tick();
       return;
     case EvKind::kBandwidth: {
       const auto c = static_cast<std::size_t>(ev.a);
@@ -926,6 +967,20 @@ SimMetrics Simulator::run() {
   if (options_.series_window > 0.0) {
     metrics_.series.window = options_.series_window;
     schedule(options_.series_window, EvKind::kSeries);
+  }
+  // Observability sampling — seeded last so at a coinciding grid time the
+  // controller and series ticks (scheduled earlier, hence lower seq)
+  // dispatch first, matching the sharded engine's serial-phase order of
+  // controller tick -> series -> obs sample. The interval caps keep that
+  // induction valid at every later collision.
+  if (options_.obs_interval > 0.0 && options_.recorder != nullptr) {
+    SCALPEL_REQUIRE(!controller_ ||
+                        options_.obs_interval <= options_.control_interval,
+                    "obs_interval must not exceed control_interval");
+    SCALPEL_REQUIRE(options_.series_window == 0.0 ||
+                        options_.obs_interval <= options_.series_window,
+                    "obs_interval must not exceed series_window");
+    schedule(options_.obs_interval, EvKind::kObsSample);
   }
 
   while (!events_.empty()) {

@@ -19,6 +19,8 @@
 #include "util/stats.hpp"
 
 namespace scalpel {
+class SloMonitor;
+class TimeSeriesRecorder;
 
 /// Per-device and aggregate results of a simulation run.
 struct DeviceMetrics {
@@ -209,6 +211,21 @@ class Simulator : private FluidSink {
     /// the channel is sampled only on the controller-tick path, so sharded
     /// runs remain bit-identical to the single loop.
     TelemetryChannelOptions telemetry;
+    /// Observability sampling cadence (seconds); 0 disables. Every
+    /// obs_interval the engine snapshots its counters plus all sources
+    /// registered on `recorder` and, if set, evaluates `slo`. Sampling sits
+    /// on the exact same time grid in both engines (a scheduled event here,
+    /// the epoch barrier in the sharded engine), ordered after the
+    /// controller/series ticks of a coinciding instant, so recorded series
+    /// are bit-identical across shard x thread counts. Requires
+    /// obs_interval <= control_interval (when a controller is attached) and
+    /// <= series_window (when the series is on) so that ordering holds.
+    double obs_interval = 0.0;
+    /// Borrowed sink for obs samples; must outlive the run. Null disables
+    /// sampling regardless of obs_interval.
+    TimeSeriesRecorder* recorder = nullptr;
+    /// Optional burn-rate monitor evaluated right after each sample.
+    SloMonitor* slo = nullptr;
   };
 
   using Controller = std::function<std::optional<Decision>(
@@ -273,6 +290,7 @@ class Simulator : private FluidSink {
     kFaultEvent,   // b = index into the fault schedule's event list
     kController,
     kSeries,
+    kObsSample,    // time-series recorder + SLO evaluation cadence
     kBandwidth,    // a = cell, b = segment index of its trace
   };
 
@@ -307,6 +325,7 @@ class Simulator : private FluidSink {
   void compile_device(DeviceId dev);
   void controller_tick();
   void series_tick();
+  void obs_tick();
   // Fault injection.
   void on_fault_event(const FaultEvent& ev);
   void on_server_down(ServerId s);
@@ -373,6 +392,8 @@ class Simulator : private FluidSink {
   Counter* ctr_gate_refused_ = nullptr;
   Counter* ctr_server_down_ = nullptr;
   Counter* ctr_link_down_ = nullptr;
+  Counter* ctr_deadline_met_ = nullptr;
+  Counter* ctr_deadline_total_ = nullptr;
   HistogramMetric* hist_latency_ = nullptr;
 };
 

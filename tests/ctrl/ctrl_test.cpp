@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "edge/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/json.hpp"
 
 namespace scalpel {
@@ -686,6 +688,129 @@ TEST(CtrlPlane, ImpairedFabricAndChurnReplayBitIdentically) {
   EXPECT_EQ(a.rejoins(), b.rejoins());
   EXPECT_EQ(a.audit_log().to_json().dump_pretty(),
             b.audit_log().to_json().dump_pretty());
+}
+
+TEST(CtrlSpans, LossyFabricSpanStreamReconcilesAndChainsCausally) {
+  // Same churn scenario as the replay test, with span tracing on: the span
+  // stream must obey the send conservation law, agree with the fabric's own
+  // counters, and chain re-grants causally (a kRegrant reuses the original
+  // grant's correlation id, so the mint is findable on the same id).
+  const ClusterTopology topo = four_cell_campus();
+  DistributedPlaneOptions po;
+  po.cell = stub_cell_opts();
+  po.fabric.delay = 0.3;
+  po.fabric.jitter = 1.5;
+  po.fabric.drop_prob = 0.2;
+  po.seed = 99;
+  po.controller_faults = FaultSchedule::server_crash(0, 4.0, 8.0);
+  po.span_capacity = 1u << 16;
+  DistributedControlPlane plane(topo, po);
+  // Tracing must be purely observational: an untraced twin on the same
+  // inputs replays bit-identically.
+  DistributedPlaneOptions po_untraced = po;
+  po_untraced.span_capacity = 0;
+  DistributedControlPlane untraced(topo, po_untraced);
+
+  for (int t = 0; t <= 25; ++t) {
+    const double scale = (t % 5 == 3) ? 0.6 : 1.0;
+    plane.tick(observe_all_up(t, topo, scale));
+    untraced.tick(observe_all_up(t, topo, scale));
+  }
+
+  const auto spans = plane.ctrl_trace().snapshot();
+  EXPECT_EQ(plane.ctrl_trace().dropped(), 0u);  // ring sized for the run
+  const auto counts = ctrl_span_counts(spans);
+  const auto count = [&](CtrlSpanEvent e) {
+    return static_cast<std::uint64_t>(counts[static_cast<std::size_t>(e)]);
+  };
+
+  // The scenario actually exercised loss and recovery, not a quiet fabric.
+  EXPECT_GT(count(CtrlSpanEvent::kDropped), 0u);
+  EXPECT_GT(count(CtrlSpanEvent::kRegrant), 0u);
+  EXPECT_GT(count(CtrlSpanEvent::kAdopted), 0u);
+
+  // Span stream vs the fabric's own counters, exactly.
+  EXPECT_EQ(count(CtrlSpanEvent::kSent), plane.fabric().sent());
+  EXPECT_EQ(count(CtrlSpanEvent::kDropped), plane.fabric().dropped());
+  EXPECT_EQ(count(CtrlSpanEvent::kDelivered), plane.fabric().delivered());
+  // Conservation: every send ends in exactly one fabric outcome. The
+  // routing-side dead letters (recipient down at delivery) annotate spans
+  // that already counted as delivered, so they sit outside the identity.
+  EXPECT_EQ(count(CtrlSpanEvent::kSent),
+            count(CtrlSpanEvent::kDropped) +
+                count(CtrlSpanEvent::kDelivered) +
+                plane.fabric().dropped_dead() + plane.fabric().in_flight());
+  EXPECT_EQ(count(CtrlSpanEvent::kDeadLetter),
+            plane.fabric().dropped_dead() + plane.dead_letters());
+
+  // Causality: every re-grant's correlation id traces back to an earlier
+  // kSent (the original mint), never out of thin air.
+  for (const auto& sp : spans) {
+    if (sp.event != CtrlSpanEvent::kRegrant) continue;
+    bool minted = false;
+    for (const auto& prior : spans) {
+      if (prior.corr == sp.corr && prior.event == CtrlSpanEvent::kSent &&
+          prior.time <= sp.time) {
+        minted = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(minted) << "regrant corr " << sp.corr << " has no mint";
+  }
+
+  // The traced plane's trajectory is bit-identical to the untraced twin's.
+  EXPECT_EQ(plane.fabric().sent(), untraced.fabric().sent());
+  EXPECT_EQ(plane.fabric().dropped(), untraced.fabric().dropped());
+  EXPECT_EQ(plane.plan_changes(), untraced.plan_changes());
+  EXPECT_EQ(plane.audit_log().to_json().dump_pretty(),
+            untraced.audit_log().to_json().dump_pretty());
+}
+
+TEST(CtrlPlane, PublishedMetricsReconcileWithPlaneCounters) {
+  const ClusterTopology topo = four_cell_campus();
+  DistributedPlaneOptions po;
+  po.cell = stub_cell_opts();
+  po.fabric.delay = 0.3;
+  po.fabric.jitter = 1.5;
+  po.fabric.drop_prob = 0.2;
+  po.seed = 99;
+  po.span_capacity = 1u << 12;
+  DistributedControlPlane plane(topo, po);
+  for (int t = 0; t <= 15; ++t) plane.tick(observe_all_up(t, topo));
+
+  MetricsRegistry reg;
+  plane.publish_metrics(reg);
+
+  // Every published ctrl.* value equals the plane's own accessor.
+  EXPECT_EQ(reg.counter("ctrl.msg.sent").value(), plane.fabric().sent());
+  EXPECT_EQ(reg.counter("ctrl.msg.delivered").value(),
+            plane.fabric().delivered());
+  EXPECT_EQ(reg.counter("ctrl.msg.dropped").value(),
+            plane.fabric().dropped());
+  EXPECT_EQ(reg.counter("ctrl.msg.dropped_dead").value(),
+            plane.fabric().dropped_dead());
+  EXPECT_EQ(reg.counter("ctrl.dead_letters").value(), plane.dead_letters());
+  EXPECT_EQ(reg.counter("ctrl.epochs_minted").value(),
+            plane.coordinator().epoch());
+  EXPECT_EQ(reg.counter("ctrl.regrants").value(),
+            plane.coordinator().regrants());
+  EXPECT_EQ(reg.counter("ctrl.ticks").value(), plane.ticks());
+  EXPECT_EQ(reg.counter("ctrl.plan_changes").value(), plane.plan_changes());
+  EXPECT_EQ(reg.counter("ctrl.spans.recorded").value(),
+            plane.ctrl_trace().recorded());
+  EXPECT_DOUBLE_EQ(reg.gauge("ctrl.in_flight").value(),
+                   static_cast<double>(plane.fabric().in_flight()));
+  EXPECT_DOUBLE_EQ(reg.gauge("ctrl.converged").value(),
+                   plane.converged() ? 1.0 : 0.0);
+
+  // The registry view alone closes the conservation identity — what the
+  // validate-trace CLI check relies on.
+  EXPECT_EQ(reg.counter("ctrl.msg.sent").value(),
+            reg.counter("ctrl.msg.dropped").value() +
+                reg.counter("ctrl.msg.delivered").value() +
+                reg.counter("ctrl.msg.dropped_dead").value() +
+                static_cast<std::uint64_t>(
+                    reg.gauge("ctrl.in_flight").value()));
 }
 
 }  // namespace

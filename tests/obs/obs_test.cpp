@@ -10,6 +10,9 @@
 
 #include "obs/audit.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -262,6 +265,322 @@ TEST(AuditLog, JsonExportRoundTrips) {
   EXPECT_EQ(doc.at(0).at("cause").as_string(), "throttle_on");
   EXPECT_DOUBLE_EQ(doc.at(0).at("admit_after").as_number(), 0.6);
   EXPECT_DOUBLE_EQ(doc.at(0).at("time").as_number(), 3.0);
+}
+
+TEST(MetricsRegistry, HistogramQuantileBinEdgesInterpolate) {
+  // 100 bins of width 1, one sample per bin at midpoint position: the j-th
+  // sample resolves to exactly j + 0.5 under the in-bin midpoint convention.
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("edge", 0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  // q=0 / q=1 are the first and last samples INSIDE their bins — the old
+  // code snapped them to the outer bin boundaries (0.0 and 100.0), biasing
+  // extreme percentiles outward by half a bin step.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 99.5);
+  // p50 with an even count interpolates midway between samples 49 and 50.
+  EXPECT_DOUBLE_EQ(h.p50(), 50.0);
+  // Continuous rank: q=0.99 over 100 samples is rank 98.01, interpolating
+  // just past sample 98.
+  EXPECT_NEAR(h.p99(), 98.51, 1e-9);
+}
+
+TEST(MetricsRegistry, HistogramQuantileSingleSample) {
+  // One sample in one bin: every quantile is that sample's in-bin midpoint,
+  // never the bin's lower or upper edge.
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("single", 0.0, 10.0, 10);
+  h.add(5.2);  // lands in bin [5, 6)
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.5);
+}
+
+TEST(MetricsRegistry, HistogramQuantileSkewedMassStaysInsideBins) {
+  // 9 samples in the first bin, 1 in the last: p50 stays inside bin 0 and
+  // p100 inside the last bin; no quantile escapes the occupied bins.
+  MetricsRegistry reg;
+  HistogramMetric& h = reg.histogram("skew", 0.0, 10.0, 10);
+  for (int i = 0; i < 9; ++i) h.add(0.5);
+  h.add(9.5);
+  const double p50 = h.p50();
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LT(p50, 1.0);
+  EXPECT_GT(h.quantile(1.0), 9.0);
+  EXPECT_LT(h.quantile(1.0), 10.0);
+}
+
+EngineSample es(double t, std::uint64_t done, std::uint64_t met,
+                std::uint64_t total) {
+  EngineSample s;
+  s.time = t;
+  s.arrived = done + 3;
+  s.completed = done;
+  s.deadline_met = met;
+  s.deadline_total = total;
+  s.in_flight = 3.0;
+  s.queue_depth = 1.0;
+  return s;
+}
+
+TEST(TimeSeriesRecorder, ColumnsFreezeWithSourcesAndSampleRows) {
+  TimeSeriesRecorder rec(8);
+  double price = 1.5;
+  std::uint64_t epochs = 0;
+  rec.register_gauge("ctrl.price", [&] { return price; });
+  rec.register_counter("ctrl.epochs", [&] {
+    return static_cast<double>(epochs);
+  });
+  rec.sample(es(1.0, 10, 9, 10));
+  epochs = 2;
+  price = 2.5;
+  rec.sample(es(2.0, 20, 18, 20));
+
+  ASSERT_EQ(rec.size(), 2u);
+  // Layout: time first, then built-in engine columns, then sources in
+  // registration order.
+  EXPECT_EQ(rec.columns().front(), "time");
+  const std::size_t price_col = rec.column_index("ctrl.price");
+  const std::size_t epoch_col = rec.column_index("ctrl.epochs");
+  EXPECT_FALSE(rec.cumulative()[price_col]);
+  EXPECT_TRUE(rec.cumulative()[epoch_col]);
+  EXPECT_TRUE(rec.cumulative()[rec.column_index("sim.completed")]);
+  EXPECT_FALSE(rec.cumulative()[rec.column_index("sim.in_flight")]);
+  EXPECT_DOUBLE_EQ(rec.value(0, price_col), 1.5);
+  EXPECT_DOUBLE_EQ(rec.value(1, price_col), 2.5);
+  EXPECT_DOUBLE_EQ(rec.value(1, epoch_col), 2.0);
+  EXPECT_DOUBLE_EQ(rec.last_time(), 2.0);
+}
+
+TEST(TimeSeriesRecorder, RingEvictsOldestAndWindowDeltaDifferences) {
+  TimeSeriesRecorder rec(4);
+  for (int i = 1; i <= 6; ++i) {
+    rec.sample(es(static_cast<double>(i),
+                  static_cast<std::uint64_t>(10 * i),
+                  static_cast<std::uint64_t>(9 * i),
+                  static_cast<std::uint64_t>(10 * i)));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  // Oldest retained row is sample 3 (time 3.0).
+  EXPECT_DOUBLE_EQ(rec.value(0, 0), 3.0);
+  const std::size_t done = rec.column_index("sim.completed");
+  // Trailing 2 s window: newest (60 at t=6) minus the newest row with
+  // time <= 4 (40 at t=4).
+  EXPECT_DOUBLE_EQ(rec.window_delta(done, 2.0), 20.0);
+  // Window covering more than the retained series falls back to the
+  // run-start baseline of 0.
+  EXPECT_DOUBLE_EQ(rec.window_delta(done, 100.0), 60.0);
+}
+
+TEST(TimeSeriesRecorder, CursorBaseRowMatchesSearchEverywhere) {
+  TimeSeriesRecorder rec(8);
+  std::uint64_t cursors[3] = {0, 0, 0};
+  const double windows[3] = {1.5, 4.0, 100.0};
+  for (int i = 1; i <= 24; ++i) {
+    rec.sample(es(0.5 * i, static_cast<std::uint64_t>(i),
+                  static_cast<std::uint64_t>(i),
+                  static_cast<std::uint64_t>(i)));
+    // The cursor variant must agree with the binary search at every step,
+    // through ring wrap and eviction of rows the cursor pointed into.
+    for (int w = 0; w < 3; ++w) {
+      EXPECT_EQ(rec.window_base_row_from(&cursors[w], windows[w]),
+                rec.window_base_row(windows[w]))
+          << "sample " << i << " window " << windows[w];
+    }
+  }
+}
+
+TEST(TimeSeriesRecorder, ClearKeepsSourcesAndExportsRoundTrip) {
+  TimeSeriesRecorder rec(4);
+  rec.register_gauge("ctrl.price", [] { return 7.0; });
+  rec.sample(es(1.0, 1, 1, 1));
+  rec.clear();
+  EXPECT_TRUE(rec.empty());
+  // Sources survive clear(): the next sample re-freezes the same layout.
+  rec.sample(es(2.0, 2, 2, 2));
+  EXPECT_DOUBLE_EQ(rec.value(0, rec.column_index("ctrl.price")), 7.0);
+
+  const Json doc = Json::parse(rec.to_json().dump_pretty());
+  EXPECT_EQ(doc.at("columns").size(), rec.columns().size());
+  ASSERT_EQ(doc.at("rows").size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.at("rows").at(0).at(0).as_number(), 2.0);
+  EXPECT_EQ(rec.to_table().rows(), 1u);
+}
+
+TEST(SloMonitor, BurnRateMathAndTransitionsHitTheAuditLog) {
+  TimeSeriesRecorder rec(64);
+  DecisionAuditLog audit;
+  SloMonitor slo(&rec, &audit);
+  SloSpec spec;
+  spec.name = "deadline";
+  spec.good = "sim.deadline_met";
+  spec.total = "sim.deadline_total";
+  spec.objective = 0.9;
+  spec.windows = {{4.0, 1.0}};
+  slo.add(spec);
+
+  // Healthy phase: 100% of deadlines met, burn 0, no alert.
+  std::uint64_t met = 0;
+  std::uint64_t total = 0;
+  double t = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    t += 1.0;
+    met += 10;
+    total += 10;
+    rec.sample(es(t, total, met, total));
+    slo.evaluate();
+  }
+  EXPECT_FALSE(slo.alerting(0));
+  EXPECT_DOUBLE_EQ(slo.burn_rate(0, 0), 0.0);
+
+  // Degraded phase: 20% of deadlines missed burns the 10% error budget at
+  // exactly 2.0x, crossing the 1.0x threshold.
+  for (int i = 0; i < 8; ++i) {
+    t += 1.0;
+    met += 8;
+    total += 10;
+    rec.sample(es(t, total, met, total));
+    slo.evaluate();
+  }
+  EXPECT_TRUE(slo.alerting(0));
+  EXPECT_NEAR(slo.burn_rate(0, 0), 2.0, 1e-9);
+  EXPECT_EQ(slo.alerts_started(), 1u);
+
+  // Recovery: burn recedes below threshold, alert stops.
+  for (int i = 0; i < 8; ++i) {
+    t += 1.0;
+    met += 10;
+    total += 10;
+    rec.sample(es(t, total, met, total));
+    slo.evaluate();
+  }
+  EXPECT_FALSE(slo.alerting(0));
+  EXPECT_EQ(slo.alerts_stopped(), 1u);
+
+  // Both transitions landed in the audit log, stamped with recorder time
+  // and carrying the human-readable burn summary.
+  ASSERT_EQ(audit.size(), 2u);
+  EXPECT_EQ(audit.records()[0].cause, AuditCause::kSloBurnStart);
+  EXPECT_EQ(audit.records()[1].cause, AuditCause::kSloBurnStop);
+  EXPECT_NE(audit.records()[0].detail.find("slo deadline"),
+            std::string::npos);
+  EXPECT_GT(audit.records()[1].time, audit.records()[0].time);
+}
+
+TEST(SloMonitor, AllWindowsMustBurnBeforeAlerting) {
+  // Fast 2 s window at 1.0x plus sustained 16 s window at 0.5x: a short
+  // blip trips the fast window but not the sustained one — no alert.
+  TimeSeriesRecorder rec(64);
+  SloMonitor slo(&rec);
+  SloSpec spec;
+  spec.name = "deadline";
+  spec.good = "sim.deadline_met";
+  spec.total = "sim.deadline_total";
+  spec.objective = 0.9;
+  spec.windows = {{2.0, 1.0}, {16.0, 0.5}};
+  slo.add(spec);
+
+  std::uint64_t met = 0;
+  std::uint64_t total = 0;
+  double t = 0.0;
+  for (int i = 0; i < 16; ++i) {
+    t += 1.0;
+    met += 10;
+    total += 10;
+    rec.sample(es(t, total, met, total));
+    slo.evaluate();
+  }
+  // One bad second: the 2 s window burns at 1.0x+, the 16 s window barely.
+  t += 1.0;
+  met += 5;
+  total += 10;
+  rec.sample(es(t, total, met, total));
+  slo.evaluate();
+  EXPECT_GE(slo.burn_rate(0, 0), 1.0);
+  EXPECT_LT(slo.burn_rate(0, 1), 0.5);
+  EXPECT_FALSE(slo.alerting(0));
+  EXPECT_EQ(slo.alerts_started(), 0u);
+}
+
+CtrlSpan span(double t, std::uint64_t corr, CtrlSpanEvent event) {
+  CtrlSpan s;
+  s.time = t;
+  s.corr = corr;
+  s.epoch = 3;
+  s.price = 0.25;
+  s.from = 0;
+  s.to = 2;
+  s.event = event;
+  s.msg = 1;
+  return s;
+}
+
+TEST(CtrlTracer, DisabledRecordsNothingEnabledRingEvicts) {
+  CtrlTracer off;
+  EXPECT_FALSE(off.enabled());
+  off.record(span(0.0, 1, CtrlSpanEvent::kSent));
+  EXPECT_EQ(off.recorded(), 0u);
+
+  CtrlTracer tracer(3);
+  for (int i = 0; i < 7; ++i) {
+    tracer.record(span(static_cast<double>(i),
+                       static_cast<std::uint64_t>(i), CtrlSpanEvent::kSent));
+  }
+  EXPECT_EQ(tracer.size(), 3u);
+  EXPECT_EQ(tracer.dropped(), 4u);
+  const auto spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].corr, 4 + i);  // newest three, oldest first
+  }
+  tracer.reset(0);
+  EXPECT_FALSE(tracer.enabled());
+}
+
+TEST(CtrlSpans, ChromeEventsCarryCausalIdentityAndCounts) {
+  std::vector<CtrlSpan> spans;
+  spans.push_back(span(0.010, 42, CtrlSpanEvent::kSent));
+  spans.push_back(span(0.020, 42, CtrlSpanEvent::kDropped));
+  spans.push_back(span(0.030, 42, CtrlSpanEvent::kRegrant));
+  spans.push_back(span(0.040, 42, CtrlSpanEvent::kDelivered));
+  spans.push_back(span(0.040, 42, CtrlSpanEvent::kAdopted));
+
+  const Json arr = Json::parse(ctrl_spans_to_chrome_events(spans).dump());
+  ASSERT_EQ(arr.size(), 5u);
+  // All events of one causal chain share pid=kCtrlChromePid and tid=corr,
+  // so Chrome renders mint -> drop -> re-grant -> adopt as one lane.
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    EXPECT_EQ(arr.at(i).at("pid").as_int(), kCtrlChromePid);
+    EXPECT_EQ(arr.at(i).at("tid").as_int(), 42);
+    EXPECT_EQ(arr.at(i).at("args").at("epoch").as_int(), 3);
+    EXPECT_DOUBLE_EQ(arr.at(i).at("args").at("price").as_number(), 0.25);
+  }
+  EXPECT_DOUBLE_EQ(arr.at(0).at("ts").as_number(), 10000.0);  // µs
+  EXPECT_EQ(arr.at(2).at("args").at("span").as_string(), "regrant");
+  EXPECT_EQ(arr.at(2).at("name").as_string(), "slice_grant:regrant");
+
+  const auto counts = ctrl_span_counts(spans);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CtrlSpanEvent::kSent)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CtrlSpanEvent::kAdopted)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(CtrlSpanEvent::kDeadLetter)], 0u);
+}
+
+TEST(CtrlSpans, MergedTraceSplicesTaskAndCtrlLanes) {
+  TaskTracer tasks(8);
+  tasks.record(0.001, 7, 0, -1, TraceEventType::kArrive);
+  CtrlTracer ctrl(8);
+  ctrl.record(span(0.002, 9, CtrlSpanEvent::kSent));
+  const Json doc = Json::parse(merged_trace_to_chrome_json(tasks, ctrl).dump());
+  const Json& arr = doc.at("traceEvents");
+  ASSERT_EQ(arr.size(), 2u);
+  EXPECT_EQ(doc.at("droppedEvents").as_int(), 0);
+  EXPECT_EQ(doc.at("droppedSpans").as_int(), 0);
+  // Task lane keeps its device pid; the ctrl lane sits at kCtrlChromePid.
+  EXPECT_LT(arr.at(0).at("pid").as_int(), kCtrlChromePid);
+  EXPECT_EQ(arr.at(1).at("pid").as_int(), kCtrlChromePid);
+  const Table t = ctrl_spans_to_table(ctrl.snapshot());
+  EXPECT_EQ(t.rows(), 1u);
 }
 
 }  // namespace

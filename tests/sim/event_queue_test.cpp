@@ -171,6 +171,43 @@ TEST(EventQueue, CalendarMatchesHeapOracleOnRandomStreams) {
   }
 }
 
+TEST(EventQueue, PeriodicTelemetryQuietZonesMatchHeapOracle) {
+  // The telemetry access pattern that made quiet-zone scans expensive: a
+  // sparse periodic stream (obs samples every 0.5 s) threaded between dense
+  // event bursts, plus far-future stragglers that alias into the same ring
+  // buckets. The per-bucket min-day bound must skip quiet days without ever
+  // skipping a due event — held to the heap oracle pop for pop.
+  EventQueue cal(EventQueueImpl::kCalendar);
+  EventQueue heap(EventQueueImpl::kBinaryHeap);
+  auto push_both = [&](double t, std::uint32_t kind, std::int32_t a) {
+    cal.push(t, kind, a, 0);
+    heap.push(t, kind, a, 0);
+  };
+  // Periodic grid over the whole horizon, far-future completions up front
+  // (they go stale in min_day_ as earlier occupants of their buckets pop).
+  for (int i = 0; i < 200; ++i) {
+    push_both(0.5 * i, 1, i);
+    push_both(100.0 + 0.37 * i, 2, i);
+  }
+  // Dense bursts around a few instants, pushed while draining.
+  int popped = 0;
+  double now = 0.0;
+  while (!cal.empty()) {
+    const SimEvent a = cal.pop_min();
+    const SimEvent b = heap.pop_min();
+    ASSERT_EQ(a.time, b.time) << "pop " << popped;
+    ASSERT_EQ(a.seq, b.seq) << "pop " << popped;
+    ASSERT_GE(a.time, now);
+    now = a.time;
+    if (popped < 300 && popped % 10 == 3) {
+      for (int j = 0; j < 5; ++j) push_both(now + 0.001 * j, 3, popped);
+    }
+    ++popped;
+  }
+  EXPECT_TRUE(heap.empty());
+  EXPECT_GT(popped, 400);
+}
+
 TEST(CalendarQueue, ShrinkReanchorThenPushAtPointerStillSorted) {
   // Drive the shrink path hard (drain far below a grown ring's quarter
   // occupancy, so rebucket halves repeatedly and re-anchors the scan

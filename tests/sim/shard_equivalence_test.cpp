@@ -19,6 +19,9 @@
 #include "core/online.hpp"
 #include "ctrl/plane.hpp"
 #include "edge/builders.hpp"
+#include "obs/slo.hpp"
+#include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
@@ -533,6 +536,146 @@ TEST(ShardEquivalence, DistributedControlPlaneBitIdentical) {
       EXPECT_EQ(plane.rejoins(), ref_plane.rejoins());
       EXPECT_EQ(plane.fabric().sent(), ref_plane.fabric().sent());
       EXPECT_EQ(plane.fabric().dropped(), ref_plane.fabric().dropped());
+    }
+  }
+}
+
+/// Every retained row of both recorders, bitwise — column layout included.
+void expect_series_identical(const TimeSeriesRecorder& a,
+                             const TimeSeriesRecorder& b) {
+  ASSERT_EQ(a.columns(), b.columns());
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.dropped(), b.dropped());
+  for (std::size_t r = 0; r < a.size(); ++r) {
+    for (std::size_t c = 0; c < a.columns().size(); ++c) {
+      ASSERT_EQ(a.value(r, c), b.value(r, c))
+          << "row " << r << " col " << a.columns()[c];
+    }
+  }
+}
+
+TEST(ShardEquivalence, ObservabilityPipelineBitIdentical) {
+  // The full observability stack at once — causal span tracing on a lossy
+  // control fabric, the time-series recorder fed engine counters plus the
+  // plane's registered sources, and SLO burn-rate alerting writing into the
+  // shared audit log. Everything it emits must be bit-identical between the
+  // single loop and every shard x thread configuration: the sharded engine
+  // samples at epoch barriers laid on the same exact time grid.
+  const ProblemInstance instance = sharded_campus(9, 2.5, 8, 3);
+  Decision d;
+  d.scheme = "seed_local";
+  d.per_device.resize(instance.topology().devices().size());
+  for (auto& dd : d.per_device) dd.plan.device_only = true;
+  evaluate_decision(instance, d);
+
+  DistributedPlaneOptions popts;
+  popts.seed = 9;
+  popts.fabric.delay = 0.3;
+  popts.fabric.jitter = 1.5;
+  popts.fabric.drop_prob = 0.15;
+  popts.span_capacity = 1 << 14;
+  popts.cell.solver = [](const ProblemInstance& sub, const JointOptions&) {
+    Decision plan;
+    plan.scheme = "stub";
+    const auto& topo = sub.topology();
+    const auto n = static_cast<double>(topo.devices().size());
+    plan.per_device.resize(topo.devices().size());
+    for (auto& dd : plan.per_device) {
+      dd.plan.partition_after = 0;
+      dd.server = 0;
+      dd.compute_share = 0.9 / n;
+      dd.bandwidth = 0.9 * topo.cell(0).bandwidth / n;
+    }
+    return plan;
+  };
+  std::vector<FaultEvent> churn;
+  churn.push_back({4.0, FaultTarget::Server, 0, false});
+  churn.push_back({9.0, FaultTarget::Server, 0, true});
+  popts.controller_faults = FaultSchedule(churn);
+
+  Simulator::Options opts;
+  opts.horizon = 16.0;
+  opts.warmup = 1.0;
+  opts.seed = 9;
+  opts.control_interval = 1.0;
+  opts.trace_capacity = 1 << 18;
+  opts.obs_interval = 0.5;
+  opts.faults.schedule = FaultSchedule::server_crash(1, 7.0, 12.0);
+  opts.faults.policy = FaultPolicy::RetryOnDevice;
+
+  SloSpec spec;
+  spec.name = "deadline";
+  spec.good = "sim.deadline_met";
+  spec.total = "sim.deadline_total";
+  spec.objective = 0.9;
+  spec.windows = {{4.0, 1.0}, {12.0, 0.5}};
+
+  // Fresh plane + recorder + monitor per run: registered sources close over
+  // the plane, and the audit log is shared between plane and SLO monitor.
+  DistributedControlPlane ref_plane(instance.topology(), popts);
+  TimeSeriesRecorder ref_rec(1 << 10);
+  ref_plane.register_sources(ref_rec);
+  SloMonitor ref_slo(&ref_rec, &ref_plane.audit_log());
+  ref_slo.add(spec);
+  Simulator::Options ref_opts = opts;
+  ref_opts.recorder = &ref_rec;
+  ref_opts.slo = &ref_slo;
+  Simulator ref(instance, d, ref_opts);
+  ref.set_controller(ref_plane.callback());
+  const SimMetrics ref_m = ref.run();
+  const auto ref_spans = ref_plane.ctrl_trace().snapshot();
+  const std::string ref_audit =
+      ref_plane.audit_log().to_json().dump_pretty();
+  // The scenario must actually exercise the pipeline under test.
+  EXPECT_GT(ref_rec.size(), 0u);
+  EXPECT_GT(ref_spans.size(), 0u);
+  EXPECT_GT(ref_plane.fabric().dropped(), 0u);
+
+  for (const std::size_t shards : kShardCounts) {
+    for (const std::size_t threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << "shards=" << shards << " threads=" << threads);
+      ShardOptions sopts;
+      sopts.shards = shards;
+      sopts.threads = threads;
+      DistributedControlPlane plane(instance.topology(), popts);
+      TimeSeriesRecorder rec(1 << 10);
+      plane.register_sources(rec);
+      SloMonitor slo(&rec, &plane.audit_log());
+      slo.add(spec);
+      Simulator::Options run_opts = opts;
+      run_opts.recorder = &rec;
+      run_opts.slo = &slo;
+      ShardedSimulator sim(instance, d, run_opts, sopts);
+      sim.set_controller(plane.callback());
+      const SimMetrics m = sim.run();
+      expect_metrics_identical(ref_m, m);
+
+      // Time series: every row and column, bitwise.
+      expect_series_identical(ref_rec, rec);
+
+      // Span stream: same spans in the same order.
+      const auto spans = plane.ctrl_trace().snapshot();
+      ASSERT_EQ(ref_spans.size(), spans.size());
+      for (std::size_t i = 0; i < spans.size(); ++i) {
+        ASSERT_TRUE(ref_spans[i] == spans[i]) << "span " << i;
+      }
+
+      // SLO alert stream and the audit trail it writes into.
+      EXPECT_EQ(slo.alerts_started(), ref_slo.alerts_started());
+      EXPECT_EQ(slo.alerts_stopped(), ref_slo.alerts_stopped());
+      ASSERT_EQ(slo.specs(), ref_slo.specs());
+      for (std::size_t w = 0; w < spec.windows.size(); ++w) {
+        EXPECT_EQ(slo.burn_rate(0, w), ref_slo.burn_rate(0, w));
+      }
+      EXPECT_EQ(plane.audit_log().to_json().dump_pretty(), ref_audit);
+
+      // Published ctrl.* registries agree too.
+      MetricsRegistry ref_reg;
+      MetricsRegistry reg;
+      ref_plane.publish_metrics(ref_reg);
+      plane.publish_metrics(reg);
+      expect_registries_identical(ref_reg, reg);
     }
   }
 }

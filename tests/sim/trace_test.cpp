@@ -8,12 +8,16 @@
 #include <vector>
 
 #include "core/objective.hpp"
+#include "ctrl/plane.hpp"
 #include "edge/builders.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "profile/compute_profile.hpp"
 #include "profile/energy_model.hpp"
 #include "sim/runner.hpp"
 #include "sim/simulator.hpp"
+#include "util/json.hpp"
 #include "util/units.hpp"
 
 namespace scalpel {
@@ -174,6 +178,79 @@ TEST(Trace, BitIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(nonempty);
   // Different replications must not share an event stream (distinct seeds).
   EXPECT_FALSE(serial.traces[0] == serial.traces[1]);
+}
+
+TEST(Trace, MergedChromeTraceRoundTripsTaskAndCtrlLanes) {
+  // A controller-driven run over a lossy fabric, task tracing and span
+  // tracing both on: the merged Chrome document must round-trip through the
+  // project's parser with every task event on a device pid and every
+  // control-plane span on the dedicated kCtrlChromePid lane, and the span
+  // stream must reconcile with the published ctrl.* metrics.
+  const ClusterTopology topo = two_devices(3.0, 0.3);
+  const ProblemInstance instance(topo);
+  const Decision d = offload_decision(instance);
+
+  DistributedPlaneOptions po;
+  po.cell.solver = [&](const ProblemInstance& sub, const JointOptions&) {
+    return offload_decision(sub);
+  };
+  po.fabric.delay = 0.1;
+  po.fabric.jitter = 0.4;
+  po.fabric.drop_prob = 0.1;
+  po.seed = 7;
+  po.span_capacity = 1 << 12;
+  DistributedControlPlane plane(topo, po);
+
+  Simulator::Options o;
+  o.horizon = 20.0;
+  o.warmup = 2.0;
+  o.seed = 11;
+  o.control_interval = 1.0;
+  o.trace_capacity = 1 << 16;
+  Simulator sim(instance, d, o);
+  sim.set_controller(plane.callback());
+  sim.run();
+
+  const auto spans = plane.ctrl_trace().snapshot();
+  ASSERT_GT(spans.size(), 0u);
+  ASSERT_GT(sim.trace().size(), 0u);
+
+  const Json doc = Json::parse(
+      merged_trace_to_chrome_json(sim.trace(), plane.ctrl_trace()).dump());
+  const Json& arr = doc.at("traceEvents");
+  std::size_t ctrl_lane = 0;
+  std::size_t task_lane = 0;
+  for (std::size_t i = 0; i < arr.size(); ++i) {
+    if (arr.at(i).at("pid").as_int() == kCtrlChromePid) {
+      ++ctrl_lane;
+      // Every span event carries its causal identity on the shared clock.
+      EXPECT_GE(arr.at(i).at("args").at("corr").as_int(), 0);
+      EXPECT_GE(arr.at(i).at("ts").as_number(), 0.0);
+    } else {
+      ++task_lane;
+    }
+  }
+  EXPECT_EQ(ctrl_lane, spans.size());
+  EXPECT_GT(task_lane, 0u);
+  EXPECT_EQ(doc.at("droppedSpans").as_int(), 0);
+
+  // The same reconciliation validate-trace performs: span counts close the
+  // conservation identity against the published ctrl.* registry view.
+  MetricsRegistry reg;
+  plane.publish_metrics(reg);
+  const auto counts = ctrl_span_counts(spans);
+  const auto count_of = [&](CtrlSpanEvent e) {
+    return static_cast<std::uint64_t>(counts[static_cast<std::size_t>(e)]);
+  };
+  EXPECT_EQ(count_of(CtrlSpanEvent::kSent),
+            reg.counter("ctrl.msg.sent").value());
+  EXPECT_EQ(count_of(CtrlSpanEvent::kSent),
+            count_of(CtrlSpanEvent::kDropped) +
+                count_of(CtrlSpanEvent::kDelivered) +
+                reg.counter("ctrl.msg.dropped_dead").value() +
+                static_cast<std::uint64_t>(
+                    reg.gauge("ctrl.in_flight").value()));
+  EXPECT_GT(count_of(CtrlSpanEvent::kDropped), 0u);  // the fabric was lossy
 }
 
 TEST(Trace, DisabledByDefaultAndEmpty) {
